@@ -1,0 +1,61 @@
+// Appendix A numerics: the convergence Lemma (A.2), additive-increase
+// equilibria (A.3), and the ΣD/D/1 queueing bounds (A.1).
+#include <cstdio>
+
+#include "analytic/convergence.h"
+#include "analytic/fairness.h"
+#include "analytic/queueing.h"
+#include "bench/bench_util.h"
+#include "sim/rng.h"
+
+using namespace hpcc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintHeader("Appendix A", "analytical model numerics");
+
+  // --- A.2: the Lemma on a worked example -------------------------------
+  std::printf("\nA.2 — multiplicative recursion (3 paths, 2 resources):\n");
+  analytic::ResourceNetwork net;
+  net.incidence = {{true, true, false}, {true, false, true}};
+  net.capacities = {100.0, 50.0};
+  std::vector<double> r{40, 80, 40};
+  for (int step = 0; step <= 6; ++step) {
+    const auto y = analytic::Loads(net, r);
+    std::printf(
+        "  step %d: R = (%6.2f, %6.2f, %6.2f)  Y/C = (%.3f, %.3f)  "
+        "feasible=%d pareto=%d\n",
+        step, r[0], r[1], r[2], y[0] / 100.0, y[1] / 50.0,
+        analytic::IsFeasible(net, r), analytic::IsParetoOptimal(net, r, 1e-3));
+    r = analytic::Step(net, r);
+  }
+  std::printf("  (feasible after 1 step; tightest bottleneck pinned; the "
+              "rest converges geometrically to Pareto optimality)\n");
+
+  // --- A.3: equilibrium utilization vs additive step --------------------
+  std::printf("\nA.3 — equilibrium utilization as a function of W_AI "
+              "(U_target = 95%%):\n");
+  for (double a_frac : {0.01, 0.02, 0.04, 0.049, 0.055}) {
+    const double u = analytic::EquilibriumUtilization(a_frac, 0.95, 1.0);
+    std::printf("  a = %.1f%% of flow rate -> U = %.1f%% %s\n", a_frac * 100,
+                u * 100, u >= 1.0 ? "(UNSTABLE: exceeds capacity)" : "");
+  }
+  std::printf("  stability bound: a < R(1-U_target) = %.1f%% of the rate\n",
+              analytic::MaxStableAdditiveStep(0.95, 1.0) * 100);
+
+  // --- A.1: SumD/D/1 queue at a paced bottleneck -------------------------
+  std::printf("\nA.1 — periodic-source queueing (N sources, unit server):\n");
+  std::printf("  closed form at rho=1: E[Q] ~ sqrt(pi N/8): N=50 -> %.2f\n",
+              analytic::MeanQueueAtFullLoad(50));
+  sim::Rng rng(flags.seed);
+  for (double rho : {0.90, 0.95, 1.0}) {
+    const auto s = analytic::SimulatePeriodicSources(
+        50, rho, flags.full ? 4'000'000 : 400'000, 20, rng);
+    std::printf(
+        "  MC N=50 rho=%.2f: mean %.2f  p99 %.2f  max %.1f  P(Q>20) %.2e\n",
+        rho, s.mean_queue, s.p99_queue, s.max_queue, s.prob_above);
+  }
+  std::printf("  (paper: at 95%% load with 50 sources, P(Q>20) ~ 1e-9 — "
+              "queues are negligible below saturation)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 11: all six CC schemes on the FatTree with FB_Hadoop.
+//   11a/11b: 30% load + 60-to-1 incast — 95p FCT slowdown per bin; PFC pause
+//            fraction and short-flow latency.
+//   11c/11d: 50% load.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hpcc;
+
+namespace {
+
+const std::vector<const char*> kSchemes = {"dcqcn",      "timely",
+                                           "dcqcn+win",  "timely+win",
+                                           "dctcp",      "hpcc"};
+
+runner::ExperimentResult RunOne(const bench::Flags& flags,
+                                const std::string& scheme, double load,
+                                bool incast) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kFatTree;
+  cfg.fattree = bench::BenchFatTree(flags.full);
+  cfg.cc.scheme = scheme;
+  cfg.load = load;
+  cfg.trace = "fbhadoop";
+  cfg.duration =
+      sim::Ms(flags.duration_ms > 0 ? static_cast<int64_t>(flags.duration_ms)
+                                    : (flags.full ? 20 : 3));
+  cfg.seed = flags.seed;
+  if (incast) {
+    cfg.incast = true;
+    // §5.3: 60 senders, 500 KB each, ~2% of network capacity. The mini
+    // topology scales the fan-in down proportionally.
+    cfg.incast_opts.fan_in = flags.full ? 60 : 12;
+    cfg.incast_opts.flow_bytes = 500'000;
+    cfg.incast_opts.first_event = sim::Us(300);
+    cfg.incast_opts.period = cfg.duration / 3;
+  }
+  runner::Experiment e(cfg);
+  return e.Run();
+}
+
+void Scenario(const bench::Flags& flags, double load, bool incast,
+              const char* fct_fig, const char* pfc_fig) {
+  std::printf("\n######## FB_Hadoop %.0f%% load%s ########\n", load * 100,
+              incast ? " + incast" : "");
+  std::printf("%s — 95th-percentile FCT slowdown per size bin\n", fct_fig);
+  std::printf("%s — PFC pause fraction and short-flow latency\n\n", pfc_fig);
+  for (const char* scheme : kSchemes) {
+    runner::ExperimentResult r = RunOne(flags, scheme, load, incast);
+    bench::PrintResult(scheme, r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintHeader("Figure 11", "six CC schemes, FB_Hadoop on FatTree");
+  Scenario(flags, 0.3, /*incast=*/true, "Fig 11a", "Fig 11b");
+  Scenario(flags, 0.5, /*incast=*/false, "Fig 11c", "Fig 11d");
+  return 0;
+}

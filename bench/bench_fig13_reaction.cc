@@ -1,0 +1,91 @@
+// Figure 13: reaction-strategy ablation on a 16-to-1 incast at 100 Gbps —
+// per-ACK overreacts (throughput collapses and oscillates), per-RTT reacts
+// too slowly (queue persists), HPCC's reference window gets both right.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stats/queue_monitor.h"
+#include "stats/timeseries.h"
+
+using namespace hpcc;
+
+namespace {
+
+struct Outcome {
+  stats::TimeSeries throughput;  // aggregate Gbps
+  stats::TimeSeries queue;       // bytes
+};
+
+Outcome RunOne(const char* scheme, sim::TimePs horizon) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kStar;
+  cfg.star.num_hosts = 17;
+  cfg.star.host_bps = 100'000'000'000;
+  cfg.cc.scheme = scheme;
+  cfg.cc.hpcc.expected_flows = 16;
+  runner::Experiment e(cfg);
+  const auto& h = e.hosts();
+  stats::GoodputSampler gp(&e.simulator(), sim::Us(5));
+  for (int i = 0; i < 16; ++i) {
+    host::Flow* f = e.AddFlow(h[i], h[16], 10'000'000, 0);
+    gp.Track(f, "f" + std::to_string(i));
+  }
+  net::SwitchNode& sw = e.topology().switch_node(e.topology().switches()[0]);
+  stats::PortQueueSampler qs(&e.simulator(), &sw.port(16), sim::Us(5));
+  gp.Start(horizon);
+  qs.Start(horizon);
+  e.RunUntil(horizon);
+  return Outcome{gp.Aggregate(), qs.series()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const sim::TimePs horizon = sim::Us(
+      flags.duration_ms > 0 ? static_cast<int64_t>(flags.duration_ms * 1000)
+                            : 400);
+  bench::PrintHeader("Figure 13",
+                     "per-ACK vs per-RTT vs HPCC, 16-to-1 incast");
+
+  const Outcome per_ack = RunOne("hpcc-perack", horizon);
+  const Outcome per_rtt = RunOne("hpcc-perrtt", horizon);
+  const Outcome hpcc = RunOne("hpcc", horizon);
+
+  std::printf("\n  %8s | %26s | %26s\n", "", "total throughput (Gbps)",
+              "queue length (KB)");
+  std::printf("  %8s | %8s %8s %8s | %8s %8s %8s\n", "time", "perACK",
+              "perRTT", "HPCC", "perACK", "perRTT", "HPCC");
+  const size_t n = hpcc.throughput.points().size();
+  const size_t stride = std::max<size_t>(1, n / 30);
+  for (size_t i = 0; i < n; i += stride) {
+    auto val = [i](const stats::TimeSeries& s) {
+      return i < s.points().size() ? s.points()[i].second : 0.0;
+    };
+    std::printf("  %6.0fus | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n",
+                sim::ToUs(hpcc.throughput.points()[i].first),
+                val(per_ack.throughput), val(per_rtt.throughput),
+                val(hpcc.throughput), val(per_ack.queue) / 1e3,
+                val(per_rtt.queue) / 1e3, val(hpcc.queue) / 1e3);
+  }
+
+  auto late_mean = [n](const stats::TimeSeries& s) {
+    double sum = 0;
+    size_t cnt = 0;
+    for (size_t i = n / 2; i < s.points().size(); ++i, ++cnt) {
+      sum += s.points()[i].second;
+    }
+    return cnt > 0 ? sum / static_cast<double>(cnt) : 0.0;
+  };
+  std::printf("\nsteady throughput (Gbps): perACK %.1f, perRTT %.1f, HPCC %.1f\n",
+              late_mean(per_ack.throughput), late_mean(per_rtt.throughput),
+              late_mean(hpcc.throughput));
+  std::printf("peak queue (KB): perACK %.1f, perRTT %.1f, HPCC %.1f\n",
+              per_ack.queue.MaxValue() / 1e3, per_rtt.queue.MaxValue() / 1e3,
+              hpcc.queue.MaxValue() / 1e3);
+  std::printf(
+      "(paper: per-ACK drops throughput to ~0 then oscillates; per-RTT "
+      "drains the initial queue slowly; HPCC reacts fast without "
+      "overreaction)\n");
+  return 0;
+}

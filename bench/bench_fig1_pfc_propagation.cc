@@ -1,0 +1,104 @@
+// Figure 1 (substitute): PFC pause propagation depth and suppressed
+// bandwidth. The paper's figure is production telemetry; we regenerate the
+// same two distributions from simulated incast-heavy DCQCN runs (see
+// DESIGN.md's substitution table).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hpcc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintHeader(
+      "Figure 1 (substitute)",
+      "PFC pause propagation depth & suppressed bandwidth under DCQCN");
+
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kFatTree;
+  cfg.fattree = bench::BenchFatTree(flags.full);
+  // Shallow-buffer switches make pause trees reproducible at mini scale.
+  cfg.cc.scheme = "dcqcn";
+  cfg.load = 0.4;
+  cfg.trace = "fbhadoop";
+  cfg.duration =
+      sim::Ms(flags.duration_ms > 0 ? static_cast<int64_t>(flags.duration_ms)
+                                    : (flags.full ? 20 : 6));
+  cfg.incast = true;
+  cfg.incast_opts.fan_in = flags.full ? 60 : 14;
+  cfg.incast_opts.flow_bytes = 1'000'000;
+  cfg.incast_opts.first_event = sim::Us(200);
+  cfg.incast_opts.period = sim::Us(400);
+  cfg.incast_opts.fixed_receiver = 0;
+  cfg.seed = flags.seed;
+
+  runner::Experiment e(cfg);
+  const uint32_t receiver = e.hosts()[0];
+  runner::ExperimentResult r = e.Run();
+  const auto& events = e.pfc_monitor().events();
+
+  std::printf("\nrun: %s\n", r.Summary().c_str());
+  if (events.empty()) {
+    std::printf("no PFC events observed — increase load/incast (try --full)\n");
+    return 0;
+  }
+
+  // Fig 1a: propagation depth = hop distance from the congestion point (the
+  // incast receiver) to the paused egress.
+  std::map<int, int> depth_count;
+  for (const auto& ev : events) {
+    depth_count[e.topology().Distance(ev.node, receiver)]++;
+  }
+  std::printf("\nFig 1a — pause propagation depth (hops from receiver):\n");
+  int cum = 0;
+  for (const auto& [depth, count] : depth_count) {
+    cum += count;
+    std::printf("  depth %d: %4d events  (CDF %.1f%%)\n", depth, count,
+                100.0 * cum / static_cast<double>(events.size()));
+  }
+
+  // Fig 1b: suppressed bandwidth — the fraction of total host capacity
+  // behind paused ports, sampled over the time any pause is active.
+  int64_t total_host_bps = 0;
+  for (uint32_t h : e.hosts()) {
+    total_host_bps += e.topology().host(h).port(0).bandwidth_bps();
+  }
+  // Count only pauses that silence host NICs: that is the capacity the
+  // fabric actually loses to innocent senders (§2.2).
+  std::vector<std::pair<sim::TimePs, int64_t>> deltas;
+  for (const auto& ev : events) {
+    if (e.topology().node(ev.node).IsSwitch()) continue;
+    deltas.emplace_back(ev.start, ev.port_bps);
+    deltas.emplace_back(ev.end, -ev.port_bps);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  stats::PercentileTracker suppressed;
+  int64_t current = 0;
+  sim::TimePs prev = 0;
+  for (const auto& [t, d] : deltas) {
+    if (current > 0 && t > prev) {
+      // weight by duration: add one sample per microsecond of pause time
+      const int64_t us = std::max<int64_t>(1, (t - prev) / sim::kPsPerUs);
+      for (int64_t i = 0; i < std::min<int64_t>(us, 1000); ++i) {
+        suppressed.Add(100.0 * static_cast<double>(current) /
+                       static_cast<double>(total_host_bps));
+      }
+    }
+    current += d;
+    prev = t;
+  }
+  std::printf("\nFig 1b — suppressed bandwidth while pauses active "
+              "(%% of host capacity):\n");
+  for (double p : {50.0, 90.0, 99.0, 100.0}) {
+    std::printf("  p%-3.0f: %.1f%%\n", p, suppressed.Percentile(p));
+  }
+  std::printf(
+      "\n(paper: ~10%% of pauses propagate 3 hops; worst case suppresses "
+      "25%% of capacity. At mini scale the incast involves most of the "
+      "fleet, so suppression fractions run higher; the shape — deep "
+      "propagation, heavy tail — is the point.)\n");
+  return 0;
+}

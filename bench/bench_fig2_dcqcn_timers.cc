@@ -1,0 +1,79 @@
+// Figure 2: DCQCN's throughput-vs-stability trade-off across rate timer
+// settings (Ti = rate-increase timer, Td = min decrease interval).
+//   2a: 95p FCT slowdown per size bin, WebSearch 30% load.
+//   2b: PFC pause duration and short-flow p95 latency with added incast.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace hpcc;
+
+namespace {
+
+struct TimerSetting {
+  int ti_us;
+  int td_us;
+};
+
+const TimerSetting kSettings[] = {{900, 4}, {300, 4}, {55, 50}};
+
+runner::ExperimentResult RunOne(const bench::Flags& flags, TimerSetting t,
+                                bool incast) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kTestbed;
+  cfg.testbed = bench::BenchTestbed(flags.full);
+  if (incast) {
+    // Fig. 2b ran on the 230-server production-like pod where 60-to-1
+    // incasts concentrate through the Agg uplinks; a 64-host pod is the
+    // smallest that reproduces that concentration.
+    cfg.testbed.servers_per_pair = 32;
+  }
+  cfg.cc.scheme = "dcqcn";
+  cfg.cc.dcqcn.rate_inc_timer = sim::Us(t.ti_us);
+  cfg.cc.dcqcn.min_dec_interval = sim::Us(t.td_us);
+  cfg.load = 0.3;
+  cfg.trace = "websearch";
+  cfg.duration =
+      sim::Ms(flags.duration_ms > 0 ? static_cast<int64_t>(flags.duration_ms)
+                                    : (flags.full ? 20 : 10));
+  cfg.seed = flags.seed;
+  if (incast) {
+    cfg.incast = true;
+    cfg.incast_opts.fan_in = 60;
+    cfg.incast_opts.flow_bytes = 2'000'000;
+    cfg.incast_opts.first_event = sim::Us(300);
+    cfg.incast_opts.period = cfg.duration / 3;
+    cfg.incast_opts.fixed_receiver = 0;
+  }
+  runner::Experiment e(cfg);
+  return e.Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintHeader("Figure 2",
+                     "DCQCN rate timers: throughput vs stability");
+
+  std::printf("\nFig 2a — WebSearch 30%% load, no incast\n\n");
+  for (const TimerSetting& t : kSettings) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "Ti=%d Td=%d", t.ti_us, t.td_us);
+    bench::PrintResult(label, RunOne(flags, t, /*incast=*/false));
+  }
+
+  std::printf("\nFig 2b — 30%% load + incast: PFC and tail latency\n\n");
+  for (const TimerSetting& t : kSettings) {
+    runner::ExperimentResult r = RunOne(flags, t, /*incast=*/true);
+    std::printf(
+        "  Ti=%3d Td=%2d: pause-time %.4f%%  pauses %zu  "
+        "pause p95 %.1f us  short-flow p95 latency %.1f us\n",
+        t.ti_us, t.td_us, r.pause_time_fraction * 100, r.pause_events,
+        r.pause_durations_us.Percentile(95), r.short_fct_us.Percentile(95));
+  }
+  std::printf(
+      "\n(paper: aggressive timers (small Ti / large Td) improve FCT but "
+      "suffer more/longer PFC pauses under incast)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 3: DCQCN's bandwidth-vs-latency trade-off across ECN thresholds
+// (Kmin, Kmax), WebSearch at 30% (3a) and 50% (3b) load.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace hpcc;
+
+namespace {
+
+struct Threshold {
+  double kmin_kb;
+  double kmax_kb;
+};
+
+// §2.3's three settings (KB at 25 Gbps reference).
+const Threshold kThresholds[] = {{400, 1600}, {100, 400}, {12, 50}};
+
+runner::ExperimentResult RunOne(const bench::Flags& flags, Threshold k,
+                                double load) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kTestbed;
+  cfg.testbed = bench::BenchTestbed(flags.full);
+  cfg.cc.scheme = "dcqcn";
+  cfg.red_override = net::RedConfig::Dcqcn(k.kmin_kb, k.kmax_kb);
+  cfg.load = load;
+  cfg.trace = "websearch";
+  cfg.duration =
+      sim::Ms(flags.duration_ms > 0 ? static_cast<int64_t>(flags.duration_ms)
+                                    : (flags.full ? 20 : 10));
+  cfg.seed = flags.seed;
+  runner::Experiment e(cfg);
+  return e.Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintHeader("Figure 3", "DCQCN ECN thresholds: bandwidth vs latency");
+  for (double load : {0.3, 0.5}) {
+    std::printf("\nFig 3%s — WebSearch %.0f%% load\n\n", load < 0.4 ? "a" : "b",
+                load * 100);
+    for (const Threshold& k : kThresholds) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "Kmin=%gKB Kmax=%gKB", k.kmin_kb,
+                    k.kmax_kb);
+      runner::ExperimentResult r = RunOne(flags, k, load);
+      bench::PrintResult(label, r);
+      std::printf("  queue p95: %.1f KB\n\n", r.queue_dist.Percentile(95) / 1e3);
+    }
+  }
+  std::printf(
+      "(paper: low thresholds favor short flows' latency, high thresholds "
+      "favor long flows' bandwidth — the trade-off is unavoidable in one "
+      "configuration)\n");
+  return 0;
+}

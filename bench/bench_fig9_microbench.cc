@@ -1,0 +1,178 @@
+// Figure 9: the four testbed micro-benchmarks, HPCC vs DCQCN, on 25 Gbps
+// hosts behind one switch (the testbed's single-bottleneck scenarios):
+//   9a/9b  long-short: rate recovery after a short flow leaves
+//   9c/9d  8-to-1 incast: congestion avoidance and queue drain
+//   9e/9f  elephant-mice: mice latency CDF and queue CDF
+//   9g/9h  fair share across staggered flows
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stats/queue_monitor.h"
+#include "stats/timeseries.h"
+
+using namespace hpcc;
+
+namespace {
+
+runner::ExperimentConfig StarCfg(const char* scheme, int hosts) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kStar;
+  cfg.star.num_hosts = hosts;
+  cfg.star.host_bps = 25'000'000'000;
+  cfg.cc.scheme = scheme;
+  cfg.cc.hpcc.expected_flows = 16;
+  return cfg;
+}
+
+void PrintSeries(const char* what, const stats::GoodputSampler& gp,
+                 const stats::TimeSeries& queue) {
+  std::printf("%s\n", what);
+  std::printf("  %9s", "time");
+  for (size_t i = 0; i < gp.num_flows(); ++i) {
+    std::printf("  %8s", gp.label(i).c_str());
+  }
+  std::printf("  %9s\n", "buffer");
+  const size_t n = gp.series(0).points().size();
+  const size_t stride = std::max<size_t>(1, n / 24);
+  for (size_t i = 0; i < n; i += stride) {
+    std::printf("  %7.0fus", sim::ToUs(gp.series(0).points()[i].first));
+    for (size_t f = 0; f < gp.num_flows(); ++f) {
+      std::printf("  %6.1fGb", gp.series(f).points()[i].second);
+    }
+    const auto& qp = queue.points();
+    std::printf("  %7.1fKB\n",
+                i < qp.size() ? qp[i].second / 1e3 : 0.0);
+  }
+}
+
+// 9a/9b: long flow at line rate; 1MB short flow joins at 200us.
+void LongShort(const char* scheme) {
+  runner::Experiment e(StarCfg(scheme, 3));
+  const auto& h = e.hosts();
+  host::Flow* lf = e.AddFlow(h[0], h[2], 100'000'000, 0);
+  host::Flow* sf = e.AddFlow(h[1], h[2], 1'000'000, sim::Us(200));
+  net::SwitchNode& sw = e.topology().switch_node(e.topology().switches()[0]);
+  stats::GoodputSampler gp(&e.simulator(), sim::Us(25));
+  gp.Track(lf, "long");
+  gp.Track(sf, "short");
+  stats::PortQueueSampler qs(&e.simulator(), &sw.port(2), sim::Us(25));
+  const sim::TimePs horizon = sim::Ms(2);
+  gp.Start(horizon);
+  qs.Start(horizon);
+  e.RunUntil(horizon);
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fig 9a/9b — Long-Short (%s): goodput + buffer", scheme);
+  PrintSeries(title, gp, qs.series());
+  std::printf("\n");
+}
+
+// 9c/9d: 8-to-1 incast joining a long-running flow.
+void Incast(const char* scheme) {
+  runner::Experiment e(StarCfg(scheme, 10));
+  const auto& h = e.hosts();
+  host::Flow* lf = e.AddFlow(h[0], h[9], 100'000'000, 0);
+  for (int i = 1; i <= 7; ++i) {
+    e.AddFlow(h[i], h[9], 500'000, sim::Us(200));
+  }
+  net::SwitchNode& sw = e.topology().switch_node(e.topology().switches()[0]);
+  stats::GoodputSampler gp(&e.simulator(), sim::Us(25));
+  gp.Track(lf, "long");
+  stats::PortQueueSampler qs(&e.simulator(), &sw.port(9), sim::Us(25));
+  const sim::TimePs horizon = sim::Ms(3);
+  gp.Start(horizon);
+  qs.Start(horizon);
+  e.RunUntil(horizon);
+  runner::ExperimentResult r = e.Collect();
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fig 9c/9d — Incast (%s): long-flow goodput + buffer",
+                scheme);
+  PrintSeries(title, gp, qs.series());
+  std::printf("  peak buffer %.1f KB, PFC pauses %zu\n\n",
+              qs.series().MaxValue() / 1e3, r.pause_events);
+}
+
+// 9e/9f: two elephants saturate the downlink; 1KB mice measure latency.
+// Long horizon so DCQCN reaches its oscillating equilibrium around the ECN
+// thresholds (its standing queue is what hurts the mice, §5.2).
+void ElephantMice(const char* scheme) {
+  runner::ExperimentConfig cfg = StarCfg(scheme, 4);
+  cfg.duration = sim::Ms(50);
+  runner::Experiment e(cfg);
+  const auto& h = e.hosts();
+  e.AddFlow(h[0], h[3], 1'000'000'000, 0);
+  e.AddFlow(h[1], h[3], 1'000'000'000, 0);
+  std::vector<host::Flow*> mice;
+  for (int i = 0; i < 150; ++i) {
+    mice.push_back(
+        e.AddFlow(h[2], h[3], 1'000, sim::Us(500) + i * sim::Us(300)));
+  }
+  e.RunUntil(sim::Ms(50));
+  runner::ExperimentResult r = e.Collect();
+  stats::PercentileTracker lat;
+  for (host::Flow* m : mice) {
+    if (m->done) {
+      lat.Add(sim::ToUs(m->finish_time - m->spec().start_time));
+    }
+  }
+  std::printf(
+      "Fig 9e/9f — Elephant-Mice (%s): mice latency p50/p95/p99 = "
+      "%.1f/%.1f/%.1f us; queue p50/p95/p99 = %.1f/%.1f/%.1f KB\n",
+      scheme, lat.Percentile(50), lat.Percentile(95), lat.Percentile(99),
+      r.queue_dist.Percentile(50) / 1e3, r.queue_dist.Percentile(95) / 1e3,
+      r.queue_dist.Percentile(99) / 1e3);
+}
+
+// 9g/9h: four flows join one by one and share fairly.
+void FairShare(const char* scheme) {
+  runner::Experiment e(StarCfg(scheme, 5));
+  const auto& h = e.hosts();
+  stats::GoodputSampler gp(&e.simulator(), sim::Us(50));
+  std::vector<host::Flow*> flows;
+  for (int i = 0; i < 4; ++i) {
+    host::Flow* f =
+        e.AddFlow(h[i], h[4], 1'000'000'000, i * sim::Us(500));
+    flows.push_back(f);
+    gp.Track(f, "flow" + std::to_string(i + 1));
+  }
+  net::SwitchNode& sw = e.topology().switch_node(e.topology().switches()[0]);
+  stats::PortQueueSampler qs(&e.simulator(), &sw.port(4), sim::Us(50));
+  const sim::TimePs horizon = sim::Ms(4);
+  gp.Start(horizon);
+  qs.Start(horizon);
+  e.RunUntil(horizon);
+  char title[96];
+  std::snprintf(title, sizeof(title), "Fig 9g/9h — Fair share (%s)", scheme);
+  PrintSeries(title, gp, qs.series());
+  // Jain's index of mean goodput over the final quarter (all four active).
+  double sum = 0;
+  double sq = 0;
+  for (size_t f = 0; f < gp.num_flows(); ++f) {
+    const auto& pts = gp.series(f).points();
+    double g = 0;
+    size_t cnt = 0;
+    for (size_t i = pts.size() * 3 / 4; i < pts.size(); ++i, ++cnt) {
+      g += pts[i].second;
+    }
+    g /= std::max<size_t>(1, cnt);
+    sum += g;
+    sq += g * g;
+  }
+  std::printf("  Jain index of steady goodput: %.3f\n\n",
+              sum * sum / (4 * sq));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::ParseFlags(argc, argv);
+  bench::PrintHeader("Figure 9", "testbed micro-benchmarks, HPCC vs DCQCN");
+  for (const char* scheme : {"hpcc", "dcqcn"}) {
+    LongShort(scheme);
+    Incast(scheme);
+    ElephantMice(scheme);
+    FairShare(scheme);
+  }
+  return 0;
+}

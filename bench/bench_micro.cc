@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks: cost of the building blocks — event
+// loop, HPCC's per-ACK update (the hot path a NIC implements in hardware),
+// the reciprocal table vs FP division (§4.3), and switch forwarding.
+#include <benchmark/benchmark.h>
+
+#include "cc/dcqcn.h"
+#include "core/div_table.h"
+#include "core/hpcc.h"
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+#include "stats/percentile.h"
+
+using namespace hpcc;
+
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.ScheduleAt(sim::Us(i), []() {});
+    }
+    benchmark::DoNotOptimize(s.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+cc::CcContext MicroCtx() {
+  cc::CcContext ctx;
+  ctx.nic_bps = 100'000'000'000;
+  ctx.base_rtt = sim::Us(13);
+  return ctx;
+}
+
+void BM_HpccOnAck(benchmark::State& state) {
+  core::HpccParams params;
+  params.use_div_table = state.range(0) != 0;
+  core::HpccCc cc(MicroCtx(), params);
+  core::IntStack stack;
+  sim::TimePs ts = sim::Us(1);
+  uint64_t tx = 0;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    stack.Clear();
+    ts += sim::Us(1);
+    tx += 120'000;
+    for (uint32_t hop = 0; hop < 5; ++hop) {
+      core::IntHop h;
+      h.bandwidth_bps = 100'000'000'000;
+      h.ts = ts;
+      h.tx_bytes = tx + hop;
+      h.qlen_bytes = static_cast<int64_t>(seq % 30'000);
+      h.switch_id = hop + 1;
+      stack.Push(h);
+    }
+    cc::AckInfo info;
+    seq += 60'000;
+    info.ack_seq = seq;
+    info.snd_nxt = seq + 50'000;
+    info.int_stack = &stack;
+    cc.OnAck(info);
+    benchmark::DoNotOptimize(cc.window_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HpccOnAck)->Arg(0)->Arg(1)->ArgNames({"divtable"});
+
+void BM_DcqcnOnCnp(benchmark::State& state) {
+  cc::DcqcnCc cc(MicroCtx(), cc::DcqcnParams{});
+  sim::TimePs now = 0;
+  for (auto _ : state) {
+    now += sim::Us(100);
+    cc.OnCnp(now);
+    benchmark::DoNotOptimize(cc.rate_bps());
+  }
+}
+BENCHMARK(BM_DcqcnOnCnp);
+
+void BM_DivTableDivide(benchmark::State& state) {
+  const core::DivTable table(0.005);
+  double d = 1.0001;
+  double acc = 0;
+  for (auto _ : state) {
+    d = d * 1.37;
+    if (d > 1e9) d = 1.0001;
+    acc += table.Divide(162500.0, d);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DivTableDivide);
+
+void BM_FpDivide(benchmark::State& state) {
+  double d = 1.0001;
+  double acc = 0;
+  for (auto _ : state) {
+    d = d * 1.37;
+    if (d > 1e9) d = 1.0001;
+    acc += 162500.0 / d;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_FpDivide);
+
+void BM_PercentileAddAndQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    stats::PercentileTracker t;
+    for (int i = 0; i < 10'000; ++i) {
+      t.Add(static_cast<double>((i * 2654435761u) % 100000));
+    }
+    benchmark::DoNotOptimize(t.Percentile(99));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PercentileAddAndQuery);
+
+// End-to-end packet cost: a 2-host transfer through one switch, measuring
+// simulated-packets per wall second.
+void BM_EndToEndTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    runner::ExperimentConfig cfg;
+    cfg.topology = runner::TopologyKind::kStar;
+    cfg.star.num_hosts = 2;
+    cfg.cc.scheme = "hpcc";
+    runner::Experiment e(cfg);
+    e.AddFlow(e.hosts()[0], e.hosts()[1], 1'000'000, 0);
+    e.RunUntil(sim::Ms(2));
+    benchmark::DoNotOptimize(e.flows_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // ~1000 packets
+}
+BENCHMARK(BM_EndToEndTransfer);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Datacenter load: a FatTree under the public WebSearch workload — the
+// paper's end-to-end evaluation shape (§5.2/§5.3) as a runnable example.
+// Prints the per-size-bin FCT slowdown table for a scheme of your choice.
+//
+//   $ ./datacenter_load [scheme] [load]
+//   $ ./datacenter_load hpcc 0.5
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/experiment.h"
+
+using namespace hpcc;
+
+int main(int argc, char** argv) {
+  const char* scheme = argc > 1 ? argv[1] : "hpcc";
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.3;
+
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kFatTree;
+  cfg.fattree.pods = 2;
+  cfg.fattree.tors_per_pod = 2;
+  cfg.fattree.aggs_per_pod = 2;
+  cfg.fattree.hosts_per_tor = 4;  // 16 hosts; bump for bigger runs
+  cfg.cc.scheme = scheme;
+  cfg.load = load;
+  cfg.trace = "websearch";
+  cfg.duration = sim::Ms(3);
+
+  std::printf("FatTree %d hosts, WebSearch at %.0f%% load, scheme=%s\n",
+              cfg.fattree.num_hosts(), load * 100, scheme);
+  runner::Experiment e(cfg);
+  runner::ExperimentResult r = e.Run();
+
+  std::printf("\nFCT slowdown per flow-size bin:\n%s",
+              r.fct->FormatTable().c_str());
+  std::printf("\nqueueing: p50 %.1f KB  p95 %.1f KB  p99 %.1f KB  max %.1f KB\n",
+              r.queue_dist.Percentile(50) / 1e3,
+              r.queue_dist.Percentile(95) / 1e3,
+              r.queue_dist.Percentile(99) / 1e3,
+              static_cast<double>(r.max_queue_bytes) / 1e3);
+  std::printf("PFC pause time: %.4f%% of port-time (%zu events), drops: %llu\n",
+              r.pause_time_fraction * 100, r.pause_events,
+              static_cast<unsigned long long>(r.dropped_packets));
+  return 0;
+}

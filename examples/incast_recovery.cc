@@ -1,0 +1,55 @@
+// Incast recovery: the paper's motivating scenario (§1 Case-1). A 16-to-1
+// burst slams into one downlink; compare how HPCC and DCQCN handle it —
+// queue growth, PFC pauses, and completion times.
+#include <cstdio>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "stats/queue_monitor.h"
+
+using namespace hpcc;
+
+namespace {
+
+void RunScheme(const char* scheme) {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kDumbbell;
+  cfg.dumbbell.hosts_per_side = 16;
+  cfg.dumbbell.host_bps = 100'000'000'000;
+  cfg.dumbbell.trunk_bps = 400'000'000'000;
+  cfg.cc.scheme = scheme;
+  cfg.cc.hpcc.expected_flows = 16;
+  cfg.duration = sim::Ms(3);
+  runner::Experiment e(cfg);
+
+  // All 16 left-side hosts burst 500 KB to the same right-side receiver.
+  const auto& h = e.hosts();
+  const uint32_t receiver = h[16];
+  std::vector<host::Flow*> flows;
+  for (int i = 0; i < 16; ++i) {
+    flows.push_back(e.AddFlow(h[i], receiver, 500'000, 0));
+  }
+
+  runner::ExperimentResult r = e.Run();
+  stats::PercentileTracker fct;
+  for (auto* f : flows) {
+    if (f->done) fct.Add(sim::ToUs(f->finish_time - f->spec().start_time));
+  }
+  std::printf("%-8s  max queue %8.1f KB   PFC pauses %3zu   "
+              "FCT p50 %7.1f us  p99 %7.1f us\n",
+              scheme, static_cast<double>(r.max_queue_bytes) / 1e3,
+              r.pause_events, fct.Percentile(50), fct.Percentile(99));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("16-to-1 incast through a 400G trunk onto a 100G downlink\n\n");
+  for (const char* scheme : {"hpcc", "dcqcn", "dcqcn+win", "timely", "dctcp"}) {
+    RunScheme(scheme);
+  }
+  std::printf(
+      "\nHPCC bounds inflight bytes, so the burst never builds a deep queue "
+      "and PFC stays silent; rate-only schemes overshoot (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "analytic/convergence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hpcc::analytic {
+
+bool ResourceNetwork::Valid() const {
+  if (incidence.size() != capacities.size()) return false;
+  for (double c : capacities) {
+    if (c <= 0) return false;
+  }
+  const size_t j_count = num_paths();
+  for (const auto& row : incidence) {
+    if (row.size() != j_count) return false;
+  }
+  for (size_t j = 0; j < j_count; ++j) {
+    bool used = false;
+    for (size_t i = 0; i < incidence.size(); ++i) used |= incidence[i][j];
+    if (!used) return false;
+  }
+  return j_count > 0;
+}
+
+std::vector<double> Loads(const ResourceNetwork& net,
+                          const std::vector<double>& rates) {
+  std::vector<double> y(net.num_resources(), 0.0);
+  for (size_t i = 0; i < net.num_resources(); ++i) {
+    for (size_t j = 0; j < net.num_paths(); ++j) {
+      if (net.incidence[i][j]) y[i] += rates[j];
+    }
+  }
+  return y;
+}
+
+std::vector<double> Step(const ResourceNetwork& net,
+                         const std::vector<double>& rates) {
+  assert(net.Valid());
+  const std::vector<double> y = Loads(net, rates);
+  std::vector<double> next(rates.size());
+  for (size_t j = 0; j < rates.size(); ++j) {
+    double k = 0;
+    for (size_t i = 0; i < net.num_resources(); ++i) {
+      if (net.incidence[i][j]) {
+        k = std::max(k, y[i] / net.capacities[i]);
+      }
+    }
+    assert(k > 0);
+    next[j] = rates[j] / k;
+  }
+  return next;
+}
+
+bool IsFeasible(const ResourceNetwork& net, const std::vector<double>& rates,
+                double tol) {
+  const std::vector<double> y = Loads(net, rates);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > net.capacities[i] * (1.0 + tol)) return false;
+  }
+  return true;
+}
+
+bool IsParetoOptimal(const ResourceNetwork& net,
+                     const std::vector<double>& rates, double tol) {
+  const std::vector<double> y = Loads(net, rates);
+  for (size_t j = 0; j < net.num_paths(); ++j) {
+    bool bottlenecked = false;
+    for (size_t i = 0; i < net.num_resources(); ++i) {
+      if (net.incidence[i][j] &&
+          y[i] >= net.capacities[i] * (1.0 - tol)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    if (!bottlenecked) return false;
+  }
+  return true;
+}
+
+ConvergenceResult RunToFixedPoint(const ResourceNetwork& net,
+                                  std::vector<double> rates, int max_steps,
+                                  double tol) {
+  ConvergenceResult out;
+  for (int n = 0; n < max_steps; ++n) {
+    std::vector<double> next = Step(net, rates);
+    double delta = 0;
+    for (size_t j = 0; j < rates.size(); ++j) {
+      delta = std::max(delta, std::fabs(next[j] - rates[j]) /
+                                  std::max(1e-300, rates[j]));
+    }
+    rates = std::move(next);
+    if (delta < tol) {
+      out.converged = true;
+      out.steps = n + 1;
+      break;
+    }
+  }
+  out.rates = std::move(rates);
+  if (!out.converged) out.steps = max_steps;
+  return out;
+}
+
+}  // namespace hpcc::analytic

@@ -1,0 +1,58 @@
+// Appendix A.2: the discrete-time multiplicative update model and its Lemma.
+//
+// Resources i = 1..I with capacities C_i; paths j = 1..J with incidence
+// A_ij = 1 iff path j uses resource i. Rates update synchronously:
+//     Y(n)   = A R(n)
+//     R_j(n+1) = R_j(n) / max_i { Y_i(n) A_ij / C_i }
+// Lemma: (i) rates are feasible after one step; (ii) non-decreasing from then
+// on; (iii) constant and Pareto-optimal after at most I steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcc::analytic {
+
+struct ResourceNetwork {
+  // incidence[i][j] = true iff resource i is used by path j.
+  std::vector<std::vector<bool>> incidence;
+  std::vector<double> capacities;  // C_i > 0
+
+  size_t num_resources() const { return incidence.size(); }
+  size_t num_paths() const {
+    return incidence.empty() ? 0 : incidence[0].size();
+  }
+  // Every path must use >= 1 resource (the Lemma's precondition).
+  bool Valid() const;
+};
+
+// Loads Y = A R.
+std::vector<double> Loads(const ResourceNetwork& net,
+                          const std::vector<double>& rates);
+
+// One synchronous update step (Eqn 5-6).
+std::vector<double> Step(const ResourceNetwork& net,
+                         const std::vector<double>& rates);
+
+// Y <= C componentwise (within tol).
+bool IsFeasible(const ResourceNetwork& net, const std::vector<double>& rates,
+                double tol = 1e-9);
+
+// Every path traverses at least one saturated resource: no rate can grow
+// without shrinking another (Pareto optimality as used in the Lemma proof).
+bool IsParetoOptimal(const ResourceNetwork& net,
+                     const std::vector<double>& rates, double tol = 1e-6);
+
+struct ConvergenceResult {
+  std::vector<double> rates;
+  int steps = 0;        // steps until the rate vector stopped changing
+  bool converged = false;
+};
+
+// Iterates Step() until fixed point (or max_steps).
+ConvergenceResult RunToFixedPoint(const ResourceNetwork& net,
+                                  std::vector<double> initial_rates,
+                                  int max_steps = 1000, double tol = 1e-9);
+
+}  // namespace hpcc::analytic

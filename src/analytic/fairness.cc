@@ -1,0 +1,32 @@
+#include "analytic/fairness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hpcc::analytic {
+
+double EquilibriumRate(double a, double u_target, double u) {
+  assert(a > 0 && u > u_target);
+  return a / (1.0 - u_target / u);
+}
+
+double EquilibriumUtilization(double a, double u_target, double rate) {
+  assert(rate > a);
+  return u_target / (1.0 - a / rate);
+}
+
+double MaxStableAdditiveStep(double u_target, double r1) {
+  return r1 * (1.0 - u_target);
+}
+
+double AlphaFairAggregate(const std::vector<double>& rates, double alpha) {
+  assert(!rates.empty() && alpha > 0);
+  const double rmin = *std::min_element(rates.begin(), rates.end());
+  if (alpha > 64) return rmin;  // numerically the min
+  double sum = 0;
+  for (double r : rates) sum += std::pow(r / rmin, -alpha);
+  return rmin * std::pow(sum, -1.0 / alpha);
+}
+
+}  // namespace hpcc::analytic

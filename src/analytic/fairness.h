@@ -1,0 +1,24 @@
+// Appendix A.3: additive-increase equilibria and alpha-fair aggregation.
+#pragma once
+
+#include <vector>
+
+namespace hpcc::analytic {
+
+// Equilibrium of R <- R·U_target/U + a at a bottleneck with observed
+// utilization U:   R = a · (1 − U_target/U)^{-1}.
+double EquilibriumRate(double a, double u_target, double u);
+
+// Inverse: the equilibrium utilization a bottleneck settles at when its
+// flows' rate is R:   U = U_target · (1 − a/R)^{-1}.
+double EquilibriumUtilization(double a, double u_target, double rate);
+
+// Largest additive step keeping the most congested bottleneck under 100 %:
+// a < R_(1) · (1 − U_target).
+double MaxStableAdditiveStep(double u_target, double r1);
+
+// Eqn (7): R = (Σ_i R_i^{-α})^{-1/α}. α→∞ -> min; α=1 -> harmonic-style
+// proportional fairness; α→0 -> throughput maximization.
+double AlphaFairAggregate(const std::vector<double>& rates, double alpha);
+
+}  // namespace hpcc::analytic

@@ -1,0 +1,65 @@
+#include "analytic/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcc::analytic {
+
+FluidLink::FluidLink(const FluidParams& params,
+                     std::vector<double> initial_windows)
+    : params_(params),
+      windows_(std::move(initial_windows)),
+      stages_(windows_.size(), 0) {
+  assert(params_.capacity_bytes_per_rtt > 0);
+}
+
+double FluidLink::total_window() const {
+  double sum = 0;
+  for (double w : windows_) sum += w;
+  return sum;
+}
+
+double FluidLink::Step() {
+  const double bdp = params_.capacity_bytes_per_rtt;
+  const double inflight = total_window();
+  queue_ = std::max(0.0, queue_ + inflight - bdp);
+  u_ = queue_ / bdp + std::min(1.0, inflight / bdp);
+
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (u_ >= params_.eta || stages_[i] >= params_.max_stage) {
+      windows_[i] = windows_[i] * params_.eta / std::max(u_, 1e-12) +
+                    params_.wai_bytes;
+      stages_[i] = 0;
+    } else {
+      windows_[i] += params_.wai_bytes;
+      ++stages_[i];
+    }
+    windows_[i] = std::max(windows_[i], 1.0);
+  }
+  ++rounds_;
+  return u_;
+}
+
+void FluidLink::AddFlow(double window) {
+  windows_.push_back(window);
+  stages_.push_back(0);
+}
+
+void FluidLink::RemoveFlow(size_t index) {
+  assert(index < windows_.size());
+  windows_.erase(windows_.begin() + static_cast<ptrdiff_t>(index));
+  stages_.erase(stages_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+double FluidLink::JainIndex() const {
+  if (windows_.empty()) return 1.0;
+  double sum = 0;
+  double sq = 0;
+  for (double w : windows_) {
+    sum += w;
+    sq += w * w;
+  }
+  return sum * sum / (static_cast<double>(windows_.size()) * sq);
+}
+
+}  // namespace hpcc::analytic

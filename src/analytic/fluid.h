@@ -1,0 +1,55 @@
+// Deterministic per-RTT fluid model of HPCC on a single bottleneck.
+//
+// N flows share a link of capacity B with base RTT T. Each round (one RTT):
+//   queue' = max(0, queue + sum(W) - B*T)                (service vs arrival)
+//   U      = queue'/(B*T) + min(1, sum(W)/(B*T))         (Eqn 2, aggregated)
+//   each flow applies ComputeWind with per-round reference sync:
+//     U >= eta or stage >= maxStage : W <- W*eta/U + W_AI
+//     else                          : W <- W + W_AI
+// This is the discrete-time map the Appendix A analysis linearizes; the unit
+// tests verify convergence of utilization (fast, multiplicative) and of
+// fairness (slow, additive) against the closed-form predictions, and the
+// packet simulator is expected to track it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcc::analytic {
+
+struct FluidParams {
+  double capacity_bytes_per_rtt = 0;  // B*T in bytes
+  double eta = 0.95;
+  int max_stage = 5;
+  double wai_bytes = 80;
+};
+
+class FluidLink {
+ public:
+  FluidLink(const FluidParams& params, std::vector<double> initial_windows);
+
+  // Advances one RTT; returns the utilization U observed this round.
+  double Step();
+  void AddFlow(double window);     // a new flow joins at this window
+  void RemoveFlow(size_t index);   // a flow departs
+
+  const std::vector<double>& windows() const { return windows_; }
+  double queue_bytes() const { return queue_; }
+  double total_window() const;
+  double utilization() const { return u_; }
+  int rounds() const { return rounds_; }
+
+  // Jain fairness index of the current windows.
+  double JainIndex() const;
+
+ private:
+  FluidParams params_;
+  std::vector<double> windows_;
+  std::vector<int> stages_;
+  double queue_ = 0;
+  double u_ = 0;
+  int rounds_ = 0;
+};
+
+}  // namespace hpcc::analytic

@@ -1,0 +1,5 @@
+#include "cc/cc.h"
+
+// Interface-only translation unit; kept so the target has a home for future
+// shared helpers and so every header is compiled standalone at least once.
+namespace hpcc::cc {}

@@ -1,0 +1,53 @@
+#include "cc/dctcp.h"
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace hpcc::cc {
+
+DctcpCc::DctcpCc(const CcContext& ctx, const DctcpParams& params)
+    : ctx_(ctx), params_(params) {
+  winit_ = static_cast<int64_t>(
+      (static_cast<__int128>(ctx.nic_bps) * ctx.base_rtt) /
+      (8 * sim::kPsPerSec));
+  window_ = static_cast<double>(winit_);
+}
+
+void DctcpCc::OnAck(const AckInfo& ack) {
+  if (!epoch_open_) {
+    epoch_open_ = true;
+    epoch_end_ = ack.snd_nxt;
+  }
+  epoch_acked_ += ack.newly_acked;
+  if (ack.ecn_echo) epoch_marked_ += ack.newly_acked;
+
+  if (ack.ack_seq >= epoch_end_) {
+    // One window worth of data has been acknowledged: close the epoch.
+    const double f =
+        epoch_acked_ > 0
+            ? static_cast<double>(epoch_marked_) /
+                  static_cast<double>(epoch_acked_)
+            : 0.0;
+    alpha_ = (1.0 - params_.g) * alpha_ + params_.g * f;
+    if (epoch_marked_ > 0) {
+      window_ *= 1.0 - alpha_ / 2.0;
+    } else {
+      window_ += ctx_.mtu_bytes;  // additive growth, no slow start (§5.1)
+    }
+    window_ = std::clamp(window_, static_cast<double>(ctx_.mtu_bytes),
+                         static_cast<double>(winit_));
+    epoch_end_ = ack.snd_nxt;
+    epoch_acked_ = 0;
+    epoch_marked_ = 0;
+  }
+}
+
+int64_t DctcpCc::rate_bps() const {
+  // Window-based; pace at W/T like the other windowed schemes.
+  const double bps = window_ * 8.0 / sim::ToSec(ctx_.base_rtt);
+  return static_cast<int64_t>(
+      std::min(bps, static_cast<double>(ctx_.nic_bps)));
+}
+
+}  // namespace hpcc::cc

@@ -1,0 +1,46 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010) — window-based ECN-fraction CC,
+// the host-stack baseline (§5.1; slow start removed for fair comparison).
+//
+// Per RTT (one window of data), the sender computes the fraction F of acked
+// bytes that carried an ECN echo and smooths alpha <- (1-g)·alpha + g·F.
+// A window with any marks shrinks W by W·alpha/2; an unmarked window grows by
+// one MSS. Flows start at line rate (BDP window) like the RDMA schemes.
+#pragma once
+
+#include "cc/cc.h"
+
+namespace hpcc::cc {
+
+struct DctcpParams {
+  double g = 1.0 / 16.0;
+};
+
+class DctcpCc : public CongestionControl {
+ public:
+  DctcpCc(const CcContext& ctx, const DctcpParams& params);
+
+  void OnAck(const AckInfo& ack) override;
+
+  int64_t window_bytes() const override {
+    return static_cast<int64_t>(window_);
+  }
+  int64_t rate_bps() const override;
+  bool wants_ecn() const override { return true; }
+  std::string name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  CcContext ctx_;
+  DctcpParams params_;
+  int64_t winit_;
+
+  double window_;
+  double alpha_ = 0.0;
+  uint64_t epoch_end_ = 0;      // snd_nxt at the start of the current epoch
+  int64_t epoch_acked_ = 0;     // bytes acked this epoch
+  int64_t epoch_marked_ = 0;    // of which carried ECN echo
+  bool epoch_open_ = false;
+};
+
+}  // namespace hpcc::cc

@@ -1,0 +1,75 @@
+#include "cc/factory.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "cc/rcp.h"
+#include "cc/windowed.h"
+#include "core/hpcc.h"
+#include "core/hpcc_alpha_fair.h"
+
+namespace hpcc::cc {
+
+CcPtr MakeCc(const CcConfig& config, const CcContext& ctx) {
+  const std::string& s = config.scheme;
+  if (s == "hpcc") {
+    return std::make_unique<core::HpccCc>(ctx, config.hpcc);
+  }
+  if (s == "hpcc-rxrate") {
+    core::HpccParams p = config.hpcc;
+    p.rate_signal = core::RateSignal::kRxRate;
+    return std::make_unique<core::HpccCc>(ctx, p);
+  }
+  if (s == "hpcc-perack") {
+    core::HpccParams p = config.hpcc;
+    p.reaction = core::ReactionMode::kPerAck;
+    return std::make_unique<core::HpccCc>(ctx, p);
+  }
+  if (s == "hpcc-perrtt") {
+    core::HpccParams p = config.hpcc;
+    p.reaction = core::ReactionMode::kPerRtt;
+    return std::make_unique<core::HpccCc>(ctx, p);
+  }
+  if (s == "hpcc-alpha") {
+    return std::make_unique<core::HpccAlphaFairCc>(ctx, config.hpcc,
+                                                   config.alpha_fair);
+  }
+  if (s == "dcqcn") {
+    return std::make_unique<DcqcnCc>(ctx, config.dcqcn);
+  }
+  if (s == "dcqcn+win") {
+    return std::make_unique<WindowedCc>(
+        std::make_unique<DcqcnCc>(ctx, config.dcqcn), ctx);
+  }
+  if (s == "timely") {
+    return std::make_unique<TimelyCc>(ctx, config.timely);
+  }
+  if (s == "timely+win") {
+    return std::make_unique<WindowedCc>(
+        std::make_unique<TimelyCc>(ctx, config.timely), ctx);
+  }
+  if (s == "dctcp") {
+    return std::make_unique<DctcpCc>(ctx, config.dctcp);
+  }
+  if (s == "rcp") {
+    return std::make_unique<RcpCc>(ctx);
+  }
+  if (s == "rcp+win") {
+    return std::make_unique<WindowedCc>(std::make_unique<RcpCc>(ctx), ctx);
+  }
+  throw std::invalid_argument("unknown CC scheme: " + s);
+}
+
+bool SchemeUsesEcn(const std::string& scheme) {
+  return scheme == "dcqcn" || scheme == "dcqcn+win" || scheme == "dctcp";
+}
+
+bool SchemeUsesInt(const std::string& scheme) {
+  return scheme.rfind("hpcc", 0) == 0;
+}
+
+bool SchemeUsesRcp(const std::string& scheme) {
+  return scheme.rfind("rcp", 0) == 0;
+}
+
+}  // namespace hpcc::cc

@@ -1,0 +1,47 @@
+// Builds a per-flow CongestionControl instance from a scheme name.
+//
+// Supported schemes (the full comparison set of §5):
+//   "hpcc"          Algorithm 1 (INT, window + pacing)
+//   "hpcc-rxrate"   ablation: rxRate instead of txRate (Fig. 6)
+//   "hpcc-perack"   ablation: react to every ACK (Fig. 13)
+//   "hpcc-perrtt"   ablation: react once per RTT (Fig. 13)
+//   "hpcc-alpha"    Appendix A.3 multi-register alpha-fair variant
+//   "dcqcn"         ECN/CNP rate-based
+//   "dcqcn+win"     DCQCN with a sending window (§5.1)
+//   "timely"        RTT-gradient rate-based
+//   "timely+win"    TIMELY with a sending window
+//   "dctcp"         window-based ECN fraction
+//   "rcp"           explicit-feedback processor sharing (§3.4/§6 baseline)
+//   "rcp+win"       RCP with a sending window
+#pragma once
+
+#include <string>
+
+#include "cc/cc.h"
+#include "cc/dcqcn.h"
+#include "cc/dctcp.h"
+#include "cc/timely.h"
+#include "core/hpcc_params.h"
+
+namespace hpcc::cc {
+
+struct CcConfig {
+  std::string scheme = "hpcc";
+  core::HpccParams hpcc;
+  DcqcnParams dcqcn;
+  TimelyParams timely;
+  DctcpParams dctcp;
+  double alpha_fair = 16.0;  // alpha for "hpcc-alpha"
+};
+
+// Throws std::invalid_argument on an unknown scheme name.
+CcPtr MakeCc(const CcConfig& config, const CcContext& ctx);
+
+// True if the scheme requires switches to ECN-mark (WRED must be on).
+bool SchemeUsesEcn(const std::string& scheme);
+// True if the scheme requires INT stamping.
+bool SchemeUsesInt(const std::string& scheme);
+// True if the scheme requires switch-side RCP rate computation.
+bool SchemeUsesRcp(const std::string& scheme);
+
+}  // namespace hpcc::cc

@@ -1,0 +1,55 @@
+// RCP (Rate Control Protocol, Dukkipati) — the explicit-feedback baseline
+// the paper argues against in §3.4/§6.
+//
+// Switches compute a per-port fair rate
+//     R <- R * [1 + (T/d) * (alpha*(C - y) - beta*q/d) / C]
+// (y = measured input rate, q = instantaneous queue, d = RTT estimate) and
+// stamp min(R) along the path into data packets; receivers echo it and
+// senders simply transmit at the stamped rate. Note the paper's critique:
+// the alpha/beta scaling knobs exist precisely because rate mismatch and
+// queue are heuristically combined — HPCC's inflight-bytes signal needs no
+// such weights (§3.4). Processor sharing also converges to fairness in a few
+// RTTs, much faster than HPCC's additive term — but new flows cannot start
+// at line rate usefully (they get the current R), and the switch must do
+// per-port arithmetic that commodity ASICs lack (§6).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "cc/cc.h"
+
+namespace hpcc::cc {
+
+struct RcpParams {
+  // Control gains from the RCP thesis (alpha = 0.4, beta = 0.226).
+  double alpha = 0.4;
+  double beta = 0.226;
+};
+
+class RcpCc : public CongestionControl {
+ public:
+  explicit RcpCc(const CcContext& ctx) : ctx_(ctx) {
+    rate_ = static_cast<double>(ctx.nic_bps);
+  }
+
+  void OnAck(const AckInfo& ack) override {
+    if (ack.rcp_rate_bps > 0 &&
+        ack.rcp_rate_bps < std::numeric_limits<int64_t>::max()) {
+      rate_ = std::min(static_cast<double>(ack.rcp_rate_bps),
+                       static_cast<double>(ctx_.nic_bps));
+    }
+  }
+
+  int64_t window_bytes() const override {
+    return std::numeric_limits<int64_t>::max() / 4;  // pure rate-based
+  }
+  int64_t rate_bps() const override { return static_cast<int64_t>(rate_); }
+  std::string name() const override { return "rcp"; }
+
+ private:
+  CcContext ctx_;
+  double rate_;
+};
+
+}  // namespace hpcc::cc

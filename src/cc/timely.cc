@@ -1,0 +1,57 @@
+#include "cc/timely.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hpcc::cc {
+
+TimelyCc::TimelyCc(const CcContext& ctx, const TimelyParams& params)
+    : ctx_(ctx), params_(params) {
+  add_step_ = static_cast<double>(params.add_step_bps_at_10g) *
+              static_cast<double>(ctx.nic_bps) / 10e9;
+  min_rate_ = params.min_rate_fraction * static_cast<double>(ctx.nic_bps);
+  rate_ = static_cast<double>(ctx.nic_bps);  // line-rate start
+}
+
+void TimelyCc::OnAck(const AckInfo& ack) {
+  if (ack.rtt <= 0) return;
+  const double new_rtt = static_cast<double>(ack.rtt);
+
+  if (prev_rtt_ == 0) {
+    prev_rtt_ = ack.rtt;
+    return;
+  }
+  const double diff = new_rtt - static_cast<double>(prev_rtt_);
+  prev_rtt_ = ack.rtt;
+  rtt_diff_ = (1.0 - params_.ewma_alpha) * rtt_diff_ +
+              params_.ewma_alpha * diff;
+  const double min_rtt = static_cast<double>(ctx_.base_rtt);
+  const double gradient = rtt_diff_ / min_rtt;
+  last_gradient_ = gradient;
+
+  const double line = static_cast<double>(ctx_.nic_bps);
+  if (ack.rtt < params_.t_low) {
+    rate_ += add_step_;
+    neg_rounds_ = 0;
+  } else if (ack.rtt > params_.t_high) {
+    rate_ *= 1.0 - params_.beta *
+                       (1.0 - static_cast<double>(params_.t_high) / new_rtt);
+    neg_rounds_ = 0;
+  } else if (gradient <= 0) {
+    ++neg_rounds_;
+    // HAI mode: after `hai_threshold` consecutive non-increasing rounds,
+    // probe N times faster.
+    const int n = neg_rounds_ >= params_.hai_threshold ? 5 : 1;
+    rate_ += n * add_step_;
+  } else {
+    rate_ *= 1.0 - params_.beta * std::min(gradient, 1.0);
+    neg_rounds_ = 0;
+  }
+  rate_ = std::clamp(rate_, min_rate_, line);
+}
+
+int64_t TimelyCc::window_bytes() const {
+  return std::numeric_limits<int64_t>::max() / 4;  // pure rate-based
+}
+
+}  // namespace hpcc::cc

@@ -1,0 +1,54 @@
+// TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient congestion control,
+// the second RDMA baseline (§5.1).
+//
+// Per completion (here: per ACK), the sender computes the normalized RTT
+// gradient and adjusts its rate:
+//   rtt < Tlow            : additive increase
+//   rtt > Thigh           : multiplicative decrease  R·(1 − β·(1 − Thigh/rtt))
+//   gradient <= 0         : additive increase (xN after 5 good rounds — HAI)
+//   gradient > 0          : R·(1 − β·gradient)
+// Constants follow the TIMELY paper, with the additive step scaled to line
+// rate (10 Mbps at 10 Gbps reference).
+#pragma once
+
+#include "cc/cc.h"
+
+namespace hpcc::cc {
+
+struct TimelyParams {
+  sim::TimePs t_low = sim::Us(50);
+  sim::TimePs t_high = sim::Us(500);
+  double ewma_alpha = 0.125;  // weight of the newest RTT difference
+  double beta = 0.8;
+  int64_t add_step_bps_at_10g = 10'000'000;
+  int hai_threshold = 5;
+  double min_rate_fraction = 0.001;
+};
+
+class TimelyCc : public CongestionControl {
+ public:
+  TimelyCc(const CcContext& ctx, const TimelyParams& params);
+
+  void OnAck(const AckInfo& ack) override;
+
+  int64_t window_bytes() const override;
+  int64_t rate_bps() const override { return static_cast<int64_t>(rate_); }
+  std::string name() const override { return "timely"; }
+
+  double normalized_gradient() const { return last_gradient_; }
+  int neg_gradient_rounds() const { return neg_rounds_; }
+
+ private:
+  CcContext ctx_;
+  TimelyParams params_;
+  double add_step_;
+  double min_rate_;
+
+  double rate_;
+  sim::TimePs prev_rtt_ = 0;
+  double rtt_diff_ = 0;      // EWMA of consecutive RTT differences
+  double last_gradient_ = 0;
+  int neg_rounds_ = 0;
+};
+
+}  // namespace hpcc::cc

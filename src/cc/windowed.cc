@@ -1,0 +1,19 @@
+#include "cc/windowed.h"
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace hpcc::cc {
+
+int64_t WindowedCc::window_bytes() const {
+  // W = R·T: the window a rate R sustains over one base RTT (§3.2), never
+  // wider than the inner scheme's own window.
+  const int64_t bdp_window = static_cast<int64_t>(
+      (static_cast<__int128>(inner_->rate_bps()) * ctx_.base_rtt) /
+      (8 * sim::kPsPerSec));
+  return std::min(std::max<int64_t>(bdp_window, ctx_.mtu_bytes),
+                  inner_->window_bytes());
+}
+
+}  // namespace hpcc::cc

@@ -1,0 +1,49 @@
+#include "core/div_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hpcc::core {
+
+DivTable::DivTable(double eps, uint32_t n_max) : eps_(eps), n_max_(n_max) {
+  assert(eps > 0 && eps < 1);
+  assert(n_max >= 1);
+  // Store n = 1, then each next n whose reciprocal dropped by >= eps
+  // relatively: 1/n <= (1 - eps)/n_prev  <=>  n >= n_prev / (1 - eps).
+  uint32_t n = 1;
+  while (n <= n_max) {
+    ns_.push_back(n);
+    recips_.push_back(1.0 / n);
+    double next = std::ceil(static_cast<double>(n) / (1.0 - eps));
+    uint32_t next_n = static_cast<uint32_t>(next);
+    if (next_n <= n) next_n = n + 1;
+    n = next_n;
+  }
+}
+
+double DivTable::Reciprocal(uint32_t n) const {
+  assert(n >= 1);
+  n = std::min(n, n_max_);
+  // Largest stored divisor <= n: its reciprocal overestimates 1/n by at most
+  // the construction epsilon.
+  auto it = std::upper_bound(ns_.begin(), ns_.end(), n);
+  size_t idx = static_cast<size_t>(it - ns_.begin()) - 1;
+  return recips_[idx];
+}
+
+double DivTable::Divide(double x, double d) const {
+  assert(d > 0);
+  // Scale d into the integer range [2^16, 2^22] to keep quantization error
+  // below the table epsilon for any magnitude, mirroring the fixed-point
+  // normalization a hardware pipeline performs.
+  int exp = 0;
+  double mant = std::frexp(d, &exp);          // d = mant * 2^exp, mant in [0.5,1)
+  double scaled = std::ldexp(mant, 17);       // in [2^16, 2^17)
+  uint32_t n = static_cast<uint32_t>(std::lround(scaled));
+  double recip = Reciprocal(n);               // approx 2^-17 / mant... times
+  // x / d = x * (1/mant) * 2^-exp = x * recip * 2^(17-exp)
+  return std::ldexp(x * recip, 17 - exp);
+}
+
+}  // namespace hpcc::core

@@ -1,0 +1,45 @@
+// Reciprocal lookup table replacing hardware division (§4.3).
+//
+// The FPGA prototype avoids divisions by multiplying with stored values of
+// 1/n. To bound memory, only those n are stored whose reciprocal differs from
+// the previously stored one by a relative epsilon:
+//     1/n_k − 1/n_{k+1} >= eps · 1/n_k
+// i.e. the stored n form a geometric-like ladder. Looking up an arbitrary
+// n <= n_max returns the reciprocal of the nearest stored n, with relative
+// error bounded by eps. The paper stores {1/n | 1 <= n <= 2^22} in ~10 KB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcc::core {
+
+class DivTable {
+ public:
+  // eps: maximum relative error; n_max: largest divisor representable.
+  explicit DivTable(double eps = 0.01, uint32_t n_max = 1u << 22);
+
+  // Reciprocal of integer n (1 <= n <= n_max), within eps relative error.
+  double Reciprocal(uint32_t n) const;
+
+  // Divide x by d (> 0) using the table: d is scaled to a fixed-point
+  // integer, the reciprocal looked up, and the scale reapplied. This is the
+  // operation the CC module performs for W = Wc / k in Eqn (4).
+  double Divide(double x, double d) const;
+
+  size_t table_entries() const { return ns_.size(); }
+  // Memory footprint a hardware table would need (§4.3 reports ~10 KB):
+  // one n plus one reciprocal per entry.
+  size_t ApproxBytes() const { return ns_.size() * (4 + 4); }
+  double eps() const { return eps_; }
+  uint32_t n_max() const { return n_max_; }
+
+ private:
+  double eps_;
+  uint32_t n_max_;
+  std::vector<uint32_t> ns_;       // stored divisors, ascending
+  std::vector<double> recips_;     // 1/ns_[i]
+};
+
+}  // namespace hpcc::core

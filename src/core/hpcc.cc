@@ -1,0 +1,195 @@
+#include "core/hpcc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/int_wire.h"
+#include "sim/time.h"
+
+namespace hpcc::core {
+
+std::shared_ptr<const DivTable> SharedDivTable() {
+  static const std::shared_ptr<const DivTable> table =
+      std::make_shared<DivTable>(/*eps=*/0.005);
+  return table;
+}
+
+HpccCc::HpccCc(const cc::CcContext& ctx, const HpccParams& params)
+    : ctx_(ctx), params_(params) {
+  assert(ctx.nic_bps > 0 && ctx.base_rtt > 0);
+  // Winit = B_nic * T so flows start at line rate (§3.2).
+  winit_ = static_cast<int64_t>(
+      (static_cast<__int128>(ctx.nic_bps) * ctx.base_rtt) /
+      (8 * sim::kPsPerSec));
+  if (params_.wai_bytes > 0) {
+    wai_ = params_.wai_bytes;
+  } else {
+    // Rule of thumb W_AI = Winit·(1−η)/N (§3.3).
+    wai_ = static_cast<double>(winit_) * (1.0 - params_.eta) /
+           std::max(1, params_.expected_flows);
+  }
+  W_ = static_cast<double>(winit_);
+  Wc_ = W_;
+  if (params_.use_div_table) div_table_ = SharedDivTable();
+}
+
+double HpccCc::Div(double x, double d) const {
+  if (div_table_) return div_table_->Divide(x, d);
+  return x / d;
+}
+
+// Algorithm 1, MeasureInflight: returns the EWMA-filtered normalized inflight
+// bytes U of the most loaded link on the path.
+double HpccCc::MeasureInflight(const cc::AckInfo& ack) {
+  const core::IntStack& stack = *ack.int_stack;
+  const double t_sec = sim::ToSec(ctx_.base_rtt);
+
+  double u = -1;                // line 2 (init below any real sample so the
+                                // first hop always sets tau)
+  sim::TimePs tau = 0;
+  for (int i = 0; i < stack.n_hops(); ++i) {  // line 3
+    const IntHop& hop = stack.hop(i);
+    const LinkRecord& last = last_links_[i];
+    sim::TimePs dt;
+    double dtx_bytes;
+    if (params_.wire_format) {
+      // Fig. 7 hardware counters wrap (24-bit ns timestamp, 20-bit 128B
+      // txBytes); reconstruct the deltas modulo the field widths.
+      dt = TsDeltaNs(static_cast<uint32_t>(hop.ts / sim::kPsPerNs),
+                     static_cast<uint32_t>(last.ts / sim::kPsPerNs)) *
+           sim::kPsPerNs;
+      dtx_bytes = static_cast<double>(TxBytesDelta(
+          static_cast<uint32_t>(hop.tx_bytes / kTxBytesUnit),
+          static_cast<uint32_t>(last.tx_bytes / kTxBytesUnit)));
+    } else {
+      dt = hop.ts - last.ts;
+      dtx_bytes = static_cast<double>(hop.tx_bytes - last.tx_bytes);
+    }
+    if (dt <= 0) continue;  // duplicate/stale snapshot of this hop
+    const double dt_sec = sim::ToSec(dt);
+    // line 4: txRate from the delta of the egress byte counter.
+    const double tx_rate_Bps = dtx_bytes / dt_sec;
+    const double b_Bps = static_cast<double>(hop.bandwidth_bps) / 8.0;
+    double rate_Bps = tx_rate_Bps;
+    if (params_.rate_signal == RateSignal::kRxRate) {
+      // Ablation (§3.4, Fig. 6): the queue's *arrival* rate instead of its
+      // departure rate: rx = tx + dqlen/dt.
+      rate_Bps += static_cast<double>(hop.qlen_bytes - last.qlen) / dt_sec;
+      rate_Bps = std::max(rate_Bps, 0.0);
+    }
+    // line 5: min(qlen_now, qlen_last) filters transient spikes.
+    const double qlen = params_.use_min_qlen_filter
+                            ? static_cast<double>(
+                                  std::min(hop.qlen_bytes, last.qlen))
+                            : static_cast<double>(hop.qlen_bytes);
+    const double u_prime = qlen / (b_Bps * t_sec) + rate_Bps / b_Bps;
+    if (u_prime > u) {  // lines 6-7
+      u = u_prime;
+      tau = dt;
+    }
+  }
+  if (u < 0 || tau <= 0) return U_;  // no fresh hop snapshot in this ACK
+  tau = std::min(tau, ctx_.base_rtt);  // line 8
+  if (params_.use_ewma) {
+    // line 9: time-weighted EWMA; the weight of new samples scales with the
+    // inter-ACK gap, so the filter is parameterless (§3.4).
+    const double f = static_cast<double>(tau) / ctx_.base_rtt;
+    U_ = (1.0 - f) * U_ + f * u;
+  } else {
+    U_ = u;
+  }
+  return U_;  // line 10
+}
+
+// Algorithm 1, ComputeWind.
+double HpccCc::ComputeWind(double u, bool update_wc) {
+  double w;
+  if (u >= params_.eta || inc_stage_ >= params_.max_stage) {  // line 12
+    // line 13: multiplicative adjustment toward η, plus additive increase.
+    w = Div(Wc_, u / params_.eta) + wai_;
+    if (update_wc) {  // lines 14-15
+      inc_stage_ = 0;
+      Wc_ = w;
+    }
+  } else {
+    w = Wc_ + wai_;  // line 17
+    if (update_wc) {  // lines 18-19
+      ++inc_stage_;
+      Wc_ = w;
+    }
+  }
+  return w;  // line 20
+}
+
+// Algorithm 1, NewAck (lines 21-27).
+void HpccCc::OnAck(const cc::AckInfo& ack) {
+  if (ack.int_stack == nullptr || ack.int_stack->n_hops() == 0) return;
+  const core::IntStack& stack = *ack.int_stack;
+
+  // Path change detection (§4.1): drop stale link records.
+  if (have_last_ && (stack.n_hops() != last_n_hops_ ||
+                     stack.path_id() != last_path_id_)) {
+    have_last_ = false;
+  }
+
+  if (!have_last_) {
+    // First ACK on this path: only prime L; txRate needs two snapshots.
+    for (int i = 0; i < stack.n_hops(); ++i) {
+      const IntHop& h = stack.hop(i);
+      last_links_[i] = {h.ts, h.tx_bytes, h.qlen_bytes, h.bandwidth_bps};
+    }
+    last_n_hops_ = stack.n_hops();
+    last_path_id_ = stack.path_id();
+    have_last_ = true;
+    last_update_seq_ = ack.snd_nxt;
+    return;
+  }
+
+  const bool new_round = ack.ack_seq > last_update_seq_;  // line 22
+  bool react = true;
+  bool update_wc = false;
+  switch (params_.reaction) {
+    case ReactionMode::kHpcc:
+      update_wc = new_round;  // lines 23-26
+      break;
+    case ReactionMode::kPerAck:
+      update_wc = true;  // blindly treat every ACK as a fresh round (Fig. 5)
+      break;
+    case ReactionMode::kPerRtt:
+      update_wc = new_round;
+      react = new_round;  // ignore ACKs within the round entirely
+      break;
+  }
+
+  const double u = MeasureInflight(ack);
+  if (react) {
+    W_ = ComputeWind(u, update_wc);
+    // Practical clamps: the NIC cannot have more than line-rate inflight, and
+    // the window must stay positive so the flow can always trickle.
+    W_ = std::clamp(W_, 1.0, static_cast<double>(winit_));
+    if (update_wc) Wc_ = std::clamp(Wc_, 1.0, static_cast<double>(winit_));
+    if (update_wc) last_update_seq_ = ack.snd_nxt;  // line 24
+  }
+
+  // Line 27: R = W/T is implicit (rate_bps derives from W_); L = ack.L:
+  for (int i = 0; i < stack.n_hops(); ++i) {
+    const IntHop& h = stack.hop(i);
+    last_links_[i] = {h.ts, h.tx_bytes, h.qlen_bytes, h.bandwidth_bps};
+  }
+  last_n_hops_ = stack.n_hops();
+  last_path_id_ = stack.path_id();
+}
+
+int64_t HpccCc::window_bytes() const {
+  return static_cast<int64_t>(std::llround(std::max(W_, 1.0)));
+}
+
+int64_t HpccCc::rate_bps() const {
+  // R = W / T (§3.2).
+  const double bps = W_ * 8.0 / sim::ToSec(ctx_.base_rtt);
+  return static_cast<int64_t>(
+      std::min(bps, static_cast<double>(ctx_.nic_bps)));
+}
+
+}  // namespace hpcc::core

@@ -1,0 +1,86 @@
+// HPCC sender algorithm — the paper's primary contribution (§3, Algorithm 1).
+//
+// HPCC is window-based: it controls inflight bytes, paced at R = W/T. Each
+// ACK carries the INT records of every hop; the sender estimates each link's
+// normalized inflight bytes
+//     U_j = qlen_j/(B_j·T) + txRate_j/B_j                      (Eqn 2)
+// and multiplicatively adjusts its window against the most congested link,
+// with a small additive-increase term for fairness:
+//     W_i = W_i^c / (max_j U_j / η) + W_AI                     (Eqn 4)
+// where W^c is a *reference window* only re-synced once per RTT, which gives
+// fast per-ACK reaction without overreacting to ACKs that describe the same
+// queue (Fig. 5). Additive increase runs for maxStage rounds before a
+// multiplicative probe (ComputeWind, lines 11-20).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "cc/cc.h"
+#include "core/div_table.h"
+#include "core/hpcc_params.h"
+#include "core/int_header.h"
+
+namespace hpcc::core {
+
+class HpccCc : public cc::CongestionControl {
+ public:
+  HpccCc(const cc::CcContext& ctx, const HpccParams& params);
+
+  void OnAck(const cc::AckInfo& ack) override;
+  void OnNack(const cc::AckInfo& nack) override { OnAck(nack); }
+
+  int64_t window_bytes() const override;
+  int64_t rate_bps() const override;
+  bool wants_int() const override { return true; }
+  std::string name() const override { return "hpcc"; }
+
+  // Introspection for tests and ablation benches.
+  double utilization_estimate() const { return U_; }
+  double window_raw() const { return W_; }
+  double reference_window() const { return Wc_; }
+  int inc_stage() const { return inc_stage_; }
+  double wai_bytes() const { return wai_; }
+  int64_t winit_bytes() const { return winit_; }
+  uint64_t last_update_seq() const { return last_update_seq_; }
+
+ private:
+  // Algorithm 1 lines 1-10.
+  double MeasureInflight(const cc::AckInfo& ack);
+  // Algorithm 1 lines 11-20.
+  double ComputeWind(double u, bool update_wc);
+  // Divide per Eqn (4); routed through the reciprocal table when enabled.
+  double Div(double x, double d) const;
+
+  cc::CcContext ctx_;
+  HpccParams params_;
+  double wai_ = 0;        // resolved W_AI in bytes
+  int64_t winit_ = 0;     // B_nic * T (§3.2)
+
+  double W_ = 0;          // current window (bytes)
+  double Wc_ = 0;         // reference window W^c (bytes)
+  double U_ = 0;          // EWMA of normalized inflight bytes
+  int inc_stage_ = 0;     // incStage
+  uint64_t last_update_seq_ = 0;  // lastUpdateSeq
+  bool seen_first_update_ = false;
+
+  // L: the link feedback recorded at the previous ACK (Algorithm 1 header).
+  struct LinkRecord {
+    sim::TimePs ts = 0;
+    uint64_t tx_bytes = 0;
+    int64_t qlen = 0;
+    int64_t bandwidth_bps = 0;
+  };
+  std::array<LinkRecord, kMaxIntHops> last_links_{};
+  int last_n_hops_ = 0;
+  uint16_t last_path_id_ = 0;
+  bool have_last_ = false;
+
+  std::shared_ptr<const DivTable> div_table_;
+};
+
+// Shared reciprocal table (built once; ~10 KB equivalent, §4.3).
+std::shared_ptr<const DivTable> SharedDivTable();
+
+}  // namespace hpcc::core

@@ -1,0 +1,122 @@
+#include "core/hpcc_alpha_fair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/time.h"
+
+namespace hpcc::core {
+
+HpccAlphaFairCc::HpccAlphaFairCc(const cc::CcContext& ctx,
+                                 const HpccParams& params, double alpha)
+    : ctx_(ctx), params_(params), alpha_(alpha) {
+  assert(alpha_ > 0);
+  winit_ = static_cast<int64_t>(
+      (static_cast<__int128>(ctx.nic_bps) * ctx.base_rtt) /
+      (8 * sim::kPsPerSec));
+  wai_ = params_.wai_bytes > 0
+             ? params_.wai_bytes
+             : static_cast<double>(winit_) * (1.0 - params_.eta) /
+                   std::max(1, params_.expected_flows);
+  W_ = static_cast<double>(winit_);
+}
+
+double HpccAlphaFairCc::Aggregate() const {
+  // Eqn (7): W = (Σ W_i^{-α})^{-1/α}. Computed in log space for stability at
+  // large α, where the expression approaches min_i W_i.
+  if (n_links_ == 0) return static_cast<double>(winit_);
+  double wmin = links_[0].w;
+  for (int i = 1; i < n_links_; ++i) wmin = std::min(wmin, links_[i].w);
+  if (alpha_ > 64) return wmin;  // numerically indistinguishable from min
+  double sum = 0;
+  for (int i = 0; i < n_links_; ++i) {
+    sum += std::pow(links_[i].w / wmin, -alpha_);
+  }
+  return wmin * std::pow(sum, -1.0 / alpha_);
+}
+
+void HpccAlphaFairCc::OnAck(const cc::AckInfo& ack) {
+  if (ack.int_stack == nullptr || ack.int_stack->n_hops() == 0) return;
+  const IntStack& stack = *ack.int_stack;
+
+  if (have_last_ &&
+      (stack.n_hops() != n_links_ || stack.path_id() != last_path_id_)) {
+    have_last_ = false;
+  }
+  if (!have_last_) {
+    n_links_ = stack.n_hops();
+    last_path_id_ = stack.path_id();
+    for (int i = 0; i < n_links_; ++i) {
+      const IntHop& h = stack.hop(i);
+      links_[i] = LinkState{static_cast<double>(winit_),
+                            static_cast<double>(winit_),
+                            0.0,
+                            0,
+                            h.ts,
+                            h.tx_bytes,
+                            h.qlen_bytes,
+                            h.bandwidth_bps};
+    }
+    have_last_ = true;
+    last_update_seq_ = ack.snd_nxt;
+    return;
+  }
+
+  const bool new_round = ack.ack_seq > last_update_seq_;
+  const double t_sec = sim::ToSec(ctx_.base_rtt);
+
+  for (int i = 0; i < n_links_; ++i) {
+    LinkState& ls = links_[i];
+    const IntHop& h = stack.hop(i);
+    const sim::TimePs dt = h.ts - ls.ts;
+    if (dt > 0) {
+      const double dt_sec = sim::ToSec(dt);
+      const double tx_Bps =
+          static_cast<double>(h.tx_bytes - ls.tx_bytes) / dt_sec;
+      const double b_Bps = static_cast<double>(h.bandwidth_bps) / 8.0;
+      const double qlen =
+          static_cast<double>(std::min(h.qlen_bytes, ls.qlen));
+      const double u_sample = qlen / (b_Bps * t_sec) + tx_Bps / b_Bps;
+      const double f =
+          std::min(1.0, static_cast<double>(dt) / ctx_.base_rtt);
+      ls.u = (1.0 - f) * ls.u + f * u_sample;
+
+      // Same MI/AI staging as ComputeWind, but per link.
+      if (ls.u >= params_.eta || ls.inc_stage >= params_.max_stage) {
+        ls.w = ls.wc / (ls.u / params_.eta) + wai_;
+        if (new_round) {
+          ls.inc_stage = 0;
+          ls.wc = ls.w;
+        }
+      } else {
+        ls.w = ls.wc + wai_;
+        if (new_round) {
+          ++ls.inc_stage;
+          ls.wc = ls.w;
+        }
+      }
+      ls.w = std::clamp(ls.w, 1.0, static_cast<double>(winit_));
+      if (new_round) ls.wc = std::clamp(ls.wc, 1.0, static_cast<double>(winit_));
+    }
+    ls.ts = h.ts;
+    ls.tx_bytes = h.tx_bytes;
+    ls.qlen = h.qlen_bytes;
+    ls.bandwidth_bps = h.bandwidth_bps;
+  }
+  if (new_round) last_update_seq_ = ack.snd_nxt;
+
+  W_ = std::clamp(Aggregate(), 1.0, static_cast<double>(winit_));
+}
+
+int64_t HpccAlphaFairCc::window_bytes() const {
+  return static_cast<int64_t>(std::llround(std::max(W_, 1.0)));
+}
+
+int64_t HpccAlphaFairCc::rate_bps() const {
+  const double bps = W_ * 8.0 / sim::ToSec(ctx_.base_rtt);
+  return static_cast<int64_t>(
+      std::min(bps, static_cast<double>(ctx_.nic_bps)));
+}
+
+}  // namespace hpcc::core

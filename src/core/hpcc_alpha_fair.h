@@ -1,0 +1,66 @@
+// Appendix A.3 extension: per-resource registers with alpha-fair aggregation.
+//
+// The appendix sketches a variant where a source keeps one register R_i per
+// resource on its path, each updated by its own multiplicative law
+//     R_i <- R_i · U_target / U_i + a
+// and the flow's rate is the alpha-fair aggregate
+//     R = (Σ_i R_i^{-α})^{-1/α}                               (Eqn 7)
+// α→∞ recovers max-min fairness (the min over links, i.e. base HPCC's
+// max_j U_j reaction), α=1 proportional fairness, α→0 throughput
+// maximization. We realize it in window form (W_i = R_i·T), consistent with
+// the rest of the implementation: each link keeps its own reference window
+// synced once per RTT, and the sending window is the α-aggregate.
+#pragma once
+
+#include <array>
+
+#include "cc/cc.h"
+#include "core/hpcc_params.h"
+#include "core/int_header.h"
+
+namespace hpcc::core {
+
+class HpccAlphaFairCc : public cc::CongestionControl {
+ public:
+  HpccAlphaFairCc(const cc::CcContext& ctx, const HpccParams& params,
+                  double alpha);
+
+  void OnAck(const cc::AckInfo& ack) override;
+  int64_t window_bytes() const override;
+  int64_t rate_bps() const override;
+  bool wants_int() const override { return true; }
+  std::string name() const override { return "hpcc-alpha-fair"; }
+
+  double alpha() const { return alpha_; }
+  double link_window(int i) const { return links_[i].w; }
+  int n_links() const { return n_links_; }
+
+ private:
+  struct LinkState {
+    double w = 0;        // current per-link window
+    double wc = 0;       // per-link reference window
+    double u = 0;        // per-link EWMA of normalized inflight
+    int inc_stage = 0;
+    sim::TimePs ts = 0;  // last INT snapshot
+    uint64_t tx_bytes = 0;
+    int64_t qlen = 0;
+    int64_t bandwidth_bps = 0;
+  };
+
+  double Aggregate() const;
+
+  cc::CcContext ctx_;
+  HpccParams params_;
+  double alpha_;
+  double wai_ = 0;
+  int64_t winit_ = 0;
+  double W_ = 0;
+
+  std::array<LinkState, kMaxIntHops> links_{};
+  int n_links_ = 0;
+  uint16_t last_path_id_ = 0;
+  bool have_last_ = false;
+  uint64_t last_update_seq_ = 0;
+};
+
+}  // namespace hpcc::core

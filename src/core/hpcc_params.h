@@ -1,0 +1,53 @@
+// HPCC's three tunables (§3.3) plus reaction-mode switches used for the
+// ablations of §3.4 (txRate vs rxRate) and §5.4 (per-ACK vs per-RTT).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hpcc::core {
+
+// How the sender reacts to ACKs (Fig. 13).
+enum class ReactionMode {
+  kHpcc,     // per-ACK updates against a per-RTT reference window (default)
+  kPerAck,   // react to every ACK directly (overreacts, §3.2/Fig. 5)
+  kPerRtt,   // update only once per RTT (slow, wastes early ACKs)
+};
+
+// Which rate signal enters the utilization estimate (§3.4, Fig. 6).
+enum class RateSignal {
+  kTxRate,   // paper's choice: egress txBytes delta
+  kRxRate,   // ablation: arrival rate at the queue (qlen delta + tx delta)
+};
+
+struct HpccParams {
+  // Target utilization η: keep each link's inflight bytes at η·B·T (§3.2).
+  double eta = 0.95;
+  // Consecutive additive-increase rounds before trying multiplicative
+  // increase again (§3.3).
+  int max_stage = 5;
+  // Additive increase per update, in bytes. Rule of thumb:
+  // W_AI = Winit·(1−η)/N for N expected concurrent flows (§3.3). A value of
+  // <= 0 asks the algorithm to apply that rule with expected_flows below.
+  double wai_bytes = -1.0;
+  int expected_flows = 100;
+
+  ReactionMode reaction = ReactionMode::kHpcc;
+  RateSignal rate_signal = RateSignal::kTxRate;
+
+  // Hardware division ablation (§4.3): compute W = Wc/k via the reciprocal
+  // lookup table instead of floating-point division.
+  bool use_div_table = false;
+
+  // Hardware-faithful INT: switches stamp the quantized/wrapped Fig. 7
+  // fields and the sender computes wrap-safe modular deltas (core/int_wire).
+  bool wire_format = false;
+
+  // Noise filters from Algorithm 1: min(qlen, last qlen) (line 5) and the
+  // time-weighted EWMA of U (line 9). Disabling them is an ablation.
+  bool use_min_qlen_filter = true;
+  bool use_ewma = true;
+};
+
+}  // namespace hpcc::core

@@ -1,0 +1,68 @@
+// In-network telemetry (INT) records, following the packet format of Fig. 7.
+//
+// Each switch hop appends one 64-bit record describing the state of the
+// packet's egress port at the moment the packet is emitted:
+//   B       egress link speed (enum of port speeds in hardware; we keep bps)
+//   TS      timestamp when the packet left the egress port
+//   txBytes accumulated bytes ever sent from that egress port
+//   qLen    egress queue length at dequeue
+// plus two header-level fields: nHop (hop count) and pathID (XOR of switch
+// IDs, used by the sender to detect path changes, §4.1).
+//
+// The wire format packs a 5-hop stack into 42 bytes; our in-memory struct is
+// wider for convenience but WireBytes() charges the paper's exact overhead.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hpcc::core {
+
+inline constexpr int kMaxIntHops = 8;  // DC paths are <= 5 hops (§4.1)
+
+// Per-hop egress port snapshot.
+struct IntHop {
+  int64_t bandwidth_bps = 0;   // B: egress link capacity
+  sim::TimePs ts = 0;          // TS: dequeue timestamp
+  uint64_t tx_bytes = 0;       // txBytes: cumulative bytes sent on the port
+  int64_t qlen_bytes = 0;      // qLen: egress queue depth at dequeue
+  uint32_t switch_id = 0;      // contributes to pathID
+};
+
+// The INT stack carried by a data packet and echoed back in its ACK.
+class IntStack {
+ public:
+  void Clear() { n_hops_ = 0; path_id_ = 0; }
+
+  // Called by each switch egress port when the packet is emitted (§3.1 step 2).
+  void Push(const IntHop& hop) {
+    assert(n_hops_ < kMaxIntHops);
+    hops_[n_hops_++] = hop;
+    path_id_ ^= static_cast<uint16_t>(hop.switch_id & 0x0fff);
+  }
+
+  int n_hops() const { return n_hops_; }
+  uint16_t path_id() const { return path_id_; }
+  const IntHop& hop(int i) const {
+    assert(i >= 0 && i < n_hops_);
+    return hops_[i];
+  }
+
+  // Paper wire format: 2 bytes of nHop/pathID + 8 bytes per hop
+  // ("42 bytes for 5 hops", §4.1).
+  int WireBytes() const { return 2 + 8 * n_hops_; }
+
+  // Worst-case overhead charged to every HPCC data packet in the evaluation
+  // (§5.1 "INT overhead": 42 bytes).
+  static constexpr int kWorstCaseWireBytes = 2 + 8 * 5;
+
+ private:
+  std::array<IntHop, kMaxIntHops> hops_{};
+  int n_hops_ = 0;
+  uint16_t path_id_ = 0;
+};
+
+}  // namespace hpcc::core

@@ -1,0 +1,81 @@
+#include "core/int_wire.h"
+
+#include <cassert>
+
+#include "sim/time.h"
+
+namespace hpcc::core {
+
+PortSpeed SpeedFromBps(int64_t bps) {
+  if (bps <= 10'000'000'000) return PortSpeed::k10G;
+  if (bps <= 25'000'000'000) return PortSpeed::k25G;
+  if (bps <= 40'000'000'000) return PortSpeed::k40G;
+  if (bps <= 50'000'000'000) return PortSpeed::k50G;
+  if (bps <= 100'000'000'000) return PortSpeed::k100G;
+  if (bps <= 200'000'000'000) return PortSpeed::k200G;
+  return PortSpeed::k400G;
+}
+
+int64_t BpsFromSpeed(PortSpeed speed) {
+  switch (speed) {
+    case PortSpeed::k10G: return 10'000'000'000;
+    case PortSpeed::k25G: return 25'000'000'000;
+    case PortSpeed::k40G: return 40'000'000'000;
+    case PortSpeed::k50G: return 50'000'000'000;
+    case PortSpeed::k100G: return 100'000'000'000;
+    case PortSpeed::k200G: return 200'000'000'000;
+    case PortSpeed::k400G: return 400'000'000'000;
+  }
+  return 0;
+}
+
+uint64_t EncodeHop(const IntHop& hop) {
+  const uint64_t speed = static_cast<uint64_t>(SpeedFromBps(hop.bandwidth_bps));
+  const uint64_t ts_ns =
+      static_cast<uint64_t>(hop.ts / sim::kPsPerNs) & kTsMask;
+  const uint64_t tx_units =
+      static_cast<uint64_t>(hop.tx_bytes / kTxBytesUnit) & kTxMask;
+  // Queue length saturates at the 16-bit ceiling rather than wrapping: a
+  // deeper queue than ~5.2 MB is "very congested" either way.
+  uint64_t qlen_units = static_cast<uint64_t>(hop.qlen_bytes / kQlenUnit);
+  if (qlen_units > kQlenMask) qlen_units = kQlenMask;
+  return (speed << 60) | (ts_ns << 36) | (tx_units << 16) | qlen_units;
+}
+
+WireHop DecodeHop(uint64_t word) {
+  WireHop out;
+  out.speed = static_cast<PortSpeed>((word >> 60) & 0xf);
+  out.ts_ns = static_cast<uint32_t>((word >> 36) & kTsMask);
+  out.tx_units = static_cast<uint32_t>((word >> 16) & kTxMask);
+  out.qlen_units = static_cast<uint32_t>(word & kQlenMask);
+  return out;
+}
+
+int64_t TsDeltaNs(uint32_t now_ns, uint32_t prev_ns) {
+  // Modular subtraction: correct as long as the true gap < 2^24 ns (~16.8ms),
+  // far longer than any RTT the algorithm reacts across.
+  return static_cast<int64_t>((now_ns - prev_ns) & kTsMask);
+}
+
+int64_t TxBytesDelta(uint32_t now_units, uint32_t prev_units) {
+  // Correct while fewer than 2^20 * 128 B = 128 MB leave the port between
+  // two ACKs of a flow — >1 ms even at 400 Gbps, i.e. always in practice.
+  return static_cast<int64_t>((now_units - prev_units) & kTxMask) *
+         kTxBytesUnit;
+}
+
+int64_t QlenBytes(uint32_t qlen_units) {
+  return static_cast<int64_t>(qlen_units) * kQlenUnit;
+}
+
+double WireTxRateBps(const IntHop& prev, const IntHop& now) {
+  const WireHop a = DecodeHop(EncodeHop(prev));
+  const WireHop b = DecodeHop(EncodeHop(now));
+  const int64_t dt_ns = TsDeltaNs(b.ts_ns, a.ts_ns);
+  if (dt_ns <= 0) return 0;
+  const int64_t dbytes = TxBytesDelta(b.tx_units, a.tx_units);
+  return static_cast<double>(dbytes) * 8.0 * 1e9 /
+         static_cast<double>(dt_ns);
+}
+
+}  // namespace hpcc::core

@@ -1,0 +1,69 @@
+// Fig. 7 wire encoding of the per-hop INT record.
+//
+// The hardware format packs each hop into 64 bits:
+//   B       4 bits   port speed enum (40/100/200/400G...)
+//   TS     24 bits   egress timestamp, nanoseconds, wraps every ~16.8 ms
+//   txBytes 20 bits  cumulative bytes sent, units of 128 B, wraps at 128 MB
+//   qLen   16 bits   queue length, units of 80 B (max ~5.2 MB)
+// Senders must therefore compute txRate and timestamps with wrap-safe
+// modular deltas. This header provides the exact encode/decode plus the
+// delta helpers HPCC needs; the simulator's in-memory IntHop keeps full
+// precision, and these functions are exercised to prove the quantized
+// format loses nothing the algorithm cares about.
+#pragma once
+
+#include <cstdint>
+
+#include "core/int_header.h"
+
+namespace hpcc::core {
+
+inline constexpr int kTsBits = 24;
+inline constexpr int kTxBytesBits = 20;
+inline constexpr int kQlenBits = 16;
+inline constexpr int64_t kTxBytesUnit = 128;  // bytes
+inline constexpr int64_t kQlenUnit = 80;      // bytes
+inline constexpr uint32_t kTsMask = (1u << kTsBits) - 1;
+inline constexpr uint32_t kTxMask = (1u << kTxBytesBits) - 1;
+inline constexpr uint32_t kQlenMask = (1u << kQlenBits) - 1;
+
+// Port speed enum (4 bits). Values follow common ASIC conventions.
+enum class PortSpeed : uint8_t {
+  k10G = 1,
+  k25G = 2,
+  k40G = 3,
+  k50G = 4,
+  k100G = 5,
+  k200G = 6,
+  k400G = 7,
+};
+
+PortSpeed SpeedFromBps(int64_t bps);
+int64_t BpsFromSpeed(PortSpeed speed);
+
+// Packs a full-precision hop snapshot into the 64-bit wire word.
+uint64_t EncodeHop(const IntHop& hop);
+
+// Expands a wire word into a (wrapped, quantized) hop. `bandwidth_bps` is
+// exact (enum), `ts` is modulo 2^24 ns, tx_bytes modulo 2^20 units.
+struct WireHop {
+  PortSpeed speed;
+  uint32_t ts_ns;      // 24-bit ns
+  uint32_t tx_units;   // 20-bit 128B units
+  uint32_t qlen_units; // 16-bit 80B units
+};
+WireHop DecodeHop(uint64_t word);
+
+// Wrap-safe deltas (the sender's view when computing txRate, Algorithm 1
+// line 4). Results are in full-precision units.
+int64_t TsDeltaNs(uint32_t now_ns, uint32_t prev_ns);
+int64_t TxBytesDelta(uint32_t now_units, uint32_t prev_units);
+// Queue length decoded to bytes.
+int64_t QlenBytes(uint32_t qlen_units);
+
+// Round-trip a full-precision hop through the wire format and reconstruct a
+// sender-side estimate given the previous reconstructed snapshot. Returns
+// the reconstructed txRate in bytes/sec (what MeasureInflight would use).
+double WireTxRateBps(const IntHop& prev, const IntHop& now);
+
+}  // namespace hpcc::core

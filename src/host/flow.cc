@@ -1,0 +1,5 @@
+#include "host/flow.h"
+
+// Flow is a plain state holder; logic lives in HostNode (host_node.cc) and in
+// the per-flow CongestionControl instance.
+namespace hpcc::host {}

@@ -1,0 +1,79 @@
+// Per-flow sender state kept at the source host NIC (§4.2 flow context).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "cc/cc.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::host {
+
+// Loss-recovery discipline (Fig. 12).
+enum class RecoveryMode {
+  kGoBackN,  // RoCEv2 default: NACK rewinds snd_nxt to the lost packet
+  kIrn,      // selective repeat behind a fixed-BDP window
+};
+
+struct FlowSpec {
+  uint64_t id = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint64_t size_bytes = 0;
+  sim::TimePs start_time = 0;
+};
+
+class Flow {
+ public:
+  Flow(const FlowSpec& spec, cc::CcPtr cc, RecoveryMode recovery)
+      : spec_(spec), cc_(std::move(cc)), recovery_(recovery) {}
+
+  const FlowSpec& spec() const { return spec_; }
+  cc::CongestionControl& cc() { return *cc_; }
+  const cc::CongestionControl& cc() const { return *cc_; }
+  RecoveryMode recovery() const { return recovery_; }
+
+  // --- sender progress ---
+  uint64_t snd_nxt = 0;        // next new byte to send
+  uint64_t snd_una = 0;        // lowest unacknowledged byte
+  bool started = false;
+  bool done = false;
+  sim::TimePs finish_time = 0;
+
+  // Pacing: earliest time the next packet may leave (token at rate R).
+  sim::TimePs next_tx_time = 0;
+  // NIC port this flow is pinned to at the source host.
+  int tx_port = 0;
+
+  // IRN state: exact per-packet inflight accounting plus the set of segment
+  // offsets reported lost (to retransmit first). The window is a fixed BDP.
+  int64_t irn_inflight_bytes = 0;
+  std::set<uint64_t> irn_rtx_queue;
+  std::set<uint64_t> irn_marked_lost;
+  int64_t irn_window_bytes = 0;  // set by the host from BDP when kIrn
+
+  // Retransmission safety timer.
+  sim::EventId rto_event = sim::kInvalidEvent;
+
+  uint64_t bytes_remaining() const { return spec_.size_bytes - snd_nxt; }
+  bool all_sent() const { return snd_nxt >= spec_.size_bytes; }
+  bool all_acked() const { return snd_una >= spec_.size_bytes; }
+
+  // Bytes charged against the congestion window.
+  int64_t inflight_bytes() const {
+    if (recovery_ == RecoveryMode::kIrn) return irn_inflight_bytes;
+    return static_cast<int64_t>(snd_nxt - snd_una);
+  }
+
+ private:
+  FlowSpec spec_;
+  cc::CcPtr cc_;
+  RecoveryMode recovery_;
+};
+
+// Completion callback: fired once when the flow's last byte is acknowledged.
+using FlowDoneCallback = std::function<void(const Flow&, sim::TimePs now)>;
+
+}  // namespace hpcc::host

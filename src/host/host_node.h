@@ -1,0 +1,106 @@
+// Host NIC model (§4.2): sender TX pipe (flow scheduler, window + pacing,
+// retransmission) and receiver RX pipe (per-packet ACK/NACK, INT echo, ECN
+// echo, DCQCN CNP generation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "host/flow.h"
+#include "host/scheduler.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/port.h"
+
+namespace hpcc::host {
+
+struct HostConfig {
+  int mtu_bytes = net::kPayloadBytes;
+  // Safety retransmission timeout (tail loss in lossy mode); PFC-protected
+  // runs never fire it.
+  sim::TimePs rto = sim::Us(1000);
+  // GBN NACK rate limit: at most one NACK per interval per flow.
+  sim::TimePs nack_interval = sim::Us(10);
+  // DCQCN: min gap between CNPs of one flow (50 us, §5.1/DCQCN paper).
+  sim::TimePs cnp_interval = sim::Us(50);
+  // IRN window in base-RTT BDPs of the NIC port.
+  double irn_window_bdp = 1.0;
+  sim::TimePs irn_base_rtt = sim::Us(13);
+  // The paper's optional INT-efficiency extension (§1: "a trivial and
+  // optional extension for efficiency"): request INT only on every Nth data
+  // packet of a flow, cutting the 42B padding overhead by ~N while HPCC
+  // still reacts multiple times per RTT.
+  int int_sample_every = 1;
+};
+
+class HostNode : public net::Node {
+ public:
+  HostNode(sim::Simulator* simulator, uint32_t id, std::string name,
+           const HostConfig& config);
+
+  void Receive(net::PacketPtr pkt, int in_port) override;
+  bool IsSwitch() const override { return false; }
+  void OnPortIdle(int port_index) override;
+
+  // Registers a sender-side flow on this host and schedules its start.
+  // The flow must have spec().src == id().
+  void AddFlow(std::unique_ptr<Flow> flow);
+
+  // RDMA READ (§4.2): registers the responder-side flow without starting it;
+  // transmission begins when the requester's kReadRequest arrives.
+  void AddPendingFlow(std::unique_ptr<Flow> flow);
+  // Requester side: emit the READ request for a flow pending at `responder`.
+  void SendReadRequest(uint64_t flow_id, uint32_t responder);
+
+  void set_flow_done_callback(FlowDoneCallback cb) {
+    flow_done_ = std::move(cb);
+  }
+
+  const HostConfig& config() const { return config_; }
+  Flow* FindFlow(uint64_t flow_id);
+  uint64_t data_bytes_sent() const { return data_bytes_sent_; }
+  uint64_t data_packets_sent() const { return data_packets_sent_; }
+  uint64_t acks_received() const { return acks_received_; }
+
+  // Receiver-side per-flow state (public for tests).
+  struct RxState {
+    uint64_t rcv_nxt = 0;                    // cumulative in-order bytes
+    std::map<uint64_t, uint64_t> ooo;        // IRN: start -> end of OOO data
+    sim::TimePs last_nack = -1;
+    sim::TimePs last_cnp = -1;
+  };
+  const RxState* FindRxState(uint64_t flow_id) const;
+
+ private:
+  // TX pipe.
+  Flow* RegisterFlow(std::unique_ptr<Flow> flow);
+  void StartFlow(Flow* flow);
+  void TrySend(int port_index);
+  void SendOnePacket(Flow& flow, sim::TimePs now);
+  void ArmRto(Flow& flow);
+  void OnRto(uint64_t flow_id);
+  int PickPort(uint64_t flow_id) const;
+
+  // RX pipe.
+  void HandleData(net::PacketPtr pkt);
+  void HandleAckLike(net::PacketPtr pkt);
+  void SendControl(net::PacketPtr pkt, uint64_t flow_id);
+  void CompleteFlow(Flow& flow, sim::TimePs now);
+
+  HostConfig config_;
+  std::vector<FlowScheduler> schedulers_;       // one per port
+  std::vector<sim::EventId> wake_events_;       // one pending wake per port
+  std::vector<std::unique_ptr<Flow>> flows_;    // owned sender flows
+  std::unordered_map<uint64_t, Flow*> tx_flows_;
+  std::unordered_map<uint64_t, RxState> rx_flows_;
+  FlowDoneCallback flow_done_;
+
+  uint64_t data_bytes_sent_ = 0;
+  uint64_t data_packets_sent_ = 0;
+  uint64_t acks_received_ = 0;
+};
+
+}  // namespace hpcc::host

@@ -1,0 +1,52 @@
+#include "host/scheduler.h"
+
+#include <algorithm>
+
+namespace hpcc::host {
+
+bool FlowScheduler::HasDataToSend(const Flow& f) {
+  if (f.done || !f.started) return false;
+  if (f.recovery() == RecoveryMode::kIrn && !f.irn_rtx_queue.empty()) {
+    return true;
+  }
+  return !f.all_sent();
+}
+
+bool FlowScheduler::WindowOpen(const Flow& f) {
+  int64_t w = f.cc().window_bytes();
+  if (f.recovery() == RecoveryMode::kIrn && f.irn_window_bytes > 0) {
+    // IRN's fixed BDP window caps inflight bytes on top of the CC window.
+    w = std::min(w, f.irn_window_bytes);
+  }
+  return f.inflight_bytes() < w;
+}
+
+Flow* FlowScheduler::PickEligible(sim::TimePs now) {
+  const size_t n = flows_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Flow* f = flows_[(rr_index_ + k) % n];
+    if (HasDataToSend(*f) && WindowOpen(*f) && f->next_tx_time <= now) {
+      rr_index_ = (rr_index_ + k + 1) % n;
+      return f;
+    }
+  }
+  return nullptr;
+}
+
+sim::TimePs FlowScheduler::NextWakeTime(sim::TimePs now) const {
+  sim::TimePs best = -1;
+  for (const Flow* f : flows_) {
+    if (!HasDataToSend(*f) || !WindowOpen(*f)) continue;
+    const sim::TimePs t = std::max(f->next_tx_time, now);
+    if (best < 0 || t < best) best = t;
+  }
+  return best;
+}
+
+void FlowScheduler::Compact() {
+  std::erase_if(flows_, [](const Flow* f) { return f->done; });
+  if (!flows_.empty()) rr_index_ %= flows_.size();
+  else rr_index_ = 0;
+}
+
+}  // namespace hpcc::host

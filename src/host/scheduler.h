@@ -1,0 +1,40 @@
+// Per-NIC-port flow scheduler (§4.2): round-robin across active flows whose
+// pacing token has matured and whose congestion window permits, mirroring the
+// FPGA's credit-based engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/flow.h"
+#include "sim/time.h"
+
+namespace hpcc::host {
+
+class FlowScheduler {
+ public:
+  void Add(Flow* flow) { flows_.push_back(flow); }
+
+  // Next flow allowed to transmit at `now` (round-robin among eligible),
+  // or nullptr. A flow is eligible when it still has bytes to send (new or
+  // retransmit), its window has room, and its pacing time has arrived.
+  Flow* PickEligible(sim::TimePs now);
+
+  // Earliest future time any window-open flow becomes eligible, or -1 if no
+  // flow is waiting purely on pacing (then only an ACK can unblock us).
+  sim::TimePs NextWakeTime(sim::TimePs now) const;
+
+  // Drops completed flows lazily; keeps iteration cheap on long runs.
+  void Compact();
+
+  size_t active_flows() const { return flows_.size(); }
+
+ private:
+  static bool HasDataToSend(const Flow& f);
+  static bool WindowOpen(const Flow& f);
+
+  std::vector<Flow*> flows_;
+  size_t rr_index_ = 0;
+};
+
+}  // namespace hpcc::host

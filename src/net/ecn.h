@@ -1,0 +1,55 @@
+// WRED/ECN marking, the congestion signal of DCQCN and DCTCP (§2.3).
+//
+// Marking probability ramps linearly from 0 at Kmin to Pmax at Kmax, and is 1
+// above Kmax (RED on instantaneous queue length, as DCQCN configures).
+// Thresholds are specified at a reference port speed and scaled linearly with
+// the egress bandwidth, matching §5.1 ("we scale the ECN marking threshold
+// proportional to the link bandwidth").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace hpcc::net {
+
+struct RedConfig {
+  bool enabled = false;
+  double kmin_bytes = 0;   // at ref_bps
+  double kmax_bytes = 0;   // at ref_bps
+  double pmax = 0.2;
+  int64_t ref_bps = 25'000'000'000;  // 25 Gbps reference
+
+  static RedConfig Dcqcn(double kmin_kb = 100, double kmax_kb = 400,
+                         double pmax = 0.2) {
+    return RedConfig{true, kmin_kb * 1000, kmax_kb * 1000, pmax,
+                     25'000'000'000};
+  }
+  static RedConfig Dctcp(double k_kb = 30) {
+    // DCTCP uses a step mark: Kmin = Kmax (§5.1), threshold at 10G reference.
+    return RedConfig{true, k_kb * 1000, k_kb * 1000, 1.0, 10'000'000'000};
+  }
+
+  double ScaledKmin(int64_t port_bps) const {
+    return kmin_bytes * static_cast<double>(port_bps) / ref_bps;
+  }
+  double ScaledKmax(int64_t port_bps) const {
+    return kmax_bytes * static_cast<double>(port_bps) / ref_bps;
+  }
+
+  // Decide whether to CE-mark a packet that sees `qlen_bytes` in the egress
+  // queue of a `port_bps` port.
+  bool ShouldMark(int64_t qlen_bytes, int64_t port_bps, sim::Rng& rng) const {
+    if (!enabled) return false;
+    const double kmin = ScaledKmin(port_bps);
+    const double kmax = ScaledKmax(port_bps);
+    const double q = static_cast<double>(qlen_bytes);
+    if (q <= kmin) return false;
+    if (q >= kmax) return true;
+    const double p = pmax * (q - kmin) / std::max(1.0, kmax - kmin);
+    return rng.Uniform() < p;
+  }
+};
+
+}  // namespace hpcc::net

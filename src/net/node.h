@@ -1,0 +1,51 @@
+// Base class for network devices (hosts and switches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hpcc::net {
+
+class Port;
+
+class Node {
+ public:
+  Node(sim::Simulator* simulator, uint32_t id, std::string name);
+  virtual ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // A packet has fully arrived on `in_port`.
+  virtual void Receive(PacketPtr pkt, int in_port) = 0;
+  virtual bool IsSwitch() const = 0;
+
+  // Port hooks (see Port). Default: no-op.
+  // Called right before a data/control packet starts serialization.
+  virtual void OnPortDequeue(Packet& /*pkt*/, int /*port_index*/) {}
+  // Called when a port finished serializing and found nothing to send next;
+  // hosts use it to pull the next paced packet.
+  virtual void OnPortIdle(int /*port_index*/) {}
+
+  // Adds a port; returns its index. Used by Topology when wiring links.
+  int AddPort(std::unique_ptr<Port> port);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return *simulator_; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  Port& port(int i) { return *ports_[i]; }
+  const Port& port(int i) const { return *ports_[i]; }
+
+ protected:
+  sim::Simulator* simulator_;
+  uint32_t id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace hpcc::net

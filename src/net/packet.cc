@@ -1,0 +1,99 @@
+#include "net/packet.h"
+
+#include <cassert>
+
+namespace hpcc::net {
+
+PacketPtr MakeDataPacket(uint64_t flow_id, uint32_t src, uint32_t dst,
+                         uint64_t seq, int payload_bytes, bool int_enabled,
+                         bool ecn_capable) {
+  auto p = std::make_unique<Packet>();
+  p->type = PacketType::kData;
+  p->flow_id = flow_id;
+  p->src = src;
+  p->dst = dst;
+  p->seq = seq;
+  p->payload_bytes = payload_bytes;
+  p->header_bytes = kDataHeaderBytes;
+  if (int_enabled) {
+    // Worst-case INT padding charged on every data packet (§5.1).
+    p->header_bytes += core::IntStack::kWorstCaseWireBytes;
+    p->int_enabled = true;
+  }
+  p->ecn_capable = ecn_capable;
+  p->priority = kDataPriority;
+  return p;
+}
+
+PacketPtr MakeAck(const Packet& data, uint64_t cumulative_ack) {
+  assert(data.type == PacketType::kData);
+  auto p = std::make_unique<Packet>();
+  p->type = PacketType::kAck;
+  p->flow_id = data.flow_id;
+  p->src = data.dst;
+  p->dst = data.src;
+  p->seq = cumulative_ack;
+  p->payload_bytes = 0;
+  p->header_bytes = kAckHeaderBytes;
+  p->priority = kControlPriority;
+  p->ecn_echo = data.ecn_ce;
+  p->data_sent_time = data.sent_time;
+  p->rcp_rate_bps = data.rcp_rate_bps;
+  p->irn = data.irn;
+  p->acked_payload_bytes = data.payload_bytes;
+  if (data.int_enabled) {
+    // Receiver copies the INT meta-data into the ACK (§3.1 step 5). The ACK
+    // also physically carries those bytes.
+    p->int_enabled = true;
+    p->int_stack = data.int_stack;
+    p->header_bytes += data.int_stack.WireBytes();
+  }
+  return p;
+}
+
+PacketPtr MakeNack(const Packet& data, uint64_t expected_seq) {
+  auto p = MakeAck(data, expected_seq);
+  p->type = PacketType::kNack;
+  p->sack_seq = data.seq;
+  p->has_sack = true;
+  return p;
+}
+
+PacketPtr MakeCnp(uint64_t flow_id, uint32_t src, uint32_t dst) {
+  auto p = std::make_unique<Packet>();
+  p->type = PacketType::kCnp;
+  p->flow_id = flow_id;
+  p->src = src;
+  p->dst = dst;
+  p->payload_bytes = 0;
+  p->header_bytes = kAckHeaderBytes;
+  p->priority = kControlPriority;
+  return p;
+}
+
+PacketPtr MakeReadRequest(uint64_t flow_id, uint32_t requester,
+                          uint32_t responder) {
+  auto p = std::make_unique<Packet>();
+  p->type = PacketType::kReadRequest;
+  p->flow_id = flow_id;
+  p->src = requester;
+  p->dst = responder;
+  p->payload_bytes = 0;
+  p->header_bytes = kAckHeaderBytes;
+  p->priority = kControlPriority;
+  return p;
+}
+
+PacketPtr MakePfc(PacketType pause_or_resume, int priority) {
+  assert(pause_or_resume == PacketType::kPfcPause ||
+         pause_or_resume == PacketType::kPfcResume);
+  auto p = std::make_unique<Packet>();
+  p->type = pause_or_resume;
+  p->payload_bytes = 0;
+  p->header_bytes = kPfcFrameBytes;
+  p->priority = kControlPriority;
+  p->pause_priority = priority;
+  return p;
+}
+
+}  // namespace hpcc::net

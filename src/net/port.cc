@@ -1,0 +1,128 @@
+#include "net/port.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/int_header.h"
+#include "core/int_wire.h"
+#include "net/node.h"
+
+namespace hpcc::net {
+
+Node::Node(sim::Simulator* simulator, uint32_t id, std::string name)
+    : simulator_(simulator), id_(id), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+int Node::AddPort(std::unique_ptr<Port> port) {
+  ports_.push_back(std::move(port));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+Port::Port(Node* owner, int index, int64_t bandwidth_bps,
+           sim::TimePs propagation_delay)
+    : owner_(owner),
+      index_(index),
+      bandwidth_bps_(bandwidth_bps),
+      propagation_delay_(propagation_delay) {
+  assert(bandwidth_bps > 0);
+}
+
+void Port::Enqueue(PacketPtr pkt) {
+  queues_.Enqueue(std::move(pkt));
+  TryTransmit();
+}
+
+void Port::SetPaused(int priority, bool paused, sim::TimePs now) {
+  if (paused_[priority] == paused) return;
+  paused_[priority] = paused;
+  if (priority == kDataPriority) {
+    if (paused) {
+      pause_started_ = now;
+    } else {
+      total_paused_ += now - pause_started_;
+    }
+  }
+  if (pause_observer_ != nullptr && pause_observer_->on_change) {
+    pause_observer_->on_change(owner_->id(), index_, priority, now, paused);
+  }
+  if (!paused) TryTransmit();
+}
+
+sim::TimePs Port::total_paused_time(sim::TimePs now) const {
+  sim::TimePs t = total_paused_;
+  if (paused_[kDataPriority]) t += now - pause_started_;
+  return t;
+}
+
+void Port::SetLinkUp(bool up) {
+  if (link_up_ == up) return;
+  link_up_ = up;
+  if (up) TryTransmit();
+}
+
+void Port::TryTransmit() {
+  if (busy_ || !link_up_) return;
+  PacketPtr pkt = queues_.Dequeue(paused_);
+  if (pkt == nullptr) {
+    // Fully drained (or everything paused): let the owner top up. Hosts pull
+    // the next paced packet here; switches have nothing to add.
+    if (queues_.empty()) owner_->OnPortIdle(index_);
+    return;
+  }
+  StartTransmission(std::move(pkt));
+}
+
+void Port::StartTransmission(PacketPtr pkt) {
+  assert(peer_ != nullptr && "port not connected");
+  busy_ = true;
+  sim::Simulator& simulator = owner_->simulator();
+  const sim::TimePs now = simulator.now();
+
+  // Owner hook first (switch: release shared buffer, maybe send PFC resume).
+  owner_->OnPortDequeue(*pkt, index_);
+
+  tx_bytes_ += static_cast<uint64_t>(pkt->size_bytes());
+
+  // INT stamping at emission (§3.1): the record reports the egress state the
+  // packet observed, including the queue it leaves behind.
+  if (stamp_int_ && pkt->int_enabled && pkt->type == PacketType::kData) {
+    core::IntHop hop;
+    hop.bandwidth_bps = bandwidth_bps_;
+    hop.ts = now;
+    hop.tx_bytes = tx_bytes_;
+    hop.qlen_bytes = queues_.bytes(kDataPriority);
+    hop.switch_id = owner_->id();
+    if (int_wire_format_) {
+      // Quantize and wrap to the Fig. 7 field widths (see core/int_wire.h);
+      // values stay in natural units so consumers share one representation.
+      hop.ts = ((now / sim::kPsPerNs) & core::kTsMask) * sim::kPsPerNs;
+      hop.tx_bytes = (hop.tx_bytes / core::kTxBytesUnit & core::kTxMask) *
+                     core::kTxBytesUnit;
+      const int64_t qu =
+          std::min<int64_t>(hop.qlen_bytes / core::kQlenUnit, core::kQlenMask);
+      hop.qlen_bytes = qu * core::kQlenUnit;
+    }
+    pkt->int_stack.Push(hop);
+  }
+
+  const sim::TimePs ser =
+      sim::SerializationTime(pkt->size_bytes(), bandwidth_bps_);
+
+  // Arrival at the peer after serialization + propagation.
+  Packet* raw = pkt.release();
+  Node* peer = peer_;
+  const int peer_port = peer_port_;
+  simulator.ScheduleIn(ser + propagation_delay_, [peer, peer_port, raw]() {
+    peer->Receive(PacketPtr(raw), peer_port);
+  });
+
+  // Transmitter frees up after serialization.
+  simulator.ScheduleIn(ser, [this]() {
+    busy_ = false;
+    TryTransmit();
+  });
+}
+
+}  // namespace hpcc::net

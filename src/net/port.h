@@ -1,0 +1,103 @@
+// Egress port: the transmit side of one direction of a point-to-point link.
+//
+// A port owns its per-priority egress queues, the serialization state machine
+// (one packet on the wire at a time), the PFC pause flags, and the cumulative
+// txBytes counter that feeds INT. Switch ports additionally stamp the INT hop
+// record at dequeue — the exact semantics of Fig. 5: the record describes the
+// queue the packet leaves behind at emission time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::net {
+
+class Node;
+
+// Pause bookkeeping callback (wired to stats::PfcMonitor).
+struct PauseObserver {
+  std::function<void(uint32_t node_id, int port, int prio, sim::TimePs now,
+                     bool paused)>
+      on_change;
+};
+
+class Port {
+ public:
+  Port(Node* owner, int index, int64_t bandwidth_bps,
+       sim::TimePs propagation_delay);
+
+  // Wires the far end; called by Topology.
+  void ConnectTo(Node* peer, int peer_port_index) {
+    peer_ = peer;
+    peer_port_ = peer_port_index;
+  }
+
+  // Queues a packet for transmission and kicks the transmitter.
+  void Enqueue(PacketPtr pkt);
+  // Starts transmission if idle and an eligible packet exists; otherwise, if
+  // fully drained, asks the owner for more via Node::OnPortIdle.
+  void TryTransmit();
+
+  // PFC pause state for this egress direction (set when the *peer* sends a
+  // pause frame that arrives at the owning node through this port).
+  void SetPaused(int priority, bool paused, sim::TimePs now);
+  bool paused(int priority) const { return paused_[priority]; }
+
+  // Link failure: a down port transmits nothing (queued packets freeze until
+  // repair; packets already serialized onto the wire still arrive).
+  void SetLinkUp(bool up);
+  bool link_up() const { return link_up_; }
+
+  // INT stamping (switch egress only). `wire_format` quantizes the stamped
+  // fields to the Fig. 7 bit widths, wrapping like the hardware counters.
+  void EnableIntStamping(uint32_t switch_id, bool wire_format = false) {
+    stamp_int_ = true;
+    int_switch_id_ = switch_id;
+    int_wire_format_ = wire_format;
+  }
+
+  void set_pause_observer(const PauseObserver* obs) { pause_observer_ = obs; }
+
+  int64_t bandwidth_bps() const { return bandwidth_bps_; }
+  sim::TimePs propagation_delay() const { return propagation_delay_; }
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  int64_t queue_bytes(int priority) const { return queues_.bytes(priority); }
+  int64_t total_queue_bytes() const { return queues_.total_bytes(); }
+  bool busy() const { return busy_; }
+  int index() const { return index_; }
+  Node* peer() const { return peer_; }
+  int peer_port() const { return peer_port_; }
+  // Total time this egress direction spent paused (data priority).
+  sim::TimePs total_paused_time(sim::TimePs now) const;
+
+ private:
+  void StartTransmission(PacketPtr pkt);
+
+  Node* owner_;
+  int index_;
+  int64_t bandwidth_bps_;
+  sim::TimePs propagation_delay_;
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+
+  PriorityQueues queues_;
+  std::array<bool, kNumPriorities> paused_{};
+  bool busy_ = false;
+  bool link_up_ = true;
+  uint64_t tx_bytes_ = 0;
+
+  bool stamp_int_ = false;
+  uint32_t int_switch_id_ = 0;
+  bool int_wire_format_ = false;
+
+  const PauseObserver* pause_observer_ = nullptr;
+  sim::TimePs pause_started_ = 0;
+  sim::TimePs total_paused_ = 0;
+};
+
+}  // namespace hpcc::net

@@ -1,0 +1,47 @@
+#include "net/queue.h"
+
+#include <cassert>
+
+namespace hpcc::net {
+
+void PriorityQueues::Enqueue(PacketPtr pkt) {
+  const int prio = pkt->priority;
+  assert(prio >= 0 && prio < kNumPriorities);
+  bytes_[prio] += pkt->size_bytes();
+  queues_[prio].push_back(std::move(pkt));
+}
+
+PacketPtr PriorityQueues::Dequeue(
+    const std::array<bool, kNumPriorities>& paused) {
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    if (paused[prio] || queues_[prio].empty()) continue;
+    PacketPtr pkt = std::move(queues_[prio].front());
+    queues_[prio].pop_front();
+    bytes_[prio] -= pkt->size_bytes();
+    assert(bytes_[prio] >= 0);
+    return pkt;
+  }
+  return nullptr;
+}
+
+bool PriorityQueues::HasEligible(
+    const std::array<bool, kNumPriorities>& paused) const {
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    if (!paused[prio] && !queues_[prio].empty()) return true;
+  }
+  return false;
+}
+
+int64_t PriorityQueues::total_bytes() const {
+  int64_t total = 0;
+  for (int64_t b : bytes_) total += b;
+  return total;
+}
+
+size_t PriorityQueues::total_packets() const {
+  size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace hpcc::net

@@ -1,0 +1,34 @@
+// Per-priority FIFO egress queues.
+//
+// Two priorities exist (§6: HPCC needs only a single data priority; control
+// frames — ACK/NACK/CNP/PFC — ride a strict high priority so feedback is not
+// queued behind data).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+
+namespace hpcc::net {
+
+class PriorityQueues {
+ public:
+  void Enqueue(PacketPtr pkt);
+  // Pops the highest-priority packet whose priority is not paused.
+  // `paused` maps priority -> paused flag.
+  PacketPtr Dequeue(const std::array<bool, kNumPriorities>& paused);
+
+  bool HasEligible(const std::array<bool, kNumPriorities>& paused) const;
+  int64_t bytes(int priority) const { return bytes_[priority]; }
+  int64_t total_bytes() const;
+  size_t total_packets() const;
+  bool empty() const { return total_packets() == 0; }
+
+ private:
+  std::array<std::deque<PacketPtr>, kNumPriorities> queues_{};
+  std::array<int64_t, kNumPriorities> bytes_{};
+};
+
+}  // namespace hpcc::net

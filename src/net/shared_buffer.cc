@@ -1,0 +1,27 @@
+#include "net/shared_buffer.h"
+
+#include <cassert>
+
+namespace hpcc::net {
+
+SharedBuffer::SharedBuffer(int64_t capacity_bytes, int num_ports)
+    : capacity_(capacity_bytes),
+      ingress_(static_cast<size_t>(num_ports),
+               std::array<int64_t, kNumPriorities>{}) {
+  assert(capacity_bytes > 0);
+}
+
+void SharedBuffer::Admit(int in_port, int priority, int64_t bytes) {
+  used_ += bytes;
+  assert(used_ <= capacity_);
+  ingress_[in_port][priority] += bytes;
+}
+
+void SharedBuffer::Release(int in_port, int priority, int64_t bytes) {
+  used_ -= bytes;
+  ingress_[in_port][priority] -= bytes;
+  assert(used_ >= 0);
+  assert(ingress_[in_port][priority] >= 0);
+}
+
+}  // namespace hpcc::net

@@ -1,0 +1,56 @@
+// Switch shared-buffer accounting with per-ingress PFC thresholds.
+//
+// All egress queues of a switch draw from one shared memory pool (32 MB in
+// §5.1). PFC accounting is per ingress port and priority: when the bytes
+// buffered that arrived through an ingress port exceed a dynamic threshold —
+// a fraction of the *free* buffer (11 % per §5.1) — the switch sends a PAUSE
+// upstream; it resumes (with hysteresis) once the occupancy falls back below.
+// In lossy mode (Fig. 12 GBN/IRN without PFC) admission instead applies a
+// dynamic egress threshold with alpha = 1 (footnote 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace hpcc::net {
+
+class SharedBuffer {
+ public:
+  SharedBuffer(int64_t capacity_bytes, int num_ports);
+
+  // Pure capacity check (tail drop when the pool is exhausted).
+  bool CanAdmit(int64_t bytes) const { return used_ + bytes <= capacity_; }
+  void Admit(int in_port, int priority, int64_t bytes);
+  void Release(int in_port, int priority, int64_t bytes);
+
+  int64_t used_bytes() const { return used_; }
+  int64_t free_bytes() const { return capacity_ - used_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t ingress_bytes(int in_port, int priority) const {
+    return ingress_[in_port][priority];
+  }
+
+  // Dynamic PFC threshold for the current occupancy.
+  int64_t PfcThreshold(double alpha) const {
+    return static_cast<int64_t>(alpha * static_cast<double>(free_bytes()));
+  }
+  bool ShouldPause(int in_port, int priority, double alpha) const {
+    return ingress_[in_port][priority] > PfcThreshold(alpha);
+  }
+  bool ShouldResume(int in_port, int priority, double alpha,
+                    double hysteresis) const {
+    return ingress_[in_port][priority] <
+           static_cast<int64_t>(hysteresis *
+                                static_cast<double>(PfcThreshold(alpha)));
+  }
+
+ private:
+  int64_t capacity_;
+  int64_t used_ = 0;
+  std::vector<std::array<int64_t, kNumPriorities>> ingress_;
+};
+
+}  // namespace hpcc::net

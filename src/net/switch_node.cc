@@ -1,0 +1,178 @@
+#include "net/switch_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcc::net {
+namespace {
+
+// splitmix64: cheap deterministic mix for ECMP hashing.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SwitchNode::SwitchNode(sim::Simulator* simulator, uint32_t id,
+                       std::string name, const SwitchConfig& config)
+    : Node(simulator, id, std::move(name)),
+      config_(config),
+      buffer_(config.buffer_bytes, /*num_ports=*/1),
+      rng_(0x5317c4ed ^ id) {}
+
+void SwitchNode::FinishSetup() {
+  buffer_ = SharedBuffer(config_.buffer_bytes, num_ports());
+  pause_sent_.assign(static_cast<size_t>(num_ports()),
+                     std::array<bool, kNumPriorities>{});
+  rcp_.assign(static_cast<size_t>(num_ports()), RcpState{});
+  for (int i = 0; i < num_ports(); ++i) {
+    // RCP starts each port's fair rate at capacity (processor sharing pulls
+    // it down as flows arrive).
+    rcp_[i].rate = static_cast<double>(ports_[i]->bandwidth_bps());
+  }
+  if (config_.int_enabled) {
+    for (int i = 0; i < num_ports(); ++i) {
+      ports_[i]->EnableIntStamping(id_, config_.int_wire_format);
+    }
+  }
+}
+
+int SwitchNode::RoutePort(const Packet& pkt) const {
+  assert(pkt.dst < routes_.size());
+  const auto& candidates = routes_[pkt.dst];
+  if (candidates.empty()) return -1;  // disconnected (link failures)
+  if (candidates.size() == 1) return candidates[0];
+  // Per-flow ECMP: hash is stable for a flow at this switch, so all packets
+  // of a flow take one path (no reordering in the common case).
+  const uint64_t h = Mix(pkt.flow_id ^ (static_cast<uint64_t>(id_) << 40));
+  return candidates[h % candidates.size()];
+}
+
+void SwitchNode::Receive(PacketPtr pkt, int in_port) {
+  if (pkt->type == PacketType::kPfcPause ||
+      pkt->type == PacketType::kPfcResume) {
+    // The frame arrived through `in_port`, so the pause applies to our
+    // egress direction of that same link.
+    ports_[in_port]->SetPaused(pkt->pause_priority,
+                               pkt->type == PacketType::kPfcPause,
+                               simulator_->now());
+    return;
+  }
+  const int out_port = RoutePort(*pkt);
+  if (out_port < 0) {
+    ++dropped_packets_;
+    dropped_bytes_ += static_cast<uint64_t>(pkt->size_bytes());
+    return;
+  }
+  AdmitAndForward(std::move(pkt), in_port, out_port);
+}
+
+void SwitchNode::AdmitAndForward(PacketPtr pkt, int in_port, int out_port) {
+  const int64_t bytes = pkt->size_bytes();
+  const int prio = pkt->priority;
+
+  bool drop = !buffer_.CanAdmit(bytes);
+  if (!drop && !config_.pfc_enabled && prio == kDataPriority) {
+    // Lossy mode: dynamic per-egress threshold (footnote 6, alpha = 1).
+    const int64_t threshold = static_cast<int64_t>(
+        config_.egress_alpha * static_cast<double>(buffer_.free_bytes()));
+    drop = ports_[out_port]->queue_bytes(kDataPriority) + bytes > threshold;
+  }
+  if (drop) {
+    ++dropped_packets_;
+    dropped_bytes_ += static_cast<uint64_t>(bytes);
+    return;
+  }
+
+  buffer_.Admit(in_port, prio, bytes);
+  pkt->buffer_ingress_port = in_port;
+
+  if (config_.rcp_enabled && pkt->type == PacketType::kData) {
+    rcp_[out_port].rx_bytes += bytes;  // arrival-rate measurement
+  }
+
+  // WRED/ECN marking on the egress queue occupancy including this packet.
+  if (pkt->ecn_capable && config_.red.enabled) {
+    const int64_t q = ports_[out_port]->queue_bytes(kDataPriority) + bytes;
+    if (config_.red.ShouldMark(q, ports_[out_port]->bandwidth_bps(), rng_)) {
+      pkt->ecn_ce = true;
+    }
+  }
+
+  ++forwarded_packets_;
+  ports_[out_port]->Enqueue(std::move(pkt));
+
+  if (config_.pfc_enabled && prio == kDataPriority) {
+    CheckPause(in_port, prio);
+  }
+}
+
+void SwitchNode::MaybeUpdateRcp(int port_index) {
+  RcpState& st = rcp_[port_index];
+  const sim::TimePs now = simulator_->now();
+  const sim::TimePs elapsed = now - st.last_update;
+  const sim::TimePs d = config_.rcp_rtt;
+  if (elapsed < d) return;
+  const double c_bps =
+      static_cast<double>(ports_[port_index]->bandwidth_bps());
+  const double y_bps =
+      static_cast<double>(st.rx_bytes) * 8.0 / sim::ToSec(elapsed);
+  const double q_bits =
+      static_cast<double>(ports_[port_index]->queue_bytes(kDataPriority)) *
+      8.0;
+  // R <- R [1 + (T/d)(alpha (C - y) - beta q/d)/C]  (RCP control law).
+  const double factor =
+      1.0 + (sim::ToSec(elapsed) / sim::ToSec(d)) *
+                (config_.rcp_alpha * (c_bps - y_bps) -
+                 config_.rcp_beta * q_bits / sim::ToSec(d)) /
+                c_bps;
+  st.rate = std::clamp(st.rate * factor, c_bps * 1e-3, c_bps);
+  st.rx_bytes = 0;
+  st.last_update = now;
+}
+
+void SwitchNode::OnPortDequeue(Packet& pkt, int port_index) {
+  if (config_.rcp_enabled && pkt.type == PacketType::kData) {
+    MaybeUpdateRcp(port_index);
+    pkt.rcp_rate_bps = std::min(
+        pkt.rcp_rate_bps, static_cast<int64_t>(rcp_[port_index].rate));
+  }
+  // Release the shared buffer when the packet starts leaving the switch.
+  const int in_port = pkt.buffer_ingress_port;
+  if (in_port < 0) return;  // locally generated (PFC frame): never admitted
+  buffer_.Release(in_port, pkt.priority, pkt.size_bytes());
+  pkt.buffer_ingress_port = -1;
+  if (config_.pfc_enabled && pkt.priority == kDataPriority) {
+    CheckResume(in_port, pkt.priority);
+  }
+}
+
+void SwitchNode::CheckPause(int in_port, int priority) {
+  if (pause_sent_[in_port][priority]) return;
+  if (buffer_.ShouldPause(in_port, priority, config_.pfc_alpha)) {
+    pause_sent_[in_port][priority] = true;
+    SendPfc(in_port, priority, /*pause=*/true);
+  }
+}
+
+void SwitchNode::CheckResume(int in_port, int priority) {
+  if (!pause_sent_[in_port][priority]) return;
+  if (buffer_.ShouldResume(in_port, priority, config_.pfc_alpha,
+                           config_.pfc_resume_ratio)) {
+    pause_sent_[in_port][priority] = false;
+    SendPfc(in_port, priority, /*pause=*/false);
+  }
+}
+
+void SwitchNode::SendPfc(int in_port, int priority, bool pause) {
+  PacketPtr frame = MakePfc(
+      pause ? PacketType::kPfcPause : PacketType::kPfcResume, priority);
+  // PFC travels upstream: out through the port the congesting traffic came in
+  // on. It rides the control priority, so it preempts queued data.
+  ports_[in_port]->Enqueue(std::move(frame));
+}
+
+}  // namespace hpcc::net

@@ -1,0 +1,108 @@
+// Output-queued shared-buffer switch with ECMP, WRED/ECN, PFC and INT.
+//
+// Pipeline per received data packet (§3.1 / §4.1):
+//   route (ECMP hash) -> shared-buffer admission (tail drop, or dynamic
+//   egress threshold in lossy mode) -> WRED/ECN mark -> egress enqueue ->
+//   per-ingress PFC threshold check (maybe PAUSE upstream).
+// At dequeue the egress port stamps the INT hop record and the buffer is
+// released, possibly sending RESUME upstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ecn.h"
+#include "net/node.h"
+#include "net/port.h"
+#include "net/shared_buffer.h"
+#include "sim/rng.h"
+
+namespace hpcc::net {
+
+struct SwitchConfig {
+  int64_t buffer_bytes = 32LL * 1024 * 1024;  // 32 MB (§5.1)
+
+  bool pfc_enabled = true;
+  double pfc_alpha = 0.11;          // pause above 11 % of free buffer (§5.1)
+  double pfc_resume_ratio = 0.85;   // hysteresis for RESUME
+
+  RedConfig red;                    // ECN marking (disabled by default)
+
+  // Lossy mode (Fig. 12 footnote 6): per-egress dynamic drop threshold
+  // `egress_alpha * free_bytes`; only used when pfc_enabled == false.
+  double egress_alpha = 1.0;
+
+  bool int_enabled = true;          // stamp INT on data packets that ask
+  // Hardware-faithful INT: quantize/wrap the stamped fields to the Fig. 7
+  // wire widths (24-bit ns timestamp, 20-bit 128B tx counter, 16-bit 80B
+  // queue length). Senders must then use wrap-safe deltas
+  // (HpccParams::wire_format).
+  bool int_wire_format = false;
+
+  // RCP (§3.4/§6 baseline): switches compute a per-port fair rate and stamp
+  // min(R) into data packets. Needs an RTT estimate `rcp_rtt` (set by the
+  // runner from the measured base RTT).
+  bool rcp_enabled = false;
+  double rcp_alpha = 0.4;
+  double rcp_beta = 0.226;
+  sim::TimePs rcp_rtt = sim::Us(13);
+};
+
+class SwitchNode : public Node {
+ public:
+  SwitchNode(sim::Simulator* simulator, uint32_t id, std::string name,
+             const SwitchConfig& config);
+
+  void Receive(PacketPtr pkt, int in_port) override;
+  bool IsSwitch() const override { return true; }
+  void OnPortDequeue(Packet& pkt, int port_index) override;
+
+  // Routing: ECMP port list per destination node id; set by Topology.
+  void SetRoutes(std::vector<std::vector<uint16_t>> routes) {
+    routes_ = std::move(routes);
+  }
+  int RoutePort(const Packet& pkt) const;
+
+  // Called by Topology after ports are wired.
+  void FinishSetup();
+
+  const SwitchConfig& config() const { return config_; }
+  SharedBuffer& buffer() { return buffer_; }
+  // Runner calls this after measuring the fabric's base RTT.
+  void set_rcp_rtt(sim::TimePs rtt) { config_.rcp_rtt = rtt; }
+  // Current RCP fair rate of a port (tests).
+  int64_t rcp_rate(int port) const {
+    return static_cast<int64_t>(rcp_[port].rate);
+  }
+  uint64_t dropped_packets() const { return dropped_packets_; }
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+  uint64_t forwarded_packets() const { return forwarded_packets_; }
+
+ private:
+  void AdmitAndForward(PacketPtr pkt, int in_port, int out_port);
+  void CheckPause(int in_port, int priority);
+  void CheckResume(int in_port, int priority);
+  void SendPfc(int in_port, int priority, bool pause);
+
+  void MaybeUpdateRcp(int port_index);
+
+  SwitchConfig config_;
+  SharedBuffer buffer_;
+  sim::Rng rng_;
+  std::vector<std::vector<uint16_t>> routes_;
+  // RCP per-egress-port controller state.
+  struct RcpState {
+    double rate = 0;
+    sim::TimePs last_update = 0;
+    int64_t rx_bytes = 0;  // data bytes admitted toward this port
+  };
+  std::vector<RcpState> rcp_;
+  // Whether we have an outstanding PAUSE toward each (ingress port, prio).
+  std::vector<std::array<bool, kNumPriorities>> pause_sent_;
+
+  uint64_t dropped_packets_ = 0;
+  uint64_t dropped_bytes_ = 0;
+  uint64_t forwarded_packets_ = 0;
+};
+
+}  // namespace hpcc::net

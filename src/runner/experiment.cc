@@ -1,0 +1,275 @@
+#include "runner/experiment.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcc::runner {
+
+net::SwitchConfig Experiment::MakeSwitchConfig() const {
+  net::SwitchConfig sw;
+  sw.pfc_enabled = config_.pfc_enabled;
+  sw.int_enabled = cc::SchemeUsesInt(config_.cc.scheme);
+  sw.int_wire_format = config_.cc.hpcc.wire_format;
+  sw.rcp_enabled = cc::SchemeUsesRcp(config_.cc.scheme);
+  if (config_.red_override.has_value()) {
+    sw.red = *config_.red_override;
+  } else if (config_.cc.scheme == "dctcp") {
+    sw.red = net::RedConfig::Dctcp();
+  } else if (cc::SchemeUsesEcn(config_.cc.scheme)) {
+    sw.red = net::RedConfig::Dcqcn();
+  }
+  return sw;
+}
+
+void Experiment::BuildTopology() {
+  const net::SwitchConfig sw = MakeSwitchConfig();
+  host::HostConfig hc;
+  hc.int_sample_every = config_.int_sample_every;
+  switch (config_.topology) {
+    case TopologyKind::kFatTree: {
+      topo::FatTreeOptions o = config_.fattree;
+      o.sw = sw;
+      o.host = hc;
+      auto built = topo::MakeFatTree(simulator_.get(), o);
+      topology_ = std::move(built.topo);
+      hosts_ = built.host_ids;
+      break;
+    }
+    case TopologyKind::kTestbed: {
+      topo::TestbedOptions o = config_.testbed;
+      o.sw = sw;
+      o.host = hc;
+      auto built = topo::MakeTestbed(simulator_.get(), o);
+      topology_ = std::move(built.topo);
+      hosts_ = built.host_ids;
+      break;
+    }
+    case TopologyKind::kStar: {
+      topo::StarOptions o = config_.star;
+      o.sw = sw;
+      o.host = hc;
+      auto built = topo::MakeStar(simulator_.get(), o);
+      topology_ = std::move(built.topo);
+      hosts_ = built.host_ids;
+      break;
+    }
+    case TopologyKind::kDumbbell: {
+      topo::DumbbellOptions o = config_.dumbbell;
+      o.sw = sw;
+      o.host = hc;
+      auto built = topo::MakeDumbbell(simulator_.get(), o);
+      topology_ = std::move(built.topo);
+      hosts_ = built.left_hosts;
+      hosts_.insert(hosts_.end(), built.right_hosts.begin(),
+                    built.right_hosts.end());
+      break;
+    }
+  }
+}
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+  simulator_ = std::make_unique<sim::Simulator>();
+  BuildTopology();
+  base_rtt_ = config_.base_rtt_override > 0 ? config_.base_rtt_override
+                                            : topology_->MaxBaseRtt();
+  if (cc::SchemeUsesRcp(config_.cc.scheme)) {
+    for (uint32_t s : topology_->switches()) {
+      topology_->switch_node(s).set_rcp_rtt(base_rtt_);
+    }
+  }
+
+  fct_ = std::make_unique<stats::FctRecorder>(
+      config_.trace == "fbhadoop" ? stats::FctRecorder::FbHadoopBins()
+                                  : stats::FctRecorder::WebSearchBins());
+
+  // Flow completion wiring: every host reports into the shared recorder.
+  for (uint32_t h : hosts_) {
+    topology_->host(h).set_flow_done_callback(
+        [this](const host::Flow& f, sim::TimePs now) {
+          ++flows_completed_;
+          const auto& s = f.spec();
+          fct_->Record(s.size_bytes, now - s.start_time,
+                       topology_->IdealFct(s.src, s.dst, s.size_bytes));
+          if (s.size_bytes <= config_.short_flow_bytes) {
+            short_fct_us_.Add(sim::ToUs(now - s.start_time));
+          }
+        });
+  }
+  InstallMonitors();
+
+  workload::FlowSink sink = [this](uint32_t src, uint32_t dst, uint64_t size,
+                                   sim::TimePs start) {
+    AddFlow(src, dst, size, start);
+  };
+  if (config_.load > 0) {
+    workload::PoissonOptions po;
+    po.load = config_.load;
+    // Per-host capacity counts all NIC ports (testbed hosts are dual-homed).
+    const host::HostNode& h0 = topology_->host(hosts_.front());
+    po.host_bps = 0;
+    for (int p = 0; p < h0.num_ports(); ++p) {
+      po.host_bps += h0.port(p).bandwidth_bps();
+    }
+    po.start = 0;
+    po.end = config_.duration;
+    po.max_flows = config_.max_flows;
+    po.seed = config_.seed;
+    poisson_ = std::make_unique<workload::PoissonGenerator>(
+        simulator_.get(), hosts_,
+        config_.trace == "fbhadoop" ? workload::SizeCdf::FbHadoop()
+                                    : workload::SizeCdf::WebSearch(),
+        po, sink);
+  }
+  if (config_.incast) {
+    workload::IncastOptions io = config_.incast_opts;
+    io.end = io.end == 0 ? config_.duration : io.end;
+    io.seed = config_.seed * 31 + 7;
+    incast_ = std::make_unique<workload::IncastGenerator>(simulator_.get(),
+                                                          hosts_, io, sink);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::InstallMonitors() {
+  pfc_monitor_.AttachTo(*topology_);
+  queue_monitor_ = std::make_unique<stats::QueueMonitor>(
+      simulator_.get(), topology_.get(), config_.queue_sample_interval);
+  total_ports_ = 0;
+  for (uint32_t id = 0; id < topology_->num_nodes(); ++id) {
+    total_ports_ += topology_->node(id).num_ports();
+  }
+}
+
+host::Flow* Experiment::AddFlow(uint32_t src, uint32_t dst, uint64_t bytes,
+                                sim::TimePs start) {
+  if (src == dst) throw std::invalid_argument("flow src == dst");
+  host::HostNode& h = topology_->host(src);
+  host::FlowSpec spec;
+  spec.id = next_flow_id_++;
+  spec.src = src;
+  spec.dst = dst;
+  spec.size_bytes = bytes;
+  spec.start_time = start;
+
+  cc::CcContext ctx;
+  ctx.nic_bps = h.port(0).bandwidth_bps();
+  ctx.base_rtt = base_rtt_;
+  ctx.mtu_bytes = h.config().mtu_bytes;
+  ctx.simulator = simulator_.get();
+
+  auto flow = std::make_unique<host::Flow>(spec, cc::MakeCc(config_.cc, ctx),
+                                           config_.recovery);
+  host::Flow* raw = flow.get();
+  h.AddFlow(std::move(flow));
+  flow_ptrs_.push_back(raw);
+  return raw;
+}
+
+host::Flow* Experiment::AddReadFlow(uint32_t requester, uint32_t responder,
+                                    uint64_t bytes, sim::TimePs start) {
+  if (requester == responder) {
+    throw std::invalid_argument("read requester == responder");
+  }
+  host::HostNode& resp = topology_->host(responder);
+  host::FlowSpec spec;
+  spec.id = next_flow_id_++;
+  spec.src = responder;  // data flows responder -> requester
+  spec.dst = requester;
+  spec.size_bytes = bytes;
+  spec.start_time = start;
+
+  cc::CcContext ctx;
+  ctx.nic_bps = resp.port(0).bandwidth_bps();
+  ctx.base_rtt = base_rtt_;
+  ctx.mtu_bytes = resp.config().mtu_bytes;
+  ctx.simulator = simulator_.get();
+
+  auto flow = std::make_unique<host::Flow>(spec, cc::MakeCc(config_.cc, ctx),
+                                           config_.recovery);
+  host::Flow* raw = flow.get();
+  resp.AddPendingFlow(std::move(flow));
+  flow_ptrs_.push_back(raw);
+
+  const uint64_t id = spec.id;
+  simulator_->ScheduleAt(start, [this, requester, responder, id]() {
+    topology_->host(requester).SendReadRequest(id, responder);
+  });
+  return raw;
+}
+
+void Experiment::RunUntil(sim::TimePs until) {
+  if (!queue_monitor_started_) {
+    queue_monitor_started_ = true;
+    queue_monitor_->Start(config_.duration);
+  }
+  simulator_->Run(until);
+}
+
+ExperimentResult Experiment::Run() {
+  if (poisson_ != nullptr) poisson_->Start();
+  if (incast_ != nullptr) incast_->Start();
+  if (!queue_monitor_started_) {
+    queue_monitor_started_ = true;
+    queue_monitor_->Start(config_.duration);
+  }
+
+  simulator_->Run(config_.duration);
+  // Drain: let in-flight flows finish so their FCTs are recorded.
+  const sim::TimePs cap =
+      config_.duration +
+      static_cast<sim::TimePs>(config_.drain_factor *
+                               static_cast<double>(config_.duration));
+  while (flows_completed_ < flow_ptrs_.size() && simulator_->now() < cap) {
+    simulator_->Run(simulator_->now() + sim::Ms(1));
+  }
+  return Collect();
+}
+
+ExperimentResult Experiment::Collect() {
+  ExperimentResult r;
+  const sim::TimePs now = simulator_->now();
+  pfc_monitor_.Finish(now);
+
+  r.fct = std::move(fct_);
+  r.queue_dist = queue_monitor_->distribution();
+  r.max_queue_bytes = queue_monitor_->max_seen_bytes();
+  r.pause_time_fraction = pfc_monitor_.PauseTimeFraction(now, total_ports_);
+  r.pause_events = pfc_monitor_.pause_count();
+  r.pause_durations_us = pfc_monitor_.DurationDistributionUs();
+  r.short_fct_us = short_fct_us_;
+  for (uint32_t s : topology_->switches()) {
+    r.dropped_packets += topology_->switch_node(s).dropped_packets();
+  }
+  r.flows_created = flow_ptrs_.size();
+  r.flows_completed = flows_completed_;
+  r.sim_time = now;
+  r.events_executed = simulator_->events_executed();
+  r.base_rtt = base_rtt_;
+
+  // The recorder moved out; re-create an empty one in case Collect is called
+  // again (idempotence for tests).
+  fct_ = std::make_unique<stats::FctRecorder>(
+      config_.trace == "fbhadoop" ? stats::FctRecorder::FbHadoopBins()
+                                  : stats::FctRecorder::WebSearchBins());
+  return r;
+}
+
+std::string ExperimentResult::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "flows %llu/%llu  q50 %.1fKB q95 %.1fKB q99 %.1fKB qmax %.1fKB  "
+      "pfc %.4f%% (%zu events)  drops %llu  simtime %.2fms  events %llu",
+      static_cast<unsigned long long>(flows_completed),
+      static_cast<unsigned long long>(flows_created),
+      queue_dist.Percentile(50) / 1e3, queue_dist.Percentile(95) / 1e3,
+      queue_dist.Percentile(99) / 1e3,
+      static_cast<double>(max_queue_bytes) / 1e3, pause_time_fraction * 100,
+      pause_events, static_cast<unsigned long long>(dropped_packets),
+      sim::ToMs(sim_time), static_cast<unsigned long long>(events_executed));
+  return buf;
+}
+
+}  // namespace hpcc::runner

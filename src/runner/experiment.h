@@ -1,0 +1,138 @@
+// Experiment harness: wires a topology, a CC scheme, workload generators and
+// monitors into one runnable unit. Every bench binary (one per paper figure)
+// and example builds on this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/factory.h"
+#include "host/flow.h"
+#include "net/switch_node.h"
+#include "sim/simulator.h"
+#include "stats/fct_recorder.h"
+#include "stats/pfc_monitor.h"
+#include "stats/queue_monitor.h"
+#include "topo/fattree.h"
+#include "topo/simple.h"
+#include "topo/testbed.h"
+#include "topo/topology.h"
+#include "workload/flow_gen.h"
+
+namespace hpcc::runner {
+
+enum class TopologyKind { kFatTree, kTestbed, kStar, kDumbbell };
+
+struct ExperimentConfig {
+  TopologyKind topology = TopologyKind::kFatTree;
+  topo::FatTreeOptions fattree;
+  topo::TestbedOptions testbed;
+  topo::StarOptions star;
+  topo::DumbbellOptions dumbbell;
+
+  cc::CcConfig cc;
+  host::RecoveryMode recovery = host::RecoveryMode::kGoBackN;
+  bool pfc_enabled = true;
+  // INT sampling period (1 = every data packet, the paper's default).
+  int int_sample_every = 1;
+  // Optional WRED override (Fig. 3's threshold sweep); by default the scheme
+  // picks its own (DCQCN/DCTCP defaults, disabled for HPCC/TIMELY).
+  std::optional<net::RedConfig> red_override;
+
+  // Background Poisson workload (disabled when load <= 0).
+  double load = 0.0;
+  std::string trace = "websearch";  // "websearch" | "fbhadoop"
+  uint64_t max_flows = 0;
+  // Incast add-on (Fig. 11a's "30% + incast").
+  bool incast = false;
+  workload::IncastOptions incast_opts;
+
+  sim::TimePs duration = sim::Ms(10);  // workload generation horizon
+  // After `duration`, keep simulating until all flows finish, capped at
+  // drain_factor * duration extra.
+  double drain_factor = 4.0;
+  uint64_t seed = 1;
+
+  sim::TimePs queue_sample_interval = sim::Us(10);
+  sim::TimePs base_rtt_override = 0;  // 0 = measured MaxBaseRtt
+  // Flows at or below this size feed the short-flow latency distribution
+  // (the "95pct-latency" series of Fig. 2b/11b/11d).
+  uint64_t short_flow_bytes = 3'000;
+};
+
+struct ExperimentResult {
+  std::unique_ptr<stats::FctRecorder> fct;
+  stats::PercentileTracker queue_dist;   // bytes, sampled over (port, time)
+  int64_t max_queue_bytes = 0;
+  double pause_time_fraction = 0;        // of total port-time
+  size_t pause_events = 0;
+  stats::PercentileTracker pause_durations_us;
+  stats::PercentileTracker short_fct_us;  // FCT of short flows, microseconds
+  uint64_t dropped_packets = 0;
+  uint64_t flows_created = 0;
+  uint64_t flows_completed = 0;
+  sim::TimePs sim_time = 0;
+  uint64_t events_executed = 0;
+  sim::TimePs base_rtt = 0;
+
+  std::string Summary() const;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+  ~Experiment();
+
+  // Manual flow injection (micro-benchmarks); returns the live Flow.
+  host::Flow* AddFlow(uint32_t src, uint32_t dst, uint64_t bytes,
+                      sim::TimePs start);
+  // RDMA READ (§4.2): `requester` pulls `bytes` from `responder`. The data
+  // flow runs responder -> requester; its FCT starts at the request post
+  // time, so it includes the request's propagation.
+  host::Flow* AddReadFlow(uint32_t requester, uint32_t responder,
+                          uint64_t bytes, sim::TimePs start);
+
+  // Runs generators + simulation, drains, and collects metrics.
+  ExperimentResult Run();
+  // Lower-level: run the simulator to `until` without draining (micro
+  // benches drive this directly after AddFlow).
+  void RunUntil(sim::TimePs until);
+  ExperimentResult Collect();
+
+  sim::Simulator& simulator() { return *simulator_; }
+  topo::Topology& topology() { return *topology_; }
+  const std::vector<uint32_t>& hosts() const { return hosts_; }
+  sim::TimePs base_rtt() const { return base_rtt_; }
+  const std::vector<host::Flow*>& flows() const { return flow_ptrs_; }
+  uint64_t flows_completed() const { return flows_completed_; }
+  stats::PfcMonitor& pfc_monitor() { return pfc_monitor_; }
+
+ private:
+  void BuildTopology();
+  void InstallMonitors();
+  net::SwitchConfig MakeSwitchConfig() const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<topo::Topology> topology_;
+  std::vector<uint32_t> hosts_;
+  sim::TimePs base_rtt_ = 0;
+
+  uint64_t next_flow_id_ = 1;
+  std::vector<host::Flow*> flow_ptrs_;
+  uint64_t flows_completed_ = 0;
+
+  std::unique_ptr<stats::FctRecorder> fct_;
+  stats::PercentileTracker short_fct_us_;
+  std::unique_ptr<stats::QueueMonitor> queue_monitor_;
+  bool queue_monitor_started_ = false;
+  stats::PfcMonitor pfc_monitor_;
+  std::unique_ptr<workload::PoissonGenerator> poisson_;
+  std::unique_ptr<workload::IncastGenerator> incast_;
+  int total_ports_ = 0;
+};
+
+}  // namespace hpcc::runner

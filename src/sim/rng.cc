@@ -1,0 +1,40 @@
+#include "sim/rng.h"
+
+#include <cassert>
+
+namespace hpcc::sim {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+std::vector<size_t> Rng::SampleDistinct(size_t k, size_t n) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector; fine for the sizes we use
+  // (incast fan-ins of tens out of hundreds of hosts).
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace hpcc::sim

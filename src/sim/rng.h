@@ -1,0 +1,34 @@
+// Deterministic random number generation for workloads and simulations.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hpcc::sim {
+
+// Thin wrapper around mt19937_64 with the draw helpers the workload and
+// topology code needs. Every experiment owns one Rng seeded explicitly, so
+// runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double Uniform();
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Exponential with the given mean (mean > 0).
+  double Exponential(double mean);
+  // Pick an index in [0, n) uniformly.
+  size_t Index(size_t n);
+  // Sample `k` distinct indices from [0, n), k <= n.
+  std::vector<size_t> SampleDistinct(size_t k, size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hpcc::sim

@@ -1,0 +1,59 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hpcc::sim {
+
+EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
+  assert(at >= now_);
+  EventId id = next_id_++;
+  heap_.push(Event{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulator::ScheduleIn(TimePs delay, Callback cb) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already ran or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+uint64_t Simulator::Run(TimePs until) {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!heap_.empty() && !stopped_) {
+    Event ev = heap_.top();
+    if (ev.at > until) break;
+    heap_.pop();
+    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.at;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  // If we stopped because of the horizon, advance the clock to it so that
+  // repeated Run(until) calls observe monotone time.
+  if (!heap_.empty() && !stopped_ && now_ < until) now_ = until;
+  if (heap_.empty() && now_ < until &&
+      until != std::numeric_limits<TimePs>::max()) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace hpcc::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulator: a single-threaded event loop over a binary heap.
+//
+// This is the substrate replacing ns-3 in the paper's evaluation (§5). All
+// network components schedule closures at absolute picosecond timestamps;
+// ties are broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hpcc::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Schedules `cb` to run at absolute time `at` (must be >= now()).
+  EventId ScheduleAt(TimePs at, Callback cb);
+  // Schedules `cb` to run `delay` after now().
+  EventId ScheduleIn(TimePs delay, Callback cb);
+  // Cancels a pending event. Cancelling an already-run or invalid id is a
+  // no-op (lazy deletion: the heap entry is skipped when popped).
+  void Cancel(EventId id);
+
+  // Runs until the event queue empties, `until` is reached, or Stop().
+  // Returns the number of events executed.
+  uint64_t Run(TimePs until = std::numeric_limits<TimePs>::max());
+  // Stops the run loop after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  TimePs now() const { return now_; }
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimePs at;
+    EventId id;
+    // Heap is a max-heap by default; invert for earliest-first, then
+    // lowest-id-first for deterministic tie-break.
+    bool operator<(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  TimePs now_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event> heap_;
+  // Callbacks are stored separately so cancelled events free their closure.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hpcc::sim

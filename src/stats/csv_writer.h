@@ -1,0 +1,24 @@
+// CSV export for offline plotting: time series, distributions (as CDF
+// points) and per-bin FCT tables in a gnuplot/pandas-friendly format.
+#pragma once
+
+#include <string>
+
+#include "stats/fct_recorder.h"
+#include "stats/percentile.h"
+#include "stats/timeseries.h"
+
+namespace hpcc::stats {
+
+// "time_us,value" rows. Returns false if the file cannot be opened.
+bool WriteTimeSeriesCsv(const std::string& path, const TimeSeries& series,
+                        const std::string& value_header = "value");
+
+// "percentile,value" rows at the given resolution (default every 1%).
+bool WriteCdfCsv(const std::string& path, const PercentileTracker& dist,
+                 int step_percent = 1);
+
+// "bin,count,p50,p95,p99" rows per non-empty size bin.
+bool WriteFctCsv(const std::string& path, const FctRecorder& fct);
+
+}  // namespace hpcc::stats

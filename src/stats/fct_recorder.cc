@@ -1,0 +1,82 @@
+#include "stats/fct_recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace hpcc::stats {
+
+FctRecorder::FctRecorder(std::vector<uint64_t> bin_edges)
+    : edges_(std::move(bin_edges)) {
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  bins_.resize(edges_.size() + 1);
+}
+
+size_t FctRecorder::BinIndex(uint64_t size) const {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), size);
+  return static_cast<size_t>(it - edges_.begin());
+}
+
+void FctRecorder::Record(uint64_t size_bytes, sim::TimePs fct,
+                         sim::TimePs ideal_fct) {
+  assert(ideal_fct > 0);
+  const double slowdown = std::max(
+      1.0, static_cast<double>(fct) / static_cast<double>(ideal_fct));
+  bins_[BinIndex(size_bytes)].Add(slowdown);
+  overall_.Add(slowdown);
+}
+
+namespace {
+std::string HumanBytes(uint64_t b) {
+  char buf[32];
+  if (b >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3gM", static_cast<double>(b) / 1e6);
+  } else if (b >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3gK", static_cast<double>(b) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string FctRecorder::BinLabel(size_t bin) const {
+  if (edges_.empty()) return "all";
+  if (bin == 0) return "<=" + HumanBytes(edges_[0]);
+  if (bin == bins_.size() - 1) return ">" + HumanBytes(edges_.back());
+  return "(" + HumanBytes(edges_[bin - 1]) + "," + HumanBytes(edges_[bin]) +
+         "]";
+}
+
+std::string FctRecorder::FormatTable() const {
+  std::string out =
+      "  size-bin            count   p50     p95     p99\n";
+  char line[128];
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].Empty()) continue;
+    std::snprintf(line, sizeof(line), "  %-18s %7zu %7.2f %7.2f %7.2f\n",
+                  BinLabel(i).c_str(), bins_[i].Count(),
+                  bins_[i].Percentile(50), bins_[i].Percentile(95),
+                  bins_[i].Percentile(99));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-18s %7zu %7.2f %7.2f %7.2f\n", "all",
+                overall_.Count(), overall_.Percentile(50),
+                overall_.Percentile(95), overall_.Percentile(99));
+  out += line;
+  return out;
+}
+
+std::vector<uint64_t> FctRecorder::WebSearchBins() {
+  // Fig. 2/3/10 x-axis: 0, 6.7K ... 30M bytes.
+  return {6'700,     20'000,    30'000,    50'000,    73'000,
+          200'000,   1'000'000, 2'000'000, 5'000'000, 30'000'000};
+}
+
+std::vector<uint64_t> FctRecorder::FbHadoopBins() {
+  // Fig. 11/12 x-axis: 0, 324, ... 10M bytes.
+  return {324,   400,    500,    600,     700,
+          1'000, 7'000,  46'000, 120'000, 10'000'000};
+}
+
+}  // namespace hpcc::stats

@@ -1,0 +1,31 @@
+// Exact percentile tracking over collected samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcc::stats {
+
+class PercentileTracker {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  // p in [0, 100]; exact nearest-rank percentile. Returns 0 on no samples.
+  double Percentile(double p) const;
+  double Mean() const;
+  double Max() const;
+  double Min() const;
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+}  // namespace hpcc::stats

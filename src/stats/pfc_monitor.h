@@ -1,0 +1,64 @@
+// PFC pause bookkeeping: pause-time fraction (Fig. 11b/11d), pause event
+// durations (Fig. 2b), propagation depth and suppressed bandwidth
+// (the Fig. 1 substitute experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/port.h"
+#include "sim/time.h"
+#include "stats/percentile.h"
+
+namespace hpcc::topo {
+class Topology;
+}
+
+namespace hpcc::stats {
+
+class PfcMonitor {
+ public:
+  struct PauseEvent {
+    sim::TimePs start = 0;
+    sim::TimePs end = -1;  // -1 while still paused
+    uint32_t node = 0;     // node whose egress got paused
+    int port = 0;
+    int64_t port_bps = 0;
+  };
+
+  // Returns the observer to install on every port (Topology helper below).
+  const net::PauseObserver& observer() const { return observer_; }
+
+  // Attach to every port of every node in the topology.
+  void AttachTo(topo::Topology& topology);
+
+  // Call once at the end of a run to close still-open pauses.
+  void Finish(sim::TimePs now);
+
+  size_t pause_count() const { return events_.size(); }
+  const std::vector<PauseEvent>& events() const { return events_; }
+  sim::TimePs total_pause_time() const;
+  // Fraction (0..1) of port-time spent paused over `elapsed` across
+  // `num_ports` observed ports.
+  double PauseTimeFraction(sim::TimePs elapsed, int num_ports) const;
+  // Distribution of individual pause durations in microseconds.
+  PercentileTracker DurationDistributionUs() const;
+  // Peak simultaneous paused capacity (bps) and its fraction of total.
+  int64_t peak_paused_bps() const { return peak_paused_bps_; }
+
+ private:
+  void OnChange(uint32_t node, int port, int prio, sim::TimePs now,
+                bool paused);
+
+  net::PauseObserver observer_{
+      [this](uint32_t node, int port, int prio, sim::TimePs now,
+             bool paused) { OnChange(node, port, prio, now, paused); }};
+  std::vector<PauseEvent> events_;
+  std::map<std::pair<uint32_t, int>, size_t> open_;  // (node,port) -> event
+  std::map<std::pair<uint32_t, int>, int64_t> port_bps_;
+  int64_t paused_bps_now_ = 0;
+  int64_t peak_paused_bps_ = 0;
+};
+
+}  // namespace hpcc::stats

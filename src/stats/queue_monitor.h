@@ -1,0 +1,61 @@
+// Periodic sampling of switch egress queue depths (queue-length CDFs of
+// Fig. 9f/10b/10d and the time series of Fig. 6/9/13b/14b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stats/percentile.h"
+#include "stats/timeseries.h"
+
+namespace hpcc::topo {
+class Topology;
+}
+
+namespace hpcc::net {
+class Port;
+}
+
+namespace hpcc::stats {
+
+// Samples every data-priority egress queue of every switch in the topology
+// at a fixed interval; accumulates the distribution over (port, time).
+class QueueMonitor {
+ public:
+  QueueMonitor(sim::Simulator* simulator, topo::Topology* topology,
+               sim::TimePs interval);
+
+  void Start(sim::TimePs until);
+  const PercentileTracker& distribution() const { return dist_; }
+  int64_t max_seen_bytes() const { return max_seen_; }
+
+ private:
+  void Sample();
+
+  sim::Simulator* simulator_;
+  topo::Topology* topology_;
+  sim::TimePs interval_;
+  sim::TimePs until_ = 0;
+  PercentileTracker dist_;
+  int64_t max_seen_ = 0;
+};
+
+// Time series of one specific port's data queue (Fig. 6 / 13b).
+class PortQueueSampler {
+ public:
+  PortQueueSampler(sim::Simulator* simulator, const net::Port* port,
+                   sim::TimePs interval);
+  void Start(sim::TimePs until);
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void Sample();
+  sim::Simulator* simulator_;
+  const net::Port* port_;
+  sim::TimePs interval_;
+  sim::TimePs until_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace hpcc::stats

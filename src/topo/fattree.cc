@@ -1,0 +1,62 @@
+#include "topo/fattree.h"
+
+#include <string>
+
+namespace hpcc::topo {
+
+FatTreeTopology MakeFatTree(sim::Simulator* simulator,
+                            const FatTreeOptions& options) {
+  FatTreeTopology out;
+  out.topo = std::make_unique<Topology>(simulator);
+  Topology& t = *out.topo;
+
+  auto tier_of = [&out](uint32_t id, FatTreeTopology::Tier tier) {
+    if (out.tiers.size() <= id) out.tiers.resize(id + 1);
+    out.tiers[id] = tier;
+  };
+
+  // Core layer: one group of `cores_per_agg` cores per agg position.
+  const int num_cores = options.aggs_per_pod * options.cores_per_agg;
+  for (int c = 0; c < num_cores; ++c) {
+    const uint32_t id = t.AddSwitch(options.sw, "core" + std::to_string(c));
+    out.core_ids.push_back(id);
+    tier_of(id, FatTreeTopology::Tier::kCore);
+  }
+
+  for (int p = 0; p < options.pods; ++p) {
+    std::vector<uint32_t> pod_aggs;
+    for (int a = 0; a < options.aggs_per_pod; ++a) {
+      const uint32_t agg = t.AddSwitch(
+          options.sw, "agg" + std::to_string(p) + "_" + std::to_string(a));
+      out.agg_ids.push_back(agg);
+      pod_aggs.push_back(agg);
+      tier_of(agg, FatTreeTopology::Tier::kAgg);
+      // Agg position `a` connects to core group `a`.
+      for (int k = 0; k < options.cores_per_agg; ++k) {
+        t.AddLink(agg, out.core_ids[a * options.cores_per_agg + k],
+                  options.fabric_bps, options.link_delay);
+      }
+    }
+    for (int r = 0; r < options.tors_per_pod; ++r) {
+      const uint32_t tor = t.AddSwitch(
+          options.sw, "tor" + std::to_string(p) + "_" + std::to_string(r));
+      out.tor_ids.push_back(tor);
+      tier_of(tor, FatTreeTopology::Tier::kTor);
+      for (uint32_t agg : pod_aggs) {
+        t.AddLink(tor, agg, options.fabric_bps, options.link_delay);
+      }
+      for (int h = 0; h < options.hosts_per_tor; ++h) {
+        const uint32_t host = t.AddHost(
+            options.host, "h" + std::to_string(p) + "_" + std::to_string(r) +
+                              "_" + std::to_string(h));
+        out.host_ids.push_back(host);
+        tier_of(host, FatTreeTopology::Tier::kHost);
+        t.AddLink(host, tor, options.host_bps, options.link_delay);
+      }
+    }
+  }
+  t.Finalize();
+  return out;
+}
+
+}  // namespace hpcc::topo

@@ -1,0 +1,58 @@
+// Three-tier Clos / FatTree, the simulation topology of §5.1 (16 Core,
+// 20 Agg, 20 ToR, 320 single-NIC 100 Gbps servers, 400 Gbps fabric).
+//
+// Structure: pods of (tors_per_pod ToRs x aggs_per_pod Aggs) with a full
+// bipartite mesh inside the pod; Agg j of each pod connects to core group j
+// (cores_per_agg cores). Defaults build a scaled-down instance for fast
+// benches; PaperScale() matches the paper's counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace hpcc::topo {
+
+struct FatTreeOptions {
+  int pods = 2;
+  int tors_per_pod = 2;
+  int aggs_per_pod = 2;
+  int cores_per_agg = 2;  // cores total = aggs_per_pod * cores_per_agg
+  int hosts_per_tor = 8;
+  int64_t host_bps = 100'000'000'000;
+  int64_t fabric_bps = 400'000'000'000;
+  sim::TimePs link_delay = sim::Us(1);
+  host::HostConfig host;
+  net::SwitchConfig sw;
+
+  // §5.1 scale: 4 pods x 5 ToRs x 5 Aggs, 20 cores, 16 hosts/ToR = 320 hosts.
+  static FatTreeOptions PaperScale() {
+    FatTreeOptions o;
+    o.pods = 4;
+    o.tors_per_pod = 5;
+    o.aggs_per_pod = 5;
+    o.cores_per_agg = 4;
+    o.hosts_per_tor = 16;
+    return o;
+  }
+
+  int num_hosts() const { return pods * tors_per_pod * hosts_per_tor; }
+};
+
+struct FatTreeTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<uint32_t> host_ids;
+  std::vector<uint32_t> tor_ids;
+  std::vector<uint32_t> agg_ids;
+  std::vector<uint32_t> core_ids;
+  // Tier of every node id (for PFC propagation depth reporting).
+  enum class Tier { kHost, kTor, kAgg, kCore };
+  std::vector<Tier> tiers;
+};
+
+FatTreeTopology MakeFatTree(sim::Simulator* simulator,
+                            const FatTreeOptions& options);
+
+}  // namespace hpcc::topo

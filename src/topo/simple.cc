@@ -1,0 +1,43 @@
+#include "topo/simple.h"
+
+namespace hpcc::topo {
+
+StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options) {
+  StarTopology out;
+  out.topo = std::make_unique<Topology>(simulator);
+  out.switch_id = out.topo->AddSwitch(options.sw, "sw0");
+  for (int i = 0; i < options.num_hosts; ++i) {
+    const uint32_t h =
+        out.topo->AddHost(options.host, "h" + std::to_string(i));
+    out.topo->AddLink(h, out.switch_id, options.host_bps, options.link_delay);
+    out.host_ids.push_back(h);
+  }
+  out.topo->Finalize();
+  return out;
+}
+
+DumbbellTopology MakeDumbbell(sim::Simulator* simulator,
+                              const DumbbellOptions& options) {
+  DumbbellTopology out;
+  out.topo = std::make_unique<Topology>(simulator);
+  out.left_switch = out.topo->AddSwitch(options.sw, "swL");
+  out.right_switch = out.topo->AddSwitch(options.sw, "swR");
+  out.topo->AddLink(out.left_switch, out.right_switch, options.trunk_bps,
+                    options.link_delay);
+  for (int i = 0; i < options.hosts_per_side; ++i) {
+    const uint32_t l =
+        out.topo->AddHost(options.host, "hl" + std::to_string(i));
+    out.topo->AddLink(l, out.left_switch, options.host_bps,
+                      options.link_delay);
+    out.left_hosts.push_back(l);
+    const uint32_t r =
+        out.topo->AddHost(options.host, "hr" + std::to_string(i));
+    out.topo->AddLink(r, out.right_switch, options.host_bps,
+                      options.link_delay);
+    out.right_hosts.push_back(r);
+  }
+  out.topo->Finalize();
+  return out;
+}
+
+}  // namespace hpcc::topo

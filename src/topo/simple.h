@@ -1,0 +1,52 @@
+// Micro-benchmark topologies: star (single switch) and dumbbell.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace hpcc::topo {
+
+struct StarOptions {
+  int num_hosts = 17;               // e.g. 16 senders + 1 receiver (§5.4)
+  int64_t host_bps = 100'000'000'000;
+  sim::TimePs link_delay = sim::Us(1);
+  host::HostConfig host;
+  net::SwitchConfig sw;
+};
+
+struct StarTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<uint32_t> host_ids;
+  uint32_t switch_id = 0;
+};
+
+// All hosts hang off one switch — the 16-to-1 incast fixture of §5.4 and the
+// 2-to-1 fixture of Fig. 6.
+StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options);
+
+struct DumbbellOptions {
+  int hosts_per_side = 2;
+  int64_t host_bps = 100'000'000'000;
+  int64_t trunk_bps = 100'000'000'000;
+  sim::TimePs link_delay = sim::Us(1);
+  host::HostConfig host;
+  net::SwitchConfig sw;
+};
+
+struct DumbbellTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<uint32_t> left_hosts;
+  std::vector<uint32_t> right_hosts;
+  uint32_t left_switch = 0;
+  uint32_t right_switch = 0;
+};
+
+// Two switches joined by one trunk; left/right host groups. The shared-trunk
+// fixture for long-vs-short and fairness micro-benchmarks (Fig. 9).
+DumbbellTopology MakeDumbbell(sim::Simulator* simulator,
+                              const DumbbellOptions& options);
+
+}  // namespace hpcc::topo

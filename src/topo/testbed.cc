@@ -1,0 +1,33 @@
+#include "topo/testbed.h"
+
+namespace hpcc::topo {
+
+TestbedTopology MakeTestbed(sim::Simulator* simulator,
+                            const TestbedOptions& options) {
+  TestbedTopology out;
+  out.topo = std::make_unique<Topology>(simulator);
+  Topology& t = *out.topo;
+
+  out.agg_id = t.AddSwitch(options.sw, "agg");
+  for (int i = 0; i < 4; ++i) {
+    const uint32_t tor = t.AddSwitch(options.sw, "tor" + std::to_string(i));
+    out.tor_ids.push_back(tor);
+    t.AddLink(tor, out.agg_id, options.fabric_bps, options.link_delay);
+  }
+
+  // Group A dual-homes to ToR0/ToR1, group B to ToR2/ToR3 (§5.1).
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < options.servers_per_pair; ++i) {
+      const uint32_t h = t.AddHost(
+          options.host, "s" + std::to_string(g) + "_" + std::to_string(i));
+      t.AddLink(h, out.tor_ids[2 * g], options.host_bps, options.link_delay);
+      t.AddLink(h, out.tor_ids[2 * g + 1], options.host_bps,
+                options.link_delay);
+      out.host_ids.push_back(h);
+    }
+  }
+  t.Finalize();
+  return out;
+}
+
+}  // namespace hpcc::topo

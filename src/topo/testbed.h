@@ -1,0 +1,33 @@
+// The paper's 32-server testbed PoD (§5.1): one Agg switch, four ToRs
+// (100 Gbps uplinks), servers with two 25 Gbps NICs dual-homed to a ToR pair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace hpcc::topo {
+
+struct TestbedOptions {
+  // Servers per ToR pair (16 in the paper => 32 total).
+  int servers_per_pair = 16;
+  int64_t host_bps = 25'000'000'000;
+  int64_t fabric_bps = 100'000'000'000;
+  sim::TimePs link_delay = sim::Us(1);
+  host::HostConfig host;
+  net::SwitchConfig sw;
+};
+
+struct TestbedTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<uint32_t> host_ids;   // group A first, then group B
+  std::vector<uint32_t> tor_ids;    // ToR1..ToR4
+  uint32_t agg_id = 0;
+};
+
+TestbedTopology MakeTestbed(sim::Simulator* simulator,
+                            const TestbedOptions& options);
+
+}  // namespace hpcc::topo

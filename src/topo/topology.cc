@@ -1,0 +1,200 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "net/packet.h"
+
+namespace hpcc::topo {
+
+uint32_t Topology::AddHost(const host::HostConfig& config,
+                           const std::string& name) {
+  const auto id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(
+      std::make_unique<host::HostNode>(simulator_, id, name, config));
+  hosts_.push_back(id);
+  adj_.emplace_back();
+  return id;
+}
+
+uint32_t Topology::AddSwitch(const net::SwitchConfig& config,
+                             const std::string& name) {
+  const auto id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(
+      std::make_unique<net::SwitchNode>(simulator_, id, name, config));
+  switches_.push_back(id);
+  adj_.emplace_back();
+  return id;
+}
+
+void Topology::AddLink(uint32_t a, uint32_t b, int64_t bps,
+                       sim::TimePs delay) {
+  assert(!finalized_);
+  net::Node& na = *nodes_[a];
+  net::Node& nb = *nodes_[b];
+  const int pa = na.AddPort(std::make_unique<net::Port>(&na, na.num_ports(),
+                                                        bps, delay));
+  const int pb = nb.AddPort(std::make_unique<net::Port>(&nb, nb.num_ports(),
+                                                        bps, delay));
+  na.port(pa).ConnectTo(&nb, pb);
+  nb.port(pb).ConnectTo(&na, pa);
+  const size_t link = links_.size();
+  links_.push_back(LinkSpec{a, pa, b, pb, bps, delay});
+  adj_[a].push_back(Edge{link, pa, b});
+  adj_[b].push_back(Edge{link, pb, a});
+}
+
+host::HostNode& Topology::host(uint32_t id) {
+  auto* h = dynamic_cast<host::HostNode*>(nodes_[id].get());
+  if (h == nullptr) throw std::invalid_argument("node is not a host");
+  return *h;
+}
+
+net::SwitchNode& Topology::switch_node(uint32_t id) {
+  auto* s = dynamic_cast<net::SwitchNode*>(nodes_[id].get());
+  if (s == nullptr) throw std::invalid_argument("node is not a switch");
+  return *s;
+}
+
+std::vector<int> Topology::BfsDistances(uint32_t from) const {
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<uint32_t> q{from};
+  dist[from] = 0;
+  while (!q.empty()) {
+    const uint32_t n = q.front();
+    q.pop_front();
+    for (const Edge& e : adj_[n]) {
+      if (!links_[e.link].up) continue;
+      if (dist[e.peer] < 0) {
+        dist[e.peer] = dist[n] + 1;
+        q.push_back(e.peer);
+      }
+    }
+  }
+  return dist;
+}
+
+void Topology::RecomputeRoutes() {
+  // Per-destination BFS: a switch's ECMP set toward dst is every port whose
+  // peer is one hop closer to dst (over links that are up).
+  std::vector<std::vector<std::vector<uint16_t>>> routes(nodes_.size());
+  for (auto& r : routes) r.resize(nodes_.size());
+  for (uint32_t dst : hosts_) {
+    const std::vector<int> dist = BfsDistances(dst);
+    for (uint32_t n = 0; n < nodes_.size(); ++n) {
+      if (n == dst || dist[n] < 0) continue;
+      for (const Edge& e : adj_[n]) {
+        if (!links_[e.link].up) continue;
+        if (dist[e.peer] >= 0 && dist[e.peer] == dist[n] - 1) {
+          routes[n][dst].push_back(static_cast<uint16_t>(e.port));
+        }
+      }
+    }
+  }
+  for (uint32_t s : switches_) {
+    switch_node(s).SetRoutes(std::move(routes[s]));
+  }
+}
+
+void Topology::Finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  RecomputeRoutes();
+  for (uint32_t s : switches_) {
+    switch_node(s).FinishSetup();
+  }
+}
+
+void Topology::SetLinkUp(size_t link_index, bool up) {
+  LinkSpec& l = links_[link_index];
+  if (l.up == up) return;
+  l.up = up;
+  nodes_[l.a]->port(l.port_a).SetLinkUp(up);
+  nodes_[l.b]->port(l.port_b).SetLinkUp(up);
+  RecomputeRoutes();
+}
+
+int Topology::Distance(uint32_t from, uint32_t to) const {
+  return BfsDistances(from)[to];
+}
+
+int Topology::PathHops(uint32_t src, uint32_t dst) const {
+  return Distance(src, dst);
+}
+
+std::vector<size_t> Topology::ShortestPathLinks(uint32_t src,
+                                                uint32_t dst) const {
+  const std::vector<int> dist = BfsDistances(dst);
+  assert(dist[src] >= 0 && "no path");
+  std::vector<size_t> path;
+  uint32_t n = src;
+  while (n != dst) {
+    for (const Edge& e : adj_[n]) {
+      if (dist[e.peer] == dist[n] - 1) {
+        path.push_back(e.link);
+        n = e.peer;
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+sim::TimePs Topology::BaseRtt(uint32_t src, uint32_t dst) const {
+  const std::vector<size_t> path = ShortestPathLinks(src, dst);
+  const int data_bytes = net::kPayloadBytes + net::kDataHeaderBytes +
+                         core::IntStack::kWorstCaseWireBytes;
+  sim::TimePs rtt = 0;
+  for (size_t li : path) {
+    const LinkSpec& l = links_[li];
+    rtt += 2 * l.delay;  // both directions
+    rtt += sim::SerializationTime(data_bytes, l.bps);        // data forward
+    rtt += sim::SerializationTime(net::kAckHeaderBytes, l.bps);  // ack back
+  }
+  return rtt;
+}
+
+sim::TimePs Topology::MaxBaseRtt() const {
+  sim::TimePs best = 0;
+  // The regular topologies we build are symmetric; sampling pairs against
+  // host 0 and the farthest candidates is exact for them and cheap.
+  for (uint32_t a : hosts_) {
+    if (a == hosts_[0]) continue;
+    best = std::max(best, BaseRtt(hosts_[0], a));
+    best = std::max(best, BaseRtt(a, hosts_[0]));
+  }
+  return best == 0 && hosts_.size() >= 2
+             ? BaseRtt(hosts_[0], hosts_[1])
+             : best;
+}
+
+int64_t Topology::BottleneckBps(uint32_t src, uint32_t dst) const {
+  int64_t bps = std::numeric_limits<int64_t>::max();
+  for (size_t li : ShortestPathLinks(src, dst)) {
+    bps = std::min(bps, links_[li].bps);
+  }
+  return bps;
+}
+
+sim::TimePs Topology::IdealFct(uint32_t src, uint32_t dst,
+                               uint64_t bytes) const {
+  // Standalone transfer: all packets back-to-back at the bottleneck, plus one
+  // base RTT (first byte propagation + last ACK). Header overhead uses the
+  // INT-free header so the denominator is identical across schemes.
+  const int64_t bottleneck = BottleneckBps(src, dst);
+  const uint64_t mtu = net::kPayloadBytes;
+  const uint64_t full = bytes / mtu;
+  const uint64_t rem = bytes % mtu;
+  uint64_t wire_bytes =
+      full * (mtu + net::kDataHeaderBytes) +
+      (rem > 0 ? rem + net::kDataHeaderBytes : 0);
+  if (bytes == 0) wire_bytes = net::kDataHeaderBytes;
+  return sim::SerializationTime(static_cast<int64_t>(wire_bytes),
+                                bottleneck) +
+         BaseRtt(src, dst);
+}
+
+}  // namespace hpcc::topo

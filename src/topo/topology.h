@@ -1,0 +1,93 @@
+// Topology: owns all nodes, wires links, computes shortest-path ECMP routes,
+// and provides base-RTT / ideal-FCT queries for FCT-slowdown accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/host_node.h"
+#include "net/node.h"
+#include "net/switch_node.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::topo {
+
+struct LinkSpec {
+  uint32_t a;
+  int port_a;
+  uint32_t b;
+  int port_b;
+  int64_t bps;
+  sim::TimePs delay;
+  bool up = true;
+};
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator* simulator) : simulator_(simulator) {}
+
+  uint32_t AddHost(const host::HostConfig& config, const std::string& name);
+  uint32_t AddSwitch(const net::SwitchConfig& config, const std::string& name);
+  // Full-duplex link: one egress port on each side.
+  void AddLink(uint32_t a, uint32_t b, int64_t bps, sim::TimePs delay);
+
+  // Computes BFS ECMP routing tables and finalizes switch buffers. Must be
+  // called once after all nodes/links are added, before the simulation runs.
+  void Finalize();
+
+  // Link failure / repair: takes the link down (both directions stop
+  // transmitting; in-flight packets still arrive) and recomputes every
+  // routing table around it. Flows rehash onto surviving paths; HPCC senders
+  // notice via the INT pathID and reset their link records (§4.1).
+  void SetLinkUp(size_t link_index, bool up);
+  // Recomputes ECMP tables from the current link states.
+  void RecomputeRoutes();
+
+  net::Node& node(uint32_t id) { return *nodes_[id]; }
+  host::HostNode& host(uint32_t id);
+  net::SwitchNode& switch_node(uint32_t id);
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<uint32_t>& hosts() const { return hosts_; }
+  const std::vector<uint32_t>& switches() const { return switches_; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+  sim::Simulator& simulator() { return *simulator_; }
+
+  // Number of links on a shortest path src -> dst.
+  int PathHops(uint32_t src, uint32_t dst) const;
+  // Base (unloaded) RTT: forward MTU-sized data + returning ACK.
+  sim::TimePs BaseRtt(uint32_t src, uint32_t dst) const;
+  // Max base RTT over all host pairs (the "T" configured into CC, §5.1).
+  sim::TimePs MaxBaseRtt() const;
+  // Lowest link capacity on a shortest path.
+  int64_t BottleneckBps(uint32_t src, uint32_t dst) const;
+  // Standalone FCT of a `bytes`-long flow (denominator of FCT slowdown):
+  // wire time of all its packets at the bottleneck + base RTT.
+  sim::TimePs IdealFct(uint32_t src, uint32_t dst, uint64_t bytes) const;
+
+  // BFS hop distance between any two nodes (PFC propagation depth metric).
+  int Distance(uint32_t from, uint32_t to) const;
+
+ private:
+  // One shortest path (first-parent BFS) as a sequence of LinkSpec indices.
+  std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
+  std::vector<int> BfsDistances(uint32_t from) const;
+
+  sim::Simulator* simulator_;
+  std::vector<std::unique_ptr<net::Node>> nodes_;
+  std::vector<uint32_t> hosts_;
+  std::vector<uint32_t> switches_;
+  std::vector<LinkSpec> links_;
+  // adjacency: node -> list of (link index, out port, peer)
+  struct Edge {
+    size_t link;
+    int port;
+    uint32_t peer;
+  };
+  std::vector<std::vector<Edge>> adj_;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcc::topo

@@ -1,0 +1,107 @@
+#include "workload/size_cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hpcc::workload {
+
+SizeCdf::SizeCdf(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.size() < 2 || points_.front().cdf != 0.0 ||
+      points_.back().cdf != 1.0) {
+    throw std::invalid_argument("CDF must span [0,1]");
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].bytes < points_[i - 1].bytes ||
+        points_[i].cdf < points_[i - 1].cdf) {
+      throw std::invalid_argument("CDF points must be non-decreasing");
+    }
+  }
+}
+
+uint64_t SizeCdf::Sample(sim::Rng& rng) const {
+  const double u = rng.Uniform();
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].cdf) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double span = b.cdf - a.cdf;
+      const double frac = span > 0 ? (u - a.cdf) / span : 1.0;
+      const double bytes =
+          static_cast<double>(a.bytes) +
+          frac * static_cast<double>(b.bytes - a.bytes);
+      return std::max<uint64_t>(1, static_cast<uint64_t>(bytes));
+    }
+  }
+  return std::max<uint64_t>(1, points_.back().bytes);
+}
+
+double SizeCdf::MeanBytes() const {
+  // Each linear CDF segment is uniform mass between its endpoints.
+  double mean = 0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    const double mass = b.cdf - a.cdf;
+    mean += mass * (static_cast<double>(a.bytes) +
+                    static_cast<double>(b.bytes)) /
+            2.0;
+  }
+  return mean;
+}
+
+double SizeCdf::Cdf(uint64_t bytes) const {
+  if (bytes <= points_.front().bytes) return points_.front().cdf;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (bytes <= points_[i].bytes) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double span = static_cast<double>(b.bytes - a.bytes);
+      const double frac =
+          span > 0 ? static_cast<double>(bytes - a.bytes) / span : 1.0;
+      return a.cdf + frac * (b.cdf - a.cdf);
+    }
+  }
+  return 1.0;
+}
+
+SizeCdf SizeCdf::WebSearch() {
+  return SizeCdf({{1, 0.0},
+                  {10'000, 0.15},
+                  {20'000, 0.20},
+                  {30'000, 0.30},
+                  {50'000, 0.40},
+                  {80'000, 0.53},
+                  {200'000, 0.60},
+                  {1'000'000, 0.70},
+                  {2'000'000, 0.80},
+                  {5'000'000, 0.90},
+                  {10'000'000, 0.97},
+                  {30'000'000, 1.0}});
+}
+
+SizeCdf SizeCdf::FbHadoop() {
+  return SizeCdf({{1, 0.0},
+                  {180, 0.10},
+                  {250, 0.20},
+                  {324, 0.30},
+                  {400, 0.40},
+                  {500, 0.53},
+                  {600, 0.60},
+                  {700, 0.70},
+                  {1'000, 0.80},
+                  {2'000, 0.85},
+                  {10'000, 0.90},
+                  {46'000, 0.94},
+                  {120'000, 0.97},
+                  {1'000'000, 0.98},
+                  {2'000'000, 0.99},
+                  {10'000'000, 1.0}});
+}
+
+SizeCdf SizeCdf::Fixed(uint64_t bytes) {
+  assert(bytes >= 1);
+  return SizeCdf({{bytes, 0.0}, {bytes, 1.0}});
+}
+
+}  // namespace hpcc::workload

@@ -1,0 +1,46 @@
+// Flow-size distributions: piecewise-linear CDFs with inverse-transform
+// sampling. Builtins approximate the two public traces the paper evaluates
+// with (§5.1): WebSearch (DCTCP paper) and FB_Hadoop (Facebook SIGCOMM'15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace hpcc::workload {
+
+class SizeCdf {
+ public:
+  struct Point {
+    uint64_t bytes;
+    double cdf;  // cumulative probability at `bytes`
+  };
+
+  // Points must start at cdf 0, end at cdf 1, and be strictly increasing in
+  // both coordinates (validated).
+  explicit SizeCdf(std::vector<Point> points);
+
+  // Inverse-transform sample (linear interpolation between points).
+  uint64_t Sample(sim::Rng& rng) const;
+  // Exact mean of the piecewise-linear distribution.
+  double MeanBytes() const;
+  // CDF evaluated at an arbitrary size.
+  double Cdf(uint64_t bytes) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+  // The web search workload of the DCTCP paper: mass between a few KB and
+  // 30 MB, heavy tail (~1.6 MB mean).
+  static SizeCdf WebSearch();
+  // Facebook Hadoop: dominated by sub-KB flows, >90 % below 120 KB, tail to
+  // 10 MB.
+  static SizeCdf FbHadoop();
+  // Fixed-size helper (incast flows, unit tests).
+  static SizeCdf Fixed(uint64_t bytes);
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace hpcc::workload

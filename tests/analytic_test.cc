@@ -1,0 +1,215 @@
+// Tests for the Appendix A models: the A.2 Lemma as property tests over
+// random networks, the A.3 equilibrium identities, and the A.1 queueing
+// bounds validated by Monte Carlo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/convergence.h"
+#include "analytic/fairness.h"
+#include "analytic/queueing.h"
+#include "sim/rng.h"
+
+namespace hpcc::analytic {
+namespace {
+
+ResourceNetwork SingleLink(double capacity, size_t paths) {
+  ResourceNetwork net;
+  net.incidence = {std::vector<bool>(paths, true)};
+  net.capacities = {capacity};
+  return net;
+}
+
+TEST(Convergence, SingleBottleneckConvergesInOneStep) {
+  ResourceNetwork net = SingleLink(100.0, 4);
+  std::vector<double> r{50, 50, 50, 50};  // 2x overload
+  r = Step(net, r);
+  // One update: exact target utilization (the "one rate update step" claim).
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 25.0);
+  EXPECT_TRUE(IsFeasible(net, r));
+  EXPECT_TRUE(IsParetoOptimal(net, r));
+}
+
+TEST(Convergence, UnderloadedLinkScalesUpInOneStep) {
+  ResourceNetwork net = SingleLink(100.0, 2);
+  std::vector<double> r{10, 30};
+  r = Step(net, r);
+  EXPECT_DOUBLE_EQ(r[0] + r[1], 100.0);
+  // MI preserves rate ratios (fairness untouched, §3.2's decoupling).
+  EXPECT_NEAR(r[1] / r[0], 3.0, 1e-12);
+}
+
+TEST(Convergence, TwoBottleneckChain) {
+  // Path 0 uses both links; paths 1 and 2 use one each.
+  ResourceNetwork net;
+  net.incidence = {{true, true, false}, {true, false, true}};
+  net.capacities = {100.0, 50.0};
+  std::vector<double> r{40, 80, 40};
+  // The tightest bottleneck (resource 1, ratio 1.6) saturates after ONE step
+  // and its paths' rates are pinned from then on — the exact part of the
+  // Lemma. Remaining paths converge geometrically toward their bottleneck.
+  std::vector<double> r1 = Step(net, r);
+  EXPECT_NEAR(Loads(net, r1)[1], 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r1[0], 25.0);
+  EXPECT_DOUBLE_EQ(r1[2], 25.0);
+  ConvergenceResult res = RunToFixedPoint(net, r, /*max_steps=*/500, 1e-12);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(IsFeasible(net, res.rates));
+  EXPECT_TRUE(IsParetoOptimal(net, res.rates, 1e-5));
+  // Fixed point: path 1 fills the slack on resource 0 (rate 75).
+  EXPECT_NEAR(res.rates[1], 75.0, 1e-6);
+}
+
+ResourceNetwork RandomNetwork(sim::Rng& rng) {
+  const size_t resources = 1 + rng.Index(6);
+  const size_t paths = 1 + rng.Index(8);
+  ResourceNetwork net;
+  net.incidence.assign(resources, std::vector<bool>(paths, false));
+  net.capacities.resize(resources);
+  for (size_t i = 0; i < resources; ++i) {
+    net.capacities[i] = 10.0 + rng.Uniform() * 1000.0;
+  }
+  for (size_t j = 0; j < paths; ++j) {
+    // Each path uses a random non-empty subset of resources.
+    bool any = false;
+    for (size_t i = 0; i < resources; ++i) {
+      if (rng.Uniform() < 0.4) {
+        net.incidence[i][j] = true;
+        any = true;
+      }
+    }
+    if (!any) net.incidence[rng.Index(resources)][j] = true;
+  }
+  return net;
+}
+
+// The Lemma of Appendix A.2, checked on random topologies.
+class LemmaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaProperty, HoldsOnRandomNetworks) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    ResourceNetwork net = RandomNetwork(rng);
+    ASSERT_TRUE(net.Valid());
+    std::vector<double> r(net.num_paths());
+    for (double& x : r) x = 0.1 + rng.Uniform() * 500.0;
+
+    // (i) after one step rates are feasible.
+    std::vector<double> r1 = Step(net, r);
+    EXPECT_TRUE(IsFeasible(net, r1, 1e-9));
+
+    // (i-b) the globally most-overloaded resource saturates exactly after
+    // one step (the exact part of the Lemma's proof).
+    {
+      const std::vector<double> y0 = Loads(net, r);
+      size_t k = 0;
+      double best = 0;
+      for (size_t i = 0; i < y0.size(); ++i) {
+        if (y0[i] / net.capacities[i] > best) {
+          best = y0[i] / net.capacities[i];
+          k = i;
+        }
+      }
+      const std::vector<double> y1 = Loads(net, r1);
+      EXPECT_NEAR(y1[k], net.capacities[k], net.capacities[k] * 1e-9);
+    }
+
+    // (ii) thereafter rates are non-decreasing.
+    std::vector<double> prev = r1;
+    for (int n = 0; n < static_cast<int>(net.num_resources()) + 2; ++n) {
+      std::vector<double> next = Step(net, prev);
+      for (size_t j = 0; j < next.size(); ++j) {
+        EXPECT_GE(next[j], prev[j] * (1 - 1e-9));
+      }
+      prev = std::move(next);
+    }
+
+    // (iii) the recursion converges to a Pareto-optimal fixed point (paths
+    // sharing a pinned resource approach it geometrically, so we iterate to
+    // numerical convergence rather than exactly I steps).
+    ConvergenceResult res = RunToFixedPoint(net, prev, 20'000, 1e-13);
+    EXPECT_TRUE(res.converged);
+    EXPECT_TRUE(IsFeasible(net, res.rates, 1e-9));
+    EXPECT_TRUE(IsParetoOptimal(net, res.rates, 1e-4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 42));
+
+TEST(Fairness, EquilibriumIdentities) {
+  // R = a (1 - Ut/U)^-1 and its inverse are consistent.
+  const double a = 0.02;
+  const double ut = 0.95;
+  const double u = 0.97;
+  const double r = EquilibriumRate(a, ut, u);
+  EXPECT_NEAR(EquilibriumUtilization(a, ut, r), u, 1e-12);
+}
+
+TEST(Fairness, UtilizationAboveTargetGrowsWithA) {
+  const double ut = 0.95;
+  const double rate = 1.0;
+  EXPECT_GT(EquilibriumUtilization(0.02, ut, rate),
+            EquilibriumUtilization(0.01, ut, rate));
+  EXPECT_GT(EquilibriumUtilization(0.01, ut, rate), ut);
+}
+
+TEST(Fairness, StabilityBoundMatchesAppendix) {
+  // U(1) < 100% iff a < R(1)(1 - Utarget): at Ut=95%, a must be < 5% of R.
+  EXPECT_NEAR(MaxStableAdditiveStep(0.95, 1.0), 0.05, 1e-12);
+  const double a_ok = 0.049;
+  EXPECT_LT(EquilibriumUtilization(a_ok, 0.95, 1.0), 1.0);
+  const double a_bad = 0.051;
+  EXPECT_GT(EquilibriumUtilization(a_bad, 0.95, 1.0), 1.0);
+}
+
+TEST(Fairness, AlphaAggregateLimits) {
+  const std::vector<double> r{4.0, 8.0, 16.0};
+  // alpha -> inf: min.
+  EXPECT_NEAR(AlphaFairAggregate(r, 1000.0), 4.0, 1e-9);
+  // alpha = 1: harmonic composition 1/R = sum 1/Ri.
+  EXPECT_NEAR(AlphaFairAggregate(r, 1.0), 1.0 / (0.25 + 0.125 + 0.0625),
+              1e-9);
+  // Monotone in alpha.
+  EXPECT_LT(AlphaFairAggregate(r, 1.0), AlphaFairAggregate(r, 4.0));
+  EXPECT_LT(AlphaFairAggregate(r, 4.0), AlphaFairAggregate(r, 64.0));
+}
+
+TEST(Queueing, MeanFormulaAtFullLoad) {
+  // sqrt(pi*50/8) ~ 4.43: "less than 5 with 50 sources" (A.1).
+  EXPECT_NEAR(MeanQueueAtFullLoad(50), 4.43, 0.01);
+  EXPECT_LT(MeanQueueAtFullLoad(50), 5.0);
+}
+
+TEST(Queueing, MonteCarloMatchesFormulaAtFullLoad) {
+  sim::Rng rng(17);
+  const PeriodicQueueStats s =
+      SimulatePeriodicSources(50, 1.0, 400'000, 20, rng);
+  // The closed form is a heavy-traffic Brownian-bridge approximation; the
+  // slotted Monte Carlo adds ~1 packet of discretization, so check the
+  // order of magnitude ("less than 5 with 50 sources" up to that bias).
+  EXPECT_NEAR(s.mean_queue, MeanQueueAtFullLoad(50), 2.5);
+  EXPECT_LT(s.mean_queue, 5.0 + 2.0);
+}
+
+TEST(Queueing, NinetyFivePercentLoadKeepsTinyQueues) {
+  // A.1: at 95% load with 50 paced sources the queue is essentially empty —
+  // the foundation for eta = 95% achieving "almost zero queue" (§3.3).
+  sim::Rng rng(23);
+  const PeriodicQueueStats s =
+      SimulatePeriodicSources(50, 0.95, 400'000, 20, rng);
+  EXPECT_LT(s.mean_queue, 5.0);
+  EXPECT_LT(s.prob_above, 1e-4);  // paper: ~1e-9; MC resolution-limited
+}
+
+TEST(Queueing, QueueGrowsWithSourceCount) {
+  sim::Rng rng(29);
+  const PeriodicQueueStats small =
+      SimulatePeriodicSources(10, 1.0, 200'000, 20, rng);
+  const PeriodicQueueStats large =
+      SimulatePeriodicSources(200, 1.0, 200'000, 20, rng);
+  EXPECT_LT(small.mean_queue, large.mean_queue);
+}
+
+}  // namespace
+}  // namespace hpcc::analytic

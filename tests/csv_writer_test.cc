@@ -1,0 +1,84 @@
+// Tests for CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/csv_writer.h"
+
+namespace hpcc::stats {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvWriter, TimeSeries) {
+  TimeSeries ts;
+  ts.Add(sim::Us(1), 10.5);
+  ts.Add(sim::Us(2), 20.25);
+  const std::string path = TempPath("series.csv");
+  ASSERT_TRUE(WriteTimeSeriesCsv(path, ts, "gbps"));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("time_us,gbps\n"), std::string::npos);
+  EXPECT_NE(content.find("1.000,10.5\n"), std::string::npos);
+  EXPECT_NE(content.find("2.000,20.25\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EmptySeriesWritesHeaderOnly) {
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(WriteTimeSeriesCsv(path, TimeSeries{}));
+  EXPECT_EQ(Slurp(path), "time_us,value\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, Cdf) {
+  PercentileTracker d;
+  for (int i = 1; i <= 100; ++i) d.Add(i);
+  const std::string path = TempPath("cdf.csv");
+  ASSERT_TRUE(WriteCdfCsv(path, d, 25));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("percentile,value\n"), std::string::npos);
+  EXPECT_NE(content.find("0,1\n"), std::string::npos);
+  EXPECT_NE(content.find("100,100\n"), std::string::npos);
+  // 5 steps: 0,25,50,75,100 plus header.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 6);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, CdfRejectsBadStep) {
+  PercentileTracker d;
+  EXPECT_FALSE(WriteCdfCsv(TempPath("x.csv"), d, 0));
+}
+
+TEST(CsvWriter, Fct) {
+  FctRecorder fct({1'000, 10'000});
+  fct.Record(500, sim::Us(20), sim::Us(10));
+  fct.Record(5'000, sim::Us(40), sim::Us(10));
+  const std::string path = TempPath("fct.csv");
+  ASSERT_TRUE(WriteFctCsv(path, fct));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("bin,count,p50,p95,p99\n"), std::string::npos);
+  EXPECT_NE(content.find("<=1K,1,2.0000"), std::string::npos);
+  EXPECT_NE(content.find("(1K,10K],1,4.0000"), std::string::npos);
+  // Empty bins omitted: header + 2 rows.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathFails) {
+  TimeSeries ts;
+  EXPECT_FALSE(WriteTimeSeriesCsv("/nonexistent-dir/x.csv", ts));
+}
+
+}  // namespace
+}  // namespace hpcc::stats

@@ -1,0 +1,120 @@
+// Unit tests for the DCTCP baseline.
+#include <gtest/gtest.h>
+
+#include "cc/dctcp.h"
+#include "sim/time.h"
+
+namespace hpcc::cc {
+namespace {
+
+constexpr int64_t kNic = 10'000'000'000;
+constexpr sim::TimePs kT = sim::Us(13);
+const int64_t kBdp = kNic / 8 * 13 / 1'000'000;  // 16250 bytes
+
+CcContext Ctx() {
+  CcContext ctx;
+  ctx.nic_bps = kNic;
+  ctx.base_rtt = kT;
+  ctx.mtu_bytes = 1000;
+  return ctx;
+}
+
+AckInfo Ack(uint64_t ack_seq, uint64_t snd_nxt, int64_t acked, bool mark) {
+  AckInfo a;
+  a.ack_seq = ack_seq;
+  a.snd_nxt = snd_nxt;
+  a.newly_acked = acked;
+  a.ecn_echo = mark;
+  return a;
+}
+
+TEST(Dctcp, StartsAtBdpWindow) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  EXPECT_EQ(cc.window_bytes(), kBdp);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.0);
+}
+
+TEST(Dctcp, UnmarkedEpochGrowsByMss) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  const int64_t w0 = cc.window_bytes();
+  // First ACK opens the epoch ending at snd_nxt=16000.
+  cc.OnAck(Ack(1000, 16'000, 1000, false));
+  // Crossing the epoch boundary closes it.
+  cc.OnAck(Ack(16'000, 32'000, 15'000, false));
+  EXPECT_EQ(cc.window_bytes(), std::min<int64_t>(w0 + 1000, kBdp));
+}
+
+TEST(Dctcp, MarkedEpochShrinksWindowByAlphaHalf) {
+  DctcpParams p;
+  DctcpCc cc(Ctx(), p);
+  const double w0 = static_cast<double>(cc.window_bytes());
+  // Epoch 1 fully marked: alpha = g, W *= (1 - g/2).
+  cc.OnAck(Ack(1'000, 16'000, 1'000, true));
+  cc.OnAck(Ack(16'000, 32'000, 15'000, true));
+  EXPECT_NEAR(cc.alpha(), p.g, 1e-12);
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()),
+              w0 * (1.0 - p.g / 2.0), 2.0);
+  // Epoch 2 fully marked: alpha = (1-g)g + g, another multiplicative cut.
+  const double w1 = static_cast<double>(cc.window_bytes());
+  cc.OnAck(Ack(32'000, 48'000, 16'000, true));
+  const double expected_alpha = (1.0 - p.g) * p.g + p.g;
+  EXPECT_NEAR(cc.alpha(), expected_alpha, 1e-12);
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()),
+              w1 * (1.0 - expected_alpha / 2.0), 2.0);
+}
+
+TEST(Dctcp, PersistentMarkingDrivesAlphaToOne) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  uint64_t seq = 0;
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    cc.OnAck(Ack(seq + 16'000, seq + 32'000, 16'000, true));
+    seq += 16'000;
+  }
+  EXPECT_GT(cc.alpha(), 0.95);
+  EXPECT_GE(cc.window_bytes(), 1000);  // floored, still sending
+}
+
+TEST(Dctcp, AlphaTracksMarkedFraction) {
+  DctcpParams p;
+  DctcpCc cc(Ctx(), p);
+  uint64_t seq = 0;
+  // Half the bytes of each epoch marked.
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    cc.OnAck(Ack(seq + 8'000, seq + 16'000, 8'000, true));
+    cc.OnAck(Ack(seq + 16'000, seq + 32'000, 8'000, false));
+    seq += 16'000;
+  }
+  EXPECT_NEAR(cc.alpha(), 0.5, 0.05);
+}
+
+TEST(Dctcp, WindowFloorIsOneMss) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  uint64_t seq = 0;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    cc.OnAck(Ack(seq + 16'000, seq + 32'000, 16'000, true));
+    seq += 16'000;
+  }
+  EXPECT_GE(cc.window_bytes(), 1000);
+}
+
+TEST(Dctcp, WindowCapAtBdp) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  uint64_t seq = 0;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    cc.OnAck(Ack(seq + 16'000, seq + 32'000, 16'000, false));
+    seq += 16'000;
+  }
+  EXPECT_LE(cc.window_bytes(), kBdp);
+}
+
+TEST(Dctcp, PacesAtWindowOverRtt) {
+  DctcpCc cc(Ctx(), DctcpParams{});
+  // W = BDP -> rate = line.
+  EXPECT_NEAR(static_cast<double>(cc.rate_bps()),
+              static_cast<double>(kNic), kNic * 0.001);
+  EXPECT_TRUE(cc.wants_ecn());
+  EXPECT_FALSE(cc.wants_int());
+}
+
+}  // namespace
+}  // namespace hpcc::cc

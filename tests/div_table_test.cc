@@ -1,0 +1,75 @@
+// Tests for the §4.3 reciprocal lookup table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/div_table.h"
+
+namespace hpcc::core {
+namespace {
+
+TEST(DivTable, ExactForSmallDivisors) {
+  DivTable t(0.01, 1u << 22);
+  // n=1 and n=2 are always stored exactly (the ladder starts dense).
+  EXPECT_DOUBLE_EQ(t.Reciprocal(1), 1.0);
+}
+
+TEST(DivTable, RelativeErrorBounded) {
+  const double eps = 0.01;
+  DivTable t(eps, 1u << 20);
+  for (uint32_t n = 1; n <= (1u << 20); n = n < 64 ? n + 1 : n * 17 / 16) {
+    const double approx = t.Reciprocal(n);
+    const double exact = 1.0 / n;
+    // The stored reciprocal overestimates by at most eps/(1-eps) relatively
+    // (the lookup rounds the divisor down to the previous ladder entry).
+    EXPECT_GE(approx, exact * (1 - 1e-12)) << n;
+    EXPECT_LE(approx, exact / (1 - eps) + 1e-15) << n;
+  }
+}
+
+TEST(DivTable, TableIsCompact) {
+  // Geometric spacing: entry count ~ log(n_max)/eps, i.e. thousands of
+  // entries for eps=0.5% — the paper reports ~10 KB for n up to 2^22.
+  DivTable t(0.005, 1u << 22);
+  EXPECT_LT(t.table_entries(), 4000u);
+  EXPECT_GT(t.table_entries(), 1000u);
+}
+
+class DivTableDivide : public ::testing::TestWithParam<double> {};
+
+TEST_P(DivTableDivide, MatchesFloatingPointWithinEps) {
+  const double eps = 0.005;
+  DivTable t(eps);
+  const double d = GetParam();
+  for (double x : {1.0, 1e3, 5.4e4, 9.99e6, 1e9}) {
+    const double got = t.Divide(x, d);
+    const double want = x / d;
+    EXPECT_NEAR(got, want, want * (eps + 1e-4))
+        << "x=" << x << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, DivTableDivide,
+                         ::testing::Values(0.0317, 0.5, 0.95, 1.0, 1.0526,
+                                           2.75, 13.0, 997.0, 65536.0,
+                                           3.1e6));
+
+TEST(DivTable, HardwareFootprintMatchesPaperOrder) {
+  // §4.3: "about 10KB" for the full ladder. We accept the same order of
+  // magnitude with the default construction.
+  DivTable t(0.005, 1u << 22);
+  EXPECT_LT(t.ApproxBytes(), 64u * 1024u);
+}
+
+TEST(DivTable, MonotoneNonIncreasingReciprocal) {
+  DivTable t(0.01, 100'000);
+  double prev = t.Reciprocal(1);
+  for (uint32_t n = 2; n < 100'000; n += 97) {
+    const double r = t.Reciprocal(n);
+    EXPECT_LE(r, prev + 1e-15);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace hpcc::core

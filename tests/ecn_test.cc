@@ -1,0 +1,80 @@
+// Tests for WRED/ECN marking.
+#include <gtest/gtest.h>
+
+#include "net/ecn.h"
+
+namespace hpcc::net {
+namespace {
+
+TEST(Red, DisabledNeverMarks) {
+  RedConfig red;
+  sim::Rng rng(1);
+  EXPECT_FALSE(red.ShouldMark(1 << 30, 25'000'000'000, rng));
+}
+
+TEST(Red, BelowKminNeverMarks) {
+  RedConfig red = RedConfig::Dcqcn(100, 400);
+  sim::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(red.ShouldMark(99'000, 25'000'000'000, rng));
+  }
+}
+
+TEST(Red, AboveKmaxAlwaysMarks) {
+  RedConfig red = RedConfig::Dcqcn(100, 400);
+  sim::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(red.ShouldMark(500'000, 25'000'000'000, rng));
+  }
+}
+
+TEST(Red, LinearRampBetweenThresholds) {
+  RedConfig red = RedConfig::Dcqcn(100, 400, /*pmax=*/0.2);
+  sim::Rng rng(7);
+  // Midpoint: marking probability should be ~pmax/2 = 0.1.
+  int marks = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (red.ShouldMark(250'000, 25'000'000'000, rng)) ++marks;
+  }
+  EXPECT_NEAR(static_cast<double>(marks) / n, 0.1, 0.01);
+}
+
+TEST(Red, ThresholdsScaleWithPortSpeed) {
+  RedConfig red = RedConfig::Dcqcn(100, 400);
+  // §5.1: Kmin = 100KB * Bw/25G.
+  EXPECT_DOUBLE_EQ(red.ScaledKmin(25'000'000'000), 100'000.0);
+  EXPECT_DOUBLE_EQ(red.ScaledKmin(100'000'000'000), 400'000.0);
+  EXPECT_DOUBLE_EQ(red.ScaledKmax(100'000'000'000), 1'600'000.0);
+  sim::Rng rng(1);
+  // 200KB queue: above Kmax at 25G but below Kmin at 100G.
+  EXPECT_FALSE(red.ShouldMark(399'000, 100'000'000'000, rng));
+}
+
+TEST(Red, DctcpIsStepMark) {
+  RedConfig red = RedConfig::Dctcp(30);
+  sim::Rng rng(1);
+  // At 10G reference: threshold 30KB, step to probability 1.
+  EXPECT_FALSE(red.ShouldMark(29'000, 10'000'000'000, rng));
+  EXPECT_TRUE(red.ShouldMark(31'000, 10'000'000'000, rng));
+}
+
+TEST(Red, MarkingProbabilityMonotoneInQueue) {
+  RedConfig red = RedConfig::Dcqcn(100, 400, 0.2);
+  auto estimate = [&red](int64_t q) {
+    sim::Rng rng(3);
+    int marks = 0;
+    for (int i = 0; i < 50'000; ++i) {
+      if (red.ShouldMark(q, 25'000'000'000, rng)) ++marks;
+    }
+    return static_cast<double>(marks) / 50'000;
+  };
+  const double p1 = estimate(150'000);
+  const double p2 = estimate(250'000);
+  const double p3 = estimate(350'000);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+}  // namespace
+}  // namespace hpcc::net

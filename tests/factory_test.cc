@@ -1,0 +1,81 @@
+// Tests for the CC factory and scheme capability queries.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cc/factory.h"
+
+namespace hpcc::cc {
+namespace {
+
+CcContext Ctx() {
+  CcContext ctx;
+  ctx.nic_bps = 100'000'000'000;
+  ctx.base_rtt = sim::Us(13);
+  return ctx;
+}
+
+class FactorySchemes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FactorySchemes, ConstructsAndReportsCapabilities) {
+  CcConfig cfg;
+  cfg.scheme = GetParam();
+  CcPtr cc = MakeCc(cfg, Ctx());
+  ASSERT_NE(cc, nullptr);
+  EXPECT_GT(cc->window_bytes(), 0);
+  EXPECT_GT(cc->rate_bps(), 0);
+  EXPECT_EQ(cc->wants_int(), SchemeUsesInt(cfg.scheme));
+  EXPECT_EQ(cc->wants_ecn(), SchemeUsesEcn(cfg.scheme));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FactorySchemes,
+                         ::testing::Values("hpcc", "hpcc-rxrate",
+                                           "hpcc-perack", "hpcc-perrtt",
+                                           "hpcc-alpha", "dcqcn", "dcqcn+win",
+                                           "timely", "timely+win", "dctcp",
+                                           "rcp", "rcp+win"));
+
+TEST(Factory, UnknownSchemeThrows) {
+  CcConfig cfg;
+  cfg.scheme = "bbr";
+  EXPECT_THROW(MakeCc(cfg, Ctx()), std::invalid_argument);
+}
+
+TEST(Factory, SchemeUsesInt) {
+  EXPECT_TRUE(SchemeUsesInt("hpcc"));
+  EXPECT_TRUE(SchemeUsesInt("hpcc-rxrate"));
+  EXPECT_FALSE(SchemeUsesInt("dcqcn"));
+  EXPECT_FALSE(SchemeUsesInt("dctcp"));
+}
+
+TEST(Factory, SchemeUsesEcn) {
+  EXPECT_TRUE(SchemeUsesEcn("dcqcn"));
+  EXPECT_TRUE(SchemeUsesEcn("dcqcn+win"));
+  EXPECT_TRUE(SchemeUsesEcn("dctcp"));
+  EXPECT_FALSE(SchemeUsesEcn("hpcc"));
+  EXPECT_FALSE(SchemeUsesEcn("timely"));
+}
+
+TEST(Factory, WindowedVariantsHaveFiniteWindow) {
+  CcConfig cfg;
+  cfg.scheme = "dcqcn+win";
+  CcPtr win = MakeCc(cfg, Ctx());
+  cfg.scheme = "dcqcn";
+  CcPtr plain = MakeCc(cfg, Ctx());
+  EXPECT_LT(win->window_bytes(), int64_t{10'000'000});
+  EXPECT_GT(plain->window_bytes(), int64_t{1} << 50);
+}
+
+TEST(Factory, HpccVariantsApplyParams) {
+  CcConfig cfg;
+  cfg.scheme = "hpcc";
+  cfg.hpcc.eta = 0.9;
+  CcPtr cc = MakeCc(cfg, Ctx());
+  EXPECT_EQ(cc->name(), "hpcc");
+  cfg.scheme = "hpcc-alpha";
+  CcPtr af = MakeCc(cfg, Ctx());
+  EXPECT_EQ(af->name(), "hpcc-alpha-fair");
+}
+
+}  // namespace
+}  // namespace hpcc::cc

@@ -1,0 +1,135 @@
+// Tests for the per-RTT fluid model of HPCC dynamics (Appendix A companion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/fluid.h"
+
+namespace hpcc::analytic {
+namespace {
+
+constexpr double kBdp = 162'500;  // 100G x 13us in bytes
+
+FluidParams Params(double wai = 80) {
+  FluidParams p;
+  p.capacity_bytes_per_rtt = kBdp;
+  p.eta = 0.95;
+  p.max_stage = 5;
+  p.wai_bytes = wai;
+  return p;
+}
+
+TEST(Fluid, SingleFlowConvergesToEtaBdp) {
+  FluidLink link(Params(), {kBdp});  // line-rate start
+  for (int i = 0; i < 50; ++i) link.Step();
+  EXPECT_NEAR(link.total_window() / kBdp, 0.95, 0.01);
+  EXPECT_NEAR(link.queue_bytes(), 0.0, 1.0);
+}
+
+TEST(Fluid, OverloadDrainsThenRecovers) {
+  // 16 flows all starting at a full window: 16x overload (incast, §A.4).
+  // The queue (15 BDP of excess) drains at ~1 BDP per RTT because windows
+  // collapse and injection stops; after the drain, MI re-ramps quickly.
+  FluidLink link(Params(), std::vector<double>(16, kBdp));
+  link.Step();
+  int rounds_to_drain = 0;
+  while (link.queue_bytes() > 1.0 && rounds_to_drain < 100) {
+    link.Step();
+    ++rounds_to_drain;
+  }
+  EXPECT_LT(rounds_to_drain, 25);  // ~15 BDP of drain + MD rounds
+  // Windows undershoot during the drain (U stays high while the queue
+  // lasts); AI then an MI probe restore eta within ~maxStage+2 rounds.
+  for (int i = 0; i < 10; ++i) link.Step();
+  EXPECT_NEAR(link.total_window() / kBdp, 0.95, 0.05);
+  EXPECT_LT(link.queue_bytes(), kBdp * 0.05);
+}
+
+TEST(Fluid, UnderloadRampsUpViaAiThenMi) {
+  FluidLink link(Params(), {kBdp / 100});  // nearly idle start
+  int rounds = 0;
+  while (link.total_window() < 0.9 * kBdp && rounds < 200) {
+    link.Step();
+    ++rounds;
+  }
+  // AI alone would need (0.9*BDP)/80 ~ 1800 rounds; MI probing after
+  // maxStage rounds makes it exponential (§3.3).
+  EXPECT_LT(rounds, 60);
+}
+
+TEST(Fluid, SteadyStateUtilizationBand) {
+  // Appendix A.3: equilibrium utilization sits above eta by an amount that
+  // grows with the aggregate AI: U = eta/(1 - N*WAI/(U*BDP)) approx.
+  FluidLink link(Params(), std::vector<double>(10, kBdp / 10));
+  for (int i = 0; i < 200; ++i) link.Step();
+  const double u = link.utilization();
+  EXPECT_GT(u, 0.94);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(Fluid, FairnessDriftsTowardEqualShares) {
+  // Two flows at 3:1; MI preserves ratios, the AI term closes the gap.
+  FluidLink link(Params(/*wai=*/500), {3 * kBdp / 4, kBdp / 4});
+  const double jain0 = link.JainIndex();
+  for (int i = 0; i < 400; ++i) link.Step();
+  EXPECT_GT(link.JainIndex(), jain0);
+  EXPECT_GT(link.JainIndex(), 0.98);
+}
+
+TEST(Fluid, SmallerWaiConvergesFairnessSlower) {
+  auto rounds_to_fair = [](double wai) {
+    FluidLink link(Params(wai), {3 * kBdp / 4, kBdp / 4});
+    int rounds = 0;
+    while (link.JainIndex() < 0.99 && rounds < 100'000) {
+      link.Step();
+      ++rounds;
+    }
+    return rounds;
+  };
+  EXPECT_GT(rounds_to_fair(50), rounds_to_fair(500));
+}
+
+TEST(Fluid, JoinAndLeave) {
+  FluidLink link(Params(), {kBdp});
+  for (int i = 0; i < 30; ++i) link.Step();
+  const double solo = link.windows()[0];
+  link.AddFlow(kBdp);  // line-rate joiner (RDMA semantics)
+  for (int i = 0; i < 30; ++i) link.Step();
+  // Both flows now well below the solo window; total at eta*BDP.
+  EXPECT_LT(link.windows()[0], solo);
+  EXPECT_NEAR(link.total_window() / kBdp, 0.95, 0.05);
+  link.RemoveFlow(1);
+  for (int i = 0; i < 60; ++i) link.Step();
+  EXPECT_NEAR(link.windows()[0], solo, solo * 0.05);  // reclaimed
+}
+
+TEST(Fluid, QueueNeverNegativeAndWindowsPositive) {
+  FluidLink link(Params(), {kBdp * 4, kBdp / 1000, kBdp});
+  for (int i = 0; i < 500; ++i) {
+    link.Step();
+    EXPECT_GE(link.queue_bytes(), 0.0);
+    for (double w : link.windows()) EXPECT_GE(w, 1.0);
+  }
+}
+
+// Property sweep: for any flow count the fluid model settles into the same
+// normalized operating point.
+class FluidFlowCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidFlowCount, ConvergesForAnyN) {
+  const int n = GetParam();
+  FluidParams p = Params();
+  // Scale W_AI per the §3.3 rule so aggregate AI stays within headroom.
+  p.wai_bytes = kBdp * (1 - p.eta) / (2.0 * n);
+  FluidLink link(p, std::vector<double>(static_cast<size_t>(n), kBdp));
+  for (int i = 0; i < 300; ++i) link.Step();
+  EXPECT_NEAR(link.total_window() / kBdp, p.eta, 0.04) << n;
+  EXPECT_LT(link.queue_bytes(), kBdp * 0.02) << n;
+  EXPECT_GT(link.JainIndex(), 0.999) << n;  // symmetric start stays fair
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FluidFlowCount,
+                         ::testing::Values(1, 2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace hpcc::analytic

@@ -1,0 +1,281 @@
+// Tests for the host NIC transport: windowing, pacing, per-packet ACKs,
+// go-back-N, IRN, RTO, CNP generation and flow completion.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cc/factory.h"
+#include "host/host_node.h"
+#include "topo/simple.h"
+
+namespace hpcc::host {
+namespace {
+
+// Fixed-window, fixed-rate CC to exercise the transport in isolation.
+class FixedCc : public cc::CongestionControl {
+ public:
+  FixedCc(int64_t window, int64_t rate) : window_(window), rate_(rate) {}
+  void OnAck(const cc::AckInfo&) override {}
+  int64_t window_bytes() const override { return window_; }
+  int64_t rate_bps() const override { return rate_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  int64_t window_;
+  int64_t rate_;
+};
+
+constexpr int64_t kBps = 100'000'000'000;
+
+struct Harness {
+  topo::StarTopology star;
+  sim::Simulator* s;
+
+  explicit Harness(int hosts = 2, net::SwitchConfig sw = {}) {
+    topo::StarOptions o;
+    o.num_hosts = hosts;
+    o.host_bps = kBps;
+    o.sw = sw;
+    sim_ = std::make_unique<sim::Simulator>();
+    star = topo::MakeStar(sim_.get(), o);
+    s = sim_.get();
+  }
+
+  Flow* StartFlow(uint32_t src, uint32_t dst, uint64_t bytes,
+                  cc::CcPtr cc, RecoveryMode rec = RecoveryMode::kGoBackN,
+                  sim::TimePs at = 0) {
+    FlowSpec spec;
+    spec.id = next_id_++;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size_bytes = bytes;
+    spec.start_time = at;
+    auto flow = std::make_unique<Flow>(spec, std::move(cc), rec);
+    Flow* raw = flow.get();
+    star.topo->host(src).AddFlow(std::move(flow));
+    return raw;
+  }
+
+  HostNode& host(size_t i) { return star.topo->host(star.host_ids[i]); }
+  uint32_t hid(size_t i) { return star.host_ids[i]; }
+
+ private:
+  std::unique_ptr<sim::Simulator> sim_;
+  uint64_t next_id_ = 1;
+};
+
+cc::CcPtr Fixed(int64_t window = std::numeric_limits<int64_t>::max() / 4,
+                int64_t rate = kBps) {
+  return std::make_unique<FixedCc>(window, rate);
+}
+
+TEST(HostTransport, SingleFlowCompletesNearIdealFct) {
+  Harness h;
+  sim::TimePs done_at = -1;
+  h.host(1).set_flow_done_callback(
+      [](const Flow&, sim::TimePs) { FAIL() << "wrong host"; });
+  h.host(0).set_flow_done_callback(
+      [&](const Flow&, sim::TimePs now) { done_at = now; });
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 100'000, Fixed());
+  h.s->Run(sim::Ms(10));
+  ASSERT_TRUE(f->done);
+  EXPECT_EQ(done_at, f->finish_time);
+  const sim::TimePs ideal =
+      h.star.topo->IdealFct(h.hid(0), h.hid(1), 100'000);
+  // IdealFct's size/bottleneck + baseRTT slightly overcounts (pipelining
+  // overlaps the last packet's serialization), so allow a few % either way.
+  EXPECT_GE(f->finish_time, ideal * 95 / 100);
+  EXPECT_LE(f->finish_time, ideal * 11 / 10);  // sender-side FCT, <10% over
+}
+
+TEST(HostTransport, EveryDataPacketIsAcked) {
+  Harness h;
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 50'000, Fixed());
+  h.s->Run(sim::Ms(10));
+  ASSERT_TRUE(f->done);
+  // 50 packets sent, each ACKed individually (RoCEv2-style, §3.1).
+  EXPECT_EQ(h.host(0).data_packets_sent(), 50u);
+  EXPECT_EQ(h.host(0).acks_received(), 50u);
+}
+
+TEST(HostTransport, ReceiverStateTracksCumulativeBytes) {
+  Harness h;
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 12'345, Fixed());
+  h.s->Run(sim::Ms(10));
+  ASSERT_TRUE(f->done);
+  const HostNode::RxState* rx = h.host(1).FindRxState(f->spec().id);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->rcv_nxt, 12'345u);  // conservation: receiver got every byte
+  EXPECT_EQ(f->snd_una, 12'345u);
+}
+
+TEST(HostTransport, WindowLimitsInflightBytes) {
+  Harness h;
+  // Window of 4 packets on a long flow: inflight never exceeds it by more
+  // than one MTU (the allowed overshoot of the `inflight < W` check).
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 1'000'000, Fixed(4'000));
+  int64_t max_inflight = 0;
+  for (int i = 0; i < 4000 && !f->done; ++i) {
+    h.s->Run(h.s->now() + sim::Us(1));
+    max_inflight = std::max(max_inflight, f->inflight_bytes());
+  }
+  h.s->Run(sim::Ms(100));
+  EXPECT_TRUE(f->done);
+  EXPECT_LE(max_inflight, 5'000);
+  EXPECT_GT(max_inflight, 2'000);  // the window is actually used
+}
+
+TEST(HostTransport, PacingLimitsThroughput) {
+  Harness h;
+  // Pace at 10 Gbps on a 100 Gbps NIC: 1 MB should take ~800 us wire time.
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 1'000'000, Fixed(
+      std::numeric_limits<int64_t>::max() / 4, 10'000'000'000));
+  h.s->Run(sim::Ms(50));
+  ASSERT_TRUE(f->done);
+  const double sec = sim::ToSec(f->finish_time - f->spec().start_time);
+  const double gbps = 1'000'000 * 8.0 / sec / 1e9;
+  EXPECT_LT(gbps, 10.5);
+  EXPECT_GT(gbps, 8.0);
+}
+
+TEST(HostTransport, TwoFlowsShareNicRoundRobin) {
+  Harness h(3);
+  Flow* f1 = h.StartFlow(h.hid(0), h.hid(1), 500'000, Fixed());
+  Flow* f2 = h.StartFlow(h.hid(0), h.hid(2), 500'000, Fixed());
+  h.s->Run(sim::Ms(20));
+  ASSERT_TRUE(f1->done);
+  ASSERT_TRUE(f2->done);
+  // Both finish within ~the time one NIC needs for both (fair interleave):
+  // neither should finish twice as late as the other.
+  const double ratio = static_cast<double>(f1->finish_time) /
+                       static_cast<double>(f2->finish_time);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+// Loss requires a fan-in (equal-speed links never queue 1:1), so the
+// recovery tests run two senders into a shallow-buffer switch.
+struct LossyOutcome {
+  bool done0;
+  bool done1;
+  uint64_t drops;
+  uint64_t sent;
+  uint64_t rcv0;
+  uint64_t rcv1;
+};
+
+LossyOutcome RunLossy(RecoveryMode mode, sim::TimePs horizon = sim::Ms(80)) {
+  net::SwitchConfig sw;
+  sw.pfc_enabled = false;
+  sw.buffer_bytes = 8'000;  // tiny: forces drops under a 2:1 blast
+  sw.egress_alpha = 1e9;
+  Harness h(3, sw);
+  Flow* f0 = h.StartFlow(h.hid(0), h.hid(2), 300'000, Fixed(), mode);
+  Flow* f1 = h.StartFlow(h.hid(1), h.hid(2), 300'000, Fixed(), mode);
+  h.s->Run(horizon);
+  return LossyOutcome{
+      f0->done,
+      f1->done,
+      h.star.topo->switch_node(h.star.switch_id).dropped_packets(),
+      h.host(0).data_packets_sent() + h.host(1).data_packets_sent(),
+      h.host(2).FindRxState(f0->spec().id)->rcv_nxt,
+      h.host(2).FindRxState(f1->spec().id)->rcv_nxt};
+}
+
+TEST(HostTransport, GbnRecoversFromDrops) {
+  const LossyOutcome o = RunLossy(RecoveryMode::kGoBackN);
+  EXPECT_TRUE(o.done0);
+  EXPECT_TRUE(o.done1);
+  EXPECT_GT(o.drops, 0u);
+  // Retransmissions: more packets sent than the flows strictly need.
+  EXPECT_GT(o.sent, 600u);
+  EXPECT_EQ(o.rcv0, 300'000u);
+  EXPECT_EQ(o.rcv1, 300'000u);
+}
+
+TEST(HostTransport, IrnRecoversWithSelectiveRepeat) {
+  const LossyOutcome o = RunLossy(RecoveryMode::kIrn);
+  EXPECT_TRUE(o.done0);
+  EXPECT_TRUE(o.done1);
+  EXPECT_GT(o.drops, 0u);
+  EXPECT_EQ(o.rcv0, 300'000u);
+  EXPECT_EQ(o.rcv1, 300'000u);
+}
+
+TEST(HostTransport, IrnRetransmitsLessThanGbn) {
+  const LossyOutcome gbn = RunLossy(RecoveryMode::kGoBackN);
+  const LossyOutcome irn = RunLossy(RecoveryMode::kIrn);
+  ASSERT_TRUE(gbn.done0 && gbn.done1 && irn.done0 && irn.done1);
+  // GBN resends everything past a loss; IRN only the losses.
+  EXPECT_LT(irn.sent, gbn.sent);
+}
+
+TEST(HostTransport, RtoRetriesWhenEverythingIsLost) {
+  net::SwitchConfig sw;
+  sw.pfc_enabled = false;
+  sw.buffer_bytes = 500;  // below one packet: the switch drops everything
+  sw.egress_alpha = 1e9;
+  Harness h(2, sw);
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 5'000, Fixed(6'000));
+  h.s->Run(sim::Ms(5));
+  EXPECT_FALSE(f->done);
+  const uint64_t sent_once = h.host(0).data_packets_sent();
+  EXPECT_GE(sent_once, 5u);
+  h.s->Run(sim::Ms(5) + h.host(0).config().rto * 3);
+  // RTO fired and the window rewound: the same bytes were retried.
+  EXPECT_GT(h.host(0).data_packets_sent(), sent_once);
+}
+
+TEST(HostTransport, CnpGeneratedForMarkedPackets) {
+  net::SwitchConfig sw;
+  sw.red.enabled = true;
+  sw.red.kmin_bytes = 0;
+  sw.red.kmax_bytes = 0;  // mark every ECN-capable packet
+  sw.red.pmax = 1.0;
+  Harness h(2, sw);
+  cc::CcConfig cfg;
+  cfg.scheme = "dcqcn";
+  cc::CcContext ctx;
+  ctx.nic_bps = kBps;
+  ctx.base_rtt = h.star.topo->MaxBaseRtt();
+  ctx.simulator = h.s;
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 2'000'000,
+                        cc::MakeCc(cfg, ctx));
+  h.s->Run(sim::Ms(5));
+  // Constant marking drives DCQCN's rate down hard.
+  EXPECT_LT(f->cc().rate_bps(), kBps / 2);
+}
+
+TEST(HostTransport, FlowsStartAtTheirStartTime) {
+  Harness h;
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 1'000, Fixed(),
+                        RecoveryMode::kGoBackN, sim::Us(500));
+  h.s->Run(sim::Us(400));
+  EXPECT_EQ(h.host(0).data_packets_sent(), 0u);
+  h.s->Run(sim::Ms(2));
+  ASSERT_TRUE(f->done);
+  EXPECT_GE(f->finish_time, sim::Us(500));
+}
+
+TEST(HostTransport, SubMtuFlowIsOnePacket) {
+  Harness h;
+  Flow* f = h.StartFlow(h.hid(0), h.hid(1), 137, Fixed());
+  h.s->Run(sim::Ms(1));
+  ASSERT_TRUE(f->done);
+  EXPECT_EQ(h.host(0).data_packets_sent(), 1u);
+}
+
+TEST(HostTransport, ManySmallFlowsAllComplete) {
+  Harness h(4);
+  std::vector<Flow*> flows;
+  for (int i = 0; i < 60; ++i) {
+    flows.push_back(h.StartFlow(h.hid(i % 3), h.hid(3), 2'000 + i * 37,
+                                Fixed(), RecoveryMode::kGoBackN,
+                                sim::Us(i * 3)));
+  }
+  h.s->Run(sim::Ms(20));
+  for (Flow* f : flows) EXPECT_TRUE(f->done);
+}
+
+}  // namespace
+}  // namespace hpcc::host

@@ -1,0 +1,115 @@
+// Unit tests for the Appendix A.3 multi-register alpha-fair HPCC variant.
+#include <gtest/gtest.h>
+
+#include "core/hpcc_alpha_fair.h"
+#include "sim/time.h"
+
+namespace hpcc::core {
+namespace {
+
+constexpr int64_t kNic = 100'000'000'000;
+constexpr sim::TimePs kT = sim::Us(13);
+const int64_t kWinit = kNic / 8 * 13 / 1'000'000;
+
+cc::CcContext Ctx() {
+  cc::CcContext ctx;
+  ctx.nic_bps = kNic;
+  ctx.base_rtt = kT;
+  return ctx;
+}
+
+HpccParams Params() {
+  HpccParams p;
+  p.wai_bytes = 80;
+  return p;
+}
+
+// Two-hop ACK factory with independently controllable per-hop utilization.
+class TwoHopAcks {
+ public:
+  cc::AckInfo Next(double u0, double u1, int64_t q0, int64_t q1) {
+    ts_ += kT;
+    tx0_ += static_cast<uint64_t>(u0 * kNic / 8.0 * sim::ToSec(kT));
+    tx1_ += static_cast<uint64_t>(u1 * kNic / 8.0 * sim::ToSec(kT));
+    stack_.Clear();
+    IntHop h0;
+    h0.bandwidth_bps = kNic;
+    h0.ts = ts_;
+    h0.tx_bytes = tx0_;
+    h0.qlen_bytes = q0;
+    h0.switch_id = 1;
+    stack_.Push(h0);
+    IntHop h1 = h0;
+    h1.tx_bytes = tx1_;
+    h1.qlen_bytes = q1;
+    h1.switch_id = 2;
+    stack_.Push(h1);
+    cc::AckInfo a;
+    seq_ += 60'000;
+    a.ack_seq = seq_;
+    a.snd_nxt = seq_ + 50'000;
+    a.int_stack = &stack_;
+    return a;
+  }
+
+ private:
+  sim::TimePs ts_ = sim::Us(100);
+  uint64_t tx0_ = 0;
+  uint64_t tx1_ = 0;
+  uint64_t seq_ = 0;
+  IntStack stack_;
+};
+
+TEST(HpccAlphaFair, LargeAlphaTracksBottleneckLink) {
+  HpccAlphaFairCc cc(Ctx(), Params(), /*alpha=*/128.0);
+  TwoHopAcks f;
+  cc.OnAck(f.Next(0.2, 1.9, 0, 0));  // prime
+  cc.OnAck(f.Next(0.2, 1.9, 0, 0));
+  ASSERT_EQ(cc.n_links(), 2);
+  // Link 1 is heavily congested; with alpha->inf the aggregate is min W_i.
+  EXPECT_LT(cc.link_window(1), cc.link_window(0));
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()), cc.link_window(1), 1.0);
+}
+
+TEST(HpccAlphaFair, SmallAlphaBlendsLinks) {
+  HpccAlphaFairCc a1(Ctx(), Params(), 1.0);
+  HpccAlphaFairCc a64(Ctx(), Params(), 128.0);
+  for (auto* cc : {&a1, &a64}) {
+    TwoHopAcks f;
+    cc->OnAck(f.Next(0.5, 1.9, 0, 0));
+    cc->OnAck(f.Next(0.5, 1.9, 0, 0));
+  }
+  // alpha=1 penalizes multi-hop flows more: aggregate strictly below the
+  // bottleneck register (1/W = sum 1/W_i), while alpha=inf equals it.
+  EXPECT_LT(a1.window_bytes(), a64.window_bytes());
+}
+
+TEST(HpccAlphaFair, UncongestedPathStaysNearLineRate) {
+  HpccAlphaFairCc cc(Ctx(), Params(), 16.0);
+  TwoHopAcks f;
+  cc.OnAck(f.Next(0.1, 0.1, 0, 0));
+  for (int i = 0; i < 25; ++i) cc.OnAck(f.Next(0.1, 0.1, 0, 0));
+  // Both per-link registers sit at Winit; the alpha-aggregate of two equal
+  // links is Winit * 2^(-1/alpha) — a small multi-hop penalty (Eqn 7).
+  EXPECT_GE(cc.window_bytes(),
+            static_cast<int64_t>(0.9 * static_cast<double>(kWinit)));
+  EXPECT_LE(cc.window_bytes(), kWinit);
+}
+
+TEST(HpccAlphaFair, CongestionShrinksWindow) {
+  HpccAlphaFairCc cc(Ctx(), Params(), 16.0);
+  TwoHopAcks f;
+  cc.OnAck(f.Next(1.0, 1.0, 0, 0));
+  cc.OnAck(f.Next(1.0, 2.0, 0, kWinit));
+  EXPECT_LT(cc.window_bytes(), kWinit / 2 + 2000);
+}
+
+TEST(HpccAlphaFair, ReportsIntRequirement) {
+  HpccAlphaFairCc cc(Ctx(), Params(), 2.0);
+  EXPECT_TRUE(cc.wants_int());
+  EXPECT_EQ(cc.alpha(), 2.0);
+  EXPECT_GT(cc.rate_bps(), 0);
+}
+
+}  // namespace
+}  // namespace hpcc::core

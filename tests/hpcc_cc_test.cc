@@ -1,0 +1,403 @@
+// Unit tests for HPCC's Algorithm 1: utilization estimation (Eqn 2), the
+// MI/MD + AI control law (Eqn 3/4), the per-RTT reference window that
+// prevents the Fig. 5 overreaction, EWMA weighting, noise filters, and the
+// ablation reaction modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hpcc.h"
+#include "sim/time.h"
+
+namespace hpcc::core {
+namespace {
+
+constexpr int64_t kNic = 100'000'000'000;        // 100 Gbps
+constexpr sim::TimePs kT = sim::Us(13);          // base RTT
+const int64_t kWinit = kNic / 8 * 13 / 1'000'000;  // 162500 bytes
+
+cc::CcContext Ctx() {
+  cc::CcContext ctx;
+  ctx.nic_bps = kNic;
+  ctx.base_rtt = kT;
+  ctx.mtu_bytes = 1000;
+  return ctx;
+}
+
+HpccParams Params() {
+  HpccParams p;
+  p.eta = 0.95;
+  p.max_stage = 5;
+  p.wai_bytes = 80;
+  return p;
+}
+
+// Builds an ACK whose single-hop INT stack reports a link running at
+// `utilization` (tx rate fraction of B) with the given queue length, `dt`
+// after the previous snapshot.
+class AckFactory {
+ public:
+  explicit AckFactory(int64_t link_bps = kNic) : bps_(link_bps) {}
+
+  // Default `acked` stride exceeds the snd_nxt offset so every Next() call
+  // crosses the per-RTT update boundary (a fresh round for Algorithm 1).
+  cc::AckInfo Next(double tx_utilization, int64_t qlen_bytes, sim::TimePs dt,
+                   uint64_t acked = 60'000) {
+    ts_ += dt;
+    tx_bytes_ += static_cast<uint64_t>(
+        tx_utilization * static_cast<double>(bps_) / 8.0 * sim::ToSec(dt));
+    stack_.Clear();
+    IntHop hop;
+    hop.bandwidth_bps = bps_;
+    hop.ts = ts_;
+    hop.tx_bytes = tx_bytes_;
+    hop.qlen_bytes = qlen_bytes;
+    hop.switch_id = 1;
+    stack_.Push(hop);
+
+    cc::AckInfo info;
+    ack_seq_ += acked;
+    info.now = ts_;
+    info.ack_seq = ack_seq_;
+    snd_nxt_ = ack_seq_ + 50'000;  // plenty of inflight
+    info.snd_nxt = snd_nxt_;
+    info.newly_acked = static_cast<int64_t>(acked);
+    info.int_stack = &stack_;
+    return info;
+  }
+
+  // Same INT snapshot advanced in time but with ack_seq NOT crossing the
+  // last update boundary (pass explicit ack_seq).
+  cc::AckInfo NextWithSeq(double tx_utilization, int64_t qlen_bytes,
+                          sim::TimePs dt, uint64_t ack_seq) {
+    cc::AckInfo info = Next(tx_utilization, qlen_bytes, dt);
+    info.ack_seq = ack_seq;
+    info.snd_nxt = snd_nxt_;
+    return info;
+  }
+
+  uint64_t last_snd_nxt() const { return snd_nxt_; }
+
+ private:
+  int64_t bps_;
+  sim::TimePs ts_ = sim::Us(100);
+  uint64_t tx_bytes_ = 1'000'000;
+  uint64_t ack_seq_ = 0;
+  uint64_t snd_nxt_ = 0;
+  IntStack stack_;
+};
+
+TEST(HpccCc, StartsAtLineRateWindow) {
+  HpccCc cc(Ctx(), Params());
+  EXPECT_EQ(cc.winit_bytes(), kWinit);
+  EXPECT_EQ(cc.window_bytes(), kWinit);
+  // R = W/T = line rate.
+  EXPECT_NEAR(static_cast<double>(cc.rate_bps()), static_cast<double>(kNic),
+              static_cast<double>(kNic) * 1e-6);
+}
+
+TEST(HpccCc, WaiRuleOfThumbWhenUnset) {
+  HpccParams p = Params();
+  p.wai_bytes = -1;
+  p.expected_flows = 100;
+  HpccCc cc(Ctx(), p);
+  // W_AI = Winit (1-eta) / N  ~ 162500*0.05/100 ~ 81 bytes (§3.3 / §5.1).
+  EXPECT_NEAR(cc.wai_bytes(), 81.25, 0.1);
+}
+
+TEST(HpccCc, FirstAckOnlyPrimesState) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(5.0, 1'000'000, sim::Us(13)));  // absurd load: ignored
+  EXPECT_EQ(cc.window_bytes(), kWinit);           // no reaction yet
+}
+
+TEST(HpccCc, MultiplicativeDecreaseTowardEta) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  // Second ACK: link fully utilized over a full RTT, no queue: U ~ 1.0.
+  cc.OnAck(f.Next(1.0, 0, kT));
+  EXPECT_NEAR(cc.utilization_estimate(), 1.0, 1e-9);
+  // W = Wc/(U/eta) + WAI = 0.95*Winit + 80.
+  EXPECT_NEAR(cc.window_raw(), 0.95 * kWinit + 80, 1.0);
+}
+
+TEST(HpccCc, QueueContributesToUtilization) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  const int64_t q = kWinit / 2;  // half a BDP of standing queue
+  cc.OnAck(f.Next(1.0, q, kT));
+  cc.OnAck(f.Next(1.0, q, kT));
+  // U = qlen/(B*T) + tx/B = 0.5 + 1.0.
+  EXPECT_NEAR(cc.utilization_estimate(), 1.5, 0.01);
+  EXPECT_NEAR(cc.window_raw(), 0.95 / 1.5 * kWinit + 80, kWinit * 0.01);
+}
+
+TEST(HpccCc, AdditiveIncreaseForMaxStageRounds) {
+  HpccParams p = Params();
+  HpccCc cc(Ctx(), p);
+  AckFactory f;
+  cc.OnAck(f.Next(1.5, 0, kT));  // prime
+  cc.OnAck(f.Next(1.5, 0, kT));  // MD pulls W below Winit so AI is visible
+  ASSERT_LT(cc.window_raw(), 0.8 * kWinit);
+  // Now feed an underutilized link: maxStage rounds of AI.
+  cc.OnAck(f.Next(0.5, 0, kT));
+  ASSERT_EQ(cc.inc_stage(), 1);
+  const double w0 = cc.window_raw();
+  for (int stage = 2; stage <= p.max_stage; ++stage) {
+    cc.OnAck(f.Next(0.5, 0, kT));
+    EXPECT_EQ(cc.inc_stage(), stage);
+    EXPECT_NEAR(cc.window_raw(), w0 + (stage - 1) * 80.0, 1e-6) << stage;
+  }
+  // Next new round: incStage == maxStage -> multiplicative probe upward.
+  cc.OnAck(f.Next(0.5, 0, kT));
+  EXPECT_EQ(cc.inc_stage(), 0);
+  EXPECT_GT(cc.window_raw(), (w0 + 4 * 80.0) * 1.5);  // ~ /(0.5/0.95)
+}
+
+TEST(HpccCc, MiRampCappedAtWinit) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(0.1, 0, kT));
+  for (int i = 0; i < 20; ++i) cc.OnAck(f.Next(0.1, 0, kT));
+  EXPECT_LE(cc.window_bytes(), kWinit);
+  EXPECT_EQ(cc.window_bytes(), kWinit);  // nearly idle link -> back to line
+}
+
+// The Fig. 5 scenario: repeated ACKs describing the same queue within one
+// RTT are all computed from the same reference window W^c, so the window
+// does not compound downward per ACK.
+TEST(HpccCc, NoOverreactionWithinOneRtt) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(2.0, 0, kT));  // prime
+  cc.OnAck(f.Next(2.0, 0, kT));  // new round: W ~ Wc/2.1, Wc re-synced
+  // A first mid-round ACK re-bases W on the fresh reference once...
+  cc.OnAck(f.NextWithSeq(2.0, 0, sim::Us(1), 1));
+  const double w_mid = cc.window_raw();
+  // ...but further same-information mid-round ACKs leave W put: no W/4, W/8
+  // death spiral (the Fig. 5 overreaction).
+  for (int i = 0; i < 5; ++i) {
+    cc.OnAck(f.NextWithSeq(2.0, 0, sim::Us(1), 1));
+  }
+  EXPECT_NEAR(cc.window_raw(), w_mid, w_mid * 0.05);
+}
+
+TEST(HpccCc, PerAckModeOverreacts) {
+  HpccParams p = Params();
+  p.reaction = ReactionMode::kPerAck;
+  HpccCc cc(Ctx(), p);
+  AckFactory f;
+  cc.OnAck(f.Next(2.0, 0, kT));
+  cc.OnAck(f.Next(2.0, 0, kT));
+  const double w1 = cc.window_raw();
+  cc.OnAck(f.NextWithSeq(2.0, 0, sim::Us(1), 1));  // same data, same round
+  // Blind per-ACK reaction compounds the decrease (Fig. 5's W/4 effect).
+  EXPECT_LT(cc.window_raw(), w1 * 0.75);
+}
+
+TEST(HpccCc, PerRttModeIgnoresMidRoundAcks) {
+  HpccParams p = Params();
+  p.reaction = ReactionMode::kPerRtt;
+  HpccCc cc(Ctx(), p);
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  cc.OnAck(f.Next(2.0, 0, kT));
+  const double w1 = cc.window_raw();
+  // Mid-round ACK with drastic new information: ignored entirely.
+  cc.OnAck(f.NextWithSeq(8.0, kWinit, sim::Us(1), 1));
+  EXPECT_DOUBLE_EQ(cc.window_raw(), w1);
+}
+
+TEST(HpccCc, HpccModeStillReactsMidRoundWhenUtilizationChanges) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  cc.OnAck(f.Next(1.0, 0, kT));
+  const double w1 = cc.window_raw();
+  // Mid-round ACK reporting a much bigger queue: window shrinks (from the
+  // same Wc) because U jumped — fast reaction without overreaction (§3.2).
+  cc.OnAck(f.NextWithSeq(3.0, kWinit, sim::Us(6), 1));
+  EXPECT_LT(cc.window_raw(), w1 * 0.9);
+}
+
+TEST(HpccCc, EwmaWeightsScaleWithGap) {
+  // A sample arriving after a tiny gap should barely move U; a full-RTT gap
+  // replaces it (line 9's tau/T weighting).
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  cc.OnAck(f.Next(1.0, 0, kT));
+  const double u1 = cc.utilization_estimate();
+  cc.OnAck(f.Next(0.0, 0, sim::Us(1)));  // near-idle sample, tiny tau
+  EXPECT_GT(cc.utilization_estimate(), u1 * 0.85);
+  cc.OnAck(f.Next(0.0, 0, kT));  // idle sample across a full RTT
+  EXPECT_LT(cc.utilization_estimate(), u1 * 0.15);
+}
+
+TEST(HpccCc, MinQlenFilterSuppressesTransientSpike) {
+  HpccCc with_filter(Ctx(), Params());
+  HpccParams p = Params();
+  p.use_min_qlen_filter = false;
+  HpccCc no_filter(Ctx(), p);
+  for (HpccCc* cc : {&with_filter, &no_filter}) {
+    AckFactory f;
+    cc->OnAck(f.Next(0.9, 0, kT));
+    cc->OnAck(f.Next(0.9, 0, kT));
+    // One-ACK queue spike: last qlen was 0, current is large.
+    cc->OnAck(f.Next(0.9, kWinit, kT));
+  }
+  // min(qlen, last.qlen) = 0 with the filter -> lower U estimate.
+  EXPECT_LT(with_filter.utilization_estimate(),
+            no_filter.utilization_estimate() - 0.5);
+}
+
+TEST(HpccCc, PathChangeResetsState) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(2.0, 0, kT));
+  cc.OnAck(f.Next(2.0, 0, kT));
+  const double w1 = cc.window_raw();
+
+  // New path: different switch id -> path_id mismatch. The ACK only
+  // re-primes the link records; the window must not react to the bogus
+  // txBytes delta across different switches.
+  IntStack other;
+  IntHop hop;
+  hop.bandwidth_bps = kNic;
+  hop.ts = sim::Us(500);
+  hop.tx_bytes = 5;  // wildly different counter base
+  hop.qlen_bytes = 0;
+  hop.switch_id = 2;
+  other.Push(hop);
+  cc::AckInfo info;
+  info.ack_seq = 1'000'000;
+  info.snd_nxt = 1'050'000;
+  info.int_stack = &other;
+  cc.OnAck(info);
+  EXPECT_DOUBLE_EQ(cc.window_raw(), w1);
+}
+
+TEST(HpccCc, MostCongestedLinkDominates) {
+  HpccCc cc(Ctx(), Params());
+  // Two-hop path: hop0 idle, hop1 congested.
+  auto make = [](sim::TimePs ts, uint64_t tx0, uint64_t tx1, int64_t q1) {
+    IntStack s;
+    IntHop h0;
+    h0.bandwidth_bps = kNic;
+    h0.ts = ts;
+    h0.tx_bytes = tx0;
+    h0.qlen_bytes = 0;
+    h0.switch_id = 1;
+    s.Push(h0);
+    IntHop h1 = h0;
+    h1.tx_bytes = tx1;
+    h1.qlen_bytes = q1;
+    h1.switch_id = 2;
+    s.Push(h1);
+    return s;
+  };
+  const uint64_t full = static_cast<uint64_t>(kWinit);  // B*T bytes
+  // Prime with the same queue occupancy so the min-qlen filter keeps it.
+  IntStack s1 = make(sim::Us(100), 0, 0, static_cast<int64_t>(full / 2));
+  IntStack s2 = make(sim::Us(100) + kT, full / 10, full, full / 2);
+  cc::AckInfo a1;
+  a1.ack_seq = 1000;
+  a1.snd_nxt = 2000;
+  a1.int_stack = &s1;
+  cc.OnAck(a1);
+  cc::AckInfo a2;
+  a2.ack_seq = 3000;
+  a2.snd_nxt = 4000;
+  a2.int_stack = &s2;
+  cc.OnAck(a2);
+  // max_j U_j = hop1's 1.0 + 0.5 = 1.5, not hop0's 0.1.
+  EXPECT_NEAR(cc.utilization_estimate(), 1.5, 0.01);
+}
+
+TEST(HpccCc, RxRateModeSeesArrivalRate) {
+  HpccParams p = Params();
+  p.rate_signal = RateSignal::kRxRate;
+  HpccCc rx(Ctx(), p);
+  HpccCc tx(Ctx(), Params());
+  // Queue grows by a BDP over one RTT while txRate = B: arrival rate is 2B.
+  for (HpccCc* cc : {&rx, &tx}) {
+    AckFactory f;
+    cc->OnAck(f.Next(1.0, 0, kT));
+    cc->OnAck(f.Next(1.0, static_cast<int64_t>(kWinit), kT));
+  }
+  // tx mode: U = min(0,q)/BT + 1 = 1. rx mode: U = 0 + (1 + 1) = 2.
+  EXPECT_NEAR(tx.utilization_estimate(), 1.0, 0.02);
+  EXPECT_NEAR(rx.utilization_estimate(), 2.0, 0.05);
+}
+
+TEST(HpccCc, DivTableModeTracksExactDivision) {
+  HpccParams p = Params();
+  p.use_div_table = true;
+  HpccCc approx(Ctx(), p);
+  HpccCc exact(Ctx(), Params());
+  AckFactory fa;
+  AckFactory fb;
+  for (int i = 0; i < 10; ++i) {
+    const double u = 0.6 + 0.3 * ((i * 7) % 5);
+    approx.OnAck(fa.Next(u, i * 997, kT));
+    exact.OnAck(fb.Next(u, i * 997, kT));
+  }
+  EXPECT_NEAR(approx.window_raw(), exact.window_raw(),
+              exact.window_raw() * 0.02);
+}
+
+TEST(HpccCc, WindowNeverBelowOneByte) {
+  HpccCc cc(Ctx(), Params());
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  for (int i = 0; i < 50; ++i) {
+    cc.OnAck(f.Next(50.0, 10 * kWinit, kT));  // catastrophic congestion
+  }
+  EXPECT_GE(cc.window_bytes(), 1);
+  EXPECT_GT(cc.rate_bps(), 0);
+}
+
+TEST(HpccCc, AcksWithoutIntAreIgnored) {
+  HpccCc cc(Ctx(), Params());
+  cc::AckInfo info;
+  info.ack_seq = 100;
+  info.snd_nxt = 200;
+  info.int_stack = nullptr;
+  cc.OnAck(info);
+  EXPECT_EQ(cc.window_bytes(), kWinit);
+}
+
+TEST(HpccCc, WantsIntNotEcn) {
+  HpccCc cc(Ctx(), Params());
+  EXPECT_TRUE(cc.wants_int());
+  EXPECT_FALSE(cc.wants_ecn());
+  EXPECT_EQ(cc.name(), "hpcc");
+}
+
+// Property sweep over eta: steady full utilization must always converge the
+// window to eta * BDP + WAI within a few rounds.
+class HpccEtaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HpccEtaSweep, ConvergesToEtaBdp) {
+  HpccParams p = Params();
+  p.eta = GetParam();
+  HpccCc cc(Ctx(), p);
+  AckFactory f;
+  cc.OnAck(f.Next(1.0, 0, kT));
+  double w = 0;
+  for (int i = 0; i < 30; ++i) {
+    // Feed back the utilization the *current* window would produce.
+    w = cc.window_raw();
+    const double u = w / static_cast<double>(kWinit);
+    cc.OnAck(f.Next(u, 0, kT));
+  }
+  EXPECT_NEAR(cc.window_raw() / static_cast<double>(kWinit), p.eta, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, HpccEtaSweep,
+                         ::testing::Values(0.90, 0.92, 0.95, 0.98));
+
+}  // namespace
+}  // namespace hpcc::core

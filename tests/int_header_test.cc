@@ -1,0 +1,80 @@
+// Tests for the Fig. 7 INT stack.
+#include <gtest/gtest.h>
+
+#include "core/int_header.h"
+#include "sim/time.h"
+
+namespace hpcc::core {
+namespace {
+
+IntHop MakeHop(uint32_t sw, int64_t bps = 100'000'000'000) {
+  IntHop h;
+  h.bandwidth_bps = bps;
+  h.ts = sim::Us(1);
+  h.tx_bytes = 1234;
+  h.qlen_bytes = 56;
+  h.switch_id = sw;
+  return h;
+}
+
+TEST(IntStack, StartsEmpty) {
+  IntStack s;
+  EXPECT_EQ(s.n_hops(), 0);
+  EXPECT_EQ(s.path_id(), 0);
+  EXPECT_EQ(s.WireBytes(), 2);
+}
+
+TEST(IntStack, PushRecordsHopsInOrder) {
+  IntStack s;
+  s.Push(MakeHop(1));
+  s.Push(MakeHop(2));
+  s.Push(MakeHop(3));
+  ASSERT_EQ(s.n_hops(), 3);
+  EXPECT_EQ(s.hop(0).switch_id, 1u);
+  EXPECT_EQ(s.hop(2).switch_id, 3u);
+}
+
+TEST(IntStack, PathIdIsXorOfSwitchIds) {
+  IntStack s;
+  s.Push(MakeHop(0x00f));
+  s.Push(MakeHop(0x0f0));
+  EXPECT_EQ(s.path_id(), 0x0ff);
+  // XOR-ing the same id again cancels (self-inverse).
+  s.Push(MakeHop(0x0f0));
+  EXPECT_EQ(s.path_id(), 0x00f);
+}
+
+TEST(IntStack, PathIdUsesLow12Bits) {
+  IntStack s;
+  s.Push(MakeHop(0xff123));
+  EXPECT_EQ(s.path_id(), 0x123);
+}
+
+TEST(IntStack, WireBytesMatchPaper) {
+  // "42 bytes for 5 hops" (§4.1): 2 header + 5*8.
+  IntStack s;
+  for (uint32_t i = 0; i < 5; ++i) s.Push(MakeHop(i));
+  EXPECT_EQ(s.WireBytes(), 42);
+  EXPECT_EQ(IntStack::kWorstCaseWireBytes, 42);
+}
+
+TEST(IntStack, ClearResets) {
+  IntStack s;
+  s.Push(MakeHop(7));
+  s.Clear();
+  EXPECT_EQ(s.n_hops(), 0);
+  EXPECT_EQ(s.path_id(), 0);
+}
+
+TEST(IntStack, DifferentPathsDifferentIds) {
+  IntStack a;
+  a.Push(MakeHop(1));
+  a.Push(MakeHop(2));
+  IntStack b;
+  b.Push(MakeHop(1));
+  b.Push(MakeHop(5));
+  EXPECT_NE(a.path_id(), b.path_id());
+}
+
+}  // namespace
+}  // namespace hpcc::core

@@ -1,0 +1,112 @@
+// Tests for the Fig. 7 wire encoding: bit packing, wrap-safe deltas and the
+// fidelity of quantized txRate reconstruction.
+#include <gtest/gtest.h>
+
+#include "core/int_wire.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hpcc::core {
+namespace {
+
+IntHop Hop(int64_t bps, sim::TimePs ts, uint64_t tx, int64_t qlen) {
+  IntHop h;
+  h.bandwidth_bps = bps;
+  h.ts = ts;
+  h.tx_bytes = tx;
+  h.qlen_bytes = qlen;
+  return h;
+}
+
+TEST(IntWire, SpeedEnumRoundTrips) {
+  for (int64_t bps : {10'000'000'000LL, 25'000'000'000LL, 40'000'000'000LL,
+                      50'000'000'000LL, 100'000'000'000LL, 200'000'000'000LL,
+                      400'000'000'000LL}) {
+    EXPECT_EQ(BpsFromSpeed(SpeedFromBps(bps)), bps) << bps;
+  }
+}
+
+TEST(IntWire, EncodeDecodeRoundTrip) {
+  const IntHop h = Hop(100'000'000'000, sim::Us(123), 1'000'000, 80'000);
+  const WireHop w = DecodeHop(EncodeHop(h));
+  EXPECT_EQ(w.speed, PortSpeed::k100G);
+  EXPECT_EQ(w.ts_ns, 123'000u);
+  EXPECT_EQ(w.tx_units, 1'000'000u / 128u);
+  EXPECT_EQ(w.qlen_units, 80'000u / 80u);
+}
+
+TEST(IntWire, QlenSaturatesInsteadOfWrapping) {
+  const IntHop h = Hop(100'000'000'000, 0, 0, 100'000'000);  // 100 MB queue
+  const WireHop w = DecodeHop(EncodeHop(h));
+  EXPECT_EQ(w.qlen_units, kQlenMask);
+  EXPECT_EQ(QlenBytes(w.qlen_units), static_cast<int64_t>(kQlenMask) * 80);
+}
+
+TEST(IntWire, TsDeltaAcrossWrap) {
+  // 24-bit ns counter: wrap at ~16.78 ms.
+  const uint32_t before = kTsMask - 100;  // 100 ns before wrap
+  const uint32_t after = 50;              // 50 ns after wrap
+  EXPECT_EQ(TsDeltaNs(after, before), 151);
+}
+
+TEST(IntWire, TxBytesDeltaAcrossWrap) {
+  const uint32_t before = kTxMask - 2;  // 2 units before wrap
+  const uint32_t after = 5;
+  EXPECT_EQ(TxBytesDelta(after, before), (2 + 5 + 1) * 128);
+}
+
+TEST(IntWire, DeltasOfEqualValuesAreZero) {
+  EXPECT_EQ(TsDeltaNs(777, 777), 0);
+  EXPECT_EQ(TxBytesDelta(42, 42), 0);
+}
+
+TEST(IntWire, WireTxRateMatchesFullPrecision) {
+  // A port sending at exactly 73 Gbps for 10 us.
+  const double rate_bps = 73e9;
+  const sim::TimePs dt = sim::Us(10);
+  const uint64_t bytes =
+      static_cast<uint64_t>(rate_bps / 8.0 * sim::ToSec(dt));
+  const IntHop a = Hop(100'000'000'000, sim::Us(100), 50'000'000, 0);
+  const IntHop b =
+      Hop(100'000'000'000, sim::Us(100) + dt, 50'000'000 + bytes, 0);
+  const double wire = WireTxRateBps(a, b);
+  // Quantization: 128-byte tx units over 10 us (91 KB) -> ~0.2% error.
+  EXPECT_NEAR(wire, rate_bps, rate_bps * 0.01);
+}
+
+class IntWireRateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntWireRateProperty, RandomRatesReconstructWithinTolerance) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const double rate = 1e9 + rng.Uniform() * 399e9;  // 1..400 Gbps
+    const sim::TimePs dt = sim::Us(1 + rng.UniformInt(0, 49));
+    const sim::TimePs t0 = sim::Us(rng.UniformInt(0, 1'000'000));
+    const uint64_t tx0 = static_cast<uint64_t>(rng.Uniform() * 1e15);
+    const uint64_t bytes =
+        static_cast<uint64_t>(rate / 8.0 * sim::ToSec(dt));
+    const IntHop a = Hop(400'000'000'000, t0, tx0, 0);
+    const IntHop b = Hop(400'000'000'000, t0 + dt, tx0 + bytes, 0);
+    const double wire = WireTxRateBps(a, b);
+    // Error sources: 128B tx quantization + 1ns ts quantization. For gaps
+    // of >= 1us the combined relative error stays small.
+    EXPECT_NEAR(wire, rate, rate * 0.02 + 2e9)
+        << "rate=" << rate << " dt=" << dt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntWireRateProperty,
+                         ::testing::Values(1, 2, 3, 7));
+
+TEST(IntWire, WireWordsAreDistinctAcrossFields) {
+  const uint64_t w1 = EncodeHop(Hop(100'000'000'000, sim::Us(1), 1280, 160));
+  const uint64_t w2 = EncodeHop(Hop(100'000'000'000, sim::Us(1), 1280, 240));
+  const uint64_t w3 = EncodeHop(Hop(100'000'000'000, sim::Us(2), 1280, 160));
+  const uint64_t w4 = EncodeHop(Hop(400'000'000'000, sim::Us(1), 1280, 160));
+  EXPECT_NE(w1, w2);
+  EXPECT_NE(w1, w3);
+  EXPECT_NE(w1, w4);
+}
+
+}  // namespace
+}  // namespace hpcc::core

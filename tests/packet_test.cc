@@ -1,0 +1,90 @@
+// Tests for packet factories and size accounting.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace hpcc::net {
+namespace {
+
+TEST(Packet, DataPacketBasics) {
+  auto p = MakeDataPacket(7, 1, 2, 5000, 1000, /*int=*/false, /*ecn=*/true);
+  EXPECT_EQ(p->type, PacketType::kData);
+  EXPECT_EQ(p->flow_id, 7u);
+  EXPECT_EQ(p->src, 1u);
+  EXPECT_EQ(p->dst, 2u);
+  EXPECT_EQ(p->seq, 5000u);
+  EXPECT_EQ(p->payload_bytes, 1000);
+  EXPECT_EQ(p->header_bytes, kDataHeaderBytes);
+  EXPECT_EQ(p->size_bytes(), 1048);
+  EXPECT_TRUE(p->ecn_capable);
+  EXPECT_FALSE(p->int_enabled);
+  EXPECT_EQ(p->priority, kDataPriority);
+}
+
+TEST(Packet, IntDataPacketChargesWorstCaseOverhead) {
+  auto p = MakeDataPacket(1, 1, 2, 0, 1000, /*int=*/true, false);
+  // §5.1: every HPCC data packet carries the full 42-byte INT padding.
+  EXPECT_EQ(p->header_bytes, kDataHeaderBytes + 42);
+  EXPECT_TRUE(p->int_enabled);
+}
+
+TEST(Packet, AckEchoesFields) {
+  auto d = MakeDataPacket(9, 3, 4, 2000, 1000, true, true);
+  d->ecn_ce = true;
+  d->sent_time = sim::Us(11);
+  core::IntHop hop;
+  hop.bandwidth_bps = 1;
+  hop.ts = 1;
+  hop.switch_id = 5;
+  d->int_stack.Push(hop);
+
+  auto a = MakeAck(*d, 3000);
+  EXPECT_EQ(a->type, PacketType::kAck);
+  EXPECT_EQ(a->flow_id, 9u);
+  EXPECT_EQ(a->src, 4u);  // reversed direction
+  EXPECT_EQ(a->dst, 3u);
+  EXPECT_EQ(a->seq, 3000u);
+  EXPECT_TRUE(a->ecn_echo);
+  EXPECT_EQ(a->data_sent_time, sim::Us(11));
+  EXPECT_EQ(a->priority, kControlPriority);
+  EXPECT_EQ(a->int_stack.n_hops(), 1);
+  EXPECT_EQ(a->acked_payload_bytes, 1000);
+  // ACK carries the INT bytes it echoes.
+  EXPECT_EQ(a->header_bytes, kAckHeaderBytes + 2 + 8);
+}
+
+TEST(Packet, AckWithoutIntIsSmall) {
+  auto d = MakeDataPacket(9, 3, 4, 0, 1000, false, false);
+  auto a = MakeAck(*d, 1000);
+  EXPECT_EQ(a->header_bytes, kAckHeaderBytes);
+  EXPECT_EQ(a->size_bytes(), kAckHeaderBytes);
+}
+
+TEST(Packet, NackCarriesSack) {
+  auto d = MakeDataPacket(9, 3, 4, 9000, 1000, false, false);
+  auto n = MakeNack(*d, 4000);
+  EXPECT_EQ(n->type, PacketType::kNack);
+  EXPECT_EQ(n->seq, 4000u);       // receiver's expected byte
+  EXPECT_EQ(n->sack_seq, 9000u);  // the OOO packet that did arrive
+  EXPECT_TRUE(n->has_sack);
+}
+
+TEST(Packet, Cnp) {
+  auto c = MakeCnp(5, 10, 20);
+  EXPECT_EQ(c->type, PacketType::kCnp);
+  EXPECT_EQ(c->src, 10u);
+  EXPECT_EQ(c->dst, 20u);
+  EXPECT_EQ(c->priority, kControlPriority);
+}
+
+TEST(Packet, PfcFrames) {
+  auto pause = MakePfc(PacketType::kPfcPause, kDataPriority);
+  EXPECT_EQ(pause->type, PacketType::kPfcPause);
+  EXPECT_EQ(pause->pause_priority, kDataPriority);
+  EXPECT_EQ(pause->size_bytes(), kPfcFrameBytes);
+  auto resume = MakePfc(PacketType::kPfcResume, kDataPriority);
+  EXPECT_EQ(resume->type, PacketType::kPfcResume);
+}
+
+}  // namespace
+}  // namespace hpcc::net

@@ -1,0 +1,78 @@
+// Tests for per-priority egress queues.
+#include <gtest/gtest.h>
+
+#include "net/queue.h"
+
+namespace hpcc::net {
+namespace {
+
+PacketPtr Data(int bytes, uint64_t seq = 0) {
+  auto p = MakeDataPacket(1, 0, 1, seq, bytes, false, false);
+  return p;
+}
+
+PacketPtr Control() { return MakeCnp(1, 0, 1); }
+
+constexpr std::array<bool, kNumPriorities> kNonePaused{};
+
+TEST(PriorityQueues, FifoWithinPriority) {
+  PriorityQueues q;
+  q.Enqueue(Data(1000, 0));
+  q.Enqueue(Data(1000, 1000));
+  q.Enqueue(Data(1000, 2000));
+  EXPECT_EQ(q.Dequeue(kNonePaused)->seq, 0u);
+  EXPECT_EQ(q.Dequeue(kNonePaused)->seq, 1000u);
+  EXPECT_EQ(q.Dequeue(kNonePaused)->seq, 2000u);
+  EXPECT_EQ(q.Dequeue(kNonePaused), nullptr);
+}
+
+TEST(PriorityQueues, ControlPreemptsData) {
+  PriorityQueues q;
+  q.Enqueue(Data(1000));
+  q.Enqueue(Control());
+  auto first = q.Dequeue(kNonePaused);
+  EXPECT_EQ(first->type, PacketType::kCnp);
+  auto second = q.Dequeue(kNonePaused);
+  EXPECT_EQ(second->type, PacketType::kData);
+}
+
+TEST(PriorityQueues, ByteAccounting) {
+  PriorityQueues q;
+  q.Enqueue(Data(1000));
+  q.Enqueue(Data(500));
+  EXPECT_EQ(q.bytes(kDataPriority), 1000 + kDataHeaderBytes + 500 + kDataHeaderBytes);
+  EXPECT_EQ(q.bytes(kControlPriority), 0);
+  q.Dequeue(kNonePaused);
+  EXPECT_EQ(q.bytes(kDataPriority), 500 + kDataHeaderBytes);
+  q.Dequeue(kNonePaused);
+  EXPECT_EQ(q.bytes(kDataPriority), 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PriorityQueues, PausedPrioritySkipped) {
+  PriorityQueues q;
+  q.Enqueue(Data(1000));
+  q.Enqueue(Control());
+  std::array<bool, kNumPriorities> paused{};
+  paused[kDataPriority] = true;
+  // Control still flows.
+  EXPECT_EQ(q.Dequeue(paused)->type, PacketType::kCnp);
+  // Data is stuck.
+  EXPECT_EQ(q.Dequeue(paused), nullptr);
+  EXPECT_FALSE(q.HasEligible(paused));
+  EXPECT_FALSE(q.empty());
+  // Unpause: data drains.
+  EXPECT_TRUE(q.HasEligible(kNonePaused));
+  EXPECT_EQ(q.Dequeue(kNonePaused)->type, PacketType::kData);
+}
+
+TEST(PriorityQueues, TotalCounters) {
+  PriorityQueues q;
+  q.Enqueue(Data(1000));
+  q.Enqueue(Control());
+  EXPECT_EQ(q.total_packets(), 2u);
+  EXPECT_GT(q.total_bytes(), 1000);
+}
+
+}  // namespace
+}  // namespace hpcc::net

@@ -1,0 +1,141 @@
+// Tests for the RCP baseline (§3.4/§6): switch-computed fair rates,
+// processor-sharing convergence, and the contrast with HPCC.
+#include <gtest/gtest.h>
+
+#include "cc/rcp.h"
+#include "runner/experiment.h"
+
+namespace hpcc::runner {
+namespace {
+
+ExperimentConfig StarCfg(int hosts, const char* scheme = "rcp") {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kStar;
+  cfg.star.num_hosts = hosts;
+  cfg.cc.scheme = scheme;
+  return cfg;
+}
+
+TEST(RcpUnit, AdoptsStampedRate) {
+  cc::CcContext ctx;
+  ctx.nic_bps = 100'000'000'000;
+  ctx.base_rtt = sim::Us(10);
+  cc::RcpCc cc(ctx);
+  EXPECT_EQ(cc.rate_bps(), 100'000'000'000);
+  cc::AckInfo a;
+  a.rcp_rate_bps = 25'000'000'000;
+  cc.OnAck(a);
+  EXPECT_EQ(cc.rate_bps(), 25'000'000'000);
+  // Unstamped ACKs (max sentinel / zero) leave the rate alone.
+  a.rcp_rate_bps = std::numeric_limits<int64_t>::max();
+  cc.OnAck(a);
+  EXPECT_EQ(cc.rate_bps(), 25'000'000'000);
+  a.rcp_rate_bps = 0;
+  cc.OnAck(a);
+  EXPECT_EQ(cc.rate_bps(), 25'000'000'000);
+  // Stamps above the NIC speed clamp to line rate.
+  a.rcp_rate_bps = 400'000'000'000;
+  cc.OnAck(a);
+  EXPECT_EQ(cc.rate_bps(), 100'000'000'000);
+}
+
+TEST(Rcp, SingleFlowRunsNearLineRate) {
+  Experiment e(StarCfg(2));
+  const auto& h = e.hosts();
+  host::Flow* f = e.AddFlow(h[0], h[1], 10'000'000, 0);
+  e.RunUntil(sim::Ms(3));
+  ASSERT_TRUE(f->done);
+  const double gbps = 10e6 * 8 / sim::ToSec(f->finish_time) / 1e9;
+  EXPECT_GT(gbps, 70.0);
+}
+
+TEST(Rcp, TwoFlowsConvergeToHalfShareEach) {
+  Experiment e(StarCfg(3));
+  const auto& h = e.hosts();
+  host::Flow* f1 = e.AddFlow(h[0], h[2], 1'000'000'000, 0);
+  host::Flow* f2 = e.AddFlow(h[1], h[2], 1'000'000'000, 0);
+  e.RunUntil(sim::Ms(1));
+  const uint64_t a1 = f1->snd_una;
+  const uint64_t a2 = f2->snd_una;
+  e.RunUntil(sim::Ms(3));
+  // Goodput over the last 2ms: processor sharing splits the link evenly.
+  const double g1 = static_cast<double>(f1->snd_una - a1);
+  const double g2 = static_cast<double>(f2->snd_una - a2);
+  const double jain = (g1 + g2) * (g1 + g2) / (2 * (g1 * g1 + g2 * g2));
+  EXPECT_GT(jain, 0.98);
+  // And the bottleneck is well used.
+  const double gbps = (g1 + g2) * 8 / sim::ToSec(sim::Ms(2)) / 1e9;
+  EXPECT_GT(gbps, 60.0);
+  EXPECT_LE(gbps, 100.0);
+}
+
+TEST(Rcp, SwitchRateApproachesFairShare) {
+  Experiment e(StarCfg(5));
+  const auto& h = e.hosts();
+  for (int i = 0; i < 4; ++i) {
+    e.AddFlow(h[i], h[4], 1'000'000'000, 0);
+  }
+  e.RunUntil(sim::Ms(4));
+  net::SwitchNode& sw = e.topology().switch_node(e.topology().switches()[0]);
+  // Port 4 (toward the receiver) should have settled near C/4 = 25G.
+  EXPECT_GT(sw.rcp_rate(4), 10'000'000'000);
+  EXPECT_LT(sw.rcp_rate(4), 45'000'000'000);
+}
+
+TEST(Rcp, IncastCompletesWithoutDrops) {
+  Experiment e(StarCfg(9, "rcp+win"));
+  const auto& h = e.hosts();
+  std::vector<host::Flow*> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(e.AddFlow(h[i], h[8], 400'000, 0));
+  }
+  e.RunUntil(sim::Ms(10));
+  ExperimentResult r = e.Collect();
+  for (auto* f : flows) EXPECT_TRUE(f->done);
+  EXPECT_EQ(r.dropped_packets, 0u);
+}
+
+TEST(Rcp, HpccHoldsSmallerQueueUnderIncastStart) {
+  // §3.4's point in action: RCP reacts through its periodic rate updates and
+  // queue term; HPCC's inflight-bytes limit absorbs the line-rate start
+  // burst with far less peak queueing.
+  auto peak_queue = [](const char* scheme) {
+    ExperimentConfig cfg = StarCfg(9, scheme);
+    cfg.cc.hpcc.expected_flows = 8;
+    Experiment e(cfg);
+    const auto& h = e.hosts();
+    for (int i = 0; i < 8; ++i) {
+      e.AddFlow(h[i], h[8], 2'000'000, 0);
+    }
+    net::SwitchNode& sw =
+        e.topology().switch_node(e.topology().switches()[0]);
+    int64_t peak = 0;
+    for (int t = 0; t < 600; ++t) {
+      e.RunUntil(t * sim::Us(1));
+      peak = std::max(peak, sw.port(8).queue_bytes(net::kDataPriority));
+    }
+    return peak;
+  };
+  EXPECT_LT(peak_queue("hpcc"), peak_queue("rcp"));
+}
+
+TEST(Rcp, MixedWorkloadCompletes) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kFatTree;
+  cfg.fattree.pods = 2;
+  cfg.fattree.tors_per_pod = 2;
+  cfg.fattree.aggs_per_pod = 2;
+  cfg.fattree.hosts_per_tor = 4;
+  cfg.cc.scheme = "rcp";
+  cfg.load = 0.3;
+  cfg.trace = "fbhadoop";
+  cfg.max_flows = 150;
+  cfg.duration = sim::Ms(2);
+  Experiment e(cfg);
+  ExperimentResult r = e.Run();
+  EXPECT_GE(r.flows_completed, r.flows_created * 95 / 100);
+  EXPECT_EQ(r.dropped_packets, 0u);
+}
+
+}  // namespace
+}  // namespace hpcc::runner

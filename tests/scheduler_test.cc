@@ -1,0 +1,155 @@
+// Unit tests for the per-port round-robin flow scheduler (§4.2).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "host/scheduler.h"
+
+namespace hpcc::host {
+namespace {
+
+class StubCc : public cc::CongestionControl {
+ public:
+  explicit StubCc(int64_t window) : window_(window) {}
+  void OnAck(const cc::AckInfo&) override {}
+  int64_t window_bytes() const override { return window_; }
+  int64_t rate_bps() const override { return 100'000'000'000; }
+  std::string name() const override { return "stub"; }
+  void set_window(int64_t w) { window_ = w; }
+
+ private:
+  int64_t window_;
+};
+
+std::unique_ptr<Flow> MakeFlow(uint64_t id, uint64_t size, int64_t window,
+                               RecoveryMode mode = RecoveryMode::kGoBackN) {
+  FlowSpec spec;
+  spec.id = id;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = size;
+  auto f = std::make_unique<Flow>(spec, std::make_unique<StubCc>(window),
+                                  mode);
+  f->started = true;
+  return f;
+}
+
+TEST(FlowScheduler, PicksEligibleFlow) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 10'000, 100'000);
+  s.Add(f.get());
+  EXPECT_EQ(s.PickEligible(0), f.get());
+}
+
+TEST(FlowScheduler, RoundRobinAlternates) {
+  FlowScheduler s;
+  auto f1 = MakeFlow(1, 1'000'000, 1'000'000);
+  auto f2 = MakeFlow(2, 1'000'000, 1'000'000);
+  s.Add(f1.get());
+  s.Add(f2.get());
+  Flow* first = s.PickEligible(0);
+  Flow* second = s.PickEligible(0);
+  Flow* third = s.PickEligible(0);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST(FlowScheduler, SkipsUnstartedAndDoneFlows) {
+  FlowScheduler s;
+  auto f1 = MakeFlow(1, 10'000, 100'000);
+  f1->started = false;
+  auto f2 = MakeFlow(2, 10'000, 100'000);
+  f2->done = true;
+  s.Add(f1.get());
+  s.Add(f2.get());
+  EXPECT_EQ(s.PickEligible(0), nullptr);
+}
+
+TEST(FlowScheduler, RespectsWindow) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 100'000, /*window=*/5'000);
+  f->snd_nxt = 5'000;  // inflight == window
+  s.Add(f.get());
+  EXPECT_EQ(s.PickEligible(0), nullptr);
+  f->snd_una = 1;  // one byte acked: window strictly open again
+  EXPECT_EQ(s.PickEligible(0), f.get());
+}
+
+TEST(FlowScheduler, RespectsPacing) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 100'000, 1'000'000);
+  f->next_tx_time = sim::Us(10);
+  s.Add(f.get());
+  EXPECT_EQ(s.PickEligible(sim::Us(9)), nullptr);
+  EXPECT_EQ(s.PickEligible(sim::Us(10)), f.get());
+}
+
+TEST(FlowScheduler, NextWakeTimeIsEarliestPacedFlow) {
+  FlowScheduler s;
+  auto f1 = MakeFlow(1, 100'000, 1'000'000);
+  f1->next_tx_time = sim::Us(30);
+  auto f2 = MakeFlow(2, 100'000, 1'000'000);
+  f2->next_tx_time = sim::Us(20);
+  s.Add(f1.get());
+  s.Add(f2.get());
+  EXPECT_EQ(s.NextWakeTime(0), sim::Us(20));
+  // A window-blocked flow does not contribute a wake time.
+  f2->snd_nxt = 1'000'000;
+  EXPECT_EQ(s.NextWakeTime(0), sim::Us(30));
+}
+
+TEST(FlowScheduler, NoWakeWhenNothingSendable) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 10'000, 100'000);
+  f->snd_nxt = 10'000;  // everything sent
+  s.Add(f.get());
+  EXPECT_EQ(s.NextWakeTime(0), -1);
+}
+
+TEST(FlowScheduler, IrnRetransmitQueueCountsAsSendable) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 10'000, 100'000, RecoveryMode::kIrn);
+  f->snd_nxt = 10'000;  // all new data sent...
+  f->irn_rtx_queue.insert(2'000);  // ...but a loss wants retransmission
+  s.Add(f.get());
+  EXPECT_EQ(s.PickEligible(0), f.get());
+}
+
+TEST(FlowScheduler, IrnFixedWindowCapsInflight) {
+  FlowScheduler s;
+  auto f = MakeFlow(1, 1'000'000, /*cc window=*/1'000'000,
+                    RecoveryMode::kIrn);
+  f->irn_window_bytes = 4'000;
+  f->irn_inflight_bytes = 4'000;
+  s.Add(f.get());
+  EXPECT_EQ(s.PickEligible(0), nullptr);
+  f->irn_inflight_bytes = 3'000;
+  EXPECT_EQ(s.PickEligible(0), f.get());
+}
+
+TEST(FlowScheduler, CompactRemovesDoneFlows) {
+  FlowScheduler s;
+  auto f1 = MakeFlow(1, 10'000, 100'000);
+  auto f2 = MakeFlow(2, 10'000, 100'000);
+  s.Add(f1.get());
+  s.Add(f2.get());
+  f1->done = true;
+  s.Compact();
+  EXPECT_EQ(s.active_flows(), 1u);
+  EXPECT_EQ(s.PickEligible(0), f2.get());
+}
+
+TEST(FlowScheduler, CompactAllDone) {
+  FlowScheduler s;
+  auto f1 = MakeFlow(1, 10'000, 100'000);
+  f1->done = true;
+  s.Add(f1.get());
+  s.Compact();
+  EXPECT_EQ(s.active_flows(), 0u);
+  EXPECT_EQ(s.PickEligible(0), nullptr);
+  EXPECT_EQ(s.NextWakeTime(0), -1);
+}
+
+}  // namespace
+}  // namespace hpcc::host

@@ -1,0 +1,106 @@
+// Tests for shared-buffer accounting and the dynamic PFC thresholds.
+#include <gtest/gtest.h>
+
+#include "net/shared_buffer.h"
+#include "sim/rng.h"
+
+namespace hpcc::net {
+namespace {
+
+TEST(SharedBuffer, AdmitRelease) {
+  SharedBuffer b(10'000, 4);
+  EXPECT_TRUE(b.CanAdmit(10'000));
+  b.Admit(0, kDataPriority, 4'000);
+  EXPECT_EQ(b.used_bytes(), 4'000);
+  EXPECT_EQ(b.free_bytes(), 6'000);
+  EXPECT_EQ(b.ingress_bytes(0, kDataPriority), 4'000);
+  EXPECT_FALSE(b.CanAdmit(6'001));
+  EXPECT_TRUE(b.CanAdmit(6'000));
+  b.Release(0, kDataPriority, 4'000);
+  EXPECT_EQ(b.used_bytes(), 0);
+}
+
+TEST(SharedBuffer, PerIngressAccountingIsIndependent) {
+  SharedBuffer b(100'000, 4);
+  b.Admit(1, kDataPriority, 1'000);
+  b.Admit(2, kDataPriority, 2'000);
+  EXPECT_EQ(b.ingress_bytes(1, kDataPriority), 1'000);
+  EXPECT_EQ(b.ingress_bytes(2, kDataPriority), 2'000);
+  EXPECT_EQ(b.ingress_bytes(3, kDataPriority), 0);
+  EXPECT_EQ(b.used_bytes(), 3'000);
+}
+
+TEST(SharedBuffer, DynamicPfcThresholdShrinksAsBufferFills) {
+  SharedBuffer b(1'000'000, 2);
+  const double alpha = 0.11;
+  const int64_t t_empty = b.PfcThreshold(alpha);
+  EXPECT_EQ(t_empty, static_cast<int64_t>(0.11 * 1'000'000));
+  b.Admit(0, kDataPriority, 500'000);
+  EXPECT_EQ(b.PfcThreshold(alpha), static_cast<int64_t>(0.11 * 500'000));
+}
+
+TEST(SharedBuffer, ShouldPauseWhenIngressExceedsThreshold) {
+  SharedBuffer b(1'000'000, 2);
+  const double alpha = 0.11;
+  b.Admit(0, kDataPriority, 90'000);
+  // free = 910'000, threshold ~ 100'100: not paused yet.
+  EXPECT_FALSE(b.ShouldPause(0, kDataPriority, alpha));
+  b.Admit(0, kDataPriority, 30'000);
+  // ingress 120'000 > 0.11*880'000 = 96'800.
+  EXPECT_TRUE(b.ShouldPause(0, kDataPriority, alpha));
+  // The other port is unaffected.
+  EXPECT_FALSE(b.ShouldPause(1, kDataPriority, alpha));
+}
+
+TEST(SharedBuffer, ResumeUsesHysteresis) {
+  SharedBuffer b(1'000'000, 2);
+  const double alpha = 0.11;
+  b.Admit(0, kDataPriority, 120'000);
+  EXPECT_TRUE(b.ShouldPause(0, kDataPriority, alpha));
+  EXPECT_FALSE(b.ShouldResume(0, kDataPriority, alpha, 0.85));
+  b.Release(0, kDataPriority, 60'000);
+  // ingress 60'000 < 0.85 * 0.11 * 940'000 ~ 87'890.
+  EXPECT_TRUE(b.ShouldResume(0, kDataPriority, alpha, 0.85));
+}
+
+// Property sweep: random admit/release sequences keep all counters
+// consistent and non-negative.
+class SharedBufferProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedBufferProperty, AccountingInvariants) {
+  sim::Rng rng(GetParam());
+  const int ports = 4;
+  SharedBuffer b(1'000'000, ports);
+  std::vector<std::vector<int64_t>> held(ports);
+  int64_t total_held = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    const int port = static_cast<int>(rng.Index(ports));
+    if (rng.Uniform() < 0.55) {
+      const int64_t bytes = rng.UniformInt(64, 1500);
+      if (b.CanAdmit(bytes)) {
+        b.Admit(port, kDataPriority, bytes);
+        held[port].push_back(bytes);
+        total_held += bytes;
+      }
+    } else if (!held[port].empty()) {
+      const int64_t bytes = held[port].back();
+      held[port].pop_back();
+      b.Release(port, kDataPriority, bytes);
+      total_held -= bytes;
+    }
+    ASSERT_EQ(b.used_bytes(), total_held);
+    ASSERT_GE(b.free_bytes(), 0);
+    int64_t sum = 0;
+    for (int p = 0; p < ports; ++p) {
+      ASSERT_GE(b.ingress_bytes(p, kDataPriority), 0);
+      sum += b.ingress_bytes(p, kDataPriority);
+    }
+    ASSERT_EQ(sum, total_held);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedBufferProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace hpcc::net

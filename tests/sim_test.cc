@@ -1,0 +1,193 @@
+// Unit tests for the discrete-event core: event ordering, cancellation,
+// horizons, and the deterministic RNG helpers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(Us(1), 1'000'000);
+  EXPECT_EQ(Ms(1), Us(1000));
+  EXPECT_EQ(Sec(1), Ms(1000));
+  EXPECT_DOUBLE_EQ(ToUs(Us(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMs(Ms(3)), 3.0);
+}
+
+TEST(Time, SerializationExactAt100G) {
+  // 1 byte at 100 Gbps is exactly 80 ps; a 1048-byte frame is 83840 ps.
+  EXPECT_EQ(SerializationTime(1, 100'000'000'000), 80);
+  EXPECT_EQ(SerializationTime(1048, 100'000'000'000), 83'840);
+}
+
+TEST(Time, SerializationAt25G) {
+  EXPECT_EQ(SerializationTime(1000, 25'000'000'000), 320'000);
+}
+
+TEST(Time, RateBpsInverse) {
+  const TimePs t = SerializationTime(1000, 40'000'000'000);
+  EXPECT_EQ(RateBps(1000, t), 40'000'000'000);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(Us(3), [&]() { order.push_back(3); });
+  s.ScheduleAt(Us(1), [&]() { order.push_back(1); });
+  s.ScheduleAt(Us(2), [&]() { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, TieBreaksByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(Us(5), [&order, i]() { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesDuringRun) {
+  Simulator s;
+  TimePs seen = -1;
+  s.ScheduleAt(Us(42), [&]() { seen = s.now(); });
+  s.Run();
+  EXPECT_EQ(seen, Us(42));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  TimePs seen = -1;
+  s.ScheduleAt(Us(10), [&]() {
+    s.ScheduleIn(Us(5), [&]() { seen = s.now(); });
+  });
+  s.Run();
+  EXPECT_EQ(seen, Us(15));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  EventId id = s.ScheduleAt(Us(1), [&]() { ran = true; });
+  s.Cancel(id);
+  s.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelInvalidOrTwiceIsNoop) {
+  Simulator s;
+  s.Cancel(kInvalidEvent);
+  EventId id = s.ScheduleAt(Us(1), []() {});
+  s.Cancel(id);
+  s.Cancel(id);
+  s.Run();
+}
+
+TEST(Simulator, RunUntilHorizonLeavesFutureEvents) {
+  Simulator s;
+  bool early = false;
+  bool late = false;
+  s.ScheduleAt(Us(1), [&]() { early = true; });
+  s.ScheduleAt(Us(100), [&]() { late = true; });
+  s.Run(Us(10));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), Us(10));
+  s.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.ScheduleAt(Us(i), [&]() {
+      if (++count == 3) s.Stop();
+    });
+  }
+  s.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) s.ScheduleIn(Us(1), recurse);
+  };
+  s.ScheduleAt(0, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(Rng, SampleDistinctAreDistinctAndInRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto v = rng.SampleDistinct(10, 30);
+    ASSERT_EQ(v.size(), 10u);
+    std::sort(v.begin(), v.end());
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_LT(v[i], 30u);
+      if (i > 0) {
+        EXPECT_NE(v[i], v[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(5);
+  auto v = rng.SampleDistinct(8, 8);
+  std::sort(v.begin(), v.end());
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(v[i], i);
+}
+
+}  // namespace
+}  // namespace hpcc::sim

@@ -1,0 +1,161 @@
+// Tests for percentile tracking, FCT binning, time series and PFC stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/rng.h"
+#include "stats/fct_recorder.h"
+#include "stats/percentile.h"
+#include "stats/pfc_monitor.h"
+#include "stats/timeseries.h"
+
+namespace hpcc::stats {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.Percentile(50), 0);
+  EXPECT_EQ(t.Mean(), 0);
+  EXPECT_TRUE(t.Empty());
+}
+
+TEST(Percentile, SingleSample) {
+  PercentileTracker t;
+  t.Add(42);
+  EXPECT_EQ(t.Percentile(0), 42);
+  EXPECT_EQ(t.Percentile(50), 42);
+  EXPECT_EQ(t.Percentile(100), 42);
+}
+
+TEST(Percentile, KnownQuantiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_NEAR(t.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(t.Percentile(95), 95.05, 0.01);
+  EXPECT_NEAR(t.Percentile(99), 99.01, 0.01);
+  EXPECT_EQ(t.Min(), 1);
+  EXPECT_EQ(t.Max(), 100);
+  EXPECT_DOUBLE_EQ(t.Mean(), 50.5);
+}
+
+TEST(Percentile, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.Add(10);
+  EXPECT_EQ(t.Percentile(50), 10);
+  t.Add(20);
+  t.Add(30);
+  EXPECT_EQ(t.Percentile(50), 20);  // re-sorts after new samples
+}
+
+class PercentileProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentileProperty, MatchesSortedVector) {
+  sim::Rng rng(GetParam());
+  PercentileTracker t;
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform() * 1e6;
+    t.Add(x);
+    v.push_back(x);
+  }
+  std::sort(v.begin(), v.end());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0}) {
+    const double rank = p / 100.0 * (v.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double want = v[lo] * (1 - frac) + v[std::min(lo + 1, v.size() - 1)] * frac;
+    EXPECT_NEAR(t.Percentile(p), want, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Values(3, 5, 8));
+
+TEST(FctRecorder, BinsBySizeAndFloorsSlowdownAtOne) {
+  FctRecorder r({1'000, 10'000});
+  r.Record(500, sim::Us(10), sim::Us(10));    // slowdown 1, bin 0
+  r.Record(500, sim::Us(5), sim::Us(10));     // floored to 1
+  r.Record(5'000, sim::Us(40), sim::Us(10));  // slowdown 4, bin 1
+  r.Record(50'000, sim::Us(90), sim::Us(10)); // slowdown 9, bin 2
+  EXPECT_EQ(r.bin(0).Count(), 2u);
+  EXPECT_EQ(r.bin(1).Count(), 1u);
+  EXPECT_EQ(r.bin(2).Count(), 1u);
+  EXPECT_DOUBLE_EQ(r.bin(0).Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(r.bin(1).Percentile(50), 4.0);
+  EXPECT_EQ(r.total_flows(), 4u);
+}
+
+TEST(FctRecorder, EdgeSizesGoToLowerBin) {
+  FctRecorder r({1'000});
+  r.Record(1'000, sim::Us(10), sim::Us(10));  // exactly the edge
+  EXPECT_EQ(r.bin(0).Count(), 1u);
+  EXPECT_EQ(r.bin(1).Count(), 0u);
+}
+
+TEST(FctRecorder, PaperBinSets) {
+  EXPECT_EQ(FctRecorder::WebSearchBins().size(), 10u);
+  EXPECT_EQ(FctRecorder::WebSearchBins().back(), 30'000'000u);
+  EXPECT_EQ(FctRecorder::FbHadoopBins().front(), 324u);
+  EXPECT_EQ(FctRecorder::FbHadoopBins().back(), 10'000'000u);
+}
+
+TEST(FctRecorder, TableFormatsNonEmptyBins) {
+  FctRecorder r(FctRecorder::WebSearchBins());
+  r.Record(100, sim::Us(20), sim::Us(10));
+  r.Record(25'000'000, sim::Us(400), sim::Us(100));
+  const std::string table = r.FormatTable();
+  EXPECT_NE(table.find("<=6.7K"), std::string::npos);
+  EXPECT_NE(table.find("all"), std::string::npos);
+}
+
+TEST(TimeSeries, StoresAndFormats) {
+  TimeSeries ts;
+  ts.Add(sim::Us(1), 10.0);
+  ts.Add(sim::Us(2), 30.0);
+  EXPECT_EQ(ts.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 30.0);
+  EXPECT_FALSE(ts.Format().empty());
+}
+
+TEST(PfcMonitor, TracksDurationsAndPeaks) {
+  PfcMonitor m;
+  const auto& obs = m.observer();
+  // node 1 port 0 paused 10us..40us; node 2 port 1 paused 20us..50us.
+  obs.on_change(1, 0, net::kDataPriority, sim::Us(10), true);
+  obs.on_change(2, 1, net::kDataPriority, sim::Us(20), true);
+  obs.on_change(1, 0, net::kDataPriority, sim::Us(40), false);
+  obs.on_change(2, 1, net::kDataPriority, sim::Us(50), false);
+  m.Finish(sim::Us(100));
+  EXPECT_EQ(m.pause_count(), 2u);
+  EXPECT_EQ(m.total_pause_time(), sim::Us(60));
+  EXPECT_NEAR(m.PauseTimeFraction(sim::Us(100), 6), 0.1, 1e-9);
+  const PercentileTracker d = m.DurationDistributionUs();
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 30.0);
+}
+
+TEST(PfcMonitor, OpenPausesClosedByFinish) {
+  PfcMonitor m;
+  m.observer().on_change(1, 0, net::kDataPriority, sim::Us(10), true);
+  m.Finish(sim::Us(25));
+  EXPECT_EQ(m.total_pause_time(), sim::Us(15));
+}
+
+TEST(PfcMonitor, IgnoresControlPriority) {
+  PfcMonitor m;
+  m.observer().on_change(1, 0, net::kControlPriority, sim::Us(10), true);
+  EXPECT_EQ(m.pause_count(), 0u);
+}
+
+TEST(PfcMonitor, DuplicatePauseEventsIgnored) {
+  PfcMonitor m;
+  m.observer().on_change(1, 0, net::kDataPriority, sim::Us(10), true);
+  m.observer().on_change(1, 0, net::kDataPriority, sim::Us(11), true);
+  m.observer().on_change(1, 0, net::kDataPriority, sim::Us(20), false);
+  m.observer().on_change(1, 0, net::kDataPriority, sim::Us(21), false);
+  m.Finish(sim::Us(30));
+  EXPECT_EQ(m.pause_count(), 1u);
+  EXPECT_EQ(m.total_pause_time(), sim::Us(10));
+}
+
+}  // namespace
+}  // namespace hpcc::stats

@@ -1,0 +1,128 @@
+// Unit tests for the TIMELY baseline.
+#include <gtest/gtest.h>
+
+#include "cc/timely.h"
+
+namespace hpcc::cc {
+namespace {
+
+constexpr int64_t kNic = 25'000'000'000;
+
+CcContext Ctx() {
+  CcContext ctx;
+  ctx.nic_bps = kNic;
+  ctx.base_rtt = sim::Us(9);
+  return ctx;
+}
+
+AckInfo Ack(sim::TimePs rtt) {
+  AckInfo a;
+  a.rtt = rtt;
+  a.newly_acked = 1000;
+  return a;
+}
+
+TEST(Timely, StartsAtLineRate) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  EXPECT_EQ(cc.rate_bps(), kNic);
+}
+
+TEST(Timely, FirstRttOnlyPrimes) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  cc.OnAck(Ack(sim::Us(300)));
+  EXPECT_EQ(cc.rate_bps(), kNic);
+}
+
+TEST(Timely, BelowTlowAdditiveIncrease) {
+  TimelyParams p;
+  TimelyCc cc(Ctx(), p);
+  cc.OnAck(Ack(sim::Us(40)));
+  // Pull the rate down first so increase is observable.
+  cc.OnAck(Ack(sim::Us(600)));
+  const int64_t r0 = cc.rate_bps();
+  cc.OnAck(Ack(sim::Us(30)));
+  const double step = static_cast<double>(p.add_step_bps_at_10g) * kNic / 10e9;
+  EXPECT_NEAR(static_cast<double>(cc.rate_bps() - r0), step, step * 0.01);
+}
+
+TEST(Timely, AboveThighMultiplicativeDecrease) {
+  TimelyParams p;
+  TimelyCc cc(Ctx(), p);
+  cc.OnAck(Ack(sim::Us(100)));
+  const sim::TimePs rtt = sim::Us(1000);
+  cc.OnAck(Ack(rtt));
+  const double expected =
+      kNic * (1.0 - p.beta * (1.0 - static_cast<double>(p.t_high) /
+                                        static_cast<double>(rtt)));
+  EXPECT_NEAR(static_cast<double>(cc.rate_bps()), expected, expected * 0.01);
+}
+
+TEST(Timely, PositiveGradientDecreases) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  // Steadily rising RTT inside [Tlow, Thigh]: gradient > 0 -> decrease.
+  cc.OnAck(Ack(sim::Us(100)));
+  cc.OnAck(Ack(sim::Us(130)));
+  cc.OnAck(Ack(sim::Us(160)));
+  EXPECT_GT(cc.normalized_gradient(), 0.0);
+  EXPECT_LT(cc.rate_bps(), kNic);
+}
+
+TEST(Timely, NegativeGradientIncreases) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  cc.OnAck(Ack(sim::Us(400)));
+  cc.OnAck(Ack(sim::Us(450)));  // drop the rate below line first
+  const int64_t r0 = cc.rate_bps();
+  cc.OnAck(Ack(sim::Us(300)));
+  cc.OnAck(Ack(sim::Us(200)));
+  EXPECT_LT(cc.normalized_gradient(), 0.0);
+  EXPECT_GT(cc.rate_bps(), r0);
+}
+
+TEST(Timely, HaiAfterConsecutiveGoodRounds) {
+  TimelyParams p;
+  TimelyCc cc(Ctx(), p);
+  cc.OnAck(Ack(sim::Us(490)));
+  cc.OnAck(Ack(sim::Us(499)));  // decrease once (gradient > 0)
+  // Feed monotonically falling RTTs in band: negative gradient runs.
+  sim::TimePs rtt = sim::Us(400);
+  int64_t prev = cc.rate_bps();
+  double last_step = 0;
+  for (int i = 0; i < 8; ++i) {
+    cc.OnAck(Ack(rtt));
+    rtt -= sim::Us(20);
+    last_step = static_cast<double>(cc.rate_bps() - prev);
+    prev = cc.rate_bps();
+  }
+  EXPECT_GE(cc.neg_gradient_rounds(), 5);
+  const double base_step =
+      static_cast<double>(p.add_step_bps_at_10g) * kNic / 10e9;
+  EXPECT_NEAR(last_step, 5 * base_step, base_step * 0.5);  // HAI x5
+}
+
+TEST(Timely, RateStaysWithinBounds) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  cc.OnAck(Ack(sim::Us(100)));
+  for (int i = 0; i < 100; ++i) cc.OnAck(Ack(sim::Us(2000)));
+  EXPECT_GE(cc.rate_bps(), static_cast<int64_t>(kNic * 0.001));
+  for (int i = 0; i < 10000; ++i) cc.OnAck(Ack(sim::Us(10)));
+  EXPECT_LE(cc.rate_bps(), kNic);
+}
+
+TEST(Timely, IgnoresAcksWithoutRtt) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  AckInfo a;
+  a.rtt = 0;
+  cc.OnAck(a);
+  EXPECT_EQ(cc.rate_bps(), kNic);
+}
+
+TEST(Timely, PureRateBased) {
+  TimelyCc cc(Ctx(), TimelyParams{});
+  EXPECT_GT(cc.window_bytes(), int64_t{1} << 50);
+  EXPECT_FALSE(cc.wants_ecn());
+  EXPECT_FALSE(cc.wants_int());
+  EXPECT_EQ(cc.name(), "timely");
+}
+
+}  // namespace
+}  // namespace hpcc::cc

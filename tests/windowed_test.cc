@@ -1,0 +1,72 @@
+// Unit tests for the "+win" wrapper (§5.1).
+#include <gtest/gtest.h>
+
+#include "cc/dcqcn.h"
+#include "cc/timely.h"
+#include "cc/windowed.h"
+#include "sim/time.h"
+
+namespace hpcc::cc {
+namespace {
+
+constexpr int64_t kNic = 25'000'000'000;
+constexpr sim::TimePs kT = sim::Us(8);
+
+CcContext Ctx() {
+  CcContext ctx;
+  ctx.nic_bps = kNic;
+  ctx.base_rtt = kT;
+  ctx.mtu_bytes = 1000;
+  return ctx;
+}
+
+TEST(Windowed, WindowIsRateTimesT) {
+  auto cc = WindowedCc(std::make_unique<DcqcnCc>(Ctx(), DcqcnParams{}), Ctx());
+  // At line rate: W = B*T = 25e9/8 * 8e-6 = 25000 bytes.
+  EXPECT_EQ(cc.window_bytes(), 25'000);
+}
+
+TEST(Windowed, WindowShrinksWithRate) {
+  auto cc = WindowedCc(std::make_unique<DcqcnCc>(Ctx(), DcqcnParams{}), Ctx());
+  cc.OnCnp(sim::Us(100));  // halves the inner rate
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()), 12'500.0, 50.0);
+}
+
+TEST(Windowed, WindowFlooredAtOneMtu) {
+  auto cc = WindowedCc(std::make_unique<DcqcnCc>(Ctx(), DcqcnParams{}), Ctx());
+  for (int i = 0; i < 300; ++i) cc.OnCnp(sim::Us(100) + i * sim::Us(100));
+  EXPECT_GE(cc.window_bytes(), 1000);
+}
+
+TEST(Windowed, DelegatesRateAndSignals) {
+  auto cc = WindowedCc(std::make_unique<DcqcnCc>(Ctx(), DcqcnParams{}), Ctx());
+  EXPECT_EQ(cc.rate_bps(), kNic);
+  EXPECT_TRUE(cc.wants_ecn());
+  EXPECT_FALSE(cc.wants_int());
+  EXPECT_EQ(cc.name(), "dcqcn+win");
+}
+
+TEST(Windowed, TimelyVariantName) {
+  auto cc =
+      WindowedCc(std::make_unique<TimelyCc>(Ctx(), TimelyParams{}), Ctx());
+  EXPECT_EQ(cc.name(), "timely+win");
+  EXPECT_EQ(cc.window_bytes(), 25'000);
+}
+
+TEST(Windowed, DelegatesAckToInner) {
+  auto inner = std::make_unique<TimelyCc>(Ctx(), TimelyParams{});
+  TimelyCc* raw = inner.get();
+  WindowedCc cc(std::move(inner), Ctx());
+  AckInfo a;
+  a.rtt = sim::Us(100);
+  cc.OnAck(a);
+  a.rtt = sim::Us(1000);
+  cc.OnAck(a);
+  EXPECT_LT(raw->rate_bps(), kNic);  // inner reacted through the wrapper
+  EXPECT_EQ(cc.window_bytes(),
+            static_cast<int64_t>(static_cast<double>(raw->rate_bps()) / 8.0 *
+                                 sim::ToSec(kT)));
+}
+
+}  // namespace
+}  // namespace hpcc::cc
