@@ -1,0 +1,491 @@
+#include "scenario/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpcc::scenario {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+// Tracks position for error messages and enforces the depth cap.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    int line = 1;
+    int col = 1;
+    for (size_t i = 0; i < pos && i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("JSON parse error at line " + std::to_string(line) +
+                    ", column " + std::to_string(col) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  Json ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipWs();
+    if (AtEnd()) Fail("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return Json::MakeString(ParseString());
+      case 't':
+        if (!Literal("true")) Fail("bad literal");
+        return Json::MakeBool(true);
+      case 'f':
+        if (!Literal("false")) Fail("bad literal");
+        return Json::MakeBool(false);
+      case 'n':
+        if (!Literal("null")) Fail("bad literal");
+        return Json();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        Fail("unexpected character");
+    }
+  }
+
+  Json ParseObject(int depth) {
+    Expect('{');
+    Json out = Json::MakeObject();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') Fail("expected object key");
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      if (out.Find(key) != nullptr) Fail("duplicate key \"" + key + "\"");
+      out.Set(key, ParseValue(depth + 1));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      Expect('}');
+      return out;
+    }
+  }
+
+  Json ParseArray(int depth) {
+    Expect('[');
+    Json out = Json::MakeArray();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      out.Append(ParseValue(depth + 1));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      Expect(']');
+      return out;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (AtEnd()) Fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) Fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) Fail("unterminated escape");
+      c = text[pos++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': AppendCodepoint(&out); break;
+        default: Fail("bad escape");
+      }
+    }
+  }
+
+  void AppendCodepoint(std::string* out) {
+    const unsigned cp = ParseHex4();
+    // Scenario files are ASCII in practice; encode BMP codepoints as UTF-8
+    // (surrogate pairs are rejected rather than half-supported).
+    if (cp >= 0xD800 && cp <= 0xDFFF) Fail("surrogate escapes unsupported");
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned ParseHex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (AtEnd()) Fail("unterminated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else Fail("bad hex digit");
+    }
+    return v;
+  }
+
+  Json ParseNumber() {
+    const size_t start = pos;
+    if (Peek() == '-') ++pos;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') Fail("bad number");
+    // RFC 8259: the integer part is "0" or a nonzero-leading digit run.
+    if (Peek() == '0' && pos + 1 < text.size() && text[pos + 1] >= '0' &&
+        text[pos + 1] <= '9') {
+      Fail("leading zero in number");
+    }
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    if (Peek() == '.') {
+      ++pos;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') Fail("bad fraction");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos;
+      if (Peek() == '+' || Peek() == '-') ++pos;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') Fail("bad exponent");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    }
+    const std::string tok = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      Fail("number out of range");
+    }
+    return Json::MakeNumber(v);
+  }
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string FormatNumber(double v) {
+  if (v == 0) return std::signbit(v) ? "-0" : "0";
+  // Integral values in int64 range print without a decimal point.
+  if (std::abs(v) < 9.2e18 && v == std::floor(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest form that survives a parse round trip.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+Json Json::MakeBool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::MakeNumber(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::MakeString(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::Parse(const std::string& text) {
+  Parser p{text};
+  Json v = p.ParseValue(0);
+  p.SkipWs();
+  if (!p.AtEnd()) p.Fail("trailing content after value");
+  return v;
+}
+
+bool Json::AsBool() const {
+  if (type_ != Type::kBool) throw JsonError("expected a boolean");
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  if (type_ != Type::kNumber) throw JsonError("expected a number");
+  return num_;
+}
+
+int64_t Json::AsInt() const {
+  const double v = AsDouble();
+  if (v != std::floor(v) || std::abs(v) >= 9.2e18) {
+    throw JsonError("expected an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+const std::string& Json::AsString() const {
+  if (type_ != Type::kString) throw JsonError("expected a string");
+  return str_;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  if (type_ != Type::kArray) throw JsonError("expected an array");
+  if (i >= arr_.size()) throw JsonError("array index out of range");
+  return arr_[i];
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) throw JsonError("expected an array");
+  return arr_;
+}
+
+void Json::Append(Json v) {
+  if (type_ != Type::kArray) throw JsonError("Append on non-array");
+  arr_.push_back(std::move(v));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) throw JsonError("missing key \"" + key + "\"");
+  return *v;
+}
+
+void Json::Set(const std::string& key, Json v) {
+  if (type_ != Type::kObject) throw JsonError("Set on non-object");
+  for (Member& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::Remove(const std::string& key) {
+  if (type_ != Type::kObject) return false;
+  for (auto it = obj_.begin(); it != obj_.end(); ++it) {
+    if (it->first == key) {
+      obj_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<Json::Member>& Json::members() const {
+  if (type_ != Type::kObject) throw JsonError("expected an object");
+  return obj_;
+}
+
+void Json::SetPath(const std::string& dotted_path, Json v) {
+  const size_t dot = dotted_path.find('.');
+  if (dot == std::string::npos) {
+    Set(dotted_path, std::move(v));
+    return;
+  }
+  const std::string head = dotted_path.substr(0, dot);
+  const std::string rest = dotted_path.substr(dot + 1);
+  if (head.empty() || rest.empty()) throw JsonError("bad path");
+  for (Member& m : obj_) {
+    if (m.first == head) {
+      if (!m.second.is_object()) {
+        throw JsonError("path \"" + dotted_path +
+                        "\" descends into a non-object");
+      }
+      m.second.SetPath(rest, std::move(v));
+      return;
+    }
+  }
+  Json child = MakeObject();
+  child.SetPath(rest, std::move(v));
+  Set(head, std::move(child));
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += FormatNumber(num_);
+      return;
+    case Type::kString:
+      EscapeInto(str_, out);
+      return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        EscapeInto(obj_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool Json::operator==(const Json& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == o.bool_;
+    case Type::kNumber: return num_ == o.num_;
+    case Type::kString: return str_ == o.str_;
+    case Type::kArray: return arr_ == o.arr_;
+    case Type::kObject: return obj_ == o.obj_;
+  }
+  return false;
+}
+
+}  // namespace hpcc::scenario

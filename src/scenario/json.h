@@ -1,0 +1,94 @@
+// Zero-dependency JSON: a small value type with a strict recursive-descent
+// parser and a deterministic serializer. This is the substrate of the
+// declarative scenario subsystem — scenario files, sweep patching and the
+// round-trip tests all go through it. Objects preserve insertion order so a
+// parse -> dump cycle is stable.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcc::scenario {
+
+// Thrown on malformed input (with offset/line context) and on type-mismatched
+// accessor calls.
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  // null
+  static Json MakeBool(bool v);
+  static Json MakeNumber(double v);
+  static Json MakeString(std::string v);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  // Strict RFC-8259 subset: no comments, no trailing commas, one top-level
+  // value, nesting capped (anti stack-bomb). Throws JsonError.
+  static Json Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw JsonError on mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  // Requires the number to be integral and in int64 range.
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  // Array/object element count (0 for scalars).
+  size_t size() const;
+
+  // Array access.
+  const Json& at(size_t i) const;
+  const std::vector<Json>& items() const;
+  void Append(Json v);
+
+  // Object access. Find returns nullptr when absent; Get throws.
+  const Json* Find(const std::string& key) const;
+  const Json& Get(const std::string& key) const;
+  void Set(const std::string& key, Json v);  // replace or append
+  bool Remove(const std::string& key);
+  const std::vector<Member>& members() const;
+  // Sets a value through a dotted path ("workload.load"), creating
+  // intermediate objects as needed. Used for sweep-grid patching.
+  void SetPath(const std::string& dotted_path, Json v);
+
+  // Deterministic serialization: same value -> same bytes. indent == 0 is
+  // compact, > 0 pretty-prints. Numbers use the shortest representation that
+  // parses back to the identical double.
+  std::string Dump(int indent = 0) const;
+
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<Member> obj_;
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+};
+
+// Shortest decimal form of `v` that round-trips through strtod. Exposed for
+// the CSV aggregation path, which wants the same determinism.
+std::string FormatNumber(double v);
+
+}  // namespace hpcc::scenario

@@ -1,0 +1,178 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <thread>
+
+#include "scenario/json.h"
+#include "stats/csv_writer.h"
+
+namespace hpcc::scenario {
+namespace {
+
+// Single source of truth for the CSV shape: CsvHeader emits these names and
+// CsvRow emits exactly one cell per entry ("error" last).
+constexpr const char* kMetricColumns[] = {
+    "flows_created",  "flows_completed",  "slowdown_p50",  "slowdown_p95",
+    "slowdown_p99",   "short_fct_p95_us", "queue_p50_kb",  "queue_p99_kb",
+    "queue_max_kb",   "pfc_pause_pct",    "pfc_events",    "dropped_packets",
+    "sim_time_ms",    "events_executed",  "error"};
+constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
+    : options_(options) {}
+
+SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run) {
+  SweepRunResult out;
+  out.label = run.label;
+  out.params = run.params;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    runner::Experiment e(MakeExperimentConfig(run.scenario));
+    InstalledEvents events = InstallEvents(e, run.scenario);
+    out.result = e.Run();
+  } catch (const std::exception& ex) {
+    out.error = ex.what();
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+std::vector<SweepRunResult> ScenarioRunner::RunAll(const Scenario& scenario) {
+  return RunAll(ExpandSweep(scenario));
+}
+
+std::vector<SweepRunResult> ScenarioRunner::RunAll(
+    const std::vector<ScenarioRun>& runs) {
+  std::vector<SweepRunResult> results(runs.size());
+
+  int jobs = options_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(runs.size()));
+  jobs = std::max(jobs, 1);
+
+  std::atomic<size_t> next{0};
+  const bool verbose = options_.verbose;
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= runs.size()) return;
+      results[i] = RunOne(runs[i]);
+      if (verbose) {
+        std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", i + 1, runs.size(),
+                     results[i].label.c_str(),
+                     results[i].ok() ? results[i].result.Summary().c_str()
+                                     : results[i].error.c_str(),
+                     results[i].wall_seconds);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(jobs - 1));
+  for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the caller thread is worker 0
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<std::string> ScenarioRunner::CsvHeader(
+    const std::vector<SweepRunResult>& results) {
+  std::vector<std::string> header{"run"};
+  if (!results.empty()) {
+    // All points of one sweep share the same axis keys.
+    for (const auto& [key, value] : results.front().params) {
+      header.push_back(key);
+    }
+  }
+  header.insert(header.end(), std::begin(kMetricColumns),
+                std::end(kMetricColumns));
+  return header;
+}
+
+std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r) {
+  std::vector<std::string> row{r.label};
+  for (const auto& [key, value] : r.params) row.push_back(value);
+  if (!r.ok()) {
+    // Keep the row rectangular: blanks for the numeric metrics, error last.
+    for (size_t i = 0; i + 1 < kNumMetricColumns; ++i) row.emplace_back();
+    row.push_back(r.error);
+    return row;
+  }
+  const runner::ExperimentResult& res = r.result;
+  const stats::PercentileTracker& slow = res.fct->overall();
+  row.push_back(FormatNumber(static_cast<double>(res.flows_created)));
+  row.push_back(FormatNumber(static_cast<double>(res.flows_completed)));
+  row.push_back(FormatNumber(slow.Percentile(50)));
+  row.push_back(FormatNumber(slow.Percentile(95)));
+  row.push_back(FormatNumber(slow.Percentile(99)));
+  row.push_back(FormatNumber(res.short_fct_us.Percentile(95)));
+  row.push_back(FormatNumber(res.queue_dist.Percentile(50) / 1e3));
+  row.push_back(FormatNumber(res.queue_dist.Percentile(99) / 1e3));
+  row.push_back(FormatNumber(static_cast<double>(res.max_queue_bytes) / 1e3));
+  row.push_back(FormatNumber(res.pause_time_fraction * 100));
+  row.push_back(FormatNumber(static_cast<double>(res.pause_events)));
+  row.push_back(FormatNumber(static_cast<double>(res.dropped_packets)));
+  row.push_back(FormatNumber(sim::ToMs(res.sim_time)));
+  row.push_back(FormatNumber(static_cast<double>(res.events_executed)));
+  row.emplace_back();  // error
+  return row;
+}
+
+int ScenarioRunner::ReportAndWriteCsv(
+    const std::vector<SweepRunResult>& results, const std::string& csv_path) {
+  int failures = 0;
+  for (const SweepRunResult& r : results) {
+    if (r.ok()) {
+      std::printf("%-48s %s\n", r.label.c_str(), r.result.Summary().c_str());
+    } else {
+      ++failures;
+      std::printf("%-48s ERROR: %s\n", r.label.c_str(), r.error.c_str());
+    }
+  }
+  if (!WriteCsv(csv_path, results)) {
+    std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), results.size());
+  return failures == 0 ? 0 : 1;
+}
+
+bool ScenarioRunner::WriteCsv(const std::string& path,
+                              const std::vector<SweepRunResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size());
+  for (const SweepRunResult& r : results) rows.push_back(CsvRow(r));
+  return stats::WriteTableCsv(path, CsvHeader(results), rows);
+}
+
+int RunScenarioFile(const std::string& path,
+                    const ScenarioRunnerOptions& options,
+                    const std::string& out_override) {
+  try {
+    const Scenario sc = LoadScenarioFile(path);
+    const std::vector<ScenarioRun> runs = ExpandSweep(sc);
+    std::printf("scenario %s: %zu run(s), %zu event(s)\n", sc.name.c_str(),
+                runs.size(), sc.events.size());
+    const std::vector<SweepRunResult> results =
+        ScenarioRunner(options).RunAll(runs);
+    const std::string out =
+        out_override.empty() ? sc.name + ".csv" : out_override;
+    return ScenarioRunner::ReportAndWriteCsv(results, out);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+}
+
+}  // namespace hpcc::scenario

@@ -1,0 +1,77 @@
+// ScenarioRunner: expands a scenario's sweep grid and executes the points on
+// a thread pool. Each sim::Simulator is independent and single-threaded, so
+// sweep points are embarrassingly parallel; results are keyed by grid index,
+// making the aggregate CSV byte-identical for any --jobs value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "scenario/scenario.h"
+
+namespace hpcc::scenario {
+
+struct SweepRunResult {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> params;
+  runner::ExperimentResult result;
+  // Non-empty when the run threw; such rows carry empty metrics.
+  std::string error;
+  // Host wall-clock seconds for this point (diagnostic; never in the CSV).
+  double wall_seconds = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct ScenarioRunnerOptions {
+  // Worker threads; 0 = hardware concurrency clamped to the run count.
+  int jobs = 0;
+  // Per-run progress lines on stderr.
+  bool verbose = false;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const ScenarioRunnerOptions& options = {});
+
+  // Expands the sweep and runs every point. Results are in grid order
+  // regardless of scheduling; a failed point records its error and does not
+  // abort the sweep.
+  std::vector<SweepRunResult> RunAll(const Scenario& scenario);
+  // Same, over an already-expanded grid (avoids re-expanding when the
+  // caller needed the points anyway).
+  std::vector<SweepRunResult> RunAll(const std::vector<ScenarioRun>& runs);
+
+  // Executes one fully-resolved sweep point (no threading).
+  static SweepRunResult RunOne(const ScenarioRun& run);
+
+  // Aggregates per-run results into one CSV via stats::CsvWriter. Columns:
+  // run label, one column per sweep axis, then the summary metrics.
+  static bool WriteCsv(const std::string& path,
+                       const std::vector<SweepRunResult>& results);
+
+  // Shared CLI tail (hpccsim --scenario and scenario_main): prints one
+  // summary line per point, writes the aggregated CSV, and returns a process
+  // exit code — 0 when every point succeeded and the CSV was written.
+  static int ReportAndWriteCsv(const std::vector<SweepRunResult>& results,
+                               const std::string& csv_path);
+
+  // Header/row shape shared by WriteCsv and tests.
+  static std::vector<std::string> CsvHeader(
+      const std::vector<SweepRunResult>& results);
+  static std::vector<std::string> CsvRow(const SweepRunResult& r);
+
+ private:
+  ScenarioRunnerOptions options_;
+};
+
+// The whole CLI flow shared by `scenario_main FILE` and `hpccsim
+// --scenario=FILE`: load, expand, run, report, write the CSV (to
+// `out_override`, or "<scenario name>.csv" when empty). Catches and prints
+// scenario/runtime errors; returns the process exit code.
+int RunScenarioFile(const std::string& path,
+                    const ScenarioRunnerOptions& options,
+                    const std::string& out_override);
+
+}  // namespace hpcc::scenario

@@ -1,0 +1,756 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <initializer_list>
+
+namespace hpcc::scenario {
+namespace {
+
+constexpr size_t kMaxSweepRuns = 100'000;
+
+// Largest double that still fits the int64 picosecond clock: casting beyond
+// it is undefined behavior, so absurd (but positive-checked) times like
+// "at_us": 1e300 must be rejected loudly like every other malformed input.
+constexpr double kMaxTimePs = 9.2e18;
+
+sim::TimePs CheckedPs(double value, double ps_per_unit, const char* what) {
+  const double ps = value * ps_per_unit;
+  if (!(ps > -kMaxTimePs && ps < kMaxTimePs)) {
+    throw ScenarioError(std::string(what) +
+                        " is outside the simulator's time range");
+  }
+  return static_cast<sim::TimePs>(ps);
+}
+
+sim::TimePs UsToPs(double us, const char* what = "time value") {
+  return CheckedPs(us, static_cast<double>(sim::kPsPerUs), what);
+}
+
+double PsToUs(sim::TimePs t) { return sim::ToUs(t); }
+
+int64_t GbpsToBps(double gbps) {
+  const double bps = gbps * static_cast<double>(sim::kGbps);
+  // Same loud-failure rule as CheckedPs: casting past int64 is UB.
+  if (!(bps < 9.2e18)) {
+    throw ScenarioError("link rate is outside the representable range");
+  }
+  return static_cast<int64_t>(bps);
+}
+
+uint64_t CheckedBytes(double v, const char* what) {
+  if (!(v < 9.2e18)) {
+    throw ScenarioError(std::string(what) + " is too large");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+double BpsToGbps(int64_t bps) {
+  return static_cast<double>(bps) / static_cast<double>(sim::kGbps);
+}
+
+// Every object in the schema rejects unknown keys so typos fail loudly
+// instead of silently running defaults.
+void CheckKeys(const Json& obj, const char* where,
+               std::initializer_list<const char*> allowed) {
+  for (const auto& m : obj.members()) {
+    bool ok = false;
+    for (const char* k : allowed) {
+      if (m.first == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw ScenarioError("unknown key \"" + m.first + "\" in " + where);
+    }
+  }
+}
+
+const Json& Require(const Json& obj, const char* key, const char* where) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    throw ScenarioError(std::string("missing required key \"") + key +
+                        "\" in " + where);
+  }
+  return *v;
+}
+
+double NumOr(const Json& obj, const char* key, double def) {
+  const Json* v = obj.Find(key);
+  return v == nullptr ? def : v->AsDouble();
+}
+
+int64_t IntOr(const Json& obj, const char* key, int64_t def) {
+  const Json* v = obj.Find(key);
+  return v == nullptr ? def : v->AsInt();
+}
+
+bool BoolOr(const Json& obj, const char* key, bool def) {
+  const Json* v = obj.Find(key);
+  return v == nullptr ? def : v->AsBool();
+}
+
+std::string StrOr(const Json& obj, const char* key, const std::string& def) {
+  const Json* v = obj.Find(key);
+  return v == nullptr ? def : v->AsString();
+}
+
+int PositiveInt(const Json& obj, const char* key, int64_t def,
+                const char* where) {
+  const int64_t v = IntOr(obj, key, def);
+  if (v <= 0 || v > 1'000'000) {
+    throw ScenarioError(std::string("\"") + key + "\" in " + where +
+                        " must be a positive integer");
+  }
+  return static_cast<int>(v);
+}
+
+double PositiveNum(const Json& obj, const char* key, double def,
+                   const char* where) {
+  const double v = NumOr(obj, key, def);
+  if (!(v > 0)) {
+    throw ScenarioError(std::string("\"") + key + "\" in " + where +
+                        " must be > 0");
+  }
+  return v;
+}
+
+void ParseTopology(const Json& t, runner::ExperimentConfig* cfg) {
+  const std::string kind = Require(t, "kind", "topology").AsString();
+  if (kind == "fattree") {
+    CheckKeys(t, "topology",
+              {"kind", "paper_scale", "pods", "tors_per_pod", "aggs_per_pod",
+               "cores_per_agg", "hosts_per_tor", "host_gbps", "fabric_gbps",
+               "link_delay_us"});
+    cfg->topology = runner::TopologyKind::kFatTree;
+    topo::FatTreeOptions o = BoolOr(t, "paper_scale", false)
+                                 ? topo::FatTreeOptions::PaperScale()
+                                 : topo::FatTreeOptions{};
+    o.pods = PositiveInt(t, "pods", o.pods, "topology");
+    o.tors_per_pod = PositiveInt(t, "tors_per_pod", o.tors_per_pod, "topology");
+    o.aggs_per_pod = PositiveInt(t, "aggs_per_pod", o.aggs_per_pod, "topology");
+    o.cores_per_agg =
+        PositiveInt(t, "cores_per_agg", o.cores_per_agg, "topology");
+    o.hosts_per_tor =
+        PositiveInt(t, "hosts_per_tor", o.hosts_per_tor, "topology");
+    o.host_bps = GbpsToBps(
+        PositiveNum(t, "host_gbps", BpsToGbps(o.host_bps), "topology"));
+    o.fabric_bps = GbpsToBps(
+        PositiveNum(t, "fabric_gbps", BpsToGbps(o.fabric_bps), "topology"));
+    o.link_delay = UsToPs(
+        PositiveNum(t, "link_delay_us", PsToUs(o.link_delay), "topology"));
+    cfg->fattree = o;
+  } else if (kind == "testbed") {
+    CheckKeys(t, "topology",
+              {"kind", "servers_per_pair", "host_gbps", "fabric_gbps",
+               "link_delay_us"});
+    cfg->topology = runner::TopologyKind::kTestbed;
+    topo::TestbedOptions o;
+    o.servers_per_pair =
+        PositiveInt(t, "servers_per_pair", o.servers_per_pair, "topology");
+    o.host_bps = GbpsToBps(
+        PositiveNum(t, "host_gbps", BpsToGbps(o.host_bps), "topology"));
+    o.fabric_bps = GbpsToBps(
+        PositiveNum(t, "fabric_gbps", BpsToGbps(o.fabric_bps), "topology"));
+    o.link_delay = UsToPs(
+        PositiveNum(t, "link_delay_us", PsToUs(o.link_delay), "topology"));
+    cfg->testbed = o;
+  } else if (kind == "star") {
+    CheckKeys(t, "topology", {"kind", "hosts", "host_gbps", "link_delay_us"});
+    cfg->topology = runner::TopologyKind::kStar;
+    topo::StarOptions o;
+    o.num_hosts = PositiveInt(t, "hosts", o.num_hosts, "topology");
+    o.host_bps = GbpsToBps(
+        PositiveNum(t, "host_gbps", BpsToGbps(o.host_bps), "topology"));
+    o.link_delay = UsToPs(
+        PositiveNum(t, "link_delay_us", PsToUs(o.link_delay), "topology"));
+    cfg->star = o;
+  } else if (kind == "dumbbell") {
+    CheckKeys(t, "topology",
+              {"kind", "hosts_per_side", "host_gbps", "trunk_gbps",
+               "link_delay_us"});
+    cfg->topology = runner::TopologyKind::kDumbbell;
+    topo::DumbbellOptions o;
+    o.hosts_per_side =
+        PositiveInt(t, "hosts_per_side", o.hosts_per_side, "topology");
+    o.host_bps = GbpsToBps(
+        PositiveNum(t, "host_gbps", BpsToGbps(o.host_bps), "topology"));
+    o.trunk_bps = GbpsToBps(
+        PositiveNum(t, "trunk_gbps", BpsToGbps(o.trunk_bps), "topology"));
+    o.link_delay = UsToPs(
+        PositiveNum(t, "link_delay_us", PsToUs(o.link_delay), "topology"));
+    cfg->dumbbell = o;
+  } else {
+    throw ScenarioError("unknown topology kind \"" + kind +
+                        "\" (fattree|testbed|star|dumbbell)");
+  }
+}
+
+void ParseCc(const Json& c, runner::ExperimentConfig* cfg) {
+  CheckKeys(c, "cc",
+            {"scheme", "eta", "wai_bytes", "max_stage", "expected_flows",
+             "alpha_fair"});
+  cfg->cc.scheme = StrOr(c, "scheme", cfg->cc.scheme);
+  if (cfg->cc.scheme.empty()) throw ScenarioError("cc.scheme must be set");
+  cfg->cc.hpcc.eta = PositiveNum(c, "eta", cfg->cc.hpcc.eta, "cc");
+  cfg->cc.hpcc.wai_bytes = NumOr(c, "wai_bytes", cfg->cc.hpcc.wai_bytes);
+  cfg->cc.hpcc.max_stage =
+      PositiveInt(c, "max_stage", cfg->cc.hpcc.max_stage, "cc");
+  cfg->cc.hpcc.expected_flows =
+      PositiveInt(c, "expected_flows", cfg->cc.hpcc.expected_flows, "cc");
+  cfg->cc.alpha_fair = PositiveNum(c, "alpha_fair", cfg->cc.alpha_fair, "cc");
+}
+
+// Reads the incast fields shared between "workload.incast" and incast
+// events; key whitelisting is the caller's job (the allowed sets differ).
+workload::IncastOptions ParseIncast(const Json& inc, const char* where) {
+  workload::IncastOptions io;
+  io.fan_in = PositiveInt(inc, "fan_in", io.fan_in, where);
+  io.flow_bytes = CheckedBytes(
+      PositiveNum(inc, "flow_bytes", static_cast<double>(io.flow_bytes),
+                  where),
+      "flow_bytes");
+  io.first_event =
+      UsToPs(PositiveNum(inc, "first_event_us", PsToUs(io.first_event),
+                         where));
+  const double period_us = NumOr(inc, "period_us", PsToUs(io.period));
+  if (period_us < 0) {
+    throw ScenarioError(std::string("\"period_us\" in ") + where +
+                        " must be >= 0");
+  }
+  io.period = UsToPs(period_us);
+  const int64_t receiver = IntOr(inc, "receiver", io.fixed_receiver);
+  // Upper bound before the int32 narrowing: a huge index must be rejected,
+  // not wrapped (e.g. 4294967295 would wrap to -1, "random receiver").
+  if (receiver < -1 || receiver > 1'000'000) {
+    throw ScenarioError(std::string("\"receiver\" in ") + where +
+                        " must be a host index or -1 (random)");
+  }
+  io.fixed_receiver = static_cast<int32_t>(receiver);
+  return io;
+}
+
+void ParseWorkload(const Json& w, runner::ExperimentConfig* cfg) {
+  CheckKeys(w, "workload", {"load", "trace", "max_flows", "incast"});
+  cfg->load = NumOr(w, "load", cfg->load);
+  if (cfg->load < 0 || cfg->load > 4) {
+    throw ScenarioError("workload.load must be in [0, 4]");
+  }
+  cfg->trace = StrOr(w, "trace", cfg->trace);
+  if (cfg->trace != "websearch" && cfg->trace != "fbhadoop") {
+    throw ScenarioError("workload.trace must be websearch|fbhadoop");
+  }
+  const int64_t max_flows = IntOr(w, "max_flows", 0);
+  if (max_flows < 0) throw ScenarioError("workload.max_flows must be >= 0");
+  cfg->max_flows = static_cast<uint64_t>(max_flows);
+  if (const Json* inc = w.Find("incast")) {
+    CheckKeys(*inc, "workload.incast",
+              {"fan_in", "flow_bytes", "first_event_us", "period_us",
+               "receiver"});
+    cfg->incast = true;
+    cfg->incast_opts = ParseIncast(*inc, "workload.incast");
+  }
+}
+
+ScenarioEvent ParseEvent(const Json& ev, size_t index) {
+  const std::string where = "events[" + std::to_string(index) + "]";
+  const std::string type = Require(ev, "type", where.c_str()).AsString();
+  const double at_us = Require(ev, "at_us", where.c_str()).AsDouble();
+  if (at_us < 0) throw ScenarioError(where + ".at_us must be >= 0");
+
+  ScenarioEvent out;
+  out.at = UsToPs(at_us, "at_us");
+  if (type == "link_down" || type == "link_up") {
+    CheckKeys(ev, where.c_str(), {"type", "at_us", "link"});
+    out.kind = type == "link_down" ? ScenarioEvent::Kind::kLinkDown
+                                   : ScenarioEvent::Kind::kLinkUp;
+    const int64_t link = Require(ev, "link", where.c_str()).AsInt();
+    if (link < 0) throw ScenarioError(where + ".link must be >= 0");
+    out.link = static_cast<size_t>(link);
+  } else if (type == "incast") {
+    CheckKeys(ev, where.c_str(),
+              {"type", "at_us", "fan_in", "flow_bytes", "receiver"});
+    out.kind = ScenarioEvent::Kind::kIncast;
+    out.incast = ParseIncast(ev, where.c_str());
+    // `at_us` is authoritative; fold it into the one-shot generator.
+    out.incast.first_event = out.at;
+    out.incast.period = 0;
+  } else if (type == "load_phase") {
+    CheckKeys(ev, where.c_str(), {"type", "at_us", "load"});
+    out.kind = ScenarioEvent::Kind::kLoadPhase;
+    out.load = Require(ev, "load", where.c_str()).AsDouble();
+    if (out.load < 0 || out.load > 4) {
+      throw ScenarioError(where + ".load must be in [0, 4]");
+    }
+  } else {
+    throw ScenarioError("unknown event type \"" + type +
+                        "\" (link_down|link_up|incast|load_phase)");
+  }
+  return out;
+}
+
+std::vector<SweepAxis> ParseSweep(const Json& sw) {
+  std::vector<SweepAxis> axes;
+  for (const auto& [key, values] : sw.members()) {
+    if (key.empty()) throw ScenarioError("empty sweep key");
+    if (!values.is_array() || values.size() == 0) {
+      throw ScenarioError("sweep axis \"" + key +
+                          "\" must be a non-empty array");
+    }
+    axes.push_back(SweepAxis{key, values.items()});
+  }
+  return axes;
+}
+
+std::string ValueText(const Json& v) {
+  return v.is_string() ? v.AsString() : v.Dump();
+}
+
+// Host count every topology kind will build — lets the parser reject incast
+// shapes that could never run (the generator's own guard is a debug assert,
+// compiled out in Release).
+int NumHosts(const runner::ExperimentConfig& cfg) {
+  switch (cfg.topology) {
+    case runner::TopologyKind::kFatTree:
+      return cfg.fattree.num_hosts();
+    case runner::TopologyKind::kTestbed:
+      return 2 * cfg.testbed.servers_per_pair;
+    case runner::TopologyKind::kStar:
+      return cfg.star.num_hosts;
+    case runner::TopologyKind::kDumbbell:
+      return 2 * cfg.dumbbell.hosts_per_side;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Scenario ParseScenario(const Json& doc) {
+  if (!doc.is_object()) {
+    throw ScenarioError("scenario document must be a JSON object");
+  }
+  CheckKeys(doc, "scenario",
+            {"name", "description", "topology", "cc", "workload",
+             "duration_ms", "drain_factor", "seed", "pfc", "recovery",
+             "int_sample_every", "short_flow_bytes", "events", "sweep"});
+
+  Scenario s;
+  s.source = doc;
+  s.name = StrOr(doc, "name", s.name);
+  if (s.name.empty()) throw ScenarioError("name must not be empty");
+  s.description = StrOr(doc, "description", "");
+
+  ParseTopology(Require(doc, "topology", "scenario"), &s.config);
+  if (const Json* c = doc.Find("cc")) ParseCc(*c, &s.config);
+  if (const Json* w = doc.Find("workload")) ParseWorkload(*w, &s.config);
+  if (s.config.incast) {
+    const int hosts = NumHosts(s.config);
+    if (s.config.incast_opts.fan_in >= hosts) {
+      throw ScenarioError("workload.incast.fan_in " +
+                          std::to_string(s.config.incast_opts.fan_in) +
+                          " needs more hosts than the topology's " +
+                          std::to_string(hosts));
+    }
+    if (s.config.incast_opts.fixed_receiver >= hosts) {
+      throw ScenarioError("workload.incast.receiver index out of range");
+    }
+  }
+
+  s.config.duration = CheckedPs(
+      PositiveNum(doc, "duration_ms", sim::ToMs(s.config.duration),
+                  "scenario"),
+      static_cast<double>(sim::kPsPerMs), "duration_ms");
+  s.config.drain_factor =
+      PositiveNum(doc, "drain_factor", s.config.drain_factor, "scenario");
+  const int64_t seed = IntOr(doc, "seed", static_cast<int64_t>(s.config.seed));
+  if (seed < 0) throw ScenarioError("seed must be >= 0");
+  s.config.seed = static_cast<uint64_t>(seed);
+  s.config.pfc_enabled = BoolOr(doc, "pfc", s.config.pfc_enabled);
+  const std::string recovery = StrOr(doc, "recovery", "gbn");
+  if (recovery == "gbn") {
+    s.config.recovery = host::RecoveryMode::kGoBackN;
+  } else if (recovery == "irn") {
+    s.config.recovery = host::RecoveryMode::kIrn;
+  } else {
+    throw ScenarioError("recovery must be gbn|irn");
+  }
+  s.config.int_sample_every = PositiveInt(doc, "int_sample_every",
+                                          s.config.int_sample_every,
+                                          "scenario");
+  const int64_t short_bytes = IntOr(doc, "short_flow_bytes",
+                                    static_cast<int64_t>(
+                                        s.config.short_flow_bytes));
+  if (short_bytes < 0) throw ScenarioError("short_flow_bytes must be >= 0");
+  s.config.short_flow_bytes = static_cast<uint64_t>(short_bytes);
+
+  if (const Json* evs = doc.Find("events")) {
+    if (!evs->is_array()) throw ScenarioError("events must be an array");
+    for (size_t i = 0; i < evs->size(); ++i) {
+      s.events.push_back(ParseEvent(evs->at(i), i));
+    }
+  }
+  if (const Json* sw = doc.Find("sweep")) {
+    if (!sw->is_object()) throw ScenarioError("sweep must be an object");
+    s.sweep = ParseSweep(*sw);
+  }
+  return s;
+}
+
+Scenario ParseScenarioText(const std::string& text) {
+  return ParseScenario(Json::Parse(text));
+}
+
+Scenario LoadScenarioFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw ScenarioError("cannot open scenario file: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    // Without this, a truncated read would surface as a misleading JSON
+    // parse error on the partial text.
+    throw ScenarioError("read error on scenario file: " + path);
+  }
+  try {
+    return ParseScenarioText(text);
+  } catch (const std::runtime_error& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+namespace {
+
+Json IncastToJson(const workload::IncastOptions& io, bool with_schedule) {
+  Json inc = Json::MakeObject();
+  inc.Set("fan_in", Json::MakeNumber(io.fan_in));
+  inc.Set("flow_bytes", Json::MakeNumber(static_cast<double>(io.flow_bytes)));
+  if (with_schedule) {
+    inc.Set("first_event_us", Json::MakeNumber(PsToUs(io.first_event)));
+    inc.Set("period_us", Json::MakeNumber(PsToUs(io.period)));
+  }
+  inc.Set("receiver", Json::MakeNumber(io.fixed_receiver));
+  return inc;
+}
+
+Json TopologyToJson(const runner::ExperimentConfig& cfg) {
+  Json t = Json::MakeObject();
+  switch (cfg.topology) {
+    case runner::TopologyKind::kFatTree: {
+      const topo::FatTreeOptions& o = cfg.fattree;
+      t.Set("kind", Json::MakeString("fattree"));
+      t.Set("pods", Json::MakeNumber(o.pods));
+      t.Set("tors_per_pod", Json::MakeNumber(o.tors_per_pod));
+      t.Set("aggs_per_pod", Json::MakeNumber(o.aggs_per_pod));
+      t.Set("cores_per_agg", Json::MakeNumber(o.cores_per_agg));
+      t.Set("hosts_per_tor", Json::MakeNumber(o.hosts_per_tor));
+      t.Set("host_gbps", Json::MakeNumber(BpsToGbps(o.host_bps)));
+      t.Set("fabric_gbps", Json::MakeNumber(BpsToGbps(o.fabric_bps)));
+      t.Set("link_delay_us", Json::MakeNumber(PsToUs(o.link_delay)));
+      break;
+    }
+    case runner::TopologyKind::kTestbed: {
+      const topo::TestbedOptions& o = cfg.testbed;
+      t.Set("kind", Json::MakeString("testbed"));
+      t.Set("servers_per_pair", Json::MakeNumber(o.servers_per_pair));
+      t.Set("host_gbps", Json::MakeNumber(BpsToGbps(o.host_bps)));
+      t.Set("fabric_gbps", Json::MakeNumber(BpsToGbps(o.fabric_bps)));
+      t.Set("link_delay_us", Json::MakeNumber(PsToUs(o.link_delay)));
+      break;
+    }
+    case runner::TopologyKind::kStar: {
+      const topo::StarOptions& o = cfg.star;
+      t.Set("kind", Json::MakeString("star"));
+      t.Set("hosts", Json::MakeNumber(o.num_hosts));
+      t.Set("host_gbps", Json::MakeNumber(BpsToGbps(o.host_bps)));
+      t.Set("link_delay_us", Json::MakeNumber(PsToUs(o.link_delay)));
+      break;
+    }
+    case runner::TopologyKind::kDumbbell: {
+      const topo::DumbbellOptions& o = cfg.dumbbell;
+      t.Set("kind", Json::MakeString("dumbbell"));
+      t.Set("hosts_per_side", Json::MakeNumber(o.hosts_per_side));
+      t.Set("host_gbps", Json::MakeNumber(BpsToGbps(o.host_bps)));
+      t.Set("trunk_gbps", Json::MakeNumber(BpsToGbps(o.trunk_bps)));
+      t.Set("link_delay_us", Json::MakeNumber(PsToUs(o.link_delay)));
+      break;
+    }
+  }
+  return t;
+}
+
+Json EventToJson(const ScenarioEvent& ev) {
+  Json e = Json::MakeObject();
+  switch (ev.kind) {
+    case ScenarioEvent::Kind::kLinkDown:
+    case ScenarioEvent::Kind::kLinkUp:
+      e.Set("type", Json::MakeString(ev.kind == ScenarioEvent::Kind::kLinkDown
+                                         ? "link_down"
+                                         : "link_up"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("link", Json::MakeNumber(static_cast<double>(ev.link)));
+      break;
+    case ScenarioEvent::Kind::kIncast: {
+      e.Set("type", Json::MakeString("incast"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("fan_in", Json::MakeNumber(ev.incast.fan_in));
+      e.Set("flow_bytes",
+            Json::MakeNumber(static_cast<double>(ev.incast.flow_bytes)));
+      e.Set("receiver", Json::MakeNumber(ev.incast.fixed_receiver));
+      break;
+    }
+    case ScenarioEvent::Kind::kLoadPhase:
+      e.Set("type", Json::MakeString("load_phase"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("load", Json::MakeNumber(ev.load));
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+Json ScenarioToJson(const Scenario& s) {
+  const runner::ExperimentConfig& cfg = s.config;
+  Json doc = Json::MakeObject();
+  doc.Set("name", Json::MakeString(s.name));
+  if (!s.description.empty()) {
+    doc.Set("description", Json::MakeString(s.description));
+  }
+  doc.Set("topology", TopologyToJson(cfg));
+
+  Json c = Json::MakeObject();
+  c.Set("scheme", Json::MakeString(cfg.cc.scheme));
+  c.Set("eta", Json::MakeNumber(cfg.cc.hpcc.eta));
+  c.Set("wai_bytes", Json::MakeNumber(cfg.cc.hpcc.wai_bytes));
+  c.Set("max_stage", Json::MakeNumber(cfg.cc.hpcc.max_stage));
+  c.Set("expected_flows", Json::MakeNumber(cfg.cc.hpcc.expected_flows));
+  c.Set("alpha_fair", Json::MakeNumber(cfg.cc.alpha_fair));
+  doc.Set("cc", std::move(c));
+
+  Json w = Json::MakeObject();
+  w.Set("load", Json::MakeNumber(cfg.load));
+  w.Set("trace", Json::MakeString(cfg.trace));
+  w.Set("max_flows", Json::MakeNumber(static_cast<double>(cfg.max_flows)));
+  if (cfg.incast) {
+    w.Set("incast", IncastToJson(cfg.incast_opts, /*with_schedule=*/true));
+  }
+  doc.Set("workload", std::move(w));
+
+  doc.Set("duration_ms", Json::MakeNumber(sim::ToMs(cfg.duration)));
+  doc.Set("drain_factor", Json::MakeNumber(cfg.drain_factor));
+  doc.Set("seed", Json::MakeNumber(static_cast<double>(cfg.seed)));
+  doc.Set("pfc", Json::MakeBool(cfg.pfc_enabled));
+  doc.Set("recovery",
+          Json::MakeString(cfg.recovery == host::RecoveryMode::kIrn ? "irn"
+                                                                    : "gbn"));
+  doc.Set("int_sample_every", Json::MakeNumber(cfg.int_sample_every));
+  doc.Set("short_flow_bytes",
+          Json::MakeNumber(static_cast<double>(cfg.short_flow_bytes)));
+
+  if (!s.events.empty()) {
+    Json evs = Json::MakeArray();
+    for (const ScenarioEvent& ev : s.events) evs.Append(EventToJson(ev));
+    doc.Set("events", std::move(evs));
+  }
+  if (!s.sweep.empty()) {
+    Json sw = Json::MakeObject();
+    for (const SweepAxis& axis : s.sweep) {
+      Json vals = Json::MakeArray();
+      for (const Json& v : axis.values) vals.Append(v);
+      sw.Set(axis.key, std::move(vals));
+    }
+    doc.Set("sweep", std::move(sw));
+  }
+  return doc;
+}
+
+std::vector<ScenarioRun> ExpandSweep(const Scenario& s) {
+  if (s.sweep.empty()) {
+    ScenarioRun run;
+    run.label = s.name;
+    run.scenario = s;
+    run.scenario.sweep.clear();
+    return {std::move(run)};
+  }
+  if (!s.source.is_object()) {
+    throw ScenarioError(
+        "sweep expansion needs the source document (scenario was built "
+        "programmatically)");
+  }
+  size_t total = 1;
+  for (const SweepAxis& axis : s.sweep) {
+    if (axis.values.empty()) {
+      throw ScenarioError("sweep axis \"" + axis.key + "\" is empty");
+    }
+    total *= axis.values.size();
+    if (total > kMaxSweepRuns) {
+      throw ScenarioError("sweep grid exceeds " +
+                          std::to_string(kMaxSweepRuns) + " runs");
+    }
+  }
+
+  std::vector<ScenarioRun> runs;
+  runs.reserve(total);
+  for (size_t flat = 0; flat < total; ++flat) {
+    // Mixed-radix decode, last axis fastest.
+    std::vector<size_t> idx(s.sweep.size(), 0);
+    size_t rem = flat;
+    for (size_t a = s.sweep.size(); a-- > 0;) {
+      idx[a] = rem % s.sweep[a].values.size();
+      rem /= s.sweep[a].values.size();
+    }
+
+    Json doc = s.source;
+    doc.Remove("sweep");
+    ScenarioRun run;
+    std::string suffix;
+    for (size_t a = 0; a < s.sweep.size(); ++a) {
+      const SweepAxis& axis = s.sweep[a];
+      const Json& value = axis.values[idx[a]];
+      doc.SetPath(axis.key, value);
+      // Short key for the label: last path segment.
+      const size_t dot = axis.key.rfind('.');
+      const std::string leaf =
+          dot == std::string::npos ? axis.key : axis.key.substr(dot + 1);
+      if (!suffix.empty()) suffix += ",";
+      suffix += leaf + "=" + ValueText(value);
+      run.params.emplace_back(axis.key, ValueText(value));
+    }
+    run.scenario = ParseScenario(doc);
+    run.label = s.name + "[" + suffix + "]";
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+runner::ExperimentConfig MakeExperimentConfig(const Scenario& s) {
+  runner::ExperimentConfig cfg = s.config;
+  for (const ScenarioEvent& ev : s.events) {
+    if (ev.kind == ScenarioEvent::Kind::kLoadPhase) {
+      // Phase generators (including phase 0) are owned by InstallEvents.
+      cfg.load = 0;
+      break;
+    }
+  }
+  return cfg;
+}
+
+InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
+  InstalledEvents out;
+  topo::Topology& topology = e.topology();
+  sim::Simulator& simulator = e.simulator();
+  const size_t num_links = topology.links().size();
+  const size_t num_hosts = e.hosts().size();
+
+  // Load phases, in time order. Phase 0 is the configured workload.load
+  // starting at t=0; each load_phase event ends the previous phase.
+  struct Phase {
+    sim::TimePs start;
+    double load;
+  };
+  std::vector<Phase> phases;
+  size_t incast_index = 0;
+  for (const ScenarioEvent& ev : s.events) {
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kLinkDown:
+      case ScenarioEvent::Kind::kLinkUp: {
+        if (ev.link >= num_links) {
+          throw ScenarioError("event link index " + std::to_string(ev.link) +
+                              " out of range (topology has " +
+                              std::to_string(num_links) + " links)");
+        }
+        const bool up = ev.kind == ScenarioEvent::Kind::kLinkUp;
+        const size_t link = ev.link;
+        simulator.ScheduleAt(ev.at, [&topology, link, up]() {
+          topology.SetLinkUp(link, up);
+        });
+        break;
+      }
+      case ScenarioEvent::Kind::kIncast: {
+        workload::IncastOptions io = ev.incast;
+        if (static_cast<size_t>(io.fan_in) >= num_hosts) {
+          throw ScenarioError("incast fan_in " + std::to_string(io.fan_in) +
+                              " needs more hosts than the topology's " +
+                              std::to_string(num_hosts));
+        }
+        if (io.fixed_receiver >= 0 &&
+            static_cast<size_t>(io.fixed_receiver) >= num_hosts) {
+          throw ScenarioError("incast receiver index out of range");
+        }
+        io.first_event = ev.at;
+        io.period = 0;  // one-shot
+        io.seed = s.config.seed * 31 + 1000 + incast_index++;
+        workload::FlowSink sink = [&e](uint32_t src, uint32_t dst,
+                                       uint64_t size, sim::TimePs start) {
+          e.AddFlow(src, dst, size, start);
+        };
+        auto gen = std::make_unique<workload::IncastGenerator>(
+            &simulator, e.hosts(), io, std::move(sink));
+        gen->Start();
+        out.bursts.push_back(std::move(gen));
+        break;
+      }
+      case ScenarioEvent::Kind::kLoadPhase:
+        phases.push_back(Phase{ev.at, ev.load});
+        break;
+    }
+  }
+
+  if (!phases.empty()) {
+    std::stable_sort(phases.begin(), phases.end(),
+                     [](const Phase& a, const Phase& b) {
+                       return a.start < b.start;
+                     });
+    phases.insert(phases.begin(), Phase{0, s.config.load});
+
+    // Aggregate NIC rate of one host (testbed hosts are dual-homed), matching
+    // the Experiment's own load accounting.
+    const host::HostNode& h0 = topology.host(e.hosts().front());
+    int64_t host_bps = 0;
+    for (int p = 0; p < h0.num_ports(); ++p) {
+      host_bps += h0.port(p).bandwidth_bps();
+    }
+    const workload::SizeCdf cdf = s.config.trace == "fbhadoop"
+                                      ? workload::SizeCdf::FbHadoop()
+                                      : workload::SizeCdf::WebSearch();
+    // max_flows caps the whole background workload, not each phase — same
+    // meaning as in a phase-less scenario. The counter is shared across the
+    // phase sinks (phases run sequentially in sim time).
+    auto background_flows = std::make_shared<uint64_t>(0);
+    const uint64_t max_flows = s.config.max_flows;
+    for (size_t i = 0; i < phases.size(); ++i) {
+      const sim::TimePs end =
+          i + 1 < phases.size() ? phases[i + 1].start : s.config.duration;
+      if (phases[i].load <= 0 || phases[i].start >= end) continue;
+      workload::PoissonOptions po;
+      po.load = phases[i].load;
+      po.host_bps = host_bps;
+      po.start = phases[i].start;
+      po.end = std::min(end, s.config.duration);
+      po.max_flows = max_flows;  // per-generator bound; sink enforces global
+      po.seed = s.config.seed * 1000003 + i;
+      workload::FlowSink sink = [&e, background_flows, max_flows](
+                                    uint32_t src, uint32_t dst, uint64_t size,
+                                    sim::TimePs start) {
+        if (max_flows > 0 && *background_flows >= max_flows) return;
+        ++*background_flows;
+        e.AddFlow(src, dst, size, start);
+      };
+      auto gen = std::make_unique<workload::PoissonGenerator>(
+          &simulator, e.hosts(), cdf, po, std::move(sink));
+      gen->Start();
+      out.phases.push_back(std::move(gen));
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcc::scenario

@@ -1,0 +1,113 @@
+// Declarative scenarios: a JSON schema describing a full ExperimentConfig
+// (topology, CC scheme, workload, seeds) plus a timed event script
+// (link_down/link_up, one-shot incast bursts, background-load phase changes)
+// and parameter sweep grids that expand into N concrete runs.
+//
+// Minimal example:
+//
+//   {
+//     "name": "trunk_failure",
+//     "topology": {"kind": "dumbbell", "hosts_per_side": 4},
+//     "cc": {"scheme": "hpcc"},
+//     "workload": {"load": 0.3, "trace": "websearch", "max_flows": 100},
+//     "duration_ms": 2,
+//     "events": [
+//       {"type": "link_down", "at_us": 300, "link": 0},
+//       {"type": "link_up",   "at_us": 800, "link": 0}
+//     ],
+//     "sweep": {"cc.scheme": ["hpcc", "dcqcn"], "workload.load": [0.3, 0.7]}
+//   }
+//
+// Sweep keys are dotted paths patched into the document; the grid is the
+// cross product of all axes in declaration order.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "scenario/json.h"
+
+namespace hpcc::scenario {
+
+// Schema violations: unknown keys, wrong types, out-of-range values.
+struct ScenarioError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ScenarioEvent {
+  enum class Kind { kLinkDown, kLinkUp, kIncast, kLoadPhase };
+  Kind kind = Kind::kLinkDown;
+  sim::TimePs at = 0;
+  // kLinkDown / kLinkUp: index into Topology::links().
+  size_t link = 0;
+  // kIncast: a one-shot burst at `at` (period/end/seed filled at install).
+  workload::IncastOptions incast;
+  // kLoadPhase: background Poisson load from `at` until the next phase event
+  // (or the workload horizon). 0 pauses background traffic. workload's
+  // max_flows stays a cap on the whole background workload, not per phase.
+  double load = 0;
+};
+
+struct SweepAxis {
+  std::string key;           // dotted config path, e.g. "workload.load"
+  std::vector<Json> values;  // one run per value (cross product over axes)
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  std::string description;  // free-form, carried through the round trip
+  runner::ExperimentConfig config;
+  std::vector<ScenarioEvent> events;
+  std::vector<SweepAxis> sweep;
+  // The original document, kept for sweep patching.
+  Json source;
+};
+
+// Parses and validates a scenario document. Throws ScenarioError (or
+// JsonError for type mismatches) on anything malformed — unknown keys are
+// rejected so typos fail loudly instead of silently running defaults.
+Scenario ParseScenario(const Json& doc);
+Scenario ParseScenarioText(const std::string& text);
+// Reads, parses and validates a scenario file. Throws on I/O failure too.
+Scenario LoadScenarioFile(const std::string& path);
+
+// Canonical document for a parsed scenario: every recognized field with its
+// resolved value. ParseScenario(ScenarioToJson(s)) is a fixed point, which
+// the round-trip tests pin down.
+Json ScenarioToJson(const Scenario& s);
+
+// One concrete sweep point: the fully-resolved scenario (sweep stripped)
+// plus the axis assignments that produced it.
+struct ScenarioRun {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> params;
+  Scenario scenario;
+};
+
+// Cross-product expansion of the sweep grid; a scenario without a sweep
+// expands to a single run. Axis order is declaration order, the last axis
+// varies fastest.
+std::vector<ScenarioRun> ExpandSweep(const Scenario& s);
+
+// ExperimentConfig for one run. When the event script contains load phases
+// the built-in background generator is disabled (InstallEvents owns all
+// phase generators, including phase 0 from the configured load).
+runner::ExperimentConfig MakeExperimentConfig(const Scenario& s);
+
+// Generators created by the event script; must outlive the run.
+struct InstalledEvents {
+  std::vector<std::unique_ptr<workload::PoissonGenerator>> phases;
+  std::vector<std::unique_ptr<workload::IncastGenerator>> bursts;
+};
+
+// Schedules the scenario's timed events onto a freshly-built experiment:
+// link_down/link_up drive Topology::SetLinkUp (routes recompute), incast
+// events start one-shot bursts, load phases start windowed Poisson
+// generators. Validates link indices against the live topology.
+InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s);
+
+}  // namespace hpcc::scenario

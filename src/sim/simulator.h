@@ -44,7 +44,11 @@ class Simulator {
 
   TimePs now() const { return now_; }
   uint64_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  // Scheduled events that are neither cancelled nor executed. Counted from
+  // the callback map — which holds exactly the live events — rather than
+  // heap size minus cancelled size, so the count can never underflow however
+  // ids are cancelled around Run() boundaries.
+  size_t pending_events() const { return callbacks_.size(); }
 
  private:
   struct Event {

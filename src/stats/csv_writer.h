@@ -3,12 +3,20 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "stats/fct_recorder.h"
 #include "stats/percentile.h"
 #include "stats/timeseries.h"
 
 namespace hpcc::stats {
+
+// Generic rectangular table: one header row plus pre-formatted cells. Cells
+// containing commas, quotes or newlines are quoted per RFC 4180. Used by the
+// scenario sweep runner to aggregate per-run results into one file.
+bool WriteTableCsv(const std::string& path,
+                   const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
 
 // "time_us,value" rows. Returns false if the file cannot be opened.
 bool WriteTimeSeriesCsv(const std::string& path, const TimeSeries& series,

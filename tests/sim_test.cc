@@ -129,6 +129,79 @@ TEST(Simulator, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(depth, 5);
 }
 
+TEST(Simulator, CancelAfterRunIsATrueNoop) {
+  Simulator s;
+  int runs = 0;
+  EventId ran = s.ScheduleAt(Us(1), [&]() { ++runs; });
+  s.Run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(s.pending_events(), 0u);
+  // Cancelling an id that already executed must change nothing: no pending
+  // count drift, and future scheduling/execution is unaffected.
+  s.Cancel(ran);
+  s.Cancel(ran);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EventId later = s.ScheduleAt(Us(2), [&]() { ++runs; });
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Cancel(ran);  // still a no-op, must not touch the new event
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.Cancel(later);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, PendingEventsNeverUnderflowsAroundRunBoundaries) {
+  Simulator s;
+  // Cancel an event whose heap entry survives a horizon-limited Run (the
+  // heap still holds it, the callback map does not): the count must stay
+  // exact, not drift or wrap.
+  EventId far = s.ScheduleAt(Us(100), []() {});
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run(Us(10));  // pops nothing: the event is beyond the horizon
+  s.Cancel(far);
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.Cancel(far);  // double-cancel around the boundary
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.Run(Us(200));  // skips the cancelled heap entry
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 0u);
+
+  // Interleave executed, cancelled and live ids across another boundary.
+  EventId a = s.ScheduleAt(Us(300), []() {});
+  EventId b = s.ScheduleAt(Us(400), []() {});
+  EventId c = s.ScheduleAt(Us(500), []() {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  s.Cancel(b);
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.Run(Us(350));  // executes a
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Cancel(a);  // already ran
+  s.Cancel(b);  // already cancelled, heap entry still queued
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.Cancel(c);  // ran
+  s.Cancel(kInvalidEvent);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(Simulator, SelfCancelInsideCallbackIsNoop) {
+  Simulator s;
+  EventId id = kInvalidEvent;
+  int runs = 0;
+  id = s.ScheduleAt(Us(1), [&]() {
+    ++runs;
+    s.Cancel(id);  // cancelling the currently-running event
+    EXPECT_EQ(s.pending_events(), 0u);
+  });
+  s.Run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
 TEST(Rng, UniformInRange) {
   Rng rng(42);
   for (int i = 0; i < 1000; ++i) {

@@ -1,0 +1,19 @@
+// Shared flag-parsing helper for the CLI tools.
+#pragma once
+
+#include <cstring>
+
+namespace hpcc::cli {
+
+// Matches "--key=value" arguments: returns true and points *value at the
+// text after '=' when `arg` starts with `key` immediately followed by '='.
+inline bool ConsumeFlag(const char* arg, const char* key, const char** value) {
+  const size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hpcc::cli

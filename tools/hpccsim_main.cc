@@ -8,18 +8,24 @@
 //   hpccsim --scheme=hpcc --topo=star --hosts=17 --incast=16
 //           --incast-bytes=500000
 //   hpccsim --scheme=timely+win --topo=dumbbell --hosts=8 --load=0.4
+//   hpccsim --scenario=examples/scenarios/fig13_link_failure.json --jobs=4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "runner/experiment.h"
+#include "scenario/runner.h"
+#include "tools/cli_util.h"
 
 using namespace hpcc;
 
 namespace {
 
 struct Options {
+  std::string scenario;  // declarative mode: run a scenario file instead
+  std::string out;       // scenario mode CSV path
+  int jobs = 0;          // scenario mode sweep workers
   std::string scheme = "hpcc";
   std::string topo = "fattree";
   std::string trace = "websearch";
@@ -40,6 +46,10 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
+      "  --scenario=FILE    run a declarative JSON scenario (sweeps + timed\n"
+      "                     events); all flags below are ignored\n"
+      "  --jobs=N           scenario mode: parallel sweep workers\n"
+      "  --out=PATH         scenario mode: aggregated CSV path\n"
       "  --scheme=NAME      hpcc|hpcc-rxrate|hpcc-perack|hpcc-perrtt|\n"
       "                     hpcc-alpha|dcqcn|dcqcn+win|timely|timely+win|\n"
       "                     dctcp|rcp|rcp+win\n"
@@ -59,36 +69,36 @@ struct Options {
   std::exit(2);
 }
 
-bool Consume(const char* arg, const char* key, const char** value) {
-  const size_t n = std::strlen(key);
-  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
-    *value = arg + n + 1;
-    return true;
-  }
-  return false;
-}
-
 Options Parse(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
-    if (Consume(argv[i], "--scheme", &v)) o.scheme = v;
-    else if (Consume(argv[i], "--topo", &v)) o.topo = v;
-    else if (Consume(argv[i], "--trace", &v)) o.trace = v;
-    else if (Consume(argv[i], "--load", &v)) o.load = std::atof(v);
-    else if (Consume(argv[i], "--duration-ms", &v)) o.duration_ms = std::atof(v);
-    else if (Consume(argv[i], "--hosts", &v)) o.hosts = std::atoi(v);
-    else if (Consume(argv[i], "--incast", &v)) o.incast_fan_in = std::atoi(v);
-    else if (Consume(argv[i], "--incast-bytes", &v))
+    if (cli::ConsumeFlag(argv[i], "--scenario", &v)) o.scenario = v;
+    else if (cli::ConsumeFlag(argv[i], "--jobs", &v)) o.jobs = std::atoi(v);
+    else if (cli::ConsumeFlag(argv[i], "--out", &v)) o.out = v;
+    else if (cli::ConsumeFlag(argv[i], "--scheme", &v)) o.scheme = v;
+    else if (cli::ConsumeFlag(argv[i], "--topo", &v)) o.topo = v;
+    else if (cli::ConsumeFlag(argv[i], "--trace", &v)) o.trace = v;
+    else if (cli::ConsumeFlag(argv[i], "--load", &v)) o.load = std::atof(v);
+    else if (cli::ConsumeFlag(argv[i], "--duration-ms", &v)) o.duration_ms = std::atof(v);
+    else if (cli::ConsumeFlag(argv[i], "--hosts", &v)) o.hosts = std::atoi(v);
+    else if (cli::ConsumeFlag(argv[i], "--incast", &v)) o.incast_fan_in = std::atoi(v);
+    else if (cli::ConsumeFlag(argv[i], "--incast-bytes", &v))
       o.incast_bytes = std::strtoull(v, nullptr, 10);
-    else if (Consume(argv[i], "--eta", &v)) o.eta = std::atof(v);
-    else if (Consume(argv[i], "--wai", &v)) o.wai = std::atof(v);
-    else if (Consume(argv[i], "--seed", &v))
+    else if (cli::ConsumeFlag(argv[i], "--eta", &v)) o.eta = std::atof(v);
+    else if (cli::ConsumeFlag(argv[i], "--wai", &v)) o.wai = std::atof(v);
+    else if (cli::ConsumeFlag(argv[i], "--seed", &v))
       o.seed = std::strtoull(v, nullptr, 10);
     else if (std::strcmp(argv[i], "--lossy") == 0) o.lossy = true;
     else if (std::strcmp(argv[i], "--irn") == 0) o.irn = true;
     else if (std::strcmp(argv[i], "--paper-scale") == 0) o.paper_scale = true;
     else Usage(argv[0]);
+  }
+  // --jobs/--out only mean something in scenario mode; silently ignoring
+  // them would leave the user waiting for a CSV that never appears.
+  if (o.scenario.empty() && (o.jobs != 0 || !o.out.empty())) {
+    std::fprintf(stderr, "error: --jobs/--out require --scenario=FILE\n");
+    std::exit(2);
   }
   return o;
 }
@@ -97,6 +107,13 @@ Options Parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options o = Parse(argc, argv);
+  if (!o.scenario.empty()) {
+    // Declarative mode: same engine as the standalone scenario_main tool.
+    scenario::ScenarioRunnerOptions ro;
+    ro.jobs = o.jobs;
+    ro.verbose = true;
+    return scenario::RunScenarioFile(o.scenario, ro, o.out);
+  }
 
   runner::ExperimentConfig cfg;
   if (o.topo == "fattree") {

@@ -1,0 +1,86 @@
+// scenario_main — declarative scenario driver.
+//
+// Loads a JSON scenario file (topology + CC scheme + workload + timed event
+// script + sweep grid), expands the sweep, executes the points on a thread
+// pool and writes one aggregated CSV. Examples:
+//
+//   scenario_main examples/scenarios/fig13_link_failure.json
+//   scenario_main examples/scenarios/fig11_load_sweep.json --jobs=4
+//   scenario_main sweep.json --expand            # list points, don't run
+//   scenario_main sweep.json --out=results.csv --quiet
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/runner.h"
+#include "tools/cli_util.h"
+
+using namespace hpcc;
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::string out;  // empty = "<scenario name>.csv"
+  int jobs = 0;     // 0 = hardware concurrency
+  bool expand_only = false;
+  bool quiet = false;
+  bool dump = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE [options]\n"
+               "  --jobs=N     parallel sweep workers (default: hardware)\n"
+               "  --out=PATH   aggregated CSV path (default: <name>.csv)\n"
+               "  --expand     print the expanded sweep points and exit\n"
+               "  --dump       print the canonicalized scenario JSON and exit\n"
+               "  --quiet      suppress per-run progress\n",
+               argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (cli::ConsumeFlag(argv[i], "--jobs", &v)) o.jobs = std::atoi(v);
+    else if (cli::ConsumeFlag(argv[i], "--out", &v)) o.out = v;
+    else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
+    else if (std::strcmp(argv[i], "--dump") == 0) o.dump = true;
+    else if (std::strcmp(argv[i], "--quiet") == 0) o.quiet = true;
+    else if (argv[i][0] == '-') Usage(argv[0]);
+    else if (o.file.empty()) o.file = argv[i];
+    else Usage(argv[0]);
+  }
+  if (o.file.empty()) Usage(argv[0]);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = Parse(argc, argv);
+  if (o.dump || o.expand_only) {
+    try {
+      const scenario::Scenario sc = scenario::LoadScenarioFile(o.file);
+      if (o.dump) {
+        std::printf("%s\n", scenario::ScenarioToJson(sc).Dump(2).c_str());
+        return 0;
+      }
+      const auto runs = scenario::ExpandSweep(sc);
+      for (const auto& run : runs) std::printf("%s\n", run.label.c_str());
+      std::printf("%zu run(s)\n", runs.size());
+      return 0;
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 1;
+    }
+  }
+
+  scenario::ScenarioRunnerOptions ro;
+  ro.jobs = o.jobs;
+  ro.verbose = !o.quiet;
+  return scenario::RunScenarioFile(o.file, ro, o.out);
+}
