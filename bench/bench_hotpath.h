@@ -1,0 +1,85 @@
+// Hot-path workload definitions shared by bench_micro (google-benchmark) and
+// tools/bench_report (dependency-free JSON harness), so the two report
+// comparable numbers: the steady-state self-rescheduling event churn and the
+// Fig. 11-style macro configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::benchgen {
+
+// Steady-state event churn: each callback schedules its successor from
+// inside the loop, the shape of port transmissions and pacing wake-ups. The
+// closure captures 24 bytes — above std::function's inline buffer on common
+// ABIs and matching the simulator's real call sites (e.g.
+// Port::StartTransmission captures {Node*, int, Packet*}).
+struct SelfReschedule {
+  sim::Simulator* s;
+  uint64_t* remaining;
+  uint64_t salt;
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    s->ScheduleIn(sim::Ns(10 + (salt & 7)),
+                  SelfReschedule{s, remaining, salt * 6364136223846793005ULL + 1});
+  }
+};
+
+// Seeds `depth` churn chains with a shared budget of `events` and runs the
+// loop dry. Returns the number of events executed.
+inline uint64_t RunSteadyChurn(int depth, uint64_t events) {
+  sim::Simulator s;
+  uint64_t remaining = events;
+  for (int i = 0; i < depth; ++i) {
+    s.ScheduleAt(sim::Ns(i),
+                 SelfReschedule{&s, &remaining, static_cast<uint64_t>(i)});
+  }
+  return s.Run();
+}
+
+// RTO-style timer churn: every armed timer is cancelled and re-armed before
+// it fires, measuring Schedule+Cancel pairs, then one drain. Bounded so
+// lazily-discarded cancel records cannot accumulate across batches. Returns
+// the number of Schedule+Cancel operations.
+inline uint64_t RunTimerChurn(uint64_t* fired_sink) {
+  constexpr int kTimers = 256;
+  constexpr int kRounds = 64;
+  sim::Simulator s;
+  std::vector<sim::EventId> armed(kTimers, sim::kInvalidEvent);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int t = 0; t < kTimers; ++t) {
+      if (armed[t] != sim::kInvalidEvent) s.Cancel(armed[t]);
+      const uint64_t tag = static_cast<uint64_t>(round) << 32 | t;
+      armed[t] = s.ScheduleAt(sim::Us(100 + round),
+                              [fired_sink, tag]() { *fired_sink += tag; });
+    }
+  }
+  s.Run();
+  return static_cast<uint64_t>(kTimers) * kRounds;
+}
+
+// Fig. 11-style macro point: incast over background load on a star. Small
+// enough to finish in well under a second per run; the figure of merit is
+// simulated events per wall-second, end to end.
+inline runner::ExperimentConfig Fig11MacroConfig() {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kStar;
+  cfg.star.num_hosts = 17;
+  cfg.cc.scheme = "hpcc";
+  cfg.load = 0.3;
+  cfg.trace = "fbhadoop";
+  cfg.max_flows = 60;
+  cfg.incast = true;
+  cfg.incast_opts.fan_in = 16;
+  cfg.incast_opts.flow_bytes = 50'000;
+  cfg.duration = sim::Ms(1);
+  cfg.drain_factor = 2.0;
+  return cfg;
+}
+
+}  // namespace hpcc::benchgen

@@ -3,6 +3,7 @@
 // the reciprocal table vs FP division (§4.3), and switch forwarding.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_hotpath.h"
 #include "cc/dcqcn.h"
 #include "core/div_table.h"
 #include "core/hpcc.h"
@@ -25,6 +26,50 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+// Steady-state event churn at a configurable pending-queue depth (see
+// bench_hotpath.h; shared with bench_report's event_loop/schedule_run).
+void BM_SimulatorSteadyChurn(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(benchgen::RunSteadyChurn(depth, 20'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SimulatorSteadyChurn)->Arg(64)->Arg(512)->Arg(4096)
+    ->ArgNames({"depth"});
+
+// RTO-style timer churn (bench_hotpath.h, shared with bench_report's
+// event_loop/timer_churn): Schedule+Cancel pairs in bounded batches, so
+// lazily-discarded cancel records cannot accumulate across iterations.
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  uint64_t fired = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    ops += benchgen::RunTimerChurn(&fired);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+// Forward-path packet cost: data packet + echoed ACK factory round trip; in
+// steady state both come from (and return to) the thread-local pool.
+void BM_PacketPoolCycle(benchmark::State& state) {
+  uint64_t bytes = 0;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    auto data = net::MakeDataPacket(7, 1, 2, i * 1000, 1000,
+                                    /*int_enabled=*/true,
+                                    /*ecn_capable=*/false);
+    auto ack = net::MakeAck(*data, data->seq + 1000);
+    bytes += static_cast<uint64_t>(data->size_bytes() + ack->size_bytes());
+  }
+  benchmark::DoNotOptimize(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolCycle);
 
 cc::CcContext MicroCtx() {
   cc::CcContext ctx;
@@ -130,5 +175,20 @@ void BM_EndToEndTransfer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);  // ~1000 packets
 }
 BENCHMARK(BM_EndToEndTransfer);
+
+// Fig. 11-style macro point (incast over background load on a star):
+// simulated events per wall-second, the end-to-end figure of merit for the
+// §5 evaluation harness. Same config as bench_report's macro/fig11_incast
+// (bench_hotpath.h).
+void BM_MacroFig11Incast(benchmark::State& state) {
+  uint64_t events = 0;
+  for (auto _ : state) {
+    runner::Experiment e(benchgen::Fig11MacroConfig());
+    auto result = e.Run();
+    events += result.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_MacroFig11Incast)->Unit(benchmark::kMillisecond);
 
 }  // namespace

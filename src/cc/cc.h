@@ -6,6 +6,18 @@
 // schemes (HPCC, DCTCP) derive rate R = W/T (§3.2); rate-based schemes
 // (DCQCN, TIMELY) report an effectively unlimited window unless wrapped by
 // WindowedCc (the paper's "+win" variants, §5.1).
+//
+// Ownership and reentrancy:
+//  - The owning Flow/host transport holds the CcPtr; the CC instance never
+//    outlives its flow. Schemes that self-schedule timers capture `this`,
+//    so they MUST cancel those timers before destruction — OnFlowDone() is
+//    the hook and the transport always calls it when the flow completes.
+//  - Timer EventIds may be held after they fire or are cancelled: the
+//    simulator's generation-tagged ids make a stale Cancel a no-op, so the
+//    re-arm pattern (Cancel old, Schedule new, overwrite the id) is safe.
+//  - All entry points run inside simulator callbacks on the simulation
+//    thread; they may schedule/cancel freely (including at now()) but must
+//    not call Simulator::Run.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,64 @@
 #include "net/packet.h"
 
 #include <cassert>
+#include <vector>
 
 namespace hpcc::net {
+namespace {
+
+// Owns this thread's free list; frees the parked packets at thread exit.
+struct ThreadCache {
+  std::vector<Packet*> free_list;
+  size_t allocated = 0;
+  ~ThreadCache() {
+    for (Packet* p : free_list) delete p;
+  }
+};
+
+ThreadCache& Cache() {
+  static thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+Packet* PacketPool::Acquire() {
+  ThreadCache& cache = Cache();
+  if (!cache.free_list.empty()) {
+    Packet* p = cache.free_list.back();
+    cache.free_list.pop_back();
+    return p;
+  }
+  ++cache.allocated;
+  return new Packet();
+}
+
+void PacketPool::Release(Packet* p) noexcept {
+  if (p == nullptr) return;
+  *p = Packet{};  // scrub: a recycled packet must look freshly constructed
+  try {
+    Cache().free_list.push_back(p);
+  } catch (...) {
+    delete p;  // free-list growth failed; fall back to the heap
+  }
+}
+
+size_t PacketPool::free_count() noexcept { return Cache().free_list.size(); }
+
+size_t PacketPool::allocated_count() noexcept { return Cache().allocated; }
+
+void PacketPool::TrimThreadCache() noexcept {
+  ThreadCache& cache = Cache();
+  for (Packet* p : cache.free_list) delete p;
+  cache.free_list.clear();
+}
+
+PacketPtr AllocatePacket() { return PacketPtr(PacketPool::Acquire()); }
 
 PacketPtr MakeDataPacket(uint64_t flow_id, uint32_t src, uint32_t dst,
                          uint64_t seq, int payload_bytes, bool int_enabled,
                          bool ecn_capable) {
-  auto p = std::make_unique<Packet>();
+  auto p = AllocatePacket();
   p->type = PacketType::kData;
   p->flow_id = flow_id;
   p->src = src;
@@ -27,7 +78,7 @@ PacketPtr MakeDataPacket(uint64_t flow_id, uint32_t src, uint32_t dst,
 
 PacketPtr MakeAck(const Packet& data, uint64_t cumulative_ack) {
   assert(data.type == PacketType::kData);
-  auto p = std::make_unique<Packet>();
+  auto p = AllocatePacket();
   p->type = PacketType::kAck;
   p->flow_id = data.flow_id;
   p->src = data.dst;
@@ -60,7 +111,7 @@ PacketPtr MakeNack(const Packet& data, uint64_t expected_seq) {
 }
 
 PacketPtr MakeCnp(uint64_t flow_id, uint32_t src, uint32_t dst) {
-  auto p = std::make_unique<Packet>();
+  auto p = AllocatePacket();
   p->type = PacketType::kCnp;
   p->flow_id = flow_id;
   p->src = src;
@@ -73,7 +124,7 @@ PacketPtr MakeCnp(uint64_t flow_id, uint32_t src, uint32_t dst) {
 
 PacketPtr MakeReadRequest(uint64_t flow_id, uint32_t requester,
                           uint32_t responder) {
-  auto p = std::make_unique<Packet>();
+  auto p = AllocatePacket();
   p->type = PacketType::kReadRequest;
   p->flow_id = flow_id;
   p->src = requester;
@@ -87,7 +138,7 @@ PacketPtr MakeReadRequest(uint64_t flow_id, uint32_t requester,
 PacketPtr MakePfc(PacketType pause_or_resume, int priority) {
   assert(pause_or_resume == PacketType::kPfcPause ||
          pause_or_resume == PacketType::kPfcResume);
-  auto p = std::make_unique<Packet>();
+  auto p = AllocatePacket();
   p->type = pause_or_resume;
   p->payload_bytes = 0;
   p->header_bytes = kPfcFrameBytes;

@@ -93,7 +93,42 @@ struct Packet {
   int size_bytes() const { return payload_bytes + header_bytes; }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Free-list packet pool. The per-hop forward path (host egress → switch →
+// ACK back) would otherwise malloc/free every packet; instead released
+// packets park on a thread-local free list and are recycled by the next
+// Make*. Pool rules:
+//  - The pool is thread-local: each sweep-runner worker owns an independent
+//    free list, so pooling is lock-free and a packet must be released on the
+//    thread that acquired it (simulations are single-threaded, so this holds
+//    by construction).
+//  - Release scrubs the packet back to default state before pooling; a
+//    recycled packet is indistinguishable from a freshly constructed one.
+//  - The free list only grows on demand (steady state allocates nothing) and
+//    is freed at thread exit; tests can force-free it with TrimThreadCache.
+class PacketPool {
+ public:
+  // Returns a default-state packet, recycled when possible.
+  static Packet* Acquire();
+  // Scrubs `p` and parks it on this thread's free list.
+  static void Release(Packet* p) noexcept;
+
+  // Introspection (this thread's pool only; used by tests and benches).
+  static size_t free_count() noexcept;        // packets parked in the pool
+  static size_t allocated_count() noexcept;   // ever heap-allocated
+  static void TrimThreadCache() noexcept;     // frees the parked packets
+};
+
+// PacketPtr returns its packet to the pool instead of the heap. Ownership is
+// linear along the forwarding path: host → port queue → wire (released raw
+// across the in-flight gap, re-wrapped at the peer) → receiver, which either
+// consumes the packet (drop/deliver) or reuses it to build the response.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept { PacketPool::Release(p); }
+};
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Acquires a pooled default-state packet.
+PacketPtr AllocatePacket();
 
 // Factory helpers (defined in packet.cc).
 PacketPtr MakeDataPacket(uint64_t flow_id, uint32_t src, uint32_t dst,

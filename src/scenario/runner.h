@@ -2,6 +2,16 @@
 // a thread pool. Each sim::Simulator is independent and single-threaded, so
 // sweep points are embarrassingly parallel; results are keyed by grid index,
 // making the aggregate CSV byte-identical for any --jobs value.
+//
+// Ownership and threading:
+//  - RunOne builds and tears down a full Experiment (simulator, topology,
+//    generators, monitors) on the calling thread; nothing escapes but the
+//    SweepRunResult. Pooled resources with thread-local caches (e.g.
+//    net::PacketPool) are therefore acquired and released on one thread.
+//  - RunAll never shares simulation state between workers: each worker owns
+//    its sweep points end to end, and only the results vector (pre-sized,
+//    one slot per point) is written concurrently — each slot by exactly one
+//    worker. A failed point records its error; it never aborts the sweep.
 #pragma once
 
 #include <string>

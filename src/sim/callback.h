@@ -1,0 +1,131 @@
+// Small-buffer callback: the simulator's event closure type.
+//
+// std::function heap-allocates any capture larger than two pointers, which on
+// the event-loop hot path means one malloc/free per scheduled event. Every
+// closure the simulator's clients actually schedule (port transmissions, CC
+// timers, workload arrivals, scenario scripts) captures a few pointers and
+// ints, so Callback stores captures up to kInlineBytes in place and only
+// falls back to the heap beyond that. Move-only: closures are owned by
+// exactly one event slot and are moved out to run.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hpcc::sim {
+
+class Callback {
+ public:
+  // Sized for the largest capture in the tree (std::function recursion in
+  // tests is 32 bytes; typical network closures are 16-24).
+  static constexpr size_t kInlineBytes = 48;
+
+  Callback() noexcept = default;
+
+  // Wraps any void() callable. Captures that fit (and are nothrow-movable,
+  // so event-slot relocation cannot throw) live inline; others on the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { StealFrom(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { Reset(); }
+
+  // Destroys the held closure (and frees it if heap-stored); empty after.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs the closure at dst from src and destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static void InlineInvoke(void* p) {
+    (*std::launder(reinterpret_cast<D*>(p)))();
+  }
+  template <typename D>
+  static void InlineRelocate(void* dst, void* src) noexcept {
+    D* s = std::launder(reinterpret_cast<D*>(src));
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void InlineDestroy(void* p) noexcept {
+    std::launder(reinterpret_cast<D*>(p))->~D();
+  }
+  template <typename D>
+  static constexpr Ops kInlineOps = {&InlineInvoke<D>, &InlineRelocate<D>,
+                                     &InlineDestroy<D>};
+
+  template <typename D>
+  static D*& HeapPtr(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+  template <typename D>
+  static void HeapInvoke(void* p) {
+    (*HeapPtr<D>(p))();
+  }
+  template <typename D>
+  static void HeapRelocate(void* dst, void* src) noexcept {
+    *reinterpret_cast<D**>(dst) = HeapPtr<D>(src);
+  }
+  template <typename D>
+  static void HeapDestroy(void* p) noexcept {
+    delete HeapPtr<D>(p);
+  }
+  template <typename D>
+  static constexpr Ops kHeapOps = {&HeapInvoke<D>, &HeapRelocate<D>,
+                                   &HeapDestroy<D>};
+
+  void StealFrom(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hpcc::sim

@@ -1,16 +1,117 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
 namespace hpcc::sim {
 
+Simulator::Simulator()
+    : buckets_(kBucketCount), occupied_(kBucketCount / 64, 0) {}
+
+void Simulator::HeapPush(std::vector<HeapEntry>& h, const HeapEntry& e) {
+  size_t i = h.size();
+  h.push_back(e);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Earlier(e, h[parent])) break;
+    h[i] = h[parent];
+    i = parent;
+  }
+  h[i] = e;
+}
+
+void Simulator::HeapSiftDown(std::vector<HeapEntry>& h, size_t start) {
+  const size_t n = h.size();
+  const HeapEntry x = h[start];
+  const HeapEntry* d = h.data();
+  size_t i = start;
+  for (;;) {
+    const size_t first_child = i * 4 + 1;
+    if (first_child + 4 <= n) {
+      // Full node: select the earliest child with conditional moves.
+      size_t best = first_child;
+      best = Earlier(d[first_child + 1], d[best]) ? first_child + 1 : best;
+      best = Earlier(d[first_child + 2], d[best]) ? first_child + 2 : best;
+      best = Earlier(d[first_child + 3], d[best]) ? first_child + 3 : best;
+      if (!Earlier(d[best], x)) break;
+      h[i] = d[best];
+      i = best;
+    } else {
+      if (first_child >= n) break;
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < n; ++c) {
+        best = Earlier(d[c], d[best]) ? c : best;
+      }
+      if (!Earlier(d[best], x)) break;
+      h[i] = d[best];
+      i = best;
+    }
+  }
+  h[i] = x;
+}
+
+void Simulator::HeapPopMin(std::vector<HeapEntry>& h) {
+  h[0] = h.back();
+  h.pop_back();
+  if (!h.empty()) HeapSiftDown(h, 0);
+}
+
+void Simulator::Heapify(std::vector<HeapEntry>& h) {
+  if (h.size() < 2) return;
+  for (size_t i = (h.size() - 2) / 4 + 1; i-- > 0;) HeapSiftDown(h, i);
+}
+
+void Simulator::InsertRing(const HeapEntry& e) {
+  const size_t b =
+      static_cast<size_t>(e.at >> kBucketWidthBits) & (kBucketCount - 1);
+  Bucket& bucket = buckets_[b];
+  if (bucket.heapified) {
+    HeapPush(bucket.entries, e);
+  } else {
+    bucket.entries.push_back(e);
+  }
+  occupied_[b / 64] |= uint64_t{1} << (b % 64);
+}
+
+size_t Simulator::NextOccupied(size_t start) const {
+  const size_t words = occupied_.size();
+  size_t w = start / 64;
+  uint64_t word = occupied_[w] & (~uint64_t{0} << (start % 64));
+  for (size_t n = 0; n <= words; ++n) {
+    if (word != 0) {
+      return (w * 64 + static_cast<size_t>(std::countr_zero(word))) &
+             (kBucketCount - 1);
+    }
+    w = (w + 1) % words;
+    word = occupied_[w];
+  }
+  return kBucketCount;
+}
+
 EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
   assert(at >= now_);
-  EventId id = next_id_++;
-  heap_.push(Event{at, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot_index;
+  if (free_head_ != kNoFreeSlot) {
+    slot_index = free_head_;
+    free_head_ = slots_[slot_index].next_free;
+  } else {
+    slot_index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  ++slot.gen;  // even -> odd: live
+  slot.cb = std::move(cb);
+  const HeapEntry e{at, next_seq_++, slot_index, slot.gen};
+  if ((at >> kBucketWidthBits) - (now_ >> kBucketWidthBits) <
+      static_cast<TimePs>(kBucketCount)) {
+    InsertRing(e);
+  } else {
+    HeapPush(far_heap_, e);
+  }
+  ++live_events_;
+  return MakeEventId(slot_index, slot.gen);
 }
 
 EventId Simulator::ScheduleIn(TimePs delay, Callback cb) {
@@ -20,36 +121,108 @@ EventId Simulator::ScheduleIn(TimePs delay, Callback cb) {
 
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEvent) return;
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already ran or never existed
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const uint32_t slot_index = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot_index >= slots_.size()) return;
+  // Live generations are odd; a mismatch means the event already ran, was
+  // already cancelled, or the slot now belongs to a newer event.
+  if ((gen & 1) == 0 || slots_[slot_index].gen != gen) return;
+  ReleaseSlot(slot_index);
+  // The queue record stays behind; PopEarliest drops it when it surfaces,
+  // seeing a generation newer than the one it recorded.
+}
+
+void Simulator::ReleaseSlot(uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  slot.cb.Reset();
+  ++slot.gen;  // odd -> even: free
+  slot.next_free = free_head_;
+  free_head_ = slot_index;
+  --live_events_;
+}
+
+bool Simulator::PopEarliest(TimePs until, HeapEntry* out) {
+  if (live_events_ == 0) return false;
+  // `cur` is the absolute bucket time the window starts at. It only moves
+  // forward: past buckets are empty because every pop scans from now_'s
+  // bucket and cleans what it passes.
+  int64_t cur = now_ >> kBucketWidthBits;
+  for (;;) {
+    // Migrate far events whose bucket entered the window. Stale records are
+    // discarded here, so surviving far entries are >= the live far minimum
+    // and always land at bucket times >= cur.
+    while (!far_heap_.empty()) {
+      const HeapEntry top = far_heap_.front();
+      if (IsStale(top)) {
+        HeapPopMin(far_heap_);
+        continue;
+      }
+      if ((top.at >> kBucketWidthBits) >=
+          cur + static_cast<int64_t>(kBucketCount)) {
+        break;
+      }
+      HeapPopMin(far_heap_);
+      InsertRing(top);
+    }
+    // Walk occupied buckets in circular (= time) order from the window
+    // start. Buckets that turn out to hold only stale records are emptied
+    // and the walk continues.
+    size_t b = NextOccupied(static_cast<size_t>(cur) & (kBucketCount - 1));
+    while (b != kBucketCount) {
+      Bucket& bucket = buckets_[b];
+      if (!bucket.heapified) {
+        Heapify(bucket.entries);
+        bucket.heapified = true;
+      }
+      while (!bucket.entries.empty() && IsStale(bucket.entries.front())) {
+        HeapPopMin(bucket.entries);
+      }
+      if (bucket.entries.empty()) {
+        bucket.heapified = false;
+        occupied_[b / 64] &= ~(uint64_t{1} << (b % 64));
+        b = NextOccupied((b + 1) & (kBucketCount - 1));
+        continue;
+      }
+      const HeapEntry top = bucket.entries.front();
+      if (top.at > until) return false;
+      HeapPopMin(bucket.entries);
+      if (bucket.entries.empty()) {
+        bucket.heapified = false;
+        occupied_[b / 64] &= ~(uint64_t{1} << (b % 64));
+      }
+      *out = top;
+      return true;
+    }
+    // Ring empty: jump the window to the far heap's next live event. Never
+    // jump past the horizon — the jump target must be popped within this
+    // call, or entries migrated at the jumped window would linger in the
+    // ring beyond the span the next call's circular scan can order.
+    while (!far_heap_.empty() && IsStale(far_heap_.front())) {
+      HeapPopMin(far_heap_);
+    }
+    if (far_heap_.empty() || far_heap_.front().at > until) return false;
+    cur = far_heap_.front().at >> kBucketWidthBits;
+  }
 }
 
 uint64_t Simulator::Run(TimePs until) {
   stopped_ = false;
   uint64_t executed = 0;
-  while (!heap_.empty() && !stopped_) {
-    Event ev = heap_.top();
-    if (ev.at > until) break;
-    heap_.pop();
-    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    auto it = callbacks_.find(ev.id);
-    assert(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.at;
+  HeapEntry e;
+  while (!stopped_ && PopEarliest(until, &e)) {
+    // Move the closure out and release the slot *before* invoking: the
+    // callback may reschedule into this slot (new generation) and its own id
+    // is already stale, making self-cancel a no-op.
+    Callback cb = std::move(slots_[e.slot].cb);
+    ReleaseSlot(e.slot);
+    now_ = e.at;
     cb();
     ++executed;
     ++events_executed_;
   }
   // If we stopped because of the horizon, advance the clock to it so that
   // repeated Run(until) calls observe monotone time.
-  if (!heap_.empty() && !stopped_ && now_ < until) now_ = until;
-  if (heap_.empty() && now_ < until &&
+  if (!stopped_ && now_ < until &&
       until != std::numeric_limits<TimePs>::max()) {
     now_ = until;
   }

@@ -1,0 +1,294 @@
+// Tests for the event-arena core: generation-tag reuse, small-buffer
+// callback edge cases, timing-ring/far-heap ordering against a reference
+// model, and packet-pool reuse rules.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/callback.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hpcc::sim {
+namespace {
+
+TEST(EventArena, StaleCancelAfterSlotReuseIsNoop) {
+  Simulator s;
+  int a_runs = 0;
+  int b_runs = 0;
+  // A runs, releasing its slot; B reuses it with a fresh generation.
+  EventId a = s.ScheduleAt(Us(1), [&]() { ++a_runs; });
+  s.Run();
+  EXPECT_EQ(a_runs, 1);
+  EventId b = s.ScheduleAt(Us(2), [&]() { ++b_runs; });
+  EXPECT_NE(a, b);
+  s.Cancel(a);  // stale id: must not touch B even if it reuses A's slot
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(b_runs, 1);
+}
+
+TEST(EventArena, StaleCancelAfterCancelAndReuseIsNoop) {
+  Simulator s;
+  int b_runs = 0;
+  EventId a = s.ScheduleAt(Us(1), []() { FAIL() << "cancelled event ran"; });
+  s.Cancel(a);
+  s.ScheduleAt(Us(1), [&]() { ++b_runs; });
+  s.Cancel(a);  // double-cancel of the stale id
+  s.Cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(b_runs, 1);
+}
+
+TEST(EventArena, IdsStayUniqueAcrossHeavySlotReuse) {
+  Simulator s;
+  EventId prev = kInvalidEvent;
+  for (int i = 0; i < 1000; ++i) {
+    EventId id = s.ScheduleAt(s.now(), []() {});
+    EXPECT_NE(id, kInvalidEvent);
+    EXPECT_NE(id, prev);  // same slot, but a fresh generation every time
+    prev = id;
+    s.Run();
+  }
+  EXPECT_EQ(s.events_executed(), 1000u);
+}
+
+// --- small-buffer callback -------------------------------------------------
+
+// A capture of `N` bytes that counts live copies, to verify the callback
+// destroys inline and heap-stored closures exactly once.
+template <size_t N>
+struct Tracked {
+  explicit Tracked(int* counter) : counter(counter) { ++*counter; }
+  Tracked(const Tracked& o) : counter(o.counter) { ++*counter; }
+  Tracked(Tracked&& o) noexcept : counter(o.counter) { ++*counter; }
+  ~Tracked() { --*counter; }
+  int* counter;
+  std::array<char, N> payload{};
+};
+
+template <size_t N>
+void ExerciseCaptureSize() {
+  int live = 0;
+  int runs = 0;
+  {
+    Simulator s;
+    Tracked<N> t(&live);
+    s.ScheduleAt(Us(1), [t = std::move(t), &runs]() {
+      ++runs;
+      EXPECT_NE(t.counter, nullptr);
+    });
+    EXPECT_GE(live, 1);
+    s.Run();
+    EXPECT_EQ(runs, 1);
+  }
+  EXPECT_EQ(live, 0) << "capture of " << N << " bytes leaked or double-freed";
+}
+
+TEST(CallbackCapture, SizesAcrossTheInlineBoundary) {
+  ExerciseCaptureSize<1>();    // tiny
+  ExerciseCaptureSize<24>();   // typical network closure
+  ExerciseCaptureSize<32>();   // at std::function's SBO, inside ours
+  ExerciseCaptureSize<128>();  // heap fallback
+  ExerciseCaptureSize<512>();  // large heap fallback
+}
+
+TEST(CallbackCapture, CancelDestroysInlineAndHeapClosures) {
+  int live = 0;
+  Simulator s;
+  EventId small =
+      s.ScheduleAt(Us(1), [t = Tracked<8>(&live)]() { (void)t; });
+  EventId big =
+      s.ScheduleAt(Us(1), [t = Tracked<256>(&live)]() { (void)t; });
+  EXPECT_EQ(live, 2);
+  s.Cancel(small);
+  s.Cancel(big);
+  EXPECT_EQ(live, 0) << "Cancel must destroy the closure immediately";
+  s.Run();
+}
+
+TEST(CallbackCapture, MoveOnlyCaptureWorks) {
+  Simulator s;
+  auto owned = std::make_unique<int>(41);
+  int seen = 0;
+  s.ScheduleAt(Us(1), [p = std::move(owned), &seen]() { seen = *p + 1; });
+  s.Run();
+  EXPECT_EQ(seen, 42);
+}
+
+// --- ordering against a reference model ------------------------------------
+
+// Drives the two-level queue (timing ring + far heap) with a deterministic
+// storm of mixed delays — sub-bucket, in-window, far beyond the ~2 µs window
+// — plus exact ties and cancellations, and checks the execution order against
+// a straightforward (time, insertion order) reference.
+TEST(EventOrdering, StormMatchesReferenceModel) {
+  Simulator s;
+  std::multimap<std::pair<TimePs, uint64_t>, int> reference;
+  std::vector<int> executed;
+  uint64_t insertion = 0;
+  uint64_t rng = 0xDEADBEEF;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+
+  std::vector<EventId> ids;
+  std::vector<std::pair<TimePs, uint64_t>> keys;
+  int tag = 0;
+  for (int round = 0; round < 400; ++round) {
+    const uint64_t r = next() % 100;
+    TimePs delay;
+    if (r < 40) {
+      delay = static_cast<TimePs>(next() % 2000);  // sub-bucket & ties
+    } else if (r < 80) {
+      delay = static_cast<TimePs>(next() % Us(2));  // within the ring window
+    } else {
+      delay = Us(3) + static_cast<TimePs>(next() % Ms(2));  // far heap
+    }
+    const TimePs at = delay;  // scheduled up front: absolute == delay
+    const int t = tag++;
+    EventId id = s.ScheduleAt(at, [&executed, t]() { executed.push_back(t); });
+    ids.push_back(id);
+    keys.push_back({at, insertion});
+    reference.emplace(std::make_pair(at, insertion), t);
+    ++insertion;
+  }
+  // Cancel a deterministic quarter of them.
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    s.Cancel(ids[i]);
+    reference.erase(keys[i]);
+  }
+  s.Run();
+
+  std::vector<int> expected;
+  for (const auto& [key, t] : reference) expected.push_back(t);
+  EXPECT_EQ(executed, expected);
+}
+
+TEST(EventOrdering, IdenticalScheduleGivesIdenticalTrace) {
+  auto run_once = []() {
+    Simulator s;
+    std::vector<int> trace;
+    uint64_t rng = 7;
+    for (int i = 0; i < 200; ++i) {
+      rng = rng * 6364136223846793005ULL + 1;
+      const TimePs at = static_cast<TimePs>(rng % Us(50));
+      s.ScheduleAt(at, [&trace, i]() { trace.push_back(i); });
+    }
+    s.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Regression: a horizon-bounded Run must not drag far-future events into the
+// ring early. Two far events whose buckets alias different window positions
+// must still fire in time order after an intervening short-horizon Run.
+TEST(EventOrdering, HorizonDoesNotReorderFarEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(Ms(1), [&]() { order.push_back(1); });
+  s.ScheduleAt(Ms(1) + Us(1) + Ns(500), [&]() { order.push_back(2); });
+  EXPECT_EQ(s.Run(Us(1)), 0u);  // horizon long before either event
+  EXPECT_EQ(s.now(), Us(1));
+  s.Run(Ms(1) + Us(1));  // pops only the first
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventOrdering, ZeroDelayScheduleFromCallbackRunsSameTime) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(Us(1), [&]() {
+    order.push_back(1);
+    s.ScheduleIn(0, [&]() { order.push_back(2); });
+    s.ScheduleAt(s.now(), [&]() { order.push_back(3); });
+  });
+  s.ScheduleAt(Us(1), [&]() { order.push_back(4); });
+  s.Run();
+  // Same-time events run in insertion order: the two pre-scheduled ones
+  // first, then the two added from inside the first callback.
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hpcc::sim
+
+namespace hpcc::net {
+namespace {
+
+// --- packet pool ------------------------------------------------------------
+
+TEST(PacketPool, GrowsOnDemandAndRecycles) {
+  PacketPool::TrimThreadCache();
+  const size_t base_allocated = PacketPool::allocated_count();
+
+  std::vector<PacketPtr> held;
+  for (int i = 0; i < 100; ++i) {
+    held.push_back(MakeDataPacket(1, 0, 1, 0, 1000, false, false));
+  }
+  // Pool was empty: all 100 came from the heap.
+  EXPECT_EQ(PacketPool::allocated_count(), base_allocated + 100);
+  held.clear();
+  EXPECT_EQ(PacketPool::free_count(), 100u);
+
+  // Steady state: reacquiring allocates nothing new.
+  for (int i = 0; i < 100; ++i) {
+    held.push_back(MakeCnp(1, 0, 1));
+  }
+  EXPECT_EQ(PacketPool::allocated_count(), base_allocated + 100);
+  EXPECT_EQ(PacketPool::free_count(), 0u);
+  held.clear();
+  PacketPool::TrimThreadCache();
+  EXPECT_EQ(PacketPool::free_count(), 0u);
+}
+
+TEST(PacketPool, RecycledPacketIsScrubbed) {
+  PacketPool::TrimThreadCache();
+  {
+    auto p = MakeDataPacket(9, 3, 4, 5000, 1000, /*int=*/true, /*ecn=*/true);
+    p->ecn_ce = true;
+    p->sent_time = sim::Us(7);
+    p->buffer_ingress_port = 3;
+    core::IntHop hop;
+    hop.switch_id = 11;
+    p->int_stack.Push(hop);
+  }  // released to the pool
+  EXPECT_EQ(PacketPool::free_count(), 1u);
+  auto q = AllocatePacket();  // must be the recycled one
+  EXPECT_EQ(PacketPool::free_count(), 0u);
+  const Packet fresh{};
+  EXPECT_EQ(q->type, fresh.type);
+  EXPECT_EQ(q->flow_id, fresh.flow_id);
+  EXPECT_EQ(q->seq, fresh.seq);
+  EXPECT_EQ(q->payload_bytes, fresh.payload_bytes);
+  EXPECT_EQ(q->header_bytes, fresh.header_bytes);
+  EXPECT_FALSE(q->ecn_ce);
+  EXPECT_FALSE(q->int_enabled);
+  EXPECT_EQ(q->int_stack.n_hops(), 0);
+  EXPECT_EQ(q->buffer_ingress_port, fresh.buffer_ingress_port);
+  EXPECT_EQ(q->sent_time, fresh.sent_time);
+  EXPECT_EQ(q->rcp_rate_bps, fresh.rcp_rate_bps);
+}
+
+TEST(PacketPool, ReleaseViaRawRoundTrip) {
+  // The wire-transit path releases the unique_ptr and re-wraps the raw
+  // pointer at the peer; the deleter must still return it to the pool.
+  PacketPool::TrimThreadCache();
+  auto p = MakeDataPacket(1, 0, 1, 0, 1000, false, false);
+  Packet* raw = p.release();
+  { PacketPtr rewrapped(raw); }
+  EXPECT_EQ(PacketPool::free_count(), 1u);
+  PacketPool::TrimThreadCache();
+}
+
+}  // namespace
+}  // namespace hpcc::net

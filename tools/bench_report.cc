@@ -1,0 +1,196 @@
+// bench_report: self-contained perf harness for the simulator hot paths.
+//
+// Unlike bench_micro (google-benchmark, optional dependency) this tool builds
+// everywhere and emits a machine-readable JSON report, so the repo can keep a
+// committed perf trajectory: run it before a perf change to produce
+// BENCH_baseline.json and after to produce BENCH_current.json, e.g.
+//
+//   build/bench_report --label=baseline --out=BENCH_baseline.json
+//   build/bench_report --label=current  --out=BENCH_current.json
+//
+// Benchmarks:
+//   event_loop/schedule_run   schedule N events (capture > std::function SBO)
+//                             and drain — the simulator's core throughput
+//   event_loop/timer_churn    schedule+cancel+reschedule, the RTO/CC-timer
+//                             pattern (exercises Cancel and slot reuse)
+//   forward_path/packet_cycle data-packet + ACK factory round trip, the
+//                             per-hop allocation cost the pool removes
+//   macro/fig11_incast        Fig. 11-style star incast+load run; reports
+//                             simulated events per wall-second end to end
+//
+// Each benchmark self-calibrates: batches repeat until the measured wall time
+// reaches --min-time-ms (default 500 ms; --quick drops it to 50 ms for CI
+// smoke jobs).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_hotpath.h"
+#include "net/packet.h"
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "tools/cli_util.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct BenchResult {
+  std::string name;
+  uint64_t items = 0;      // work units processed (events, packets, ...)
+  double seconds = 0;      // wall time spent processing them
+  const char* unit = "items";
+};
+
+// Runs `batch` (which returns the number of items it processed) until the
+// accumulated wall time reaches `min_seconds`.
+template <typename Batch>
+BenchResult RunBench(const std::string& name, const char* unit,
+                     double min_seconds, Batch&& batch) {
+  BenchResult r;
+  r.name = name;
+  r.unit = unit;
+  // Warm-up batch: touches code and allocator caches, excluded from timing.
+  batch();
+  const auto t0 = Clock::now();
+  do {
+    r.items += batch();
+    r.seconds = SecondsSince(t0);
+  } while (r.seconds < min_seconds);
+  return r;
+}
+
+// Steady-state event churn (bench_hotpath.h, shared with bench_micro's
+// BM_SimulatorSteadyChurn) at a realistic pending-queue depth.
+uint64_t EventLoopScheduleRunBatch() {
+  constexpr int kPending = 512;
+  constexpr uint64_t kEvents = 100'000;
+  const uint64_t executed = hpcc::benchgen::RunSteadyChurn(kPending, kEvents);
+  if (executed < kEvents) std::abort();
+  return executed;
+}
+
+// RTO-style timer churn (bench_hotpath.h, shared with bench_micro's
+// BM_SimulatorTimerChurn): Schedule+Cancel pairs plus one drain per batch.
+uint64_t EventLoopTimerChurnBatch() {
+  static uint64_t fired = 0;
+  return hpcc::benchgen::RunTimerChurn(&fired);
+}
+
+uint64_t PacketCycleBatch() {
+  constexpr int kPackets = 20'000;
+  uint64_t bytes = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    auto data = hpcc::net::MakeDataPacket(
+        /*flow_id=*/7, /*src=*/1, /*dst=*/2,
+        /*seq=*/static_cast<uint64_t>(i) * 1000, /*payload_bytes=*/1000,
+        /*int_enabled=*/true, /*ecn_capable=*/false);
+    auto ack = hpcc::net::MakeAck(*data, data->seq + 1000);
+    bytes += static_cast<uint64_t>(data->size_bytes() + ack->size_bytes());
+  }
+  if (bytes == 1) std::abort();
+  return kPackets;
+}
+
+// Fig. 11-style macro point (bench_hotpath.h, shared with bench_micro's
+// BM_MacroFig11Incast): the metric is simulated events per wall-second, the
+// end-to-end figure of merit for the §5 harness.
+uint64_t MacroFig11Batch() {
+  hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
+  auto result = e.Run();
+  return result.events_executed;
+}
+
+// The label is user-supplied; escape it so the report stays valid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out += c;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::string& label,
+               const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"hpccsim-bench-v1\",\n";
+  out << "  \"label\": \"" << JsonEscape(label) << "\",\n";
+  out << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    const double per_sec =
+        r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"items\": %llu, "
+                  "\"seconds\": %.6f, \"items_per_sec\": %.0f}%s\n",
+                  r.name.c_str(), r.unit,
+                  static_cast<unsigned long long>(r.items), r.seconds, per_sec,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_current.json";
+  std::string label = "current";
+  double min_seconds = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (hpcc::cli::ConsumeFlag(argv[i], "--out", &v)) {
+      out_path = v;
+    } else if (hpcc::cli::ConsumeFlag(argv[i], "--label", &v)) {
+      label = v;
+    } else if (hpcc::cli::ConsumeFlag(argv[i], "--min-time-ms", &v)) {
+      min_seconds = std::atof(v) / 1000.0;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      min_seconds = 0.05;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--out=FILE] [--label=NAME]\n"
+                   "                    [--min-time-ms=MS] [--quick]\n");
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> results;
+  results.push_back(RunBench("event_loop/schedule_run", "events", min_seconds,
+                             EventLoopScheduleRunBatch));
+  results.push_back(RunBench("event_loop/timer_churn", "timers", min_seconds,
+                             EventLoopTimerChurnBatch));
+  results.push_back(RunBench("forward_path/packet_cycle", "packets",
+                             min_seconds, PacketCycleBatch));
+  results.push_back(
+      RunBench("macro/fig11_incast", "events", min_seconds, MacroFig11Batch));
+
+  for (const BenchResult& r : results) {
+    const double per_sec =
+        r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
+    std::printf("%-28s %12.0f %s/sec  (%llu in %.3fs)\n", r.name.c_str(),
+                per_sec, r.unit, static_cast<unsigned long long>(r.items),
+                r.seconds);
+  }
+  WriteJson(out_path, label, results);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
