@@ -72,4 +72,18 @@ bool SchemeUsesRcp(const std::string& scheme) {
   return scheme.rfind("rcp", 0) == 0;
 }
 
+const std::vector<std::string>& AllSchemes() {
+  static const std::vector<std::string> kAll = {
+      "hpcc",   "hpcc-rxrate", "hpcc-perack", "hpcc-perrtt",
+      "hpcc-alpha", "dcqcn",   "dcqcn+win",   "timely",
+      "timely+win", "dctcp",   "rcp",         "rcp+win"};
+  return kAll;
+}
+
+const std::vector<std::string>& PrimarySchemes() {
+  static const std::vector<std::string> kPrimary = {"hpcc", "dcqcn", "timely",
+                                                    "dctcp", "rcp"};
+  return kPrimary;
+}
+
 }  // namespace hpcc::cc

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "cc/cc.h"
 #include "cc/dcqcn.h"
@@ -43,5 +44,12 @@ bool SchemeUsesEcn(const std::string& scheme);
 bool SchemeUsesInt(const std::string& scheme);
 // True if the scheme requires switch-side RCP rate computation.
 bool SchemeUsesRcp(const std::string& scheme);
+
+// Every scheme name MakeCc accepts, in documentation order. The scenario
+// fuzzer and cross-scheme conformance tests draw from this list so a newly
+// registered scheme is covered without touching them.
+const std::vector<std::string>& AllSchemes();
+// The five primary schemes of the §5 comparison (no ablations/variants).
+const std::vector<std::string>& PrimarySchemes();
 
 }  // namespace hpcc::cc

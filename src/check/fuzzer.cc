@@ -1,0 +1,282 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "cc/factory.h"
+#include "check/monitors.h"
+#include "core/hash.h"
+#include "scenario/scenario.h"
+#include "sim/rng.h"
+
+namespace hpcc::check {
+namespace {
+
+using scenario::Json;
+
+double Round2(double v) { return std::round(v * 100.0) / 100.0; }
+
+Json Num(double v) { return Json::MakeNumber(v); }
+Json Str(const std::string& s) { return Json::MakeString(s); }
+
+// Topology generation: half dumbbells (the shared-trunk stress shape), half
+// small fat-trees (multipath + redundancy, so link failures reroute).
+Json RandomTopology(sim::Rng& rng) {
+  Json t = Json::MakeObject();
+  if (rng.Uniform() < 0.5) {
+    const double host_gbps[] = {25, 50, 100};
+    const double g = host_gbps[rng.Index(3)];
+    t.Set("kind", Str("dumbbell"));
+    t.Set("hosts_per_side", Num(2 + static_cast<double>(rng.Index(5))));
+    t.Set("host_gbps", Num(g));
+    // Trunk at 1-4x the host rate: 1x makes it the bottleneck.
+    t.Set("trunk_gbps", Num(g * static_cast<double>(1 + rng.Index(4))));
+  } else {
+    t.Set("kind", Str("fattree"));
+    t.Set("pods", Num(2));
+    t.Set("tors_per_pod", Num(1 + static_cast<double>(rng.Index(2))));
+    t.Set("aggs_per_pod", Num(1 + static_cast<double>(rng.Index(2))));
+    t.Set("cores_per_agg", Num(1 + static_cast<double>(rng.Index(2))));
+    t.Set("hosts_per_tor", Num(2 + static_cast<double>(rng.Index(3))));
+  }
+  return t;
+}
+
+Json RandomWorkload(sim::Rng& rng) {
+  Json w = Json::MakeObject();
+  w.Set("load", Num(Round2(0.1 + rng.Uniform() * 0.6)));
+  w.Set("trace", Str(rng.Uniform() < 0.5 ? "websearch" : "fbhadoop"));
+  w.Set("max_flows", Num(20 + static_cast<double>(rng.Index(61))));
+  return w;
+}
+
+// Valid incast fan-in for `num_hosts` hosts: the schema requires
+// fan_in < num_hosts (one host must be left over to receive).
+double RandFanIn(sim::Rng& rng, size_t num_hosts) {
+  const size_t lo = 2;
+  const size_t hi = std::min<size_t>(num_hosts - 1, 8);
+  return static_cast<double>(lo + rng.Index(hi - lo + 1));
+}
+
+}  // namespace
+
+Json GenerateScenarioDoc(uint64_t seed, int index) {
+  sim::Rng rng(core::SplitMix64(seed * 0x9e3779b97f4a7c15ULL +
+                                static_cast<uint64_t>(index)));
+
+  const double duration_us = 300 + static_cast<double>(rng.Index(301));
+  Json doc = Json::MakeObject();
+  doc.Set("name", Str("fuzz_" + std::to_string(seed) + "_" +
+                      std::to_string(index)));
+  doc.Set("topology", RandomTopology(rng));
+
+  Json cc = Json::MakeObject();
+  const std::vector<std::string>& schemes = cc::AllSchemes();
+  cc.Set("scheme", Str(schemes[rng.Index(schemes.size())]));
+  doc.Set("cc", std::move(cc));
+
+  doc.Set("workload", RandomWorkload(rng));
+  doc.Set("duration_ms", Num(Round2(duration_us / 1000.0)));
+  doc.Set("seed", Num(static_cast<double>(1 + rng.Index(1'000'000))));
+  const bool pfc = rng.Uniform() < 0.8;  // 20% lossy-mode coverage
+  doc.Set("pfc", Json::MakeBool(pfc));
+  if (rng.Uniform() < 0.25) doc.Set("recovery", Str("irn"));
+  if (rng.Uniform() < 0.3) {
+    doc.Set("int_sample_every", Num(1 + static_cast<double>(rng.Index(4))));
+  }
+
+  // Probe build: the generated document must be *valid*, so every
+  // host-count- or link-count-dependent choice (incast fan-in, receivers,
+  // flap targets) is made against the actually-built topology, not against
+  // duplicated sizing formulas.
+  scenario::Scenario probe_sc = scenario::ParseScenario(doc);
+  runner::Experiment probe(scenario::MakeExperimentConfig(probe_sc));
+  const size_t num_links = probe.topology().links().size();
+  const size_t num_hosts = probe.hosts().size();
+
+  // 30%: periodic incast on top of the background load (Fig. 11a's shape).
+  if (rng.Uniform() < 0.3 && num_hosts >= 3) {
+    Json inc = Json::MakeObject();
+    inc.Set("fan_in", Num(RandFanIn(rng, num_hosts)));
+    inc.Set("flow_bytes",
+            Num(20'000 + static_cast<double>(rng.Index(81)) * 1000));
+    inc.Set("first_event_us", Num(50 + static_cast<double>(rng.Index(100))));
+    inc.Set("period_us", Num(150 + static_cast<double>(rng.Index(250))));
+    Json workload = *doc.Find("workload");
+    workload.Set("incast", std::move(inc));
+    doc.Set("workload", std::move(workload));
+  }
+
+  Json events = Json::MakeArray();
+  // 70%: one link flap, always repaired before the end so flows can finish.
+  if (rng.Uniform() < 0.7 && num_links > 0) {
+    const double down_us = 50 + rng.Uniform() * duration_us * 0.4;
+    const double up_us =
+        down_us + 20 + rng.Uniform() * (duration_us * 0.9 - down_us);
+    const double link = static_cast<double>(rng.Index(num_links));
+    Json down = Json::MakeObject();
+    down.Set("type", Str("link_down"));
+    down.Set("at_us", Num(Round2(down_us)));
+    down.Set("link", Num(link));
+    events.Append(std::move(down));
+    Json up = Json::MakeObject();
+    up.Set("type", Str("link_up"));
+    up.Set("at_us", Num(Round2(up_us)));
+    up.Set("link", Num(link));
+    events.Append(std::move(up));
+  }
+  // 40%: a one-shot incast burst.
+  if (rng.Uniform() < 0.4 && num_hosts >= 3) {
+    Json burst = Json::MakeObject();
+    burst.Set("type", Str("incast"));
+    burst.Set("at_us", Num(Round2(30 + rng.Uniform() * duration_us * 0.7)));
+    burst.Set("fan_in", Num(RandFanIn(rng, num_hosts)));
+    burst.Set("flow_bytes",
+              Num(10'000 + static_cast<double>(rng.Index(91)) * 1000));
+    if (rng.Uniform() < 0.5) {
+      burst.Set("receiver", Num(static_cast<double>(rng.Index(num_hosts))));
+    }
+    events.Append(std::move(burst));
+  }
+  // Up to two background-load phase changes.
+  const size_t phases = rng.Index(3);
+  for (size_t p = 0; p < phases; ++p) {
+    Json phase = Json::MakeObject();
+    phase.Set("type", Str("load_phase"));
+    phase.Set("at_us", Num(Round2(50 + rng.Uniform() * duration_us * 0.8)));
+    phase.Set("load", Num(Round2(rng.Uniform())));
+    events.Append(std::move(phase));
+  }
+  if (events.size() > 0) doc.Set("events", std::move(events));
+  return doc;
+}
+
+FuzzRunReport RunScenarioDocChecked(const Json& doc, uint64_t max_events,
+                                    const MonitorInstaller& extra) {
+  FuzzRunReport rep;
+  rep.doc = doc;
+  // Declared before the Experiment: nodes point at the registry.
+  MonitorRegistry registry;
+  try {
+    const scenario::Scenario s = scenario::ParseScenario(doc);
+    rep.name = s.name;
+    runner::Experiment e(scenario::MakeExperimentConfig(s));
+    if (max_events > 0) e.simulator().set_event_budget(max_events);
+    StandardMonitorOptions mo;
+    mo.topology_mutates = scenario::MutatesTopology(s);
+    InstallStandardMonitors(registry, e, mo);
+    if (extra) extra(registry, e);
+    const scenario::InstalledEvents events = scenario::InstallEvents(e, s);
+    const runner::ExperimentResult result = e.Run();
+    registry.Finish(e.simulator().now());
+    if (e.simulator().budget_exhausted()) {
+      registry.ReportViolation(Violation{
+          "event-budget",
+          "run exceeded " + std::to_string(max_events) +
+              " simulator events (event storm / livelock?)",
+          e.simulator().now()});
+    }
+    rep.violations = registry.violations();
+    rep.violation_count = registry.violation_count();
+    rep.trace_hash = result.trace_hash;
+    rep.flows_created = result.flows_created;
+    rep.flows_completed = result.flows_completed;
+  } catch (const std::exception& ex) {
+    rep.error = ex.what();
+  }
+  return rep;
+}
+
+std::string WriteReproducer(const Json& doc, const std::string& dir,
+                            const std::string& name) {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/repro_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return "";
+  const std::string text = doc.Dump(2) + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;  // always close, even on short write
+  return (written == text.size() && closed) ? path : "";
+}
+
+namespace {
+
+void WriteAndAnnounceReproducer(const Json& doc, const FuzzOptions& options,
+                                FuzzRunReport* rep) {
+  rep->reproducer_path =
+      WriteReproducer(doc, options.reproducer_dir, rep->name);
+  if (!rep->reproducer_path.empty()) {
+    std::fprintf(stderr,
+                 "    reproducer: %s  (replay: scenario_main %s --check)\n",
+                 rep->reproducer_path.c_str(), rep->reproducer_path.c_str());
+  } else {
+    std::fprintf(stderr, "    (could not write reproducer under %s)\n",
+                 options.reproducer_dir.c_str());
+  }
+}
+
+}  // namespace
+
+int FuzzMain(const FuzzOptions& options, const MonitorInstaller& extra) {
+  int bad_runs = 0;
+  size_t total_violations = 0;
+  for (int i = 0; i < options.runs; ++i) {
+    Json doc;
+    try {
+      doc = GenerateScenarioDoc(options.seed, i);
+    } catch (const std::exception& ex) {
+      // A generator that emits an invalid scenario is itself a bug; report
+      // it like a violation instead of tearing the whole fuzz run down.
+      ++bad_runs;
+      std::fprintf(stderr, "[%d/%d] generation failed: %s\n", i + 1,
+                   options.runs, ex.what());
+      continue;
+    }
+    FuzzRunReport rep = RunScenarioDocChecked(doc, options.max_events, extra);
+    if (rep.ok() && options.check_determinism) {
+      const FuzzRunReport again =
+          RunScenarioDocChecked(doc, options.max_events, extra);
+      if (again.trace_hash != rep.trace_hash) {
+        rep.violations.push_back(Violation{
+            "determinism",
+            "two runs of the identical scenario produced different "
+            "golden-trace hashes",
+            0});
+        ++rep.violation_count;
+      }
+    }
+    if (!rep.error.empty()) {
+      ++bad_runs;
+      std::fprintf(stderr, "[%d/%d] %s: ERROR: %s\n", i + 1, options.runs,
+                   rep.name.c_str(), rep.error.c_str());
+      WriteAndAnnounceReproducer(doc, options, &rep);
+      continue;
+    }
+    if (rep.violation_count > 0) {
+      ++bad_runs;
+      total_violations += rep.violation_count;
+      std::fprintf(stderr, "[%d/%d] %s: %zu invariant violation(s)\n", i + 1,
+                   options.runs, rep.name.c_str(), rep.violation_count);
+      for (const Violation& v : rep.violations) {
+        std::fprintf(stderr, "    %s\n", v.Format().c_str());
+      }
+      WriteAndAnnounceReproducer(doc, options, &rep);
+      continue;
+    }
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "[%d/%d] %s: ok  flows %llu/%llu  trace %016llx\n", i + 1,
+                   options.runs, rep.name.c_str(),
+                   static_cast<unsigned long long>(rep.flows_completed),
+                   static_cast<unsigned long long>(rep.flows_created),
+                   static_cast<unsigned long long>(rep.trace_hash));
+    }
+  }
+  std::printf("fuzz: %d run(s), seed %llu: %d bad, %zu violation(s)\n",
+              options.runs, static_cast<unsigned long long>(options.seed),
+              bad_runs, total_violations);
+  return bad_runs == 0 ? 0 : 1;
+}
+
+}  // namespace hpcc::check

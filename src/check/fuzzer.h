@@ -1,0 +1,88 @@
+// Deterministic scenario fuzzer.
+//
+// From a single RNG seed, generates random-but-valid scenario documents
+// (random dumbbell/fat-tree sizes, CC scheme, workload mix, timed link flaps,
+// incast bursts and load phases), runs each under the full standard
+// invariant-monitor set, and on violation emits the exact scenario JSON as a
+// runnable reproducer:
+//
+//   build/fuzz_scenarios --seed=42 --runs=50
+//   build/scenario_main repro_fuzz_42_17.json --check   # replay a violation
+//
+// Determinism contract: GenerateScenarioDoc(seed, i) is a pure function of
+// (seed, i) — the same binary always produces byte-identical documents — and
+// every run is executed twice with the golden-trace hash compared, so fuzz
+// runs double as run-to-run determinism checks.
+//
+// The committed corpus under tests/corpus/ is a frozen set of these
+// documents; see docs/TESTING.md for the corpus policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/invariant.h"
+#include "scenario/json.h"
+
+namespace hpcc::runner {
+class Experiment;
+}
+
+namespace hpcc::check {
+
+// Lets callers add monitors beside the standard set (tests register an
+// intentionally-broken monitor through this to exercise the violation path).
+using MonitorInstaller =
+    std::function<void(MonitorRegistry&, runner::Experiment&)>;
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int runs = 20;
+  // Where reproducer JSONs for violating runs are written.
+  std::string reproducer_dir = ".";
+  bool verbose = false;
+  // Livelock watchdog: a run executing more simulator events than this is
+  // itself an invariant violation (event storms must not hang the fuzzer).
+  uint64_t max_events = 50'000'000;
+  // Run each scenario twice and compare golden-trace hashes.
+  bool check_determinism = true;
+};
+
+struct FuzzRunReport {
+  std::string name;
+  scenario::Json doc;               // the scenario that ran
+  std::vector<Violation> violations;
+  size_t violation_count = 0;
+  uint64_t trace_hash = 0;
+  uint64_t flows_created = 0;
+  uint64_t flows_completed = 0;
+  std::string error;                // exception text; empty on clean runs
+  std::string reproducer_path;      // set when a reproducer was written
+
+  bool ok() const { return error.empty() && violation_count == 0; }
+};
+
+// The index-th scenario document for `seed`; pure and deterministic.
+scenario::Json GenerateScenarioDoc(uint64_t seed, int index);
+
+// Parses and runs one scenario document under the standard monitors (plus
+// `extra`, if any) with the event-budget watchdog armed. Never throws: parse
+// and runtime errors land in FuzzRunReport::error.
+FuzzRunReport RunScenarioDocChecked(const scenario::Json& doc,
+                                    uint64_t max_events,
+                                    const MonitorInstaller& extra = nullptr);
+
+// Writes `doc` as "<dir>/repro_<name>.json"; returns the path, or "" when
+// the file cannot be written.
+std::string WriteReproducer(const scenario::Json& doc, const std::string& dir,
+                            const std::string& name);
+
+// CLI driver behind tools/fuzz_scenarios: generates and runs
+// `options.runs` scenarios, writes reproducers for violating runs, prints a
+// summary, and returns the process exit code (0 = all clean).
+int FuzzMain(const FuzzOptions& options,
+             const MonitorInstaller& extra = nullptr);
+
+}  // namespace hpcc::check

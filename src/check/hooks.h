@@ -1,0 +1,69 @@
+// Low-level instrumentation hooks for the invariant-monitor subsystem.
+//
+// This header is the only piece of src/check the forwarding layers see:
+// net::Node carries one `NetHooks*` (null by default), and the hot paths
+// guard every call with a single pointer test, so an unmonitored simulation
+// pays one predictable branch per hook site and nothing else (the
+// "check/..." benchmarks in tools/bench_report pin this down).
+//
+// Everything above it — the InvariantMonitor interface, the registry that
+// fans one NetHooks out to many monitors, and the concrete monitors — lives
+// in check/invariant.h and check/monitors.h.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hpcc::net {
+struct Packet;
+}
+namespace hpcc::core {
+class IntStack;
+}
+
+namespace hpcc::check {
+
+// Why a switch discarded a packet (see SwitchNode::Receive/AdmitAndForward).
+enum class DropReason {
+  kNoRoute,          // destination unreachable (link failures)
+  kBufferFull,       // shared buffer exhausted — must not happen under PFC
+  kEgressThreshold,  // lossy-mode dynamic egress threshold (pfc off only)
+};
+
+// Observation points the simulator/net layers expose. All methods default to
+// no-ops so implementations override only what they watch. Calls arrive
+// strictly on the simulation thread, in event order.
+class NetHooks {
+ public:
+  virtual ~NetHooks() = default;
+
+  // A packet entered an egress queue; `queue_bytes_after` is the occupancy
+  // of that (port, priority) queue including the packet.
+  virtual void OnEnqueue(uint32_t /*node*/, int /*port*/,
+                         const net::Packet& /*pkt*/,
+                         int64_t /*queue_bytes_after*/) {}
+  // A packet left an egress queue for the wire; occupancy excludes it.
+  virtual void OnDequeue(uint32_t /*node*/, int /*port*/,
+                         const net::Packet& /*pkt*/,
+                         int64_t /*queue_bytes_after*/) {}
+  // A switch dropped a packet instead of forwarding it.
+  virtual void OnDrop(uint32_t /*node*/, const net::Packet& /*pkt*/,
+                      DropReason /*reason*/) {}
+  // An egress direction (node, port, priority) was paused or resumed by a
+  // PFC frame from its peer.
+  virtual void OnPauseChange(uint32_t /*node*/, int /*port*/,
+                             int /*priority*/, bool /*paused*/,
+                             sim::TimePs /*now*/) {}
+  // A flow's congestion-control state was updated (ACK/NACK/CNP processed);
+  // window/rate are the values the sender will use from now on.
+  virtual void OnCcUpdate(uint64_t /*flow_id*/, int64_t /*window_bytes*/,
+                          int64_t /*rate_bps*/, sim::TimePs /*now*/) {}
+  // An ACK/NACK carrying an INT stack reached the sender (before the CC
+  // module consumes it).
+  virtual void OnIntEcho(uint64_t /*flow_id*/,
+                         const core::IntStack& /*stack*/,
+                         sim::TimePs /*now*/) {}
+};
+
+}  // namespace hpcc::check

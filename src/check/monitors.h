@@ -1,0 +1,178 @@
+// The standard invariant-monitor set, derived from the paper's core claims:
+//
+//   QueueConservationMonitor  per-(node, port, priority) byte/packet ledger:
+//                             enqueued == dequeued + queued, never negative,
+//                             and the port's own byte counter agrees.
+//   QueueBoundMonitor         switch data queues never exceed the configured
+//                             shared buffer; host data queues never hold
+//                             more than the NIC's one-packet pacing window.
+//   PfcSanityMonitor          no pause events when PFC is disabled; no pause
+//                             outlives max_pause (deadlock/stuck-resume
+//                             detector); per-port pause event count bounded
+//                             (pause-storm detector).
+//   IntSanityMonitor          per-(flow, hop) INT records are sane (positive
+//                             bandwidth, qlen within the buffer) and ts /
+//                             txBytes are monotone, with HPCC's own pathID
+//                             reset semantics on path changes.
+//   CcSanityMonitor           every CC update leaves rate in (0, line rate]
+//                             and a positive window, for all schemes.
+//   LosslessDropMonitor       a PFC-protected fabric never drops for buffer
+//                             exhaustion (route drops from link failures are
+//                             legitimate and exempt).
+//
+// InstallStandardMonitors wires all of them to a live Experiment with bounds
+// taken from its actual topology and config.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "check/invariant.h"
+#include "core/int_header.h"
+
+namespace hpcc::runner {
+class Experiment;
+}
+
+namespace hpcc::check {
+
+class QueueConservationMonitor : public InvariantMonitor {
+ public:
+  std::string name() const override { return "queue-conservation"; }
+  void OnEnqueue(uint32_t node, int port, const net::Packet& pkt,
+                 int64_t queue_bytes_after) override;
+  void OnDequeue(uint32_t node, int port, const net::Packet& pkt,
+                 int64_t queue_bytes_after) override;
+  void OnFinish(sim::TimePs now) override;
+
+ private:
+  struct Ledger {
+    int64_t enq_bytes = 0;
+    int64_t deq_bytes = 0;
+    uint64_t enq_packets = 0;
+    uint64_t deq_packets = 0;
+  };
+  Ledger& At(uint32_t node, int port, int priority);
+  std::unordered_map<uint64_t, Ledger> ledgers_;
+};
+
+class QueueBoundMonitor : public InvariantMonitor {
+ public:
+  // `node_capacity[id]` is the byte bound of node id's data-priority queues:
+  // the shared buffer for switches, the pacing allowance for hosts.
+  explicit QueueBoundMonitor(std::vector<int64_t> node_capacity)
+      : capacity_(std::move(node_capacity)) {}
+  std::string name() const override { return "queue-bound"; }
+  void OnEnqueue(uint32_t node, int port, const net::Packet& pkt,
+                 int64_t queue_bytes_after) override;
+
+ private:
+  std::vector<int64_t> capacity_;
+  std::unordered_map<uint64_t, bool> reported_;  // one report per (node,port)
+};
+
+class PfcSanityMonitor : public InvariantMonitor {
+ public:
+  struct Options {
+    bool pfc_enabled = true;
+    // A single pause longer than this is a stuck-resume / deadlock suspect.
+    sim::TimePs max_pause = sim::Ms(20);
+    // More pause events than this on one (node, port) is a pause storm.
+    uint64_t max_events_per_port = 1'000'000;
+  };
+  explicit PfcSanityMonitor(const Options& options) : options_(options) {}
+  std::string name() const override { return "pfc-sanity"; }
+  void OnPauseChange(uint32_t node, int port, int priority, bool paused,
+                     sim::TimePs now) override;
+  void OnFinish(sim::TimePs now) override;
+
+ private:
+  struct PortState {
+    bool paused = false;
+    sim::TimePs since = 0;
+    uint64_t events = 0;
+    bool storm_reported = false;
+  };
+  Options options_;
+  std::unordered_map<uint64_t, PortState> ports_;
+};
+
+class IntSanityMonitor : public InvariantMonitor {
+ public:
+  struct Options {
+    // Fig. 7 wire format wraps ts/txBytes; monotonicity is then checked by
+    // the CC's wrap-aware deltas, not here.
+    bool wire_format = false;
+    int64_t max_qlen_bytes = 0;  // 0 = unbounded
+    // Strict per-hop ts/txBytes monotonicity. Sound only while the topology
+    // is static: a link flap can reorder the *observation* stream (an ACK
+    // frozen on a downed port is overtaken by a newer ACK on the rerouted
+    // path), which the HPCC sender tolerates by skipping dt <= 0 samples.
+    // Scenario runs with link events therefore disable it.
+    bool check_monotonic = true;
+  };
+  explicit IntSanityMonitor(const Options& options) : options_(options) {}
+  std::string name() const override { return "int-sanity"; }
+  void OnIntEcho(uint64_t flow_id, const core::IntStack& stack,
+                 sim::TimePs now) override;
+
+ private:
+  struct FlowState {
+    uint16_t path_id = 0;
+    int n_hops = 0;
+    bool have = false;
+    sim::TimePs ts[core::kMaxIntHops] = {};
+    uint64_t tx_bytes[core::kMaxIntHops] = {};
+  };
+  Options options_;
+  std::unordered_map<uint64_t, FlowState> flows_;
+};
+
+class CcSanityMonitor : public InvariantMonitor {
+ public:
+  // `max_rate_bps`: the fastest NIC in the experiment; no sender may ever
+  // pace above its line rate (every scheme clamps — §3.2 and each scheme's
+  // own min/max bounds).
+  explicit CcSanityMonitor(int64_t max_rate_bps)
+      : max_rate_bps_(max_rate_bps) {}
+  std::string name() const override { return "cc-sanity"; }
+  void OnCcUpdate(uint64_t flow_id, int64_t window_bytes, int64_t rate_bps,
+                  sim::TimePs now) override;
+
+ private:
+  int64_t max_rate_bps_;
+  std::unordered_map<uint64_t, bool> reported_;  // one report per flow
+};
+
+class LosslessDropMonitor : public InvariantMonitor {
+ public:
+  explicit LosslessDropMonitor(bool pfc_enabled)
+      : pfc_enabled_(pfc_enabled) {}
+  std::string name() const override { return "lossless-drop"; }
+  void OnDrop(uint32_t node, const net::Packet& pkt,
+              DropReason reason) override;
+  void OnFinish(sim::TimePs now) override;
+
+ private:
+  bool pfc_enabled_;
+  uint64_t buffer_drops_ = 0;
+};
+
+// Options for InstallStandardMonitors; every field defaults to "derive from
+// the experiment".
+struct StandardMonitorOptions {
+  PfcSanityMonitor::Options pfc;
+  // Set when the run's event script takes links down/up: relaxes checks that
+  // assume a static topology (INT observation-stream monotonicity).
+  bool topology_mutates = false;
+};
+
+// Builds the full standard monitor set with bounds taken from `e`'s
+// topology/config and attaches `registry` to every node. The registry must
+// outlive the experiment's run.
+void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
+                             const StandardMonitorOptions& options = {});
+
+}  // namespace hpcc::check

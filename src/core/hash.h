@@ -1,0 +1,17 @@
+// splitmix64 finalizer: the one deterministic integer mixer used across the
+// tree (ECMP hashing, flow->port pinning, trace digests, fuzz seeding). One
+// definition so the avalanche constants can never diverge between users.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcc::core {
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace hpcc::core

@@ -3,17 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/hash.h"
+
 namespace hpcc::host {
-namespace {
-
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 HostNode::HostNode(sim::Simulator* simulator, uint32_t id, std::string name,
                    const HostConfig& config)
@@ -23,7 +15,8 @@ int HostNode::PickPort(uint64_t flow_id) const {
   // Flows (and their reverse-direction control packets) are pinned to one
   // NIC port; hosts with two uplinks (testbed topology) spread flows by hash.
   assert(num_ports() > 0);
-  return static_cast<int>(Mix(flow_id) % static_cast<uint64_t>(num_ports()));
+  return static_cast<int>(core::SplitMix64(flow_id) %
+                          static_cast<uint64_t>(num_ports()));
 }
 
 Flow* HostNode::FindFlow(uint64_t flow_id) {
@@ -274,6 +267,10 @@ void HostNode::HandleAckLike(net::PacketPtr pkt) {
 
   if (pkt->type == net::PacketType::kCnp) {
     flow->cc().OnCnp(now);
+    if (check_hooks_ != nullptr) [[unlikely]] {
+      check_hooks_->OnCcUpdate(flow->spec().id, flow->cc().window_bytes(),
+                               flow->cc().rate_bps(), now);
+    }
     return;
   }
 
@@ -322,10 +319,17 @@ void HostNode::HandleAckLike(net::PacketPtr pkt) {
   info.rtt = pkt->data_sent_time > 0 ? now - pkt->data_sent_time : 0;
   info.rcp_rate_bps = pkt->rcp_rate_bps;
   info.int_stack = pkt->int_enabled ? &pkt->int_stack : nullptr;
+  if (check_hooks_ != nullptr && info.int_stack != nullptr) {
+    check_hooks_->OnIntEcho(flow->spec().id, *info.int_stack, now);
+  }
   if (pkt->type == net::PacketType::kNack) {
     flow->cc().OnNack(info);
   } else {
     flow->cc().OnAck(info);
+  }
+  if (check_hooks_ != nullptr) [[unlikely]] {
+    check_hooks_->OnCcUpdate(flow->spec().id, flow->cc().window_bytes(),
+                             flow->cc().rate_bps(), now);
   }
 
   if (flow->all_acked()) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "check/hooks.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 
@@ -41,11 +42,18 @@ class Node {
   Port& port(int i) { return *ports_[i]; }
   const Port& port(int i) const { return *ports_[i]; }
 
+  // Invariant-monitor hooks (check::MonitorRegistry::AttachTo). Null by
+  // default; the installer must keep the hooks alive for the node's whole
+  // simulation (they are consulted on every enqueue/dequeue).
+  void set_check_hooks(check::NetHooks* hooks) { check_hooks_ = hooks; }
+  check::NetHooks* check_hooks() const { return check_hooks_; }
+
  protected:
   sim::Simulator* simulator_;
   uint32_t id_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
+  check::NetHooks* check_hooks_ = nullptr;
 };
 
 }  // namespace hpcc::net

@@ -30,7 +30,11 @@ Port::Port(Node* owner, int index, int64_t bandwidth_bps,
 }
 
 void Port::Enqueue(PacketPtr pkt) {
+  const Packet* raw = pkt.get();  // stays alive inside the queue
   queues_.Enqueue(std::move(pkt));
+  if (check::NetHooks* hooks = owner_->check_hooks()) [[unlikely]] {
+    hooks->OnEnqueue(owner_->id(), index_, *raw, queues_.bytes(raw->priority));
+  }
   TryTransmit();
 }
 
@@ -46,6 +50,9 @@ void Port::SetPaused(int priority, bool paused, sim::TimePs now) {
   }
   if (pause_observer_ != nullptr && pause_observer_->on_change) {
     pause_observer_->on_change(owner_->id(), index_, priority, now, paused);
+  }
+  if (check::NetHooks* hooks = owner_->check_hooks()) [[unlikely]] {
+    hooks->OnPauseChange(owner_->id(), index_, priority, paused, now);
   }
   if (!paused) TryTransmit();
 }
@@ -70,6 +77,9 @@ void Port::TryTransmit() {
     // the next paced packet here; switches have nothing to add.
     if (queues_.empty()) owner_->OnPortIdle(index_);
     return;
+  }
+  if (check::NetHooks* hooks = owner_->check_hooks()) [[unlikely]] {
+    hooks->OnDequeue(owner_->id(), index_, *pkt, queues_.bytes(pkt->priority));
   }
   StartTransmission(std::move(pkt));
 }
@@ -110,13 +120,16 @@ void Port::StartTransmission(PacketPtr pkt) {
   const sim::TimePs ser =
       sim::SerializationTime(pkt->size_bytes(), bandwidth_bps_);
 
-  // Arrival at the peer after serialization + propagation.
-  Packet* raw = pkt.release();
+  // Arrival at the peer after serialization + propagation. The closure owns
+  // the packet (sim::Callback moves move-only captures inline), so a run
+  // torn down with packets still on the wire releases them back to the pool
+  // instead of leaking — LeakSanitizer catches the raw-pointer variant.
   Node* peer = peer_;
   const int peer_port = peer_port_;
-  simulator.ScheduleIn(ser + propagation_delay_, [peer, peer_port, raw]() {
-    peer->Receive(PacketPtr(raw), peer_port);
-  });
+  simulator.ScheduleIn(ser + propagation_delay_,
+                       [peer, peer_port, pkt = std::move(pkt)]() mutable {
+                         peer->Receive(std::move(pkt), peer_port);
+                       });
 
   // Transmitter frees up after serialization.
   simulator.ScheduleIn(ser, [this]() {

@@ -3,18 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/hash.h"
+
 namespace hpcc::net {
-namespace {
-
-// splitmix64: cheap deterministic mix for ECMP hashing.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 SwitchNode::SwitchNode(sim::Simulator* simulator, uint32_t id,
                        std::string name, const SwitchConfig& config)
@@ -47,7 +38,8 @@ int SwitchNode::RoutePort(const Packet& pkt) const {
   if (candidates.size() == 1) return candidates[0];
   // Per-flow ECMP: hash is stable for a flow at this switch, so all packets
   // of a flow take one path (no reordering in the common case).
-  const uint64_t h = Mix(pkt.flow_id ^ (static_cast<uint64_t>(id_) << 40));
+  const uint64_t h =
+      core::SplitMix64(pkt.flow_id ^ (static_cast<uint64_t>(id_) << 40));
   return candidates[h % candidates.size()];
 }
 
@@ -65,6 +57,9 @@ void SwitchNode::Receive(PacketPtr pkt, int in_port) {
   if (out_port < 0) {
     ++dropped_packets_;
     dropped_bytes_ += static_cast<uint64_t>(pkt->size_bytes());
+    if (check_hooks_ != nullptr) [[unlikely]] {
+      check_hooks_->OnDrop(id_, *pkt, check::DropReason::kNoRoute);
+    }
     return;
   }
   AdmitAndForward(std::move(pkt), in_port, out_port);
@@ -75,15 +70,22 @@ void SwitchNode::AdmitAndForward(PacketPtr pkt, int in_port, int out_port) {
   const int prio = pkt->priority;
 
   bool drop = !buffer_.CanAdmit(bytes);
+  check::DropReason reason = check::DropReason::kBufferFull;
   if (!drop && !config_.pfc_enabled && prio == kDataPriority) {
     // Lossy mode: dynamic per-egress threshold (footnote 6, alpha = 1).
     const int64_t threshold = static_cast<int64_t>(
         config_.egress_alpha * static_cast<double>(buffer_.free_bytes()));
-    drop = ports_[out_port]->queue_bytes(kDataPriority) + bytes > threshold;
+    if (ports_[out_port]->queue_bytes(kDataPriority) + bytes > threshold) {
+      drop = true;
+      reason = check::DropReason::kEgressThreshold;
+    }
   }
   if (drop) {
     ++dropped_packets_;
     dropped_bytes_ += static_cast<uint64_t>(bytes);
+    if (check_hooks_ != nullptr) [[unlikely]] {
+      check_hooks_->OnDrop(id_, *pkt, reason);
+    }
     return;
   }
 

@@ -221,7 +221,9 @@ ExperimentResult Experiment::Run() {
       config_.duration +
       static_cast<sim::TimePs>(config_.drain_factor *
                                static_cast<double>(config_.duration));
-  while (flows_completed_ < flow_ptrs_.size() && simulator_->now() < cap) {
+  while (flows_completed_ < flow_ptrs_.size() && simulator_->now() < cap &&
+         !simulator_->budget_exhausted()) {
+    // A frozen clock under an exhausted event budget would spin here forever.
     simulator_->Run(simulator_->now() + sim::Ms(1));
   }
   return Collect();
@@ -247,6 +249,14 @@ ExperimentResult Experiment::Collect() {
   r.sim_time = now;
   r.events_executed = simulator_->events_executed();
   r.base_rtt = base_rtt_;
+
+  stats::TraceHash th;
+  for (const host::Flow* f : flow_ptrs_) {
+    const host::FlowSpec& s = f->spec();
+    th.AddFlow(s.id, s.src, s.dst, s.size_bytes, s.start_time, f->finish_time,
+               f->done);
+  }
+  r.trace_hash = th.digest();
 
   // The recorder moved out; re-create an empty one in case Collect is called
   // again (idempotence for tests).

@@ -16,6 +16,7 @@
 #include "stats/fct_recorder.h"
 #include "stats/pfc_monitor.h"
 #include "stats/queue_monitor.h"
+#include "stats/trace_hash.h"
 #include "topo/fattree.h"
 #include "topo/simple.h"
 #include "topo/testbed.h"
@@ -77,6 +78,10 @@ struct ExperimentResult {
   sim::TimePs sim_time = 0;
   uint64_t events_executed = 0;
   sim::TimePs base_rtt = 0;
+  // Order-independent digest of every flow's (id, endpoints, size, start,
+  // finish, done) tuple — see stats/trace_hash.h. Two runs match iff their
+  // hashes match; the determinism tests compare it across --jobs values.
+  uint64_t trace_hash = 0;
 
   std::string Summary() const;
 };
@@ -104,6 +109,7 @@ class Experiment {
 
   sim::Simulator& simulator() { return *simulator_; }
   topo::Topology& topology() { return *topology_; }
+  const ExperimentConfig& config() const { return config_; }
   const std::vector<uint32_t>& hosts() const { return hosts_; }
   sim::TimePs base_rtt() const { return base_rtt_; }
   const std::vector<host::Flow*>& flows() const { return flow_ptrs_; }

@@ -7,6 +7,7 @@
 #include <iterator>
 #include <thread>
 
+#include "check/monitors.h"
 #include "scenario/json.h"
 #include "stats/csv_writer.h"
 
@@ -27,15 +28,28 @@ constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
 ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
     : options_(options) {}
 
-SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run) {
+SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check) {
   SweepRunResult out;
   out.label = run.label;
   out.params = run.params;
   const auto t0 = std::chrono::steady_clock::now();
+  // Declared before the Experiment: nodes keep a pointer to the registry, so
+  // it must be destroyed after them.
+  check::MonitorRegistry registry;
   try {
     runner::Experiment e(MakeExperimentConfig(run.scenario));
+    if (check) {
+      check::StandardMonitorOptions mo;
+      mo.topology_mutates = MutatesTopology(run.scenario);
+      check::InstallStandardMonitors(registry, e, mo);
+    }
     InstalledEvents events = InstallEvents(e, run.scenario);
     out.result = e.Run();
+    if (check) {
+      registry.Finish(e.simulator().now());
+      out.violations = registry.violations();
+      out.violation_count = registry.violation_count();
+    }
   } catch (const std::exception& ex) {
     out.error = ex.what();
   }
@@ -43,6 +57,15 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return out;
+}
+
+uint64_t ScenarioRunner::CombinedTraceHash(
+    const std::vector<SweepRunResult>& results) {
+  stats::TraceHash combined;
+  for (size_t i = 0; i < results.size(); ++i) {
+    combined.Combine(results[i].result.trace_hash, i);
+  }
+  return combined.digest();
 }
 
 std::vector<SweepRunResult> ScenarioRunner::RunAll(const Scenario& scenario) {
@@ -67,13 +90,14 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= runs.size()) return;
-      results[i] = RunOne(runs[i]);
+      results[i] = RunOne(runs[i], options_.check);
       if (verbose) {
+        const SweepRunResult& r = results[i];
         std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", i + 1, runs.size(),
-                     results[i].label.c_str(),
-                     results[i].ok() ? results[i].result.Summary().c_str()
-                                     : results[i].error.c_str(),
-                     results[i].wall_seconds);
+                     r.label.c_str(),
+                     !r.error.empty() ? r.error.c_str()
+                                      : r.result.Summary().c_str(),
+                     r.wall_seconds);
       }
     }
   };
@@ -103,8 +127,10 @@ std::vector<std::string> ScenarioRunner::CsvHeader(
 std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r) {
   std::vector<std::string> row{r.label};
   for (const auto& [key, value] : r.params) row.push_back(value);
-  if (!r.ok()) {
+  if (!r.error.empty()) {
     // Keep the row rectangular: blanks for the numeric metrics, error last.
+    // (A run with invariant violations but no exception still has metrics;
+    // violations are reported on the console, not in the CSV.)
     for (size_t i = 0; i + 1 < kNumMetricColumns; ++i) row.emplace_back();
     row.push_back(r.error);
     return row;
@@ -135,9 +161,16 @@ int ScenarioRunner::ReportAndWriteCsv(
   for (const SweepRunResult& r : results) {
     if (r.ok()) {
       std::printf("%-48s %s\n", r.label.c_str(), r.result.Summary().c_str());
-    } else {
+    } else if (!r.error.empty()) {
       ++failures;
       std::printf("%-48s ERROR: %s\n", r.label.c_str(), r.error.c_str());
+    } else {
+      ++failures;
+      std::printf("%-48s %zu INVARIANT VIOLATION(S)\n", r.label.c_str(),
+                  r.violation_count);
+      for (const check::Violation& v : r.violations) {
+        std::printf("    %s\n", v.Format().c_str());
+      }
     }
   }
   if (!WriteCsv(csv_path, results)) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant.h"
 #include "runner/experiment.h"
 #include "scenario/scenario.h"
 
@@ -28,10 +29,14 @@ struct SweepRunResult {
   runner::ExperimentResult result;
   // Non-empty when the run threw; such rows carry empty metrics.
   std::string error;
+  // Invariant violations (populated when the runner checks — see
+  // ScenarioRunnerOptions::check); capped like MonitorRegistry's log.
+  std::vector<check::Violation> violations;
+  size_t violation_count = 0;
   // Host wall-clock seconds for this point (diagnostic; never in the CSV).
   double wall_seconds = 0;
 
-  bool ok() const { return error.empty(); }
+  bool ok() const { return error.empty() && violation_count == 0; }
 };
 
 struct ScenarioRunnerOptions {
@@ -39,6 +44,9 @@ struct ScenarioRunnerOptions {
   int jobs = 0;
   // Per-run progress lines on stderr.
   bool verbose = false;
+  // Run every point under the standard invariant monitors
+  // (check::InstallStandardMonitors); violations mark the run failed.
+  bool check = false;
 };
 
 class ScenarioRunner {
@@ -53,8 +61,14 @@ class ScenarioRunner {
   // caller needed the points anyway).
   std::vector<SweepRunResult> RunAll(const std::vector<ScenarioRun>& runs);
 
-  // Executes one fully-resolved sweep point (no threading).
-  static SweepRunResult RunOne(const ScenarioRun& run);
+  // Executes one fully-resolved sweep point (no threading). `check` attaches
+  // the standard invariant monitors for this point.
+  static SweepRunResult RunOne(const ScenarioRun& run, bool check = false);
+
+  // Order-independent digest over the per-flow trace hashes of all points
+  // (each salted with its grid index). Equal digests <=> every point saw
+  // identical per-flow outcomes, whatever --jobs interleaving produced them.
+  static uint64_t CombinedTraceHash(const std::vector<SweepRunResult>& results);
 
   // Aggregates per-run results into one CSV via stats::CsvWriter. Columns:
   // run label, one column per sweep axis, then the summary metrics.

@@ -631,6 +631,16 @@ std::vector<ScenarioRun> ExpandSweep(const Scenario& s) {
   return runs;
 }
 
+bool MutatesTopology(const Scenario& s) {
+  for (const ScenarioEvent& ev : s.events) {
+    if (ev.kind == ScenarioEvent::Kind::kLinkDown ||
+        ev.kind == ScenarioEvent::Kind::kLinkUp) {
+      return true;
+    }
+  }
+  return false;
+}
+
 runner::ExperimentConfig MakeExperimentConfig(const Scenario& s) {
   runner::ExperimentConfig cfg = s.config;
   for (const ScenarioEvent& ev : s.events) {

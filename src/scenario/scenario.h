@@ -93,6 +93,12 @@ struct ScenarioRun {
 // varies fastest.
 std::vector<ScenarioRun> ExpandSweep(const Scenario& s);
 
+// True when the event script changes topology state (link_down/link_up).
+// Invariant checks that assume a static fabric (INT observation-stream
+// monotonicity) key off this — keep it the single source of truth when new
+// topology-mutating event kinds appear.
+bool MutatesTopology(const Scenario& s);
+
 // ExperimentConfig for one run. When the event script contains load phases
 // the built-in background generator is disabled (InstallEvents owns all
 // phase generators, including phase 0 from the configured load).

@@ -209,7 +209,16 @@ uint64_t Simulator::Run(TimePs until) {
   stopped_ = false;
   uint64_t executed = 0;
   HeapEntry e;
-  while (!stopped_ && PopEarliest(until, &e)) {
+  while (!stopped_) {
+    if (events_executed_ >= event_budget_) {
+      // A queue that drained exactly at the budget completed normally: fall
+      // through to the horizon clock-advance (a frozen clock here would hang
+      // callers that poll now() — the very livelock this watchdog prevents).
+      if (live_events_ == 0) break;
+      budget_exhausted_ = true;
+      return executed;  // clock stays at the last executed event
+    }
+    if (!PopEarliest(until, &e)) break;
     // Move the closure out and release the slot *before* invoking: the
     // callback may reschedule into this slot (new generation) and its own id
     // is already stale, making self-cancel a no-op.

@@ -68,11 +68,23 @@ class Simulator {
   // already-run, already-cancelled, or invalid id is a no-op.
   void Cancel(EventId id);
 
-  // Runs until the event queue empties, `until` is reached, or Stop().
-  // Returns the number of events executed.
+  // Runs until the event queue empties, `until` is reached, Stop(), or the
+  // event budget is exhausted. Returns the number of events executed.
   uint64_t Run(TimePs until = std::numeric_limits<TimePs>::max());
   // Stops the run loop after the current event returns.
   void Stop() { stopped_ = true; }
+
+  // Watchdog against event storms/livelocks (e.g. a callback rescheduling
+  // itself at now() forever would otherwise hang Run at a frozen clock):
+  // once `events_executed()` reaches the budget, Run returns immediately and
+  // `budget_exhausted()` latches true if events are still pending (a queue
+  // that drained exactly at the budget completed normally). The scenario
+  // fuzzer turns this into an invariant violation instead of a hung
+  // process. Default: unlimited.
+  void set_event_budget(uint64_t max_total_events) {
+    event_budget_ = max_total_events;
+  }
+  bool budget_exhausted() const { return budget_exhausted_; }
 
   TimePs now() const { return now_; }
   uint64_t events_executed() const { return events_executed_; }
@@ -157,6 +169,8 @@ class Simulator {
   uint64_t next_seq_ = 0;
   bool stopped_ = false;
   uint64_t events_executed_ = 0;
+  uint64_t event_budget_ = std::numeric_limits<uint64_t>::max();
+  bool budget_exhausted_ = false;
   size_t live_events_ = 0;
 
   std::vector<Slot> slots_;

@@ -59,7 +59,8 @@ net::SwitchNode& Topology::switch_node(uint32_t id) {
   return *s;
 }
 
-std::vector<int> Topology::BfsDistances(uint32_t from) const {
+std::vector<int> Topology::BfsDistances(uint32_t from,
+                                        bool respect_link_state) const {
   std::vector<int> dist(nodes_.size(), -1);
   std::deque<uint32_t> q{from};
   dist[from] = 0;
@@ -67,7 +68,7 @@ std::vector<int> Topology::BfsDistances(uint32_t from) const {
     const uint32_t n = q.front();
     q.pop_front();
     for (const Edge& e : adj_[n]) {
-      if (!links_[e.link].up) continue;
+      if (respect_link_state && !links_[e.link].up) continue;
       if (dist[e.peer] < 0) {
         dist[e.peer] = dist[n] + 1;
         q.push_back(e.peer);
@@ -127,18 +128,27 @@ int Topology::PathHops(uint32_t src, uint32_t dst) const {
 
 std::vector<size_t> Topology::ShortestPathLinks(uint32_t src,
                                                 uint32_t dst) const {
-  const std::vector<int> dist = BfsDistances(dst);
+  // Ideal-FCT/base-RTT queries describe the *designed* topology, ignoring
+  // transient link failures: a flow whose last ACK lands just after a
+  // failure partitions the fabric must normalize against the same
+  // denominator as one completing just before it. (Walking live distances
+  // here also used to loop forever on a partitioned graph — found by
+  // fuzz_scenarios, pinned by topology_test.IdealFctStableAcrossLinkFlap.)
+  const std::vector<int> dist = BfsDistances(dst, /*respect_link_state=*/false);
   assert(dist[src] >= 0 && "no path");
   std::vector<size_t> path;
   uint32_t n = src;
   while (n != dst) {
+    bool advanced = false;
     for (const Edge& e : adj_[n]) {
       if (dist[e.peer] == dist[n] - 1) {
         path.push_back(e.link);
         n = e.peer;
+        advanced = true;
         break;
       }
     }
+    if (!advanced) break;  // disconnected-by-construction: never loop
   }
   return path;
 }

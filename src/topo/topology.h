@@ -55,7 +55,8 @@ class Topology {
   const std::vector<LinkSpec>& links() const { return links_; }
   sim::Simulator& simulator() { return *simulator_; }
 
-  // Number of links on a shortest path src -> dst.
+  // Number of links on a shortest path src -> dst over currently-up links
+  // (-1 when the live topology has no path).
   int PathHops(uint32_t src, uint32_t dst) const;
   // Base (unloaded) RTT: forward MTU-sized data + returning ACK.
   sim::TimePs BaseRtt(uint32_t src, uint32_t dst) const;
@@ -64,16 +65,20 @@ class Topology {
   // Lowest link capacity on a shortest path.
   int64_t BottleneckBps(uint32_t src, uint32_t dst) const;
   // Standalone FCT of a `bytes`-long flow (denominator of FCT slowdown):
-  // wire time of all its packets at the bottleneck + base RTT.
+  // wire time of all its packets at the bottleneck + base RTT. Like BaseRtt
+  // and BottleneckBps, computed over the designed topology (link failures
+  // ignored) so the normalization is stable across a run with link events.
   sim::TimePs IdealFct(uint32_t src, uint32_t dst, uint64_t bytes) const;
 
   // BFS hop distance between any two nodes (PFC propagation depth metric).
   int Distance(uint32_t from, uint32_t to) const;
 
  private:
-  // One shortest path (first-parent BFS) as a sequence of LinkSpec indices.
+  // One shortest path (first-parent BFS) as a sequence of LinkSpec indices,
+  // over the designed topology (link state ignored).
   std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
-  std::vector<int> BfsDistances(uint32_t from) const;
+  std::vector<int> BfsDistances(uint32_t from,
+                                bool respect_link_state = true) const;
 
   sim::Simulator* simulator_;
   std::vector<std::unique_ptr<net::Node>> nodes_;

@@ -1,0 +1,66 @@
+// Determinism regression: the committed fig11 load sweep must produce
+// byte-identical CSV output and equal golden-trace hashes for --jobs=1 and
+// --jobs=4. This pins the ScenarioRunner contract (results keyed by grid
+// index, nothing shared between workers) that PR 2's pooled hot path and the
+// fuzzer's determinism checks both rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace hpcc::scenario {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Determinism, Fig11LoadSweepIdenticalAcrossJobs) {
+  const std::string path =
+      std::string(HPCC_SOURCE_DIR) + "/examples/scenarios/fig11_load_sweep.json";
+  const Scenario sc = LoadScenarioFile(path);
+  const std::vector<ScenarioRun> runs = ExpandSweep(sc);
+  ASSERT_GT(runs.size(), 1u);
+
+  ScenarioRunnerOptions o1;
+  o1.jobs = 1;
+  ScenarioRunnerOptions o4;
+  o4.jobs = 4;
+  const auto r1 = ScenarioRunner(o1).RunAll(runs);
+  const auto r4 = ScenarioRunner(o4).RunAll(runs);
+  ASSERT_EQ(r1.size(), runs.size());
+  ASSERT_EQ(r4.size(), runs.size());
+
+  for (size_t i = 0; i < r1.size(); ++i) {
+    SCOPED_TRACE(r1[i].label);
+    ASSERT_TRUE(r1[i].error.empty()) << r1[i].error;
+    ASSERT_TRUE(r4[i].error.empty()) << r4[i].error;
+    EXPECT_EQ(r1[i].result.trace_hash, r4[i].result.trace_hash);
+  }
+  EXPECT_NE(ScenarioRunner::CombinedTraceHash(r1), 0u);
+  EXPECT_EQ(ScenarioRunner::CombinedTraceHash(r1),
+            ScenarioRunner::CombinedTraceHash(r4));
+
+  // Byte-level pin: the aggregated CSVs must be identical files.
+  const std::string f1 = "determinism_jobs1.csv";
+  const std::string f4 = "determinism_jobs4.csv";
+  ASSERT_TRUE(ScenarioRunner::WriteCsv(f1, r1));
+  ASSERT_TRUE(ScenarioRunner::WriteCsv(f4, r4));
+  const std::string b1 = ReadFile(f1);
+  const std::string b4 = ReadFile(f4);
+  EXPECT_FALSE(b1.empty());
+  EXPECT_EQ(b1, b4);
+  std::remove(f1.c_str());
+  std::remove(f4.c_str());
+}
+
+}  // namespace
+}  // namespace hpcc::scenario

@@ -28,6 +28,9 @@ class FixedCc : public cc::CongestionControl {
 constexpr int64_t kBps = 100'000'000'000;
 
 struct Harness {
+  // Declared first so it is destroyed last: the topology's flows hold CC
+  // instances whose destructors cancel simulator timers (caught by ASan).
+  std::unique_ptr<sim::Simulator> sim_;
   topo::StarTopology star;
   sim::Simulator* s;
 
@@ -60,7 +63,6 @@ struct Harness {
   uint32_t hid(size_t i) { return star.host_ids[i]; }
 
  private:
-  std::unique_ptr<sim::Simulator> sim_;
   uint64_t next_id_ = 1;
 };
 

@@ -189,5 +189,40 @@ TEST_P(FatTreeRouting, EcmpPortsAreShortestPaths) {
 
 INSTANTIATE_TEST_SUITE_P(Pods, FatTreeRouting, ::testing::Values(1, 2, 3));
 
+// Regression (found by fuzz_scenarios): IdealFct/BaseRtt are denominators of
+// FCT slowdown and must describe the designed topology. Querying them while
+// a link failure partitions the fabric used to walk live BFS distances and
+// loop forever for disconnected pairs.
+TEST(TopologyTest, IdealFctStableAcrossLinkFlap) {
+  sim::Simulator s;
+  FatTreeOptions o;
+  o.pods = 2;
+  o.tors_per_pod = 2;
+  o.aggs_per_pod = 1;  // single agg/core: an agg-core link down partitions
+  o.cores_per_agg = 1;
+  o.hosts_per_tor = 2;
+  auto ft = MakeFatTree(&s, o);
+  Topology& t = *ft.topo;
+  const uint32_t a = t.hosts().front();
+  const uint32_t b = t.hosts().back();  // other pod
+  const sim::TimePs ideal_before = t.IdealFct(a, b, 100'000);
+  ASSERT_GT(ideal_before, 0);
+
+  // Take down a switch-switch link that disconnects the pods.
+  const auto& links = t.links();
+  size_t trunk = links.size();
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (t.node(links[i].a).IsSwitch() && t.node(links[i].b).IsSwitch()) {
+      trunk = i;
+    }
+  }
+  ASSERT_LT(trunk, links.size());
+  t.SetLinkUp(trunk, false);
+  EXPECT_EQ(t.IdealFct(a, b, 100'000), ideal_before);  // and no hang
+  EXPECT_EQ(t.BaseRtt(a, b), t.BaseRtt(b, a));
+  t.SetLinkUp(trunk, true);
+  EXPECT_EQ(t.IdealFct(a, b, 100'000), ideal_before);
+}
+
 }  // namespace
 }  // namespace hpcc::topo

@@ -16,7 +16,16 @@
 //   forward_path/packet_cycle data-packet + ACK factory round trip, the
 //                             per-hop allocation cost the pool removes
 //   macro/fig11_incast        Fig. 11-style star incast+load run; reports
-//                             simulated events per wall-second end to end
+//                             simulated events per wall-second end to end.
+//                             The invariant-monitor hook sites (check/) are
+//                             compiled into this path with no monitor
+//                             registered, so comparing this number against
+//                             BENCH_baseline.json is the zero-overhead-when-
+//                             disabled guard.
+//   macro/fig11_checked       the same run with every standard invariant
+//                             monitor attached — the measured cost of
+//                             always-on checking (used by fuzz/CI, not by
+//                             perf runs)
 //
 // Each benchmark self-calibrates: batches repeat until the measured wall time
 // reaches --min-time-ms (default 500 ms; --quick drops it to 50 ms for CI
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "bench/bench_hotpath.h"
+#include "check/monitors.h"
 #include "net/packet.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
@@ -111,6 +121,19 @@ uint64_t MacroFig11Batch() {
   return result.events_executed;
 }
 
+// The same macro point with the full standard monitor set attached: the
+// price of always-on invariant checking, reported next to the unmonitored
+// number so the overhead is a first-class tracked quantity.
+uint64_t MacroFig11CheckedBatch() {
+  hpcc::check::MonitorRegistry registry;
+  hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
+  hpcc::check::InstallStandardMonitors(registry, e);
+  auto result = e.Run();
+  registry.Finish(e.simulator().now());
+  if (registry.violation_count() != 0) std::abort();  // bench must run clean
+  return result.events_executed;
+}
+
 // The label is user-supplied; escape it so the report stays valid JSON.
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -182,6 +205,8 @@ int main(int argc, char** argv) {
                              min_seconds, PacketCycleBatch));
   results.push_back(
       RunBench("macro/fig11_incast", "events", min_seconds, MacroFig11Batch));
+  results.push_back(RunBench("macro/fig11_checked", "events", min_seconds,
+                             MacroFig11CheckedBatch));
 
   for (const BenchResult& r : results) {
     const double per_sec =

@@ -26,6 +26,7 @@ struct Options {
   std::string scenario;  // declarative mode: run a scenario file instead
   std::string out;       // scenario mode CSV path
   int jobs = 0;          // scenario mode sweep workers
+  bool check = false;    // scenario mode: run under the invariant monitors
   std::string scheme = "hpcc";
   std::string topo = "fattree";
   std::string trace = "websearch";
@@ -50,6 +51,7 @@ struct Options {
       "                     events); all flags below are ignored\n"
       "  --jobs=N           scenario mode: parallel sweep workers\n"
       "  --out=PATH         scenario mode: aggregated CSV path\n"
+      "  --check            scenario mode: run under invariant monitors\n"
       "  --scheme=NAME      hpcc|hpcc-rxrate|hpcc-perack|hpcc-perrtt|\n"
       "                     hpcc-alpha|dcqcn|dcqcn+win|timely|timely+win|\n"
       "                     dctcp|rcp|rcp+win\n"
@@ -89,6 +91,7 @@ Options Parse(int argc, char** argv) {
     else if (cli::ConsumeFlag(argv[i], "--wai", &v)) o.wai = std::atof(v);
     else if (cli::ConsumeFlag(argv[i], "--seed", &v))
       o.seed = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--lossy") == 0) o.lossy = true;
     else if (std::strcmp(argv[i], "--irn") == 0) o.irn = true;
     else if (std::strcmp(argv[i], "--paper-scale") == 0) o.paper_scale = true;
@@ -96,8 +99,9 @@ Options Parse(int argc, char** argv) {
   }
   // --jobs/--out only mean something in scenario mode; silently ignoring
   // them would leave the user waiting for a CSV that never appears.
-  if (o.scenario.empty() && (o.jobs != 0 || !o.out.empty())) {
-    std::fprintf(stderr, "error: --jobs/--out require --scenario=FILE\n");
+  if (o.scenario.empty() && (o.jobs != 0 || !o.out.empty() || o.check)) {
+    std::fprintf(stderr,
+                 "error: --jobs/--out/--check require --scenario=FILE\n");
     std::exit(2);
   }
   return o;
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
     scenario::ScenarioRunnerOptions ro;
     ro.jobs = o.jobs;
     ro.verbose = true;
+    ro.check = o.check;
     return scenario::RunScenarioFile(o.scenario, ro, o.out);
   }
 

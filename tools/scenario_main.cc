@@ -27,6 +27,7 @@ struct Options {
   bool expand_only = false;
   bool quiet = false;
   bool dump = false;
+  bool check = false;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -36,6 +37,8 @@ struct Options {
                "  --out=PATH   aggregated CSV path (default: <name>.csv)\n"
                "  --expand     print the expanded sweep points and exit\n"
                "  --dump       print the canonicalized scenario JSON and exit\n"
+               "  --check      run every point under the invariant monitors\n"
+               "               (violations fail the run)\n"
                "  --quiet      suppress per-run progress\n",
                argv0);
   std::exit(2);
@@ -49,6 +52,7 @@ Options Parse(int argc, char** argv) {
     else if (cli::ConsumeFlag(argv[i], "--out", &v)) o.out = v;
     else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
     else if (std::strcmp(argv[i], "--dump") == 0) o.dump = true;
+    else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--quiet") == 0) o.quiet = true;
     else if (argv[i][0] == '-') Usage(argv[0]);
     else if (o.file.empty()) o.file = argv[i];
@@ -82,5 +86,6 @@ int main(int argc, char** argv) {
   scenario::ScenarioRunnerOptions ro;
   ro.jobs = o.jobs;
   ro.verbose = !o.quiet;
+  ro.check = o.check;
   return scenario::RunScenarioFile(o.file, ro, o.out);
 }
