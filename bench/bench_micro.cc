@@ -177,18 +177,23 @@ void BM_EndToEndTransfer(benchmark::State& state) {
 BENCHMARK(BM_EndToEndTransfer);
 
 // Fig. 11-style macro point (incast over background load on a star):
-// simulated events per wall-second, the end-to-end figure of merit for the
-// §5 evaluation harness. Same config as bench_report's macro/fig11_incast
-// (bench_hotpath.h).
+// forwarded packets per wall-second — a work unit independent of the
+// transmit engine — the end-to-end figure of merit for the §5 evaluation
+// harness. Same config as bench_report's macro/fig11_incast
+// (bench_hotpath.h); arg 0/1 selects the reference / train engine.
 void BM_MacroFig11Incast(benchmark::State& state) {
-  uint64_t events = 0;
+  const bool fast_path = state.range(0) != 0;
+  uint64_t pkts = 0;
   for (auto _ : state) {
-    runner::Experiment e(benchgen::Fig11MacroConfig());
+    runner::Experiment e(benchgen::Fig11MacroConfig(fast_path));
     auto result = e.Run();
-    events += result.events_executed;
+    pkts += result.packets_forwarded;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetItemsProcessed(static_cast<int64_t>(pkts));
 }
-BENCHMARK(BM_MacroFig11Incast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MacroFig11Incast)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -20,11 +20,15 @@ double Round2(double v) { return std::round(v * 100.0) / 100.0; }
 Json Num(double v) { return Json::MakeNumber(v); }
 Json Str(const std::string& s) { return Json::MakeString(s); }
 
-// Topology generation: half dumbbells (the shared-trunk stress shape), half
-// small fat-trees (multipath + redundancy, so link failures reroute).
+// Topology generation: dumbbells (the shared-trunk stress shape), small
+// fat-trees (multipath + redundancy, so link failures reroute), and — since
+// the burst fast path targets large fabrics — occasional wide fat-trees in
+// the shape of examples/scenarios/fattree16_hadoop_burst.json, scaled down
+// enough to fuzz quickly but deep enough to form real multi-hop trains.
 Json RandomTopology(sim::Rng& rng) {
   Json t = Json::MakeObject();
-  if (rng.Uniform() < 0.5) {
+  const double shape = rng.Uniform();
+  if (shape < 0.45) {
     const double host_gbps[] = {25, 50, 100};
     const double g = host_gbps[rng.Index(3)];
     t.Set("kind", Str("dumbbell"));
@@ -32,12 +36,19 @@ Json RandomTopology(sim::Rng& rng) {
     t.Set("host_gbps", Num(g));
     // Trunk at 1-4x the host rate: 1x makes it the bottleneck.
     t.Set("trunk_gbps", Num(g * static_cast<double>(1 + rng.Index(4))));
-  } else {
+  } else if (shape < 0.85) {
     t.Set("kind", Str("fattree"));
     t.Set("pods", Num(2));
     t.Set("tors_per_pod", Num(1 + static_cast<double>(rng.Index(2))));
     t.Set("aggs_per_pod", Num(1 + static_cast<double>(rng.Index(2))));
     t.Set("cores_per_agg", Num(1 + static_cast<double>(rng.Index(2))));
+    t.Set("hosts_per_tor", Num(2 + static_cast<double>(rng.Index(3))));
+  } else {
+    t.Set("kind", Str("fattree"));
+    t.Set("pods", Num(4 + 4 * static_cast<double>(rng.Index(2))));
+    t.Set("tors_per_pod", Num(2 + static_cast<double>(rng.Index(2))));
+    t.Set("aggs_per_pod", Num(2 + static_cast<double>(rng.Index(2))));
+    t.Set("cores_per_agg", Num(2 + static_cast<double>(rng.Index(2))));
     t.Set("hosts_per_tor", Num(2 + static_cast<double>(rng.Index(3))));
   }
   return t;
@@ -153,7 +164,8 @@ Json GenerateScenarioDoc(uint64_t seed, int index) {
 }
 
 FuzzRunReport RunScenarioDocChecked(const Json& doc, uint64_t max_events,
-                                    const MonitorInstaller& extra) {
+                                    const MonitorInstaller& extra,
+                                    int fastpath_override) {
   FuzzRunReport rep;
   rep.doc = doc;
   // Declared before the Experiment: nodes point at the registry.
@@ -161,7 +173,9 @@ FuzzRunReport RunScenarioDocChecked(const Json& doc, uint64_t max_events,
   try {
     const scenario::Scenario s = scenario::ParseScenario(doc);
     rep.name = s.name;
-    runner::Experiment e(scenario::MakeExperimentConfig(s));
+    runner::ExperimentConfig cfg = scenario::MakeExperimentConfig(s);
+    if (fastpath_override >= 0) cfg.fast_path = fastpath_override != 0;
+    runner::Experiment e(cfg);
     if (max_events > 0) e.simulator().set_event_budget(max_events);
     StandardMonitorOptions mo;
     mo.topology_mutates = scenario::MutatesTopology(s);
@@ -242,6 +256,39 @@ int FuzzMain(const FuzzOptions& options, const MonitorInstaller& extra) {
             "determinism",
             "two runs of the identical scenario produced different "
             "golden-trace hashes",
+            0});
+        ++rep.violation_count;
+      }
+    }
+    if (rep.ok() && options.check_fastpath) {
+      // Equivalence pin: the per-packet reference engine must produce the
+      // same per-flow outcomes as the train fast path. The reference engine
+      // executes ~1.5x the events for the same simulated work, so give the
+      // replay budget headroom — a watchdog-truncated replay would otherwise
+      // masquerade as a hash mismatch.
+      const uint64_t replay_budget =
+          options.max_events > 0 ? options.max_events * 3 : 0;
+      const FuzzRunReport reference = RunScenarioDocChecked(
+          doc, replay_budget, extra, /*fastpath_override=*/0);
+      bool truncated = false;
+      for (const Violation& v : reference.violations) {
+        if (v.monitor == "event-budget") truncated = true;
+      }
+      if (truncated) {
+        std::fprintf(stderr,
+                     "[%s] fastpath-equivalence replay exceeded %llu events; "
+                     "comparison skipped\n",
+                     rep.name.c_str(),
+                     static_cast<unsigned long long>(replay_budget));
+      } else if (!reference.error.empty() ||
+                 reference.trace_hash != rep.trace_hash) {
+        rep.violations.push_back(Violation{
+            "fastpath-equivalence",
+            reference.error.empty()
+                ? "reference (--fastpath=off) replay produced a different "
+                  "golden-trace hash"
+                : "reference (--fastpath=off) replay failed: " +
+                      reference.error,
             0});
         ++rep.violation_count;
       }

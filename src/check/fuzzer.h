@@ -48,6 +48,10 @@ struct FuzzOptions {
   uint64_t max_events = 50'000'000;
   // Run each scenario twice and compare golden-trace hashes.
   bool check_determinism = true;
+  // Additionally replay each clean run on the per-packet reference engine
+  // (--fastpath=off) and require an identical golden-trace hash, so every
+  // fuzz scenario doubles as a train-fast-path equivalence check.
+  bool check_fastpath = true;
 };
 
 struct FuzzRunReport {
@@ -69,10 +73,12 @@ scenario::Json GenerateScenarioDoc(uint64_t seed, int index);
 
 // Parses and runs one scenario document under the standard monitors (plus
 // `extra`, if any) with the event-budget watchdog armed. Never throws: parse
-// and runtime errors land in FuzzRunReport::error.
+// and runtime errors land in FuzzRunReport::error. `fastpath_override`: -1
+// as the scenario says, 0/1 force the reference/train transmit engine.
 FuzzRunReport RunScenarioDocChecked(const scenario::Json& doc,
                                     uint64_t max_events,
-                                    const MonitorInstaller& extra = nullptr);
+                                    const MonitorInstaller& extra = nullptr,
+                                    int fastpath_override = -1);
 
 // Writes `doc` as "<dir>/repro_<name>.json"; returns the path, or "" when
 // the file cannot be written.

@@ -31,6 +31,15 @@ enum class DropReason {
   kEgressThreshold,  // lossy-mode dynamic egress threshold (pfc off only)
 };
 
+// One dequeue observation inside a burst (OnDequeueBurst). `pkt` stays valid
+// only for the duration of the call; `queue_bytes_after` is the occupancy of
+// the packet's (port, priority) queue at its emission instant, excluding it —
+// the same value the per-packet OnDequeue hook reports.
+struct DequeueRecord {
+  const net::Packet* pkt;
+  int64_t queue_bytes_after;
+};
+
 // Observation points the simulator/net layers expose. All methods default to
 // no-ops so implementations override only what they watch. Calls arrive
 // strictly on the simulation thread, in event order.
@@ -47,6 +56,16 @@ class NetHooks {
   virtual void OnDequeue(uint32_t /*node*/, int /*port*/,
                          const net::Packet& /*pkt*/,
                          int64_t /*queue_bytes_after*/) {}
+  // A transmission train emitted `n` packets back-to-back from one port (in
+  // emission order). The fast path accumulates per-burst records and flushes
+  // them through this single call instead of n virtual dispatches; the
+  // default unpacks to OnDequeue so observers see one stream either way.
+  virtual void OnDequeueBurst(uint32_t node, int port,
+                              const DequeueRecord* recs, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      OnDequeue(node, port, *recs[i].pkt, recs[i].queue_bytes_after);
+    }
+  }
   // A switch dropped a packet instead of forwarding it.
   virtual void OnDrop(uint32_t /*node*/, const net::Packet& /*pkt*/,
                       DropReason /*reason*/) {}

@@ -22,7 +22,15 @@ InvariantMonitor* MonitorRegistry::Add(
     std::unique_ptr<InvariantMonitor> monitor) {
   monitor->registry_ = this;
   monitors_.push_back(std::move(monitor));
-  return monitors_.back().get();
+  InvariantMonitor* m = monitors_.back().get();
+  const unsigned in = m->interests();
+  if (in & InvariantMonitor::kEnqueue) on_enqueue_.push_back(m);
+  if (in & InvariantMonitor::kDequeue) on_dequeue_.push_back(m);
+  if (in & InvariantMonitor::kDrop) on_drop_.push_back(m);
+  if (in & InvariantMonitor::kPause) on_pause_.push_back(m);
+  if (in & InvariantMonitor::kCcUpdate) on_cc_.push_back(m);
+  if (in & InvariantMonitor::kIntEcho) on_int_.push_back(m);
+  return m;
 }
 
 void MonitorRegistry::AttachTo(topo::Topology& topology) {
@@ -60,33 +68,43 @@ std::string MonitorRegistry::Summary() const {
 void MonitorRegistry::OnEnqueue(uint32_t node, int port,
                                 const net::Packet& pkt,
                                 int64_t queue_bytes_after) {
-  for (auto& m : monitors_) m->OnEnqueue(node, port, pkt, queue_bytes_after);
+  for (auto* m : on_enqueue_) m->OnEnqueue(node, port, pkt, queue_bytes_after);
 }
 
 void MonitorRegistry::OnDequeue(uint32_t node, int port,
                                 const net::Packet& pkt,
                                 int64_t queue_bytes_after) {
-  for (auto& m : monitors_) m->OnDequeue(node, port, pkt, queue_bytes_after);
+  for (auto* m : on_dequeue_) m->OnDequeue(node, port, pkt, queue_bytes_after);
+}
+
+void MonitorRegistry::OnDequeueBurst(uint32_t node, int port,
+                                     const DequeueRecord* recs, size_t n) {
+  // One virtual call per interested monitor per train, however many packets
+  // the train carried; monitors without a burst override unpack to their
+  // per-packet OnDequeue themselves.
+  for (auto* m : on_dequeue_) m->OnDequeueBurst(node, port, recs, n);
 }
 
 void MonitorRegistry::OnDrop(uint32_t node, const net::Packet& pkt,
                              DropReason reason) {
-  for (auto& m : monitors_) m->OnDrop(node, pkt, reason);
+  for (auto* m : on_drop_) m->OnDrop(node, pkt, reason);
 }
 
 void MonitorRegistry::OnPauseChange(uint32_t node, int port, int priority,
                                     bool paused, sim::TimePs now) {
-  for (auto& m : monitors_) m->OnPauseChange(node, port, priority, paused, now);
+  for (auto* m : on_pause_) {
+    m->OnPauseChange(node, port, priority, paused, now);
+  }
 }
 
 void MonitorRegistry::OnCcUpdate(uint64_t flow_id, int64_t window_bytes,
                                  int64_t rate_bps, sim::TimePs now) {
-  for (auto& m : monitors_) m->OnCcUpdate(flow_id, window_bytes, rate_bps, now);
+  for (auto* m : on_cc_) m->OnCcUpdate(flow_id, window_bytes, rate_bps, now);
 }
 
 void MonitorRegistry::OnIntEcho(uint64_t flow_id, const core::IntStack& stack,
                                 sim::TimePs now) {
-  for (auto& m : monitors_) m->OnIntEcho(flow_id, stack, now);
+  for (auto* m : on_int_) m->OnIntEcho(flow_id, stack, now);
 }
 
 }  // namespace hpcc::check

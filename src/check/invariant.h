@@ -49,7 +49,23 @@ struct Violation {
 
 class InvariantMonitor : public NetHooks {
  public:
+  // Which hook families a monitor consumes. The registry fans each hook out
+  // only to interested monitors, so one enqueue costs one virtual call per
+  // monitor that actually watches enqueues instead of one per monitor.
+  enum Interest : unsigned {
+    kEnqueue = 1u << 0,
+    kDequeue = 1u << 1,
+    kDrop = 1u << 2,
+    kPause = 1u << 3,
+    kCcUpdate = 1u << 4,
+    kIntEcho = 1u << 5,
+    kAll = ~0u,
+  };
+
   virtual std::string name() const = 0;
+  // Hook families this monitor overrides; default subscribes to everything
+  // (always safe, just slower).
+  virtual unsigned interests() const { return kAll; }
   // Called once after the run (registry.Finish): residual/closure checks.
   virtual void OnFinish(sim::TimePs /*now*/) {}
 
@@ -101,6 +117,8 @@ class MonitorRegistry final : public NetHooks {
                  int64_t queue_bytes_after) override;
   void OnDequeue(uint32_t node, int port, const net::Packet& pkt,
                  int64_t queue_bytes_after) override;
+  void OnDequeueBurst(uint32_t node, int port, const DequeueRecord* recs,
+                      size_t n) override;
   void OnDrop(uint32_t node, const net::Packet& pkt,
               DropReason reason) override;
   void OnPauseChange(uint32_t node, int port, int priority, bool paused,
@@ -112,6 +130,13 @@ class MonitorRegistry final : public NetHooks {
 
  private:
   std::vector<std::unique_ptr<InvariantMonitor>> monitors_;
+  // Per-hook interest lists (raw views into monitors_), built at Add time.
+  std::vector<InvariantMonitor*> on_enqueue_;
+  std::vector<InvariantMonitor*> on_dequeue_;
+  std::vector<InvariantMonitor*> on_drop_;
+  std::vector<InvariantMonitor*> on_pause_;
+  std::vector<InvariantMonitor*> on_cc_;
+  std::vector<InvariantMonitor*> on_int_;
   std::vector<Violation> violations_;
   size_t violation_count_ = 0;
   const sim::Simulator* clock_ = nullptr;

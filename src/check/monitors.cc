@@ -9,13 +9,18 @@
 namespace hpcc::check {
 namespace {
 
+// Keys are biased by +1: core::FlatMap reserves key 0 for empty slots, and
+// (node 0, port 0[, prio 0]) is a legal queue.
 uint64_t PortKey(uint32_t node, int port) {
-  return (static_cast<uint64_t>(node) << 16) |
-         static_cast<uint64_t>(port & 0xffff);
+  return ((static_cast<uint64_t>(node) << 16) |
+          static_cast<uint64_t>(port & 0xffff)) +
+         1;
 }
 
 uint64_t QueueKey(uint32_t node, int port, int priority) {
-  return (PortKey(node, port) << 2) | static_cast<uint64_t>(priority & 3);
+  return (((PortKey(node, port) - 1) << 2) |
+          static_cast<uint64_t>(priority & 3)) +
+         1;
 }
 
 std::string QueueName(uint32_t node, int port, int priority) {
@@ -30,7 +35,13 @@ std::string QueueName(uint32_t node, int port, int priority) {
 QueueConservationMonitor::Ledger& QueueConservationMonitor::At(uint32_t node,
                                                                int port,
                                                                int priority) {
-  return ledgers_[QueueKey(node, port, priority)];
+  if (node < num_nodes_ && port < max_ports_) [[likely]] {
+    return dense_[(static_cast<size_t>(node) * static_cast<size_t>(max_ports_) +
+                   static_cast<size_t>(port)) *
+                      net::kNumPriorities +
+                  static_cast<size_t>(priority)];
+  }
+  return overflow_[QueueKey(node, port, priority)];
 }
 
 void QueueConservationMonitor::OnEnqueue(uint32_t node, int port,
@@ -51,7 +62,25 @@ void QueueConservationMonitor::OnEnqueue(uint32_t node, int port,
 void QueueConservationMonitor::OnDequeue(uint32_t node, int port,
                                          const net::Packet& pkt,
                                          int64_t queue_bytes_after) {
-  Ledger& l = At(node, port, pkt.priority);
+  CheckDequeue(At(node, port, pkt.priority), node, port, pkt,
+               queue_bytes_after);
+}
+
+void QueueConservationMonitor::OnDequeueBurst(uint32_t node, int port,
+                                              const DequeueRecord* recs,
+                                              size_t n) {
+  Ledger* cached[net::kNumPriorities] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const net::Packet& pkt = *recs[i].pkt;
+    Ledger*& l = cached[pkt.priority];
+    if (l == nullptr) l = &At(node, port, pkt.priority);
+    CheckDequeue(*l, node, port, pkt, recs[i].queue_bytes_after);
+  }
+}
+
+void QueueConservationMonitor::CheckDequeue(Ledger& l, uint32_t node,
+                                            int port, const net::Packet& pkt,
+                                            int64_t queue_bytes_after) {
   l.deq_bytes += pkt.size_bytes();
   ++l.deq_packets;
   if (l.deq_bytes > l.enq_bytes || l.deq_packets > l.enq_packets) {
@@ -71,7 +100,7 @@ void QueueConservationMonitor::OnDequeue(uint32_t node, int port,
 }
 
 void QueueConservationMonitor::OnFinish(sim::TimePs now) {
-  for (const auto& [key, l] : ledgers_) {
+  const auto check = [&](uint64_t key, const Ledger& l) {
     // Bytes still queued at the end of the run are fine (frozen links,
     // paused priorities); a negative residue can't happen without an earlier
     // report, so the closing check is packet/byte consistency.
@@ -83,7 +112,9 @@ void QueueConservationMonitor::OnFinish(sim::TimePs now) {
                       std::to_string(residual_bytes) + " B vs " +
                       std::to_string(residual_pkts) + " pkts)");
     }
-  }
+  };
+  for (size_t i = 0; i < dense_.size(); ++i) check(i, dense_[i]);
+  overflow_.ForEach(check);
 }
 
 // ---- QueueBoundMonitor ------------------------------------------------------
@@ -138,24 +169,34 @@ void PfcSanityMonitor::OnPauseChange(uint32_t node, int port, int priority,
 }
 
 void PfcSanityMonitor::OnFinish(sim::TimePs now) {
-  for (const auto& [key, st] : ports_) {
+  ports_.ForEach([&](uint64_t key, const PortState& st) {
     if (st.paused && now - st.since > options_.max_pause) {
-      Report(now, "node " + std::to_string(key >> 16) + " port " +
-                      std::to_string(key & 0xffff) +
+      const uint64_t raw = key - 1;  // undo the FlatMap key bias
+      Report(now, "node " + std::to_string(raw >> 16) + " port " +
+                      std::to_string(raw & 0xffff) +
                       " still paused at end of run, for " +
                       std::to_string(sim::ToUs(now - st.since)) +
                       " us (possible PFC deadlock)");
     }
-  }
+  });
 }
 
 // ---- IntSanityMonitor -------------------------------------------------------
+
+IntSanityMonitor::FlowState& IntSanityMonitor::StateFor(uint64_t flow_id) {
+  uint32_t& slot = flow_index_[flow_id + 1];  // bias past the empty key
+  if (slot == 0) {
+    states_.emplace_back();
+    slot = static_cast<uint32_t>(states_.size());
+  }
+  return states_[slot - 1];
+}
 
 void IntSanityMonitor::OnIntEcho(uint64_t flow_id,
                                  const core::IntStack& stack,
                                  sim::TimePs now) {
   if (stack.n_hops() == 0) return;
-  FlowState& st = flows_[flow_id];
+  FlowState& st = StateFor(flow_id);
   // Same reset rule the HPCC sender uses (§4.1): a different pathID or hop
   // count means the flow was rerouted and the per-hop history is stale.
   if (st.have &&
@@ -207,7 +248,7 @@ void CcSanityMonitor::OnCcUpdate(uint64_t flow_id, int64_t window_bytes,
   const bool bad_rate = rate_bps <= 0 || rate_bps > max_rate_bps_;
   const bool bad_window = window_bytes <= 0;
   if (!bad_rate && !bad_window) return;
-  bool& seen = reported_[flow_id];
+  bool& seen = reported_[flow_id + 1];  // FlatMap: bias past the empty key
   if (seen) return;  // the same broken flow would report on every ACK
   seen = true;
   if (bad_rate) {
@@ -278,7 +319,12 @@ void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
     }
   }
 
-  registry.Add(std::make_unique<QueueConservationMonitor>());
+  int max_ports = 0;
+  for (uint32_t id = 0; id < topology.num_nodes(); ++id) {
+    max_ports = std::max(max_ports, topology.node(id).num_ports());
+  }
+  registry.Add(std::make_unique<QueueConservationMonitor>(topology.num_nodes(),
+                                                          max_ports));
   registry.Add(std::make_unique<QueueBoundMonitor>(std::move(capacity)));
 
   PfcSanityMonitor::Options pfc = options.pfc;

@@ -26,11 +26,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "check/invariant.h"
+#include "core/flat_map.h"
 #include "core/int_header.h"
+#include "net/packet.h"
 
 namespace hpcc::runner {
 class Experiment;
@@ -40,11 +41,25 @@ namespace hpcc::check {
 
 class QueueConservationMonitor : public InvariantMonitor {
  public:
+  // `num_nodes`/`max_ports` size a dense ledger array (direct index per
+  // hook, no hashing — this monitor runs on every single enqueue). Ledgers
+  // for out-of-range ids (none in practice) fall back to a flat map.
+  QueueConservationMonitor(uint32_t num_nodes = 0, int max_ports = 0)
+      : num_nodes_(num_nodes),
+        max_ports_(max_ports),
+        dense_(static_cast<size_t>(num_nodes) * static_cast<size_t>(max_ports) *
+               net::kNumPriorities) {}
   std::string name() const override { return "queue-conservation"; }
+  unsigned interests() const override { return kEnqueue | kDequeue; }
   void OnEnqueue(uint32_t node, int port, const net::Packet& pkt,
                  int64_t queue_bytes_after) override;
   void OnDequeue(uint32_t node, int port, const net::Packet& pkt,
                  int64_t queue_bytes_after) override;
+  // Native burst path: one ledger lookup per (priority, train) instead of
+  // one per packet — the monitored cost of a train scales with its priority
+  // mix, not its length.
+  void OnDequeueBurst(uint32_t node, int port, const DequeueRecord* recs,
+                      size_t n) override;
   void OnFinish(sim::TimePs now) override;
 
  private:
@@ -55,7 +70,13 @@ class QueueConservationMonitor : public InvariantMonitor {
     uint64_t deq_packets = 0;
   };
   Ledger& At(uint32_t node, int port, int priority);
-  std::unordered_map<uint64_t, Ledger> ledgers_;
+  // Checks one dequeue against its ledger (shared by both dequeue paths).
+  void CheckDequeue(Ledger& l, uint32_t node, int port,
+                    const net::Packet& pkt, int64_t queue_bytes_after);
+  uint32_t num_nodes_;
+  int max_ports_;
+  std::vector<Ledger> dense_;
+  core::FlatMap<Ledger> overflow_;
 };
 
 class QueueBoundMonitor : public InvariantMonitor {
@@ -65,12 +86,13 @@ class QueueBoundMonitor : public InvariantMonitor {
   explicit QueueBoundMonitor(std::vector<int64_t> node_capacity)
       : capacity_(std::move(node_capacity)) {}
   std::string name() const override { return "queue-bound"; }
+  unsigned interests() const override { return kEnqueue; }
   void OnEnqueue(uint32_t node, int port, const net::Packet& pkt,
                  int64_t queue_bytes_after) override;
 
  private:
   std::vector<int64_t> capacity_;
-  std::unordered_map<uint64_t, bool> reported_;  // one report per (node,port)
+  core::FlatMap<bool> reported_;  // one report per (node,port)
 };
 
 class PfcSanityMonitor : public InvariantMonitor {
@@ -84,6 +106,7 @@ class PfcSanityMonitor : public InvariantMonitor {
   };
   explicit PfcSanityMonitor(const Options& options) : options_(options) {}
   std::string name() const override { return "pfc-sanity"; }
+  unsigned interests() const override { return kPause; }
   void OnPauseChange(uint32_t node, int port, int priority, bool paused,
                      sim::TimePs now) override;
   void OnFinish(sim::TimePs now) override;
@@ -96,7 +119,7 @@ class PfcSanityMonitor : public InvariantMonitor {
     bool storm_reported = false;
   };
   Options options_;
-  std::unordered_map<uint64_t, PortState> ports_;
+  core::FlatMap<PortState> ports_;
 };
 
 class IntSanityMonitor : public InvariantMonitor {
@@ -115,6 +138,7 @@ class IntSanityMonitor : public InvariantMonitor {
   };
   explicit IntSanityMonitor(const Options& options) : options_(options) {}
   std::string name() const override { return "int-sanity"; }
+  unsigned interests() const override { return kIntEcho; }
   void OnIntEcho(uint64_t flow_id, const core::IntStack& stack,
                  sim::TimePs now) override;
 
@@ -126,8 +150,12 @@ class IntSanityMonitor : public InvariantMonitor {
     sim::TimePs ts[core::kMaxIntHops] = {};
     uint64_t tx_bytes[core::kMaxIntHops] = {};
   };
+  FlowState& StateFor(uint64_t flow_id);
   Options options_;
-  std::unordered_map<uint64_t, FlowState> flows_;
+  // Hash probes touch small index slots; the fat per-flow histories live
+  // densely to the side (this hook runs once per INT-carrying ACK).
+  core::FlatMap<uint32_t> flow_index_;
+  std::vector<FlowState> states_;
 };
 
 class CcSanityMonitor : public InvariantMonitor {
@@ -138,12 +166,13 @@ class CcSanityMonitor : public InvariantMonitor {
   explicit CcSanityMonitor(int64_t max_rate_bps)
       : max_rate_bps_(max_rate_bps) {}
   std::string name() const override { return "cc-sanity"; }
+  unsigned interests() const override { return kCcUpdate; }
   void OnCcUpdate(uint64_t flow_id, int64_t window_bytes, int64_t rate_bps,
                   sim::TimePs now) override;
 
  private:
   int64_t max_rate_bps_;
-  std::unordered_map<uint64_t, bool> reported_;  // one report per flow
+  core::FlatMap<bool> reported_;  // one report per flow
 };
 
 class LosslessDropMonitor : public InvariantMonitor {
@@ -151,6 +180,7 @@ class LosslessDropMonitor : public InvariantMonitor {
   explicit LosslessDropMonitor(bool pfc_enabled)
       : pfc_enabled_(pfc_enabled) {}
   std::string name() const override { return "lossless-drop"; }
+  unsigned interests() const override { return kDrop; }
   void OnDrop(uint32_t node, const net::Packet& pkt,
               DropReason reason) override;
   void OnFinish(sim::TimePs now) override;

@@ -1,0 +1,93 @@
+// Open-addressing hash table for the forwarding hot path.
+//
+// The per-packet lookups (host flow tables, monitor ledgers) were
+// std::unordered_map: one heap node per entry, a pointer chase per find, and
+// a modulo per probe. FlatMap keeps {key, value} pairs in one flat
+// power-of-two array with linear probing, so the common hit costs one hash,
+// one mask and one (usually first-probe) compare on contiguous memory.
+//
+// Contract, chosen to fit those call sites exactly:
+//  - Keys are nonzero uint64 (0 marks an empty slot). Callers with naturally
+//    zero-based keys bias by +1.
+//  - No erase. Flows and ledgers are never removed mid-run; tables die whole.
+//  - Values must be movable; slot addresses are stable only until the next
+//    rehash, so don't hold references across an insert (same rule as
+//    unordered_map iterators-after-rehash, but for pointers too).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace hpcc::core {
+
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  // Returns the value for `key`, default-constructing it on first use.
+  V& operator[](uint64_t key) {
+    assert(key != 0 && "FlatMap keys must be nonzero");
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) Grow();
+    size_t i = Probe(key);
+    if (slots_[i].key == 0) {
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  // Returns the value for `key`, or nullptr when absent. Never allocates.
+  V* Find(uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    const size_t i = Probe(key);
+    return slots_[i].key == key ? &slots_[i].value : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits every (key, value) pair in slot order — deterministic for a given
+  // insertion history, which is all the end-of-run ledger sweeps need.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    V value{};
+  };
+
+  // First slot holding `key`, or the empty slot where it would go.
+  size_t Probe(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(SplitMix64(key)) & mask;
+    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (Slot& s : old) {
+      if (s.key == 0) continue;
+      slots_[Probe(s.key)] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace hpcc::core

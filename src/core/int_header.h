@@ -21,7 +21,11 @@
 
 namespace hpcc::core {
 
-inline constexpr int kMaxIntHops = 8;  // DC paths are <= 5 hops (§4.1)
+// DC paths are <= 5 switch hops (§4.1). A packet in flight while link
+// failures recompute routes can be forwarded extra hops before the tables
+// settle; the stack saturates then (Push) rather than growing, like the
+// fixed-capacity telemetry of real INT hardware.
+inline constexpr int kMaxIntHops = 8;
 
 // Per-hop egress port snapshot.
 struct IntHop {
@@ -33,13 +37,34 @@ struct IntHop {
 };
 
 // The INT stack carried by a data packet and echoed back in its ACK.
+//
+// Copying moves only the live hop prefix: the stack rides every data packet
+// and its ACK echo, and the packet pool scrubs recycled packets with a
+// whole-struct assignment — copying all kMaxIntHops slots (320 B) per packet
+// per cycle was one of the larger fixed costs on the forward path. Slots at
+// or beyond n_hops() are unreadable through the interface (hop() asserts),
+// so stale contents there are unobservable.
 class IntStack {
  public:
+  IntStack() = default;
+  IntStack(const IntStack& other) { *this = other; }
+  IntStack& operator=(const IntStack& other) {
+    for (int i = 0; i < other.n_hops_; ++i) hops_[i] = other.hops_[i];
+    n_hops_ = other.n_hops_;
+    path_id_ = other.path_id_;
+    return *this;
+  }
+
   void Clear() { n_hops_ = 0; path_id_ = 0; }
 
   // Called by each switch egress port when the packet is emitted (§3.1 step 2).
+  // A full stack saturates — further hops are not recorded — mirroring the
+  // fixed-capacity telemetry of real INT hardware. (Overrunning is possible
+  // when transient post-reroute forwarding makes a path pathologically long;
+  // writing past the array here used to corrupt the packet, found by the
+  // scenario fuzzer under UBSan.)
   void Push(const IntHop& hop) {
-    assert(n_hops_ < kMaxIntHops);
+    if (n_hops_ == kMaxIntHops) return;
     hops_[n_hops_++] = hop;
     path_id_ ^= static_cast<uint16_t>(hop.switch_id & 0x0fff);
   }
@@ -60,7 +85,7 @@ class IntStack {
   static constexpr int kWorstCaseWireBytes = 2 + 8 * 5;
 
  private:
-  std::array<IntHop, kMaxIntHops> hops_{};
+  std::array<IntHop, kMaxIntHops> hops_;  // only [0, n_hops_) is ever read
   int n_hops_ = 0;
   uint16_t path_id_ = 0;
 };

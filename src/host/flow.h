@@ -54,8 +54,11 @@ class Flow {
   std::set<uint64_t> irn_marked_lost;
   int64_t irn_window_bytes = 0;  // set by the host from BDP when kIrn
 
-  // Retransmission safety timer.
+  // Retransmission safety timer, re-armed lazily: every ACK just moves the
+  // deadline; the scheduled event re-checks and hops forward instead of a
+  // Cancel+Schedule pair per ACK (see HostNode::ArmRto/OnRto).
   sim::EventId rto_event = sim::kInvalidEvent;
+  sim::TimePs rto_deadline = 0;
 
   uint64_t bytes_remaining() const { return spec_.size_bytes - snd_nxt; }
   bool all_sent() const { return snd_nxt >= spec_.size_bytes; }

@@ -9,7 +9,9 @@ namespace hpcc::host {
 
 HostNode::HostNode(sim::Simulator* simulator, uint32_t id, std::string name,
                    const HostConfig& config)
-    : Node(simulator, id, std::move(name)), config_(config) {}
+    : Node(simulator, id, std::move(name)), config_(config) {
+  ports_fast_path_ = config.fast_path;
+}
 
 int HostNode::PickPort(uint64_t flow_id) const {
   // Flows (and their reverse-direction control packets) are pinned to one
@@ -20,13 +22,22 @@ int HostNode::PickPort(uint64_t flow_id) const {
 }
 
 Flow* HostNode::FindFlow(uint64_t flow_id) {
-  auto it = tx_flows_.find(flow_id);
-  return it == tx_flows_.end() ? nullptr : it->second;
+  Flow** f = tx_flows_.Find(flow_id + 1);
+  return f == nullptr ? nullptr : *f;
 }
 
 const HostNode::RxState* HostNode::FindRxState(uint64_t flow_id) const {
-  auto it = rx_flows_.find(flow_id);
-  return it == rx_flows_.end() ? nullptr : &it->second;
+  const uint32_t* slot = rx_index_.Find(flow_id + 1);
+  return slot == nullptr ? nullptr : &rx_states_[*slot - 1];
+}
+
+HostNode::RxState& HostNode::RxStateFor(uint64_t flow_id) {
+  uint32_t& slot = rx_index_[flow_id + 1];
+  if (slot == 0) {
+    rx_states_.emplace_back();
+    slot = static_cast<uint32_t>(rx_states_.size());
+  }
+  return rx_states_[slot - 1];
 }
 
 void HostNode::AddFlow(std::unique_ptr<Flow> flow) {
@@ -42,6 +53,7 @@ void HostNode::AddPendingFlow(std::unique_ptr<Flow> flow) {
 void HostNode::SendReadRequest(uint64_t flow_id, uint32_t responder) {
   schedulers_.resize(static_cast<size_t>(num_ports()));
   wake_events_.resize(static_cast<size_t>(num_ports()), sim::kInvalidEvent);
+  wake_targets_.resize(static_cast<size_t>(num_ports()), 0);
   SendControl(net::MakeReadRequest(flow_id, id_, responder), flow_id);
 }
 
@@ -49,6 +61,7 @@ Flow* HostNode::RegisterFlow(std::unique_ptr<Flow> flow) {
   assert(flow->spec().src == id_);
   schedulers_.resize(static_cast<size_t>(num_ports()));
   wake_events_.resize(static_cast<size_t>(num_ports()), sim::kInvalidEvent);
+  wake_targets_.resize(static_cast<size_t>(num_ports()), 0);
 
   Flow* f = flow.get();
   f->tx_port = PickPort(f->spec().id);
@@ -61,7 +74,7 @@ Flow* HostNode::RegisterFlow(std::unique_ptr<Flow> flow) {
         sim::ToSec(config_.irn_base_rtt));
   }
   flows_.push_back(std::move(flow));
-  tx_flows_[f->spec().id] = f;
+  tx_flows_[f->spec().id + 1] = f;
   schedulers_[static_cast<size_t>(f->tx_port)].Add(f);
   return f;
 }
@@ -85,11 +98,6 @@ void HostNode::TrySend(int port_index) {
   FlowScheduler& sched = schedulers_[idx];
   net::Port& p = port(port_index);
 
-  if (wake_events_[idx] != sim::kInvalidEvent) {
-    simulator_->Cancel(wake_events_[idx]);
-    wake_events_[idx] = sim::kInvalidEvent;
-  }
-
   // Keep at most one data packet queued at the NIC port so pacing stays
   // accurate; the port pulls the next one via OnPortIdle.
   if (p.queue_bytes(net::kDataPriority) > 0) return;
@@ -97,14 +105,35 @@ void HostNode::TrySend(int port_index) {
   Flow* f = sched.PickEligible(simulator_->now());
   if (f != nullptr) {
     SendOnePacket(*f, simulator_->now());
+    // Work that is ready at or before the wire frees is the emission
+    // boundary's job (WantsPortIdle made the port keep that event, or the
+    // queued packet did); only a pacing token maturing after free_at()
+    // needs its own wake.
+    const sim::TimePs next = sched.NextWakeTime(simulator_->now());
+    if (next <= port(port_index).free_at()) return;  // includes next < 0
+    ScheduleWake(port_index, next);
     return;
   }
   const sim::TimePs wake = sched.NextWakeTime(simulator_->now());
-  if (wake >= 0) {
-    wake_events_[idx] = simulator_->ScheduleAt(
-        std::max(wake, simulator_->now() + 1),
-        [this, port_index]() { TrySend(port_index); });
+  if (wake >= 0) ScheduleWake(port_index, wake);
+}
+
+void HostNode::ScheduleWake(int port_index, sim::TimePs wake) {
+  auto idx = static_cast<size_t>(port_index);
+  const sim::TimePs at = std::max(wake, simulator_->now() + 1);
+  // Lazy wake: a pending wake at or before `at` re-evaluates eligibility
+  // when it fires (a spurious early fire is a cheap no-op), so the common
+  // per-ACK call leaves the armed timer alone instead of a Cancel+Schedule
+  // pair per packet. Only a wake that needs to move *earlier* reschedules.
+  if (wake_events_[idx] != sim::kInvalidEvent) {
+    if (wake_targets_[idx] <= at) return;
+    simulator_->Cancel(wake_events_[idx]);
   }
+  wake_targets_[idx] = at;
+  wake_events_[idx] = simulator_->ScheduleAt(at, [this, port_index]() {
+    wake_events_[static_cast<size_t>(port_index)] = sim::kInvalidEvent;
+    TrySend(port_index);
+  });
 }
 
 void HostNode::SendOnePacket(Flow& flow, sim::TimePs now) {
@@ -157,7 +186,11 @@ void HostNode::SendOnePacket(Flow& flow, sim::TimePs now) {
 }
 
 void HostNode::ArmRto(Flow& flow) {
-  if (flow.rto_event != sim::kInvalidEvent) simulator_->Cancel(flow.rto_event);
+  // Lazy re-arm: just move the deadline. The armed event re-checks it and
+  // hops forward when it fires early (OnRto) — an RTO interval's worth of
+  // ACKs then costs one field write each instead of Cancel+Schedule pairs.
+  flow.rto_deadline = simulator_->now() + config_.rto;
+  if (flow.rto_event != sim::kInvalidEvent) return;
   const uint64_t id = flow.spec().id;
   flow.rto_event =
       simulator_->ScheduleIn(config_.rto, [this, id]() { OnRto(id); });
@@ -165,9 +198,17 @@ void HostNode::ArmRto(Flow& flow) {
 
 void HostNode::OnRto(uint64_t flow_id) {
   Flow* f = FindFlow(flow_id);
-  if (f == nullptr || f->done || !f->started) return;
+  if (f == nullptr) return;
   f->rto_event = sim::kInvalidEvent;
+  if (f->done || !f->started) return;
   if (f->all_acked()) return;
+  if (simulator_->now() < f->rto_deadline) {
+    // Re-armed since this event was scheduled: sleep to the new deadline.
+    const uint64_t id = flow_id;
+    f->rto_event = simulator_->ScheduleAt(f->rto_deadline,
+                                          [this, id]() { OnRto(id); });
+    return;
+  }
   if (f->recovery() == RecoveryMode::kGoBackN) {
     f->snd_nxt = f->snd_una;  // go-back-N from the first unacked byte
   } else {
@@ -216,7 +257,7 @@ void HostNode::SendControl(net::PacketPtr pkt, uint64_t flow_id) {
 // ECN echo, and DCQCN CNP generation.
 void HostNode::HandleData(net::PacketPtr pkt) {
   const sim::TimePs now = simulator_->now();
-  RxState& rx = rx_flows_[pkt->flow_id];
+  RxState& rx = RxStateFor(pkt->flow_id);
 
   // DCQCN: a CE-marked data packet elicits a CNP, at most one per 50 us.
   if (pkt->ecn_ce &&
@@ -245,15 +286,10 @@ void HostNode::HandleData(net::PacketPtr pkt) {
   if (seq <= rx.rcv_nxt) {
     rx.rcv_nxt = std::max(rx.rcv_nxt, end);
     // Merge any now-contiguous out-of-order ranges.
-    auto it = rx.ooo.begin();
-    while (it != rx.ooo.end() && it->first <= rx.rcv_nxt) {
-      rx.rcv_nxt = std::max(rx.rcv_nxt, it->second);
-      it = rx.ooo.erase(it);
-    }
+    rx.rcv_nxt = rx.ooo.MergeFrom(rx.rcv_nxt);
     SendControl(net::MakeAck(*pkt, rx.rcv_nxt), pkt->flow_id);
   } else {
-    auto [it, inserted] = rx.ooo.emplace(seq, end);
-    if (!inserted) it->second = std::max(it->second, end);
+    rx.ooo.Add(seq, end);
     SendControl(net::MakeNack(*pkt, rx.rcv_nxt), pkt->flow_id);
   }
 }

@@ -4,12 +4,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "host/flow.h"
+#include "host/ooo_ranges.h"
 #include "host/scheduler.h"
 #include "net/node.h"
 #include "net/packet.h"
@@ -34,6 +34,8 @@ struct HostConfig {
   // packet of a flow, cutting the 42B padding overhead by ~N while HPCC
   // still reacts multiple times per RTT.
   int int_sample_every = 1;
+  // Transmission-train fast path on the NIC ports (see net/port.h).
+  bool fast_path = true;
 };
 
 class HostNode : public net::Node {
@@ -44,6 +46,15 @@ class HostNode : public net::Node {
   void Receive(net::PacketPtr pkt, int in_port) override;
   bool IsSwitch() const override { return false; }
   void OnPortIdle(int port_index) override;
+  // The NIC needs the emission boundary while any sender flow still holds
+  // data: the OnPortIdle pull paces flows and re-arms their wakes (see
+  // FlowScheduler::HasPendingData). A pure receiver NIC (ACK traffic only)
+  // and a sender whose flows are fully sent skip the boundary event
+  // entirely (see net::Port::FormTrain).
+  bool WantsPortIdle(int port_index) const override {
+    return static_cast<size_t>(port_index) < schedulers_.size() &&
+           schedulers_[static_cast<size_t>(port_index)].HasPendingData();
+  }
 
   // Registers a sender-side flow on this host and schedules its start.
   // The flow must have spec().src == id().
@@ -67,8 +78,8 @@ class HostNode : public net::Node {
 
   // Receiver-side per-flow state (public for tests).
   struct RxState {
-    uint64_t rcv_nxt = 0;                    // cumulative in-order bytes
-    std::map<uint64_t, uint64_t> ooo;        // IRN: start -> end of OOO data
+    uint64_t rcv_nxt = 0;   // cumulative in-order bytes
+    OooRanges ooo;          // IRN: [start, end) of out-of-order data
     sim::TimePs last_nack = -1;
     sim::TimePs last_cnp = -1;
   };
@@ -79,6 +90,7 @@ class HostNode : public net::Node {
   Flow* RegisterFlow(std::unique_ptr<Flow> flow);
   void StartFlow(Flow* flow);
   void TrySend(int port_index);
+  void ScheduleWake(int port_index, sim::TimePs wake);
   void SendOnePacket(Flow& flow, sim::TimePs now);
   void ArmRto(Flow& flow);
   void OnRto(uint64_t flow_id);
@@ -90,12 +102,20 @@ class HostNode : public net::Node {
   void SendControl(net::PacketPtr pkt, uint64_t flow_id);
   void CompleteFlow(Flow& flow, sim::TimePs now);
 
+  RxState& RxStateFor(uint64_t flow_id);
+
   HostConfig config_;
   std::vector<FlowScheduler> schedulers_;       // one per port
   std::vector<sim::EventId> wake_events_;       // one pending wake per port
+  std::vector<sim::TimePs> wake_targets_;       // time each pending wake fires
   std::vector<std::unique_ptr<Flow>> flows_;    // owned sender flows
-  std::unordered_map<uint64_t, Flow*> tx_flows_;
-  std::unordered_map<uint64_t, RxState> rx_flows_;
+  // Flow lookups run once per received ACK/NACK/data packet: open-addressing
+  // flat tables (keys biased by +1; flow id 0 is legal in tests) instead of
+  // unordered_map's node-per-entry layout. Receiver states live densely in
+  // rx_states_, in flow-first-seen order; the table maps flow id -> slot+1.
+  core::FlatMap<Flow*> tx_flows_;
+  core::FlatMap<uint32_t> rx_index_;
+  std::vector<RxState> rx_states_;
   FlowDoneCallback flow_done_;
 
   uint64_t data_bytes_sent_ = 0;

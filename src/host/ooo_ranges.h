@@ -1,0 +1,102 @@
+// Sorted small-vector byte-range set: the IRN receiver's out-of-order
+// buffer, previously a std::map<uint64_t, uint64_t>.
+//
+// The structure sits on the per-packet RX path, and its population is almost
+// always tiny (a handful of in-flight gaps), so entries live inline in the
+// RxState until the set outgrows kInline — no allocation, no per-node
+// pointer chase, and the linear scans run over one cache line.
+//
+// Semantics mirror the map-based code exactly (the fast-path determinism
+// suite depends on byte-identical receiver behavior): ranges are keyed by
+// start offset, Add on an existing start extends its end (never merges
+// neighbors), and MergeFrom consumes leading ranges whose start is covered
+// by the cumulative ack.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hpcc::host {
+
+class OooRanges {
+ public:
+  struct Range {
+    uint64_t start;
+    uint64_t end;
+  };
+
+  OooRanges() = default;
+  OooRanges(OooRanges&&) = default;
+  OooRanges& operator=(OooRanges&&) = default;
+  OooRanges(const OooRanges&) = delete;
+  OooRanges& operator=(const OooRanges&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const Range& at(size_t i) const {
+    assert(i < size_);
+    return begin()[i];
+  }
+
+  // Records [start, end) as received out of order. A range starting at the
+  // same offset keeps the larger end (a retransmit can carry more payload).
+  void Add(uint64_t start, uint64_t end) {
+    Range* r = begin();
+    size_t i = 0;
+    while (i < size_ && r[i].start < start) ++i;
+    if (i < size_ && r[i].start == start) {
+      if (end > r[i].end) r[i].end = end;
+      return;
+    }
+    InsertAt(i, Range{start, end});
+  }
+
+  // Consumes every leading range now covered by `rcv_nxt` (start <= rcv_nxt)
+  // and returns the advanced cumulative position.
+  uint64_t MergeFrom(uint64_t rcv_nxt) {
+    Range* r = begin();
+    size_t consumed = 0;
+    while (consumed < size_ && r[consumed].start <= rcv_nxt) {
+      if (r[consumed].end > rcv_nxt) rcv_nxt = r[consumed].end;
+      ++consumed;
+    }
+    if (consumed > 0) {
+      std::memmove(r, r + consumed, (size_ - consumed) * sizeof(Range));
+      size_ -= consumed;
+    }
+    return rcv_nxt;
+  }
+
+ private:
+  static constexpr size_t kInline = 6;
+
+  Range* begin() { return spill_.empty() ? inline_ : spill_.data(); }
+  const Range* begin() const {
+    return spill_.empty() ? inline_ : spill_.data();
+  }
+
+  void InsertAt(size_t i, Range v) {
+    if (spill_.empty() && size_ == kInline) {
+      // One-way spill: once a flow has ever held >kInline gaps it stays on
+      // the heap (re-inlining would buy little and churn allocations).
+      spill_.assign(inline_, inline_ + size_);
+    }
+    if (!spill_.empty() || size_ == kInline) {
+      spill_.insert(spill_.begin() + static_cast<ptrdiff_t>(i), v);
+      ++size_;
+      return;
+    }
+    Range* r = inline_;
+    std::memmove(r + i + 1, r + i, (size_ - i) * sizeof(Range));
+    r[i] = v;
+    ++size_;
+  }
+
+  Range inline_[kInline];
+  size_t size_ = 0;
+  std::vector<Range> spill_;
+};
+
+}  // namespace hpcc::host

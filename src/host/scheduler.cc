@@ -43,6 +43,13 @@ sim::TimePs FlowScheduler::NextWakeTime(sim::TimePs now) const {
   return best;
 }
 
+bool FlowScheduler::HasPendingData() const {
+  for (const Flow* f : flows_) {
+    if (HasDataToSend(*f)) return true;
+  }
+  return false;
+}
+
 void FlowScheduler::Compact() {
   std::erase_if(flows_, [](const Flow* f) { return f->done; });
   if (!flows_.empty()) rr_index_ %= flows_.size();

@@ -24,6 +24,15 @@ class FlowScheduler {
   // flow is waiting purely on pacing (then only an ACK can unblock us).
   sim::TimePs NextWakeTime(sim::TimePs now) const;
 
+  // True when some flow still holds unsent (or retransmit) data. The NIC
+  // port asks this at emission start to decide whether the emission boundary
+  // needs an OnPortIdle pull event at all. Window and pacing state are
+  // deliberately NOT part of the predicate: the boundary pull doubles as
+  // the wake-(re)scheduler of last resort — a wake consumed by a TrySend
+  // that found the NIC slot occupied re-arms only through this pull — so it
+  // must keep firing while any flow could ever need one.
+  bool HasPendingData() const;
+
   // Drops completed flows lazily; keeps iteration cheap on long runs.
   void Compact();
 

@@ -14,6 +14,11 @@ namespace hpcc::net {
 
 class Port;
 
+// Upper bound on packets per transmission train (see Port): deep enough to
+// amortize boundary events across an incast backlog, small enough that an
+// abort rewinds a bounded amount of state.
+inline constexpr int kMaxTrainPackets = 32;
+
 class Node {
  public:
   Node(sim::Simulator* simulator, uint32_t id, std::string name);
@@ -31,6 +36,20 @@ class Node {
   // Called when a port finished serializing and found nothing to send next;
   // hosts use it to pull the next paced packet.
   virtual void OnPortIdle(int /*port_index*/) {}
+
+  // Fast-path train hooks. MaxTrainPackets bounds how many packets one of
+  // this node's ports may commit to a single back-to-back train (switches
+  // drop to 1 while a PFC pause is outstanding so deferred emission work can
+  // never delay a RESUME). OnTrainPending tells the owner that `port` now
+  // holds unemitted train items whose emission work is settled lazily —
+  // switches track these ports so shared-buffer reads stay exact.
+  virtual int MaxTrainPackets() const { return kMaxTrainPackets; }
+  virtual void OnTrainPending(int /*port_index*/) {}
+  // Whether this node wants OnPortIdle at the port's next emission boundary
+  // even if the queue drains. Hosts with active sender flows say yes (the
+  // boundary pulls the next paced packet); pure receivers and switches say
+  // no, which lets the fast path skip the boundary event entirely.
+  virtual bool WantsPortIdle(int /*port_index*/) const { return false; }
 
   // Adds a port; returns its index. Used by Topology when wiring links.
   int AddPort(std::unique_ptr<Port> port);
@@ -54,6 +73,9 @@ class Node {
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
   check::NetHooks* check_hooks_ = nullptr;
+  // Applied to every port this node receives (AddPort). Host and switch
+  // constructors set it from their config before the topology wires links.
+  bool ports_fast_path_ = true;
 };
 
 }  // namespace hpcc::net

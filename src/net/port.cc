@@ -16,6 +16,7 @@ Node::Node(sim::Simulator* simulator, uint32_t id, std::string name)
 Node::~Node() = default;
 
 int Node::AddPort(std::unique_ptr<Port> port) {
+  port->set_fast_path(ports_fast_path_);
   ports_.push_back(std::move(port));
   return static_cast<int>(ports_.size()) - 1;
 }
@@ -23,13 +24,20 @@ int Node::AddPort(std::unique_ptr<Port> port) {
 Port::Port(Node* owner, int index, int64_t bandwidth_bps,
            sim::TimePs propagation_delay)
     : owner_(owner),
+      simulator_(&owner->simulator()),
+      owner_id_(owner->id()),
       index_(index),
       bandwidth_bps_(bandwidth_bps),
-      propagation_delay_(propagation_delay) {
+      propagation_delay_(propagation_delay),
+      owner_is_switch_(owner->IsSwitch()) {
   assert(bandwidth_bps > 0);
 }
 
 void Port::Enqueue(PacketPtr pkt) {
+  if (fast_path_) {
+    EnqueueFast(std::move(pkt));
+    return;
+  }
   const Packet* raw = pkt.get();  // stays alive inside the queue
   queues_.Enqueue(std::move(pkt));
   if (check::NetHooks* hooks = owner_->check_hooks()) [[unlikely]] {
@@ -40,6 +48,11 @@ void Port::Enqueue(PacketPtr pkt) {
 
 void Port::SetPaused(int priority, bool paused, sim::TimePs now) {
   if (paused_[priority] == paused) return;
+  if (fast_path_) {
+    // A pause state change alters which packets the reference engine would
+    // pick at the next emission boundary: rewind the committed tail.
+    AbortUnemitted();
+  }
   paused_[priority] = paused;
   if (priority == kDataPriority) {
     if (paused) {
@@ -65,11 +78,20 @@ sim::TimePs Port::total_paused_time(sim::TimePs now) const {
 
 void Port::SetLinkUp(bool up) {
   if (link_up_ == up) return;
+  if (fast_path_) {
+    // Down: unemitted packets freeze back in the queue (in-flight and
+    // currently-serializing ones still arrive, as in the reference engine).
+    AbortUnemitted();
+  }
   link_up_ = up;
   if (up) TryTransmit();
 }
 
 void Port::TryTransmit() {
+  if (fast_path_) {
+    TryTransmitFast();
+    return;
+  }
   if (busy_ || !link_up_) return;
   PacketPtr pkt = queues_.Dequeue(paused_);
   if (pkt == nullptr) {
@@ -84,58 +106,270 @@ void Port::TryTransmit() {
   StartTransmission(std::move(pkt));
 }
 
-void Port::StartTransmission(PacketPtr pkt) {
-  assert(peer_ != nullptr && "port not connected");
-  busy_ = true;
-  sim::Simulator& simulator = owner_->simulator();
-  const sim::TimePs now = simulator.now();
-
-  // Owner hook first (switch: release shared buffer, maybe send PFC resume).
-  owner_->OnPortDequeue(*pkt, index_);
-
-  tx_bytes_ += static_cast<uint64_t>(pkt->size_bytes());
+// Emission bookkeeping shared by both engines, at the packet's (possibly
+// reconstructed) emission instant. `qlen_data_behind` is the data-priority
+// occupancy the packet leaves behind — physical plus logically-queued
+// unemitted train bytes, which is exactly what the reference engine reads.
+void Port::EmitPacket(Packet& pkt, sim::TimePs emit_time,
+                      int64_t qlen_data_behind) {
+  tx_bytes_ += static_cast<uint64_t>(pkt.size_bytes());
 
   // INT stamping at emission (§3.1): the record reports the egress state the
   // packet observed, including the queue it leaves behind.
-  if (stamp_int_ && pkt->int_enabled && pkt->type == PacketType::kData) {
+  if (stamp_int_ && pkt.int_enabled && pkt.type == PacketType::kData) {
     core::IntHop hop;
     hop.bandwidth_bps = bandwidth_bps_;
-    hop.ts = now;
+    hop.ts = emit_time;
     hop.tx_bytes = tx_bytes_;
-    hop.qlen_bytes = queues_.bytes(kDataPriority);
+    hop.qlen_bytes = qlen_data_behind;
     hop.switch_id = owner_->id();
     if (int_wire_format_) {
       // Quantize and wrap to the Fig. 7 field widths (see core/int_wire.h);
       // values stay in natural units so consumers share one representation.
-      hop.ts = ((now / sim::kPsPerNs) & core::kTsMask) * sim::kPsPerNs;
+      hop.ts = ((emit_time / sim::kPsPerNs) & core::kTsMask) * sim::kPsPerNs;
       hop.tx_bytes = (hop.tx_bytes / core::kTxBytesUnit & core::kTxMask) *
                      core::kTxBytesUnit;
       const int64_t qu =
           std::min<int64_t>(hop.qlen_bytes / core::kQlenUnit, core::kQlenMask);
       hop.qlen_bytes = qu * core::kQlenUnit;
     }
-    pkt->int_stack.Push(hop);
+    pkt.int_stack.Push(hop);
   }
 
+  // Owner hook last (switch: release shared buffer, maybe send PFC resume —
+  // which can recursively enqueue a control frame, so all emission state is
+  // already consistent by this point).
+  owner_->OnPortDequeue(pkt, index_);
+}
+
+void Port::StartTransmission(PacketPtr pkt) {
+  assert(peer_ != nullptr && "port not connected");
+  busy_ = true;
+  const sim::TimePs now = simulator_->now();
   const sim::TimePs ser =
       sim::SerializationTime(pkt->size_bytes(), bandwidth_bps_);
+  busy_until_ = now + ser;  // keeps free_at() engine-independent
 
-  // Arrival at the peer after serialization + propagation. The closure owns
-  // the packet (sim::Callback moves move-only captures inline), so a run
-  // torn down with packets still on the wire releases them back to the pool
-  // instead of leaking — LeakSanitizer catches the raw-pointer variant.
+  EmitPacket(*pkt, now, queues_.bytes(kDataPriority));
+
+  // Arrival at the peer after serialization + propagation, keyed by the
+  // emission instant (see sim::EventClass). The closure owns the packet
+  // (sim::Callback moves move-only captures inline), so a run torn down
+  // with packets still on the wire releases them back to the pool instead
+  // of leaking — LeakSanitizer catches the raw-pointer variant.
   Node* peer = peer_;
   const int peer_port = peer_port_;
-  simulator.ScheduleIn(ser + propagation_delay_,
-                       [peer, peer_port, pkt = std::move(pkt)]() mutable {
-                         peer->Receive(std::move(pkt), peer_port);
-                       });
+  simulator_->ScheduleArrival(now + ser + propagation_delay_, now, link_uid(),
+                              [peer, peer_port, pkt = std::move(pkt)]() mutable {
+                                peer->Receive(std::move(pkt), peer_port);
+                              });
 
-  // Transmitter frees up after serialization.
-  simulator.ScheduleIn(ser, [this]() {
+  // Transmitter frees up after serialization (boundary class: fires after
+  // every same-timestamp arrival, before everything else).
+  simulator_->ScheduleBoundary(now + ser, link_uid(), [this]() {
     busy_ = false;
     TryTransmit();
   });
+}
+
+// ---- fast-path engine -------------------------------------------------------
+
+void Port::EnqueueFast(PacketPtr pkt) {
+  SettleDue();
+  // Control preemption: the reference engine re-picks the highest priority at
+  // every emission boundary, so a newcomer must not wait behind committed
+  // lower-priority train items.
+  for (int p = pkt->priority + 1; p < kNumPriorities; ++p) {
+    if (unsettled_bytes_[p] > 0) {
+      AbortUnemitted();
+      break;
+    }
+  }
+  const Packet* raw = pkt.get();
+  queues_.Enqueue(std::move(pkt));
+  if (check::NetHooks* hooks = owner_->check_hooks()) [[unlikely]] {
+    hooks->OnEnqueue(owner_->id(), index_, *raw,
+                     queues_.bytes(raw->priority) +
+                         unsettled_bytes_[raw->priority]);
+  }
+  TryTransmitFast();
+}
+
+void Port::TryTransmitFast() {
+  SettleDue();
+  if (!link_up_) return;
+  if (completion_event_ != sim::kInvalidEvent) return;  // boundary will kick
+  const sim::TimePs now = simulator_->now();
+  if (now < busy_until_) {
+    // Mid-serialization. Make sure the emission boundary wakes us if there is
+    // queued work (host ports always have a completion event pending).
+    if (!queues_.empty()) EnsureCompletionEvent();
+    return;
+  }
+  if (now == busy_until_ &&
+      sim::Simulator::BoundarySeq(link_uid()) > simulator_->executing_seq()) {
+    // The reference engine's tx-complete for the previous emission fires at
+    // exactly this timestamp and has not been reached yet — only possible
+    // inside a lower-uid boundary event, since boundaries sort before
+    // arrivals and everything else. Emitting here would move the emission
+    // ahead of that boundary position; defer to a boundary event at `now`,
+    // which sorts exactly where the tx-complete would.
+    if (!queues_.empty()) EnsureCompletionEvent();
+    return;
+  }
+  FormTrain(now);
+}
+
+void Port::FormTrain(sim::TimePs now) {
+  assert(peer_ != nullptr && "port not connected");
+  assert(settled_in_train_ == train_.size() && "forming over unemitted items");
+  PacketPtr first = queues_.Dequeue(paused_);
+  if (first == nullptr) {
+    if (queues_.empty()) owner_->OnPortIdle(index_);
+    return;
+  }
+  check::NetHooks* const hooks = owner_->check_hooks();
+
+  if (!queues_.HasEligible(paused_) || owner_->MaxTrainPackets() == 1) {
+    // Single-packet transmission — the common, uncongested case. Shaped
+    // exactly like the reference engine's StartTransmission (the arrival
+    // closure owns the packet; no train-buffer traffic), minus the
+    // tx-complete event: the emission boundary is busy_until_, and a
+    // completion event exists only if someone needs the boundary kick.
+    if (hooks != nullptr) [[unlikely]] {
+      hooks->OnDequeue(owner_->id(), index_, *first,
+                       queues_.bytes(first->priority));
+    }
+    const sim::TimePs ser =
+        sim::SerializationTime(first->size_bytes(), bandwidth_bps_);
+    busy_until_ = now + ser;
+    EmitPacket(*first, now, queues_.bytes(kDataPriority));
+    Node* peer = peer_;
+    const int peer_port = peer_port_;
+    simulator_->ScheduleArrival(
+        now + ser + propagation_delay_, now, link_uid(),
+        [peer, peer_port, pkt = std::move(first)]() mutable {
+          peer->Receive(std::move(pkt), peer_port);
+        });
+    if (!queues_.empty() || owner_->WantsPortIdle(index_)) {
+      EnsureCompletionEvent();
+    }
+    return;
+  }
+
+  // Burst train: commit up to max_items back-to-back packets with
+  // arithmetically computed emission times. Emission work for future items
+  // is settled lazily (SettleDue).
+  const int max_items = owner_->MaxTrainPackets();
+  sim::TimePs t = now;
+  int n = 0;
+  for (PacketPtr pkt = std::move(first); pkt != nullptr;
+       pkt = ++n < max_items ? queues_.Dequeue(paused_) : nullptr) {
+    TrainItem it;
+    it.prio = static_cast<int8_t>(pkt->priority);
+    it.emit = t;
+    it.end = t + sim::SerializationTime(pkt->size_bytes(), bandwidth_bps_);
+    t = it.end;
+    unsettled_bytes_[it.prio] += pkt->size_bytes();
+    it.arrival =
+        simulator_->ScheduleArrival(it.end + propagation_delay_, it.emit,
+                                    link_uid(), [this]() { DeliverFront(); });
+    it.pkt = std::move(pkt);
+    train_.push_back(std::move(it));
+  }
+  busy_until_ = t;
+  next_unsettled_emit_ = now;  // the first new item emits immediately
+  SettleDueSlow(/*force_now=*/true);
+  if (has_unsettled() && owner_is_switch_) owner_->OnTrainPending(index_);
+
+  // One train-completion event at most. A port whose owner wants the
+  // boundary kick (host NICs with active sender flows: OnPortIdle pulls the
+  // next paced packet) or that still holds queued packets needs it; a
+  // drained port otherwise needs none — forwarding then costs zero events
+  // beyond the arrivals. A stale completion from a train formed at this
+  // same timestamp by an earlier event is cancelled so boundaries never
+  // double-fire.
+  if (completion_event_ != sim::kInvalidEvent) {
+    simulator_->Cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (!queues_.empty() || owner_->WantsPortIdle(index_)) {
+    EnsureCompletionEvent();
+  }
+}
+
+void Port::EnsureCompletionEvent() {
+  if (completion_event_ != sim::kInvalidEvent) return;
+  completion_event_ =
+      simulator_->ScheduleBoundary(busy_until_, link_uid(), [this]() {
+        completion_event_ = sim::kInvalidEvent;
+        TryTransmitFast();
+      });
+}
+
+void Port::SettleDueSlow(bool force_now) {
+  if (settling_) return;  // reentry via OnPortDequeue -> PFC frame enqueue
+  settling_ = true;
+  check::NetHooks* const hooks = owner_->check_hooks();
+  const sim::TimePs now = simulator_->now();
+  // An item emitting at exactly `now` emits at this port's boundary
+  // position. Boundaries sort first at a timestamp, so almost every reader
+  // (arrivals, timers, samplers) observes it already emitted; only an
+  // earlier-uid boundary event runs before it and must still see it queued.
+  const bool settle_now_items =
+      force_now || simulator_->executing_seq() >
+                       sim::Simulator::BoundarySeq(link_uid());
+  if (hooks != nullptr) [[unlikely]] burst_records_.clear();
+  while (settled_in_train_ < train_.size()) {
+    TrainItem& it = train_[settled_in_train_];
+    if (it.emit > now || (it.emit == now && !settle_now_items)) break;
+    ++settled_in_train_;
+    Packet& pkt = *it.pkt;
+    unsettled_bytes_[it.prio] -= pkt.size_bytes();
+    if (hooks != nullptr) [[unlikely]] {
+      burst_records_.push_back(
+          {&pkt, queues_.bytes(it.prio) + unsettled_bytes_[it.prio]});
+    }
+    EmitPacket(pkt, it.emit,
+               queues_.bytes(kDataPriority) + unsettled_bytes_[kDataPriority]);
+  }
+  next_unsettled_emit_ =
+      has_unsettled() ? train_[settled_in_train_].emit : kNever;
+  if (hooks != nullptr && !burst_records_.empty()) [[unlikely]] {
+    hooks->OnDequeueBurst(owner_->id(), index_, burst_records_.data(),
+                          burst_records_.size());
+  }
+  settling_ = false;
+}
+
+void Port::DeliverFront() {
+  SettleDue();
+  assert(!train_.empty() && settled_in_train_ > 0 &&
+         "delivery of an unemitted train item");
+  TrainItem it = train_.pop_front();
+  --settled_in_train_;
+  peer_->Receive(std::move(it.pkt), peer_port_);
+}
+
+void Port::AbortUnemitted() {
+  SettleDue();
+  if (!has_unsettled()) return;
+  while (train_.size() > settled_in_train_) {
+    TrainItem it = train_.pop_back();
+    simulator_->Cancel(it.arrival);
+    unsettled_bytes_[it.prio] -= it.pkt->size_bytes();
+    queues_.Requeue(std::move(it.pkt));
+  }
+  next_unsettled_emit_ = kNever;
+  // The settled tail item is still serializing (its arrival, at end +
+  // propagation, is in the future), so it is still in the train buffer.
+  assert(settled_in_train_ > 0);
+  busy_until_ = train_[settled_in_train_ - 1].end;
+  if (completion_event_ != sim::kInvalidEvent) {
+    simulator_->Cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  EnsureCompletionEvent();
 }
 
 }  // namespace hpcc::net

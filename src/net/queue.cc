@@ -7,40 +7,49 @@ namespace hpcc::net {
 void PriorityQueues::Enqueue(PacketPtr pkt) {
   const int prio = pkt->priority;
   assert(prio >= 0 && prio < kNumPriorities);
-  bytes_[prio] += pkt->size_bytes();
+  hot_.bytes[prio] += pkt->size_bytes();
+  ++hot_.packets[prio];
   queues_[prio].push_back(std::move(pkt));
 }
 
 PacketPtr PriorityQueues::Dequeue(
     const std::array<bool, kNumPriorities>& paused) {
   for (int prio = 0; prio < kNumPriorities; ++prio) {
-    if (paused[prio] || queues_[prio].empty()) continue;
-    PacketPtr pkt = std::move(queues_[prio].front());
-    queues_[prio].pop_front();
-    bytes_[prio] -= pkt->size_bytes();
-    assert(bytes_[prio] >= 0);
+    if (paused[prio] || hot_.packets[prio] == 0) continue;
+    PacketPtr pkt = queues_[prio].pop_front();
+    hot_.bytes[prio] -= pkt->size_bytes();
+    --hot_.packets[prio];
+    assert(hot_.bytes[prio] >= 0);
     return pkt;
   }
   return nullptr;
 }
 
+void PriorityQueues::Requeue(PacketPtr pkt) {
+  const int prio = pkt->priority;
+  assert(prio >= 0 && prio < kNumPriorities);
+  hot_.bytes[prio] += pkt->size_bytes();
+  ++hot_.packets[prio];
+  queues_[prio].push_front(std::move(pkt));
+}
+
 bool PriorityQueues::HasEligible(
     const std::array<bool, kNumPriorities>& paused) const {
   for (int prio = 0; prio < kNumPriorities; ++prio) {
-    if (!paused[prio] && !queues_[prio].empty()) return true;
+    if (!paused[prio] && hot_.packets[prio] != 0) return true;
   }
   return false;
 }
 
 int64_t PriorityQueues::total_bytes() const {
   int64_t total = 0;
-  for (int64_t b : bytes_) total += b;
+  for (int64_t b : hot_.bytes) total += b;
   return total;
 }
 
 size_t PriorityQueues::total_packets() const {
   size_t total = 0;
-  for (const auto& q : queues_) total += q.size();
+  for (uint32_t c : hot_.packets) total += c;
   return total;
 }
 

@@ -3,13 +3,18 @@
 // Two priorities exist (§6: HPCC needs only a single data priority; control
 // frames — ACK/NACK/CNP/PFC — ride a strict high priority so feedback is not
 // queued behind data).
+//
+// The byte/packet counters live in one packed block at the front of the
+// object (structure-of-arrays style): the burst loop in net::Port touches
+// counters far more often than packet storage, and keeping them on one cache
+// line keeps eligibility checks and occupancy reads off the ring arrays.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
 #include "net/packet.h"
+#include "net/ring.h"
 
 namespace hpcc::net {
 
@@ -19,16 +24,24 @@ class PriorityQueues {
   // Pops the highest-priority packet whose priority is not paused.
   // `paused` maps priority -> paused flag.
   PacketPtr Dequeue(const std::array<bool, kNumPriorities>& paused);
+  // Returns a packet to the head of its priority queue (train abort: an
+  // unemitted packet goes back exactly where the burst took it from).
+  void Requeue(PacketPtr pkt);
 
   bool HasEligible(const std::array<bool, kNumPriorities>& paused) const;
-  int64_t bytes(int priority) const { return bytes_[priority]; }
+  int64_t bytes(int priority) const { return hot_.bytes[priority]; }
   int64_t total_bytes() const;
   size_t total_packets() const;
   bool empty() const { return total_packets() == 0; }
 
  private:
-  std::array<std::deque<PacketPtr>, kNumPriorities> queues_{};
-  std::array<int64_t, kNumPriorities> bytes_{};
+  // Hot counters, packed together and first in the object.
+  struct Hot {
+    std::array<int64_t, kNumPriorities> bytes{};
+    std::array<uint32_t, kNumPriorities> packets{};
+  };
+  Hot hot_;
+  std::array<Ring<PacketPtr>, kNumPriorities> queues_{};
 };
 
 }  // namespace hpcc::net

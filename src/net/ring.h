@@ -1,0 +1,88 @@
+// Growable power-of-two ring buffer, the FIFO under the egress queues and
+// the port transmission trains.
+//
+// std::deque pays a chunk-map indirection on every front/back touch and
+// allocates per chunk; the forwarding loop pushes and pops one packet at a
+// time, so the queue working set is a handful of entries that should stay in
+// one contiguous (and usually L1-resident) array. push_front exists for the
+// train-abort path, which returns unemitted packets to the head of their
+// queue in reverse order.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hpcc::net {
+
+template <typename T>
+class Ring {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  T& back() {
+    assert(size_ > 0);
+    return buf_[Index(size_ - 1)];
+  }
+  // i counts from the front (0 = next to pop).
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return buf_[Index(i)];
+  }
+  const T& operator[](size_t i) const {
+    return const_cast<Ring*>(this)->operator[](i);
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) Grow();
+    buf_[Index(size_)] = std::move(v);
+    ++size_;
+  }
+
+  void push_front(T v) {
+    if (size_ == buf_.size()) Grow();
+    head_ = (head_ + buf_.size() - 1) & (buf_.size() - 1);
+    buf_[head_] = std::move(v);
+    ++size_;
+  }
+
+  T pop_front() {
+    assert(size_ > 0);
+    T v = std::move(buf_[head_]);
+    buf_[head_] = T{};  // drop any owned resource now, not at overwrite time
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+    return v;
+  }
+
+  T pop_back() {
+    assert(size_ > 0);
+    T v = std::move(buf_[Index(size_ - 1)]);
+    buf_[Index(size_ - 1)] = T{};
+    --size_;
+    return v;
+  }
+
+ private:
+  size_t Index(size_t i) const { return (head_ + i) & (buf_.size() - 1); }
+
+  void Grow() {
+    const size_t n = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(n);
+    for (size_t i = 0; i < size_; ++i) next[i] = std::move(buf_[Index(i)]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace hpcc::net

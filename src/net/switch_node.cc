@@ -12,12 +12,16 @@ SwitchNode::SwitchNode(sim::Simulator* simulator, uint32_t id,
     : Node(simulator, id, std::move(name)),
       config_(config),
       buffer_(config.buffer_bytes, /*num_ports=*/1),
-      rng_(0x5317c4ed ^ id) {}
+      rng_(0x5317c4ed ^ id) {
+  ports_fast_path_ = config.fast_path && !config.rcp_enabled;
+}
 
 void SwitchNode::FinishSetup() {
   buffer_ = SharedBuffer(config_.buffer_bytes, num_ports());
   pause_sent_.assign(static_cast<size_t>(num_ports()),
                      std::array<bool, kNumPriorities>{});
+  train_pending_flag_.assign(static_cast<size_t>(num_ports()), 0);
+  train_pending_.clear();
   rcp_.assign(static_cast<size_t>(num_ports()), RcpState{});
   for (int i = 0; i < num_ports(); ++i) {
     // RCP starts each port's fair rate at capacity (processor sharing pulls
@@ -43,7 +47,41 @@ int SwitchNode::RoutePort(const Packet& pkt) const {
   return candidates[h % candidates.size()];
 }
 
+void SwitchNode::OnTrainPending(int port_index) {
+  uint8_t& flag = train_pending_flag_[static_cast<size_t>(port_index)];
+  if (flag != 0) return;
+  flag = 1;
+  train_pending_.push_back(static_cast<uint16_t>(port_index));
+}
+
+void SwitchNode::SettleTrains() {
+  if (train_pending_.empty()) [[likely]] return;
+  size_t w = 0;
+  for (size_t i = 0; i < train_pending_.size(); ++i) {
+    const uint16_t p = train_pending_[i];
+    Port& port = *ports_[p];
+    port.SettleDue();
+    if (port.has_unsettled()) {
+      train_pending_[w++] = p;
+    } else {
+      train_pending_flag_[p] = 0;
+    }
+  }
+  train_pending_.resize(w);
+}
+
+void SwitchNode::AbortTrains() {
+  for (const uint16_t p : train_pending_) {
+    ports_[p]->AbortUnemitted();
+    train_pending_flag_[p] = 0;
+  }
+  train_pending_.clear();
+}
+
 void SwitchNode::Receive(PacketPtr pkt, int in_port) {
+  // Deferred train emissions on any port release shared buffer and mutate
+  // queue counters; settle them before this packet observes either.
+  SettleTrains();
   if (pkt->type == PacketType::kPfcPause ||
       pkt->type == PacketType::kPfcResume) {
     // The frame arrived through `in_port`, so the pause applies to our
@@ -170,6 +208,15 @@ void SwitchNode::CheckResume(int in_port, int priority) {
 }
 
 void SwitchNode::SendPfc(int in_port, int priority, bool pause) {
+  if (pause) {
+    // From here until the matching RESUME, emission work must run at exact
+    // emission instants (a deferred buffer release could delay the RESUME):
+    // rewind all committed-but-unemitted train items and drop to
+    // single-packet trains (MaxTrainPackets).
+    if (pause_out_++ == 0) AbortTrains();
+  } else {
+    --pause_out_;
+  }
   PacketPtr frame = MakePfc(
       pause ? PacketType::kPfcPause : PacketType::kPfcResume, priority);
   // PFC travels upstream: out through the port the congesting traffic came in

@@ -32,6 +32,12 @@ struct SwitchConfig {
   // `egress_alpha * free_bytes`; only used when pfc_enabled == false.
   double egress_alpha = 1.0;
 
+  // Transmission-train fast path on the egress ports (see net/port.h).
+  // Disabled automatically when RCP is enabled: the RCP controller samples
+  // time-dependent state at every dequeue, which deferred emission would
+  // skew. `--fastpath=off` at the CLI/scenario level clears it everywhere.
+  bool fast_path = true;
+
   bool int_enabled = true;          // stamp INT on data packets that ask
   // Hardware-faithful INT: quantize/wrap the stamped fields to the Fig. 7
   // wire widths (24-bit ns timestamp, 20-bit 128B tx counter, 16-bit 80B
@@ -56,6 +62,15 @@ class SwitchNode : public Node {
   void Receive(PacketPtr pkt, int in_port) override;
   bool IsSwitch() const override { return true; }
   void OnPortDequeue(Packet& pkt, int port_index) override;
+
+  // Fast-path policy: multi-packet trains are allowed only while no PFC
+  // pause is outstanding from this switch, so a deferred buffer release can
+  // never delay a RESUME (emission work of a single-packet train runs
+  // synchronously at its emission instant, like the reference engine).
+  int MaxTrainPackets() const override {
+    return pause_out_ == 0 ? kMaxTrainPackets : 1;
+  }
+  void OnTrainPending(int port_index) override;
 
   // Routing: ECMP port list per destination node id; set by Topology.
   void SetRoutes(std::vector<std::vector<uint16_t>> routes) {
@@ -86,6 +101,12 @@ class SwitchNode : public Node {
 
   void MaybeUpdateRcp(int port_index);
 
+  // Settles every port holding deferred train emissions so shared-buffer and
+  // queue reads observe exact reference state; called on every Receive.
+  void SettleTrains();
+  // Rewinds the unemitted tail of every active train (first PFC pause sent).
+  void AbortTrains();
+
   SwitchConfig config_;
   SharedBuffer buffer_;
   sim::Rng rng_;
@@ -99,6 +120,11 @@ class SwitchNode : public Node {
   std::vector<RcpState> rcp_;
   // Whether we have an outstanding PAUSE toward each (ingress port, prio).
   std::vector<std::array<bool, kNumPriorities>> pause_sent_;
+  int pause_out_ = 0;  // count of outstanding PAUSEs across all (port, prio)
+  // Ports with unemitted train items (deferred emission work), plus a
+  // per-port membership flag so the list stays duplicate-free.
+  std::vector<uint16_t> train_pending_;
+  std::vector<uint8_t> train_pending_flag_;
 
   uint64_t dropped_packets_ = 0;
   uint64_t dropped_bytes_ = 0;

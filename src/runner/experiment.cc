@@ -8,6 +8,7 @@ namespace hpcc::runner {
 
 net::SwitchConfig Experiment::MakeSwitchConfig() const {
   net::SwitchConfig sw;
+  sw.fast_path = config_.fast_path;
   sw.pfc_enabled = config_.pfc_enabled;
   sw.int_enabled = cc::SchemeUsesInt(config_.cc.scheme);
   sw.int_wire_format = config_.cc.hpcc.wire_format;
@@ -26,6 +27,7 @@ void Experiment::BuildTopology() {
   const net::SwitchConfig sw = MakeSwitchConfig();
   host::HostConfig hc;
   hc.int_sample_every = config_.int_sample_every;
+  hc.fast_path = config_.fast_path;
   switch (config_.topology) {
     case TopologyKind::kFatTree: {
       topo::FatTreeOptions o = config_.fattree;
@@ -243,6 +245,7 @@ ExperimentResult Experiment::Collect() {
   r.short_fct_us = short_fct_us_;
   for (uint32_t s : topology_->switches()) {
     r.dropped_packets += topology_->switch_node(s).dropped_packets();
+    r.packets_forwarded += topology_->switch_node(s).forwarded_packets();
   }
   r.flows_created = flow_ptrs_.size();
   r.flows_completed = flows_completed_;

@@ -37,6 +37,11 @@ struct ExperimentConfig {
   cc::CcConfig cc;
   host::RecoveryMode recovery = host::RecoveryMode::kGoBackN;
   bool pfc_enabled = true;
+  // Transmission-train forwarding fast path (net/port.h). Semantically
+  // equivalent to the per-packet reference engine — the fastpath determinism
+  // suite pins equal TraceHash and byte-identical CSVs — but executes far
+  // fewer simulator events. Off = the reference engine, for A/B runs.
+  bool fast_path = true;
   // INT sampling period (1 = every data packet, the paper's default).
   int int_sample_every = 1;
   // Optional WRED override (Fig. 3's threshold sweep); by default the scheme
@@ -73,6 +78,10 @@ struct ExperimentResult {
   stats::PercentileTracker pause_durations_us;
   stats::PercentileTracker short_fct_us;  // FCT of short flows, microseconds
   uint64_t dropped_packets = 0;
+  // Packets the switches forwarded (admitted and enqueued toward an egress).
+  // Unlike events_executed this is independent of the transmit engine, so it
+  // is the work unit the macro benchmarks and scenario CSVs report.
+  uint64_t packets_forwarded = 0;
   uint64_t flows_created = 0;
   uint64_t flows_completed = 0;
   sim::TimePs sim_time = 0;

@@ -16,11 +16,14 @@ namespace {
 
 // Single source of truth for the CSV shape: CsvHeader emits these names and
 // CsvRow emits exactly one cell per entry ("error" last).
+// `packets_forwarded` (not events_executed) is the throughput-ish column:
+// the event count depends on which transmit engine ran, while the CSV must
+// be byte-identical across --fastpath=on/off.
 constexpr const char* kMetricColumns[] = {
     "flows_created",  "flows_completed",  "slowdown_p50",  "slowdown_p95",
     "slowdown_p99",   "short_fct_p95_us", "queue_p50_kb",  "queue_p99_kb",
     "queue_max_kb",   "pfc_pause_pct",    "pfc_events",    "dropped_packets",
-    "sim_time_ms",    "events_executed",  "error"};
+    "sim_time_ms",    "packets_forwarded", "error"};
 constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
 
 }  // namespace
@@ -28,7 +31,8 @@ constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
 ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
     : options_(options) {}
 
-SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check) {
+SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check,
+                                      int fastpath_override) {
   SweepRunResult out;
   out.label = run.label;
   out.params = run.params;
@@ -37,7 +41,9 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check) {
   // it must be destroyed after them.
   check::MonitorRegistry registry;
   try {
-    runner::Experiment e(MakeExperimentConfig(run.scenario));
+    runner::ExperimentConfig cfg = MakeExperimentConfig(run.scenario);
+    if (fastpath_override >= 0) cfg.fast_path = fastpath_override != 0;
+    runner::Experiment e(cfg);
     if (check) {
       check::StandardMonitorOptions mo;
       mo.topology_mutates = MutatesTopology(run.scenario);
@@ -90,7 +96,7 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= runs.size()) return;
-      results[i] = RunOne(runs[i], options_.check);
+      results[i] = RunOne(runs[i], options_.check, options_.fastpath_override);
       if (verbose) {
         const SweepRunResult& r = results[i];
         std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", i + 1, runs.size(),
@@ -150,7 +156,7 @@ std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r) {
   row.push_back(FormatNumber(static_cast<double>(res.pause_events)));
   row.push_back(FormatNumber(static_cast<double>(res.dropped_packets)));
   row.push_back(FormatNumber(sim::ToMs(res.sim_time)));
-  row.push_back(FormatNumber(static_cast<double>(res.events_executed)));
+  row.push_back(FormatNumber(static_cast<double>(res.packets_forwarded)));
   row.emplace_back();  // error
   return row;
 }

@@ -47,6 +47,10 @@ struct ScenarioRunnerOptions {
   // Run every point under the standard invariant monitors
   // (check::InstallStandardMonitors); violations mark the run failed.
   bool check = false;
+  // Transmit-engine override: -1 = as the scenario says, 0 = force the
+  // per-packet reference engine, 1 = force the train fast path. The
+  // determinism suite and `--fastpath=on|off` A/B runs use this.
+  int fastpath_override = -1;
 };
 
 class ScenarioRunner {
@@ -62,8 +66,10 @@ class ScenarioRunner {
   std::vector<SweepRunResult> RunAll(const std::vector<ScenarioRun>& runs);
 
   // Executes one fully-resolved sweep point (no threading). `check` attaches
-  // the standard invariant monitors for this point.
-  static SweepRunResult RunOne(const ScenarioRun& run, bool check = false);
+  // the standard invariant monitors for this point; `fastpath_override` as
+  // in ScenarioRunnerOptions.
+  static SweepRunResult RunOne(const ScenarioRun& run, bool check = false,
+                               int fastpath_override = -1);
 
   // Order-independent digest over the per-flow trace hashes of all points
   // (each salted with its grid index). Equal digests <=> every point saw

@@ -332,8 +332,9 @@ Scenario ParseScenario(const Json& doc) {
   }
   CheckKeys(doc, "scenario",
             {"name", "description", "topology", "cc", "workload",
-             "duration_ms", "drain_factor", "seed", "pfc", "recovery",
-             "int_sample_every", "short_flow_bytes", "events", "sweep"});
+             "duration_ms", "drain_factor", "seed", "pfc", "fastpath",
+             "recovery", "int_sample_every", "short_flow_bytes", "events",
+             "sweep"});
 
   Scenario s;
   s.source = doc;
@@ -367,6 +368,7 @@ Scenario ParseScenario(const Json& doc) {
   if (seed < 0) throw ScenarioError("seed must be >= 0");
   s.config.seed = static_cast<uint64_t>(seed);
   s.config.pfc_enabled = BoolOr(doc, "pfc", s.config.pfc_enabled);
+  s.config.fast_path = BoolOr(doc, "fastpath", s.config.fast_path);
   const std::string recovery = StrOr(doc, "recovery", "gbn");
   if (recovery == "gbn") {
     s.config.recovery = host::RecoveryMode::kGoBackN;
@@ -548,6 +550,7 @@ Json ScenarioToJson(const Scenario& s) {
   doc.Set("drain_factor", Json::MakeNumber(cfg.drain_factor));
   doc.Set("seed", Json::MakeNumber(static_cast<double>(cfg.seed)));
   doc.Set("pfc", Json::MakeBool(cfg.pfc_enabled));
+  doc.Set("fastpath", Json::MakeBool(cfg.fast_path));
   doc.Set("recovery",
           Json::MakeString(cfg.recovery == host::RecoveryMode::kIrn ? "irn"
                                                                     : "gbn"));

@@ -90,7 +90,7 @@ size_t Simulator::NextOccupied(size_t start) const {
   return kBucketCount;
 }
 
-EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
+EventId Simulator::ScheduleKeyed(TimePs at, uint64_t seq, Callback cb) {
   assert(at >= now_);
   uint32_t slot_index;
   if (free_head_ != kNoFreeSlot) {
@@ -103,7 +103,7 @@ EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
   Slot& slot = slots_[slot_index];
   ++slot.gen;  // even -> odd: live
   slot.cb = std::move(cb);
-  const HeapEntry e{at, next_seq_++, slot_index, slot.gen};
+  const HeapEntry e{at, seq, slot_index, slot.gen};
   if ((at >> kBucketWidthBits) - (now_ >> kBucketWidthBits) <
       static_cast<TimePs>(kBucketCount)) {
     InsertRing(e);
@@ -114,9 +114,29 @@ EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
   return MakeEventId(slot_index, slot.gen);
 }
 
+EventId Simulator::ScheduleAt(TimePs at, Callback cb) {
+  return ScheduleKeyed(at, kOtherSeqBase | next_seq_++, std::move(cb));
+}
+
 EventId Simulator::ScheduleIn(TimePs delay, Callback cb) {
   assert(delay >= 0);
   return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleArrival(TimePs at, TimePs emission_time,
+                                   uint32_t link_uid, Callback cb) {
+  const TimePs em = emission_time < 0                ? 0
+                    : emission_time > kMaxKeyedEmission ? kMaxKeyedEmission
+                                                        : emission_time;
+  const uint64_t seq =
+      kArrivalSeqBase | (static_cast<uint64_t>(em) << kArrivalUidBits) |
+      (link_uid & ((uint32_t{1} << kArrivalUidBits) - 1));
+  return ScheduleKeyed(at, seq, std::move(cb));
+}
+
+EventId Simulator::ScheduleBoundary(TimePs at, uint32_t link_uid,
+                                    Callback cb) {
+  return ScheduleKeyed(at, BoundarySeq(link_uid), std::move(cb));
 }
 
 void Simulator::Cancel(EventId id) {
@@ -216,6 +236,7 @@ uint64_t Simulator::Run(TimePs until) {
       // callers that poll now() — the very livelock this watchdog prevents).
       if (live_events_ == 0) break;
       budget_exhausted_ = true;
+      executing_seq_ = kOtherSeqBase;
       return executed;  // clock stays at the last executed event
     }
     if (!PopEarliest(until, &e)) break;
@@ -225,10 +246,12 @@ uint64_t Simulator::Run(TimePs until) {
     Callback cb = std::move(slots_[e.slot].cb);
     ReleaseSlot(e.slot);
     now_ = e.at;
+    executing_seq_ = e.seq;
     cb();
     ++executed;
     ++events_executed_;
   }
+  executing_seq_ = kOtherSeqBase;
   // If we stopped because of the horizon, advance the clock to it so that
   // repeated Run(until) calls observe monotone time.
   if (!stopped_ && now_ < until &&

@@ -52,6 +52,31 @@ namespace hpcc::sim {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+// Same-timestamp ordering class, encoded into the queue records' tie-break
+// key (top two bits of `seq`). Events at equal timestamps execute link
+// boundary events first (serialization ends / train completions, ordered by
+// link uid), then packet arrivals (ordered by emission time, then link uid),
+// then everything else in scheduling order.
+//
+// This exists for the forwarding fast path: transmission trains schedule a
+// packet's arrival when the train forms, not when the packet's serialization
+// starts, so a seq assigned by scheduling *order* would make same-picosecond
+// ties resolve differently than in the per-packet reference engine — and a
+// phase-locked network (equal-rate links, equal-size packets) ties
+// constantly. Keying arrivals by (emission time, link) and boundaries by
+// (link) makes the execution order a function of simulation quantities both
+// engines agree on, which is what lets `--fastpath=on/off` produce
+// byte-identical results.
+//
+// Boundaries sort *before* arrivals deliberately: when a packet arrives at a
+// port at exactly the instant its previous serialization ends, the reference
+// engine's tx-complete is then guaranteed to have already fired, so the fast
+// path may start transmitting inside the arrival event itself instead of
+// scheduling a boundary event to stay order-aligned — that keeps store-and-
+// forward chains across equal-rate links (arrival == boundary at every hop)
+// at zero extra events per forwarded packet.
+enum class EventClass : uint32_t { kBoundary = 0, kArrival = 1, kOther = 2 };
+
 class Simulator {
  public:
   using Callback = sim::Callback;
@@ -64,6 +89,36 @@ class Simulator {
   EventId ScheduleAt(TimePs at, Callback cb);
   // Schedules `cb` to run `delay` after now().
   EventId ScheduleIn(TimePs delay, Callback cb);
+
+  // Class-keyed scheduling (see EventClass). A packet arrival at `at`,
+  // emitted onto link `link_uid` at `emission_time`; and a link boundary
+  // (serialization end / train completion) on `link_uid`. Both tie-break
+  // deterministically by their keys instead of scheduling order.
+  EventId ScheduleArrival(TimePs at, TimePs emission_time, uint32_t link_uid,
+                          Callback cb);
+  EventId ScheduleBoundary(TimePs at, uint32_t link_uid, Callback cb);
+
+  // Tie-break key of the currently executing event ((class << 62) | key);
+  // kOtherSeqBase outside Run. The fast path consults it to decide whether
+  // the reference engine's same-timestamp boundary would already have fired.
+  uint64_t executing_seq() const { return executing_seq_; }
+  EventClass executing_class() const {
+    return static_cast<EventClass>(executing_seq_ >> kClassShift);
+  }
+
+  // seq-encoding layout (public for the call sites that compare keys).
+  static constexpr int kClassShift = 62;
+  // Arrival key: emission time (43 bits, ~8.8 s — clamped beyond, which only
+  // coarsens tie-breaks) then link uid (19 bits, wrapped beyond).
+  static constexpr int kArrivalUidBits = 19;
+  static constexpr TimePs kMaxKeyedEmission =
+      (TimePs{1} << (kClassShift - kArrivalUidBits)) - 1;
+  static constexpr uint64_t kArrivalSeqBase = uint64_t{1} << kClassShift;
+  static constexpr uint64_t kOtherSeqBase = uint64_t{2} << kClassShift;
+
+  static uint64_t BoundarySeq(uint32_t link_uid) {
+    return link_uid & ((uint32_t{1} << kArrivalUidBits) - 1);
+  }
   // Cancels a pending event and destroys its closure. Cancelling an
   // already-run, already-cancelled, or invalid id is a no-op.
   void Cancel(EventId id);
@@ -103,9 +158,10 @@ class Simulator {
     uint32_t next_free = 0;  // free-list link, valid while gen is even
   };
 
-  // Queue records are plain data; the closure stays in the slot. `seq` is a
-  // global monotone schedule counter giving the deterministic time-then-
-  // insertion-order tie-break.
+  // Queue records are plain data; the closure stays in the slot. `seq` is
+  // the same-timestamp tie-break: (EventClass << 62) | class key — a
+  // monotone schedule counter for kOther, simulation-derived keys for
+  // arrivals and boundaries (see EventClass above).
   struct HeapEntry {
     TimePs at;
     uint64_t seq;
@@ -152,6 +208,8 @@ class Simulator {
     return slots_[e.slot].gen != e.gen;
   }
 
+  // Allocates a slot and inserts a queue record with the given tie-break.
+  EventId ScheduleKeyed(TimePs at, uint64_t seq, Callback cb);
   // O(1) append of a queue record into its ring bucket.
   void InsertRing(const HeapEntry& e);
   // Pops the earliest live event with at <= until into *out. Returns false
@@ -167,6 +225,7 @@ class Simulator {
 
   TimePs now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t executing_seq_ = kOtherSeqBase;
   bool stopped_ = false;
   uint64_t events_executed_ = 0;
   uint64_t event_budget_ = std::numeric_limits<uint64_t>::max();

@@ -76,5 +76,30 @@ TEST(IntStack, DifferentPathsDifferentIds) {
   EXPECT_NE(a.path_id(), b.path_id());
 }
 
+TEST(IntStack, SaturatesAtCapacity) {
+  // A packet forwarded over a pathologically long transient path (routes
+  // recomputing under link failures) must not write past the fixed stack —
+  // found by the scenario fuzzer under UBSan. The stack saturates instead.
+  IntStack s;
+  for (int i = 0; i < kMaxIntHops + 3; ++i) s.Push(MakeHop(i + 1));
+  EXPECT_EQ(s.n_hops(), kMaxIntHops);
+  const uint16_t id_full = s.path_id();
+  s.Push(MakeHop(99));  // ignored: no record, no path-id change
+  EXPECT_EQ(s.n_hops(), kMaxIntHops);
+  EXPECT_EQ(s.path_id(), id_full);
+}
+
+TEST(IntStack, CopyKeepsOnlyLivePrefix) {
+  IntStack a;
+  a.Push(MakeHop(3));
+  a.Push(MakeHop(4));
+  IntStack b(a);
+  ASSERT_EQ(b.n_hops(), 2);
+  EXPECT_EQ(b.hop(1).switch_id, a.hop(1).switch_id);
+  EXPECT_EQ(b.path_id(), a.path_id());
+  b = IntStack{};
+  EXPECT_EQ(b.n_hops(), 0);
+}
+
 }  // namespace
 }  // namespace hpcc::core

@@ -15,16 +15,21 @@
 //                             pattern (exercises Cancel and slot reuse)
 //   forward_path/packet_cycle data-packet + ACK factory round trip, the
 //                             per-hop allocation cost the pool removes
-//   macro/fig11_incast        Fig. 11-style star incast+load run; reports
-//                             simulated events per wall-second end to end.
-//                             The invariant-monitor hook sites (check/) are
-//                             compiled into this path with no monitor
-//                             registered, so comparing this number against
-//                             BENCH_baseline.json is the zero-overhead-when-
-//                             disabled guard.
-//   macro/fig11_checked       the same run with every standard invariant
-//                             monitor attached — the measured cost of
-//                             always-on checking (used by fuzz/CI, not by
+//   macro/fig11_incast        Fig. 11-style star incast+load run on the
+//                             transmission-train fast path; reports switch-
+//                             forwarded packets per wall-second end to end
+//                             (a work unit independent of the transmit
+//                             engine — the fast path executes fewer events
+//                             for the same forwarding work). Invariant-
+//                             monitor hook sites are compiled in with no
+//                             monitor registered.
+//   macro/fig11_nofastpath    the same run on the per-packet reference
+//                             engine (--fastpath=off): the committed pair of
+//                             these two numbers is the same-host A/B for the
+//                             fast path.
+//   macro/fig11_checked       the fast-path run with every standard
+//                             invariant monitor attached — the measured cost
+//                             of always-on checking (used by fuzz/CI, not by
 //                             perf runs)
 //
 // Each benchmark self-calibrates: batches repeat until the measured wall time
@@ -113,12 +118,22 @@ uint64_t PacketCycleBatch() {
 }
 
 // Fig. 11-style macro point (bench_hotpath.h, shared with bench_micro's
-// BM_MacroFig11Incast): the metric is simulated events per wall-second, the
-// end-to-end figure of merit for the §5 harness.
+// BM_MacroFig11Incast): the metric is switch-forwarded packets per
+// wall-second, the end-to-end figure of merit for the §5 harness.
 uint64_t MacroFig11Batch() {
   hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
   auto result = e.Run();
-  return result.events_executed;
+  return result.packets_forwarded;
+}
+
+// The identical workload on the per-packet reference engine: the committed
+// fastpath-vs-reference pair is a same-host A/B (both runs forward exactly
+// the same packets — the determinism suite pins that).
+uint64_t MacroFig11NoFastpathBatch() {
+  hpcc::runner::Experiment e(
+      hpcc::benchgen::Fig11MacroConfig(/*fast_path=*/false));
+  auto result = e.Run();
+  return result.packets_forwarded;
 }
 
 // The same macro point with the full standard monitor set attached: the
@@ -131,7 +146,7 @@ uint64_t MacroFig11CheckedBatch() {
   auto result = e.Run();
   registry.Finish(e.simulator().now());
   if (registry.violation_count() != 0) std::abort();  // bench must run clean
-  return result.events_executed;
+  return result.packets_forwarded;
 }
 
 // The label is user-supplied; escape it so the report stays valid JSON.
@@ -204,8 +219,10 @@ int main(int argc, char** argv) {
   results.push_back(RunBench("forward_path/packet_cycle", "packets",
                              min_seconds, PacketCycleBatch));
   results.push_back(
-      RunBench("macro/fig11_incast", "events", min_seconds, MacroFig11Batch));
-  results.push_back(RunBench("macro/fig11_checked", "events", min_seconds,
+      RunBench("macro/fig11_incast", "pkts", min_seconds, MacroFig11Batch));
+  results.push_back(RunBench("macro/fig11_nofastpath", "pkts", min_seconds,
+                             MacroFig11NoFastpathBatch));
+  results.push_back(RunBench("macro/fig11_checked", "pkts", min_seconds,
                              MacroFig11CheckedBatch));
 
   for (const BenchResult& r : results) {

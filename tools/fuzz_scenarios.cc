@@ -31,13 +31,15 @@ int main(int argc, char** argv) {
       options.max_events = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-determinism") == 0) {
       options.check_determinism = false;
+    } else if (std::strcmp(argv[i], "--no-fastpath-check") == 0) {
+      options.check_fastpath = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--runs=N] [--out-dir=DIR]\n"
-                   "          [--max-events=N] [--no-determinism] "
-                   "[--verbose]\n",
+                   "          [--max-events=N] [--no-determinism]\n"
+                   "          [--no-fastpath-check] [--verbose]\n",
                    argv[0]);
       return 2;
     }

@@ -38,6 +38,7 @@ struct Options {
   uint64_t seed = 1;
   bool lossy = false;
   bool irn = false;
+  int fastpath = -1;  // -1 default (on), 0 reference engine, 1 trains
   bool paper_scale = false;
   double eta = 0.95;
   double wai = -1;
@@ -64,6 +65,9 @@ struct Options {
       "  --incast-bytes=N   bytes per incast flow\n"
       "  --eta=F --wai=F    HPCC parameters\n"
       "  --lossy            disable PFC (dynamic-threshold drops)\n"
+      "  --fastpath=on|off  force the transmission-train fast path (both\n"
+      "                     engines produce identical results; off = A/B\n"
+      "                     reference)\n"
       "  --irn              IRN loss recovery instead of go-back-N\n"
       "  --paper-scale      320-host FatTree / 32-host testbed\n"
       "  --seed=N\n",
@@ -91,6 +95,11 @@ Options Parse(int argc, char** argv) {
     else if (cli::ConsumeFlag(argv[i], "--wai", &v)) o.wai = std::atof(v);
     else if (cli::ConsumeFlag(argv[i], "--seed", &v))
       o.seed = std::strtoull(v, nullptr, 10);
+    else if (cli::ConsumeFlag(argv[i], "--fastpath", &v)) {
+      if (std::strcmp(v, "on") == 0) o.fastpath = 1;
+      else if (std::strcmp(v, "off") == 0) o.fastpath = 0;
+      else Usage(argv[0]);
+    }
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--lossy") == 0) o.lossy = true;
     else if (std::strcmp(argv[i], "--irn") == 0) o.irn = true;
@@ -117,6 +126,7 @@ int main(int argc, char** argv) {
     ro.jobs = o.jobs;
     ro.verbose = true;
     ro.check = o.check;
+    ro.fastpath_override = o.fastpath;
     return scenario::RunScenarioFile(o.scenario, ro, o.out);
   }
 
@@ -152,6 +162,7 @@ int main(int argc, char** argv) {
   cfg.duration = static_cast<sim::TimePs>(o.duration_ms * sim::kPsPerMs);
   cfg.seed = o.seed;
   cfg.pfc_enabled = !o.lossy;
+  if (o.fastpath >= 0) cfg.fast_path = o.fastpath != 0;
   cfg.recovery =
       o.irn ? host::RecoveryMode::kIrn : host::RecoveryMode::kGoBackN;
   if (o.incast_fan_in > 0) {

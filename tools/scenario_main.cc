@@ -24,6 +24,7 @@ struct Options {
   std::string file;
   std::string out;  // empty = "<scenario name>.csv"
   int jobs = 0;     // 0 = hardware concurrency
+  int fastpath = -1;  // -1 scenario default, 0 reference engine, 1 trains
   bool expand_only = false;
   bool quiet = false;
   bool dump = false;
@@ -39,6 +40,10 @@ struct Options {
                "  --dump       print the canonicalized scenario JSON and exit\n"
                "  --check      run every point under the invariant monitors\n"
                "               (violations fail the run)\n"
+               "  --fastpath=on|off\n"
+               "               force the transmission-train fast path on or\n"
+               "               off (default: as the scenario says; both\n"
+               "               engines produce identical results)\n"
                "  --quiet      suppress per-run progress\n",
                argv0);
   std::exit(2);
@@ -50,6 +55,11 @@ Options Parse(int argc, char** argv) {
     const char* v = nullptr;
     if (cli::ConsumeFlag(argv[i], "--jobs", &v)) o.jobs = std::atoi(v);
     else if (cli::ConsumeFlag(argv[i], "--out", &v)) o.out = v;
+    else if (cli::ConsumeFlag(argv[i], "--fastpath", &v)) {
+      if (std::strcmp(v, "on") == 0) o.fastpath = 1;
+      else if (std::strcmp(v, "off") == 0) o.fastpath = 0;
+      else Usage(argv[0]);
+    }
     else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
     else if (std::strcmp(argv[i], "--dump") == 0) o.dump = true;
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
@@ -87,5 +97,6 @@ int main(int argc, char** argv) {
   ro.jobs = o.jobs;
   ro.verbose = !o.quiet;
   ro.check = o.check;
+  ro.fastpath_override = o.fastpath;
   return scenario::RunScenarioFile(o.file, ro, o.out);
 }
