@@ -75,6 +75,48 @@ inline uint64_t RunTimerChurn(uint64_t* fired_sink) {
   return static_cast<uint64_t>(kTimers) * kRounds;
 }
 
+// Fat-tree shapes for the routing-core benchmarks: the k=16 slice matches
+// examples/scenarios/fattree16_hadoop_burst.json (1024 hosts), the k=32
+// slice matches examples/scenarios/fattree32_websearch.json (8192 hosts).
+inline topo::FatTreeOptions FatTreeK16Options() {
+  topo::FatTreeOptions o;
+  o.pods = 16;
+  o.tors_per_pod = 8;
+  o.aggs_per_pod = 8;
+  o.cores_per_agg = 8;
+  o.hosts_per_tor = 8;
+  return o;
+}
+
+inline topo::FatTreeOptions FatTreeK32Options() {
+  topo::FatTreeOptions o;
+  o.pods = 32;
+  o.tors_per_pod = 16;
+  o.aggs_per_pod = 16;
+  o.cores_per_agg = 16;
+  o.hosts_per_tor = 16;
+  return o;
+}
+
+// The k=32 payoff macro workload, mirroring the base sweep point of
+// examples/scenarios/fattree32_websearch.json (keep the two in sync):
+// WebSearch background load and a two-tier link-flap script on the 8192-host
+// fabric. The runner schedules the flaps itself so the configuration stays
+// a plain ExperimentConfig.
+inline runner::ExperimentConfig FatTree32MacroConfig() {
+  runner::ExperimentConfig cfg;
+  cfg.topology = runner::TopologyKind::kFatTree;
+  cfg.fattree = FatTreeK32Options();
+  cfg.cc.scheme = "hpcc";
+  cfg.load = 0.25;
+  cfg.trace = "websearch";
+  cfg.max_flows = 500;
+  cfg.duration = sim::Us(100);
+  cfg.drain_factor = 10.0;
+  cfg.seed = 32;
+  return cfg;
+}
+
 // Fig. 11-style macro point: incast over background load on a star. Small
 // enough to finish in well under a second per run; the figure of merit is
 // forwarded packets per wall-second, end to end — a work unit independent

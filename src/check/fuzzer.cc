@@ -22,9 +22,11 @@ Json Str(const std::string& s) { return Json::MakeString(s); }
 
 // Topology generation: dumbbells (the shared-trunk stress shape), small
 // fat-trees (multipath + redundancy, so link failures reroute), and — since
-// the burst fast path targets large fabrics — occasional wide fat-trees in
-// the shape of examples/scenarios/fattree16_hadoop_burst.json, scaled down
-// enough to fuzz quickly but deep enough to form real multi-hop trains.
+// the burst fast path and the scale-out routing core target large fabrics —
+// occasional wide fat-trees in the shape of the
+// fattree16_hadoop_burst/fattree32_websearch scenario family, scaled down
+// enough to fuzz quickly but wide enough (up to 16 pods) that link flaps
+// exercise the incremental route-repair classification across tiers.
 Json RandomTopology(sim::Rng& rng) {
   Json t = Json::MakeObject();
   const double shape = rng.Uniform();
@@ -45,7 +47,7 @@ Json RandomTopology(sim::Rng& rng) {
     t.Set("hosts_per_tor", Num(2 + static_cast<double>(rng.Index(3))));
   } else {
     t.Set("kind", Str("fattree"));
-    t.Set("pods", Num(4 + 4 * static_cast<double>(rng.Index(2))));
+    t.Set("pods", Num(4 * static_cast<double>(1 << rng.Index(3))));  // 4/8/16
     t.Set("tors_per_pod", Num(2 + static_cast<double>(rng.Index(2))));
     t.Set("aggs_per_pod", Num(2 + static_cast<double>(rng.Index(2))));
     t.Set("cores_per_agg", Num(2 + static_cast<double>(rng.Index(2))));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/ecn.h"
+#include "net/nexthop.h"
 #include "net/node.h"
 #include "net/port.h"
 #include "net/shared_buffer.h"
@@ -72,10 +73,18 @@ class SwitchNode : public Node {
   }
   void OnTrainPending(int port_index) override;
 
-  // Routing: ECMP port list per destination node id; set by Topology.
-  void SetRoutes(std::vector<std::vector<uint16_t>> routes) {
-    routes_ = std::move(routes);
-  }
+  // Routing: interned ECMP next-hop groups, dst node id -> shared port set
+  // (see net/nexthop.h). Topology owns the contents: it resets/rebuilds the
+  // table in RecomputeRoutes and patches single groups during incremental
+  // link-event repair.
+  NextHopTable& routes() { return routes_; }
+  const NextHopTable& routes() const { return routes_; }
+  // Convenience for tests/benches that wire a switch by hand: installs one
+  // candidate list per destination node id (index = dst).
+  void SetRoutes(const std::vector<std::vector<uint16_t>>& routes);
+  // ECMP egress port for pkt.dst, or -1 when there is no route — including
+  // an out-of-range dst, which is a checked (hook-visible kNoRoute) drop
+  // rather than undefined behavior on a corrupt packet.
   int RoutePort(const Packet& pkt) const;
 
   // Called by Topology after ports are wired.
@@ -110,7 +119,7 @@ class SwitchNode : public Node {
   SwitchConfig config_;
   SharedBuffer buffer_;
   sim::Rng rng_;
-  std::vector<std::vector<uint16_t>> routes_;
+  NextHopTable routes_;
   // RCP per-egress-port controller state.
   struct RcpState {
     double rate = 0;

@@ -1,9 +1,11 @@
 #include "scenario/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <system_error>
 
 namespace hpcc::scenario {
 namespace {
@@ -189,6 +191,44 @@ struct Parser {
     return v;
   }
 
+  // Decimal exponent of a grammar-validated number token: the power of ten
+  // of its first significant digit (0 for "1.5", 2 for "123", -3 for
+  // "0.0015"), plus the explicit exponent, saturated to +/-1e9. Out-of-range
+  // tokens underflow iff this is negative.
+  static long long DecimalExponent(const char* tok, const char* end) {
+    const char* p = tok;
+    if (*p == '-') ++p;
+    // Integer part: "0" or a nonzero-leading digit run (grammar-enforced).
+    long long base = 0;
+    const char* first_sig = nullptr;
+    const char* int_start = p;
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+    if (*int_start != '0') {
+      first_sig = int_start;
+      base = (p - int_start) - 1;
+    } else if (p < end && *p == '.') {
+      const char* f = p + 1;
+      while (f < end && *f == '0') ++f;
+      if (f < end && *f >= '1' && *f <= '9') {
+        first_sig = f;
+        base = -(f - p);  // "0.001" -> -3
+      }
+    }
+    if (first_sig == nullptr) return 0;  // literal zero never range-errors
+    while (p < end && *p != 'e' && *p != 'E') ++p;
+    long long exp = 0;
+    if (p < end) {
+      ++p;
+      bool neg = false;
+      if (p < end && (*p == '+' || *p == '-')) neg = *p++ == '-';
+      for (; p < end && *p >= '0' && *p <= '9'; ++p) {
+        if (exp < 1'000'000'000) exp = exp * 10 + (*p - '0');
+      }
+      if (neg) exp = -exp;
+    }
+    return base + exp;
+  }
+
   Json ParseNumber() {
     const size_t start = pos;
     if (Peek() == '-') ++pos;
@@ -210,10 +250,22 @@ struct Parser {
       if (AtEnd() || Peek() < '0' || Peek() > '9') Fail("bad exponent");
       while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
     }
-    const std::string tok = text.substr(start, pos - start);
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    // Locale-independent conversion: std::strtod honors LC_NUMERIC, so under
+    // e.g. LC_NUMERIC=de_DE "1.5" parsed as 1 and silently dropped the
+    // fraction. std::from_chars always uses the JSON ('C') number format.
+    const char* tok = text.data() + start;
+    const char* tok_end = text.data() + pos;
+    double v = 0;
+    const auto [ptr, ec] = std::from_chars(tok, tok_end, v);
+    if (ec == std::errc::result_out_of_range) {
+      // Overflow (1e999) must fail loudly like any malformed input, but an
+      // underflow (1e-999) is a representable-as-(-)0 value that the strtod
+      // path accepted; keep accepting it. from_chars leaves `v` unset on
+      // range errors, so tell the two apart by the token's true decimal
+      // exponent (mantissa shape alone is not enough: 0.5e400 overflows).
+      if (DecimalExponent(tok, tok_end) >= 0) Fail("number out of range");
+      v = tok[0] == '-' ? -0.0 : 0.0;
+    } else if (ec != std::errc() || ptr != tok_end || !std::isfinite(v)) {
       Fail("number out of range");
     }
     return Json::MakeNumber(v);
@@ -254,11 +306,19 @@ std::string FormatNumber(double v) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
   }
-  // Shortest form that survives a parse round trip.
+  // Shortest form that survives a parse round trip. std::to_chars with an
+  // explicit precision is specified to produce exactly what printf "%.*g"
+  // produces in the "C" locale — unlike snprintf/strtod, which follow
+  // LC_NUMERIC and would flip the decimal separator (and break the
+  // round-trip check) under e.g. a German locale.
   char buf[40];
   for (int prec = 6; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) return buf;
+    const auto res = std::to_chars(buf, buf + sizeof(buf) - 1, v,
+                                   std::chars_format::general, prec);
+    *res.ptr = '\0';
+    double back = 0;
+    std::from_chars(buf, res.ptr, back);
+    if (back == v) return buf;
   }
   return buf;
 }

@@ -55,8 +55,58 @@ FatTreeTopology MakeFatTree(sim::Simulator* simulator,
       }
     }
   }
+  t.SetPathModel(std::make_unique<FatTreePathModel>(options, out.host_ids,
+                                                    t.num_nodes()));
   t.Finalize();
   return out;
+}
+
+FatTreePathModel::FatTreePathModel(const FatTreeOptions& options,
+                                   const std::vector<uint32_t>& host_ids,
+                                   size_t num_nodes)
+    : tors_per_pod_(options.tors_per_pod),
+      hosts_per_tor_(options.hosts_per_tor),
+      host_bps_(options.host_bps),
+      fabric_bps_(options.fabric_bps),
+      link_delay_(options.link_delay),
+      num_hosts_(host_ids.size()),
+      host_index_(num_nodes, -1) {
+  for (size_t i = 0; i < host_ids.size(); ++i) {
+    host_index_[host_ids[i]] = static_cast<int32_t>(i);
+  }
+  if (!host_ids.empty()) {
+    first_host_ = host_ids.front();
+    last_host_ = host_ids.back();
+  }
+}
+
+bool FatTreePathModel::Links(uint32_t src, uint32_t dst,
+                             Profile* out) const {
+  if (src >= host_index_.size() || dst >= host_index_.size()) return false;
+  const int32_t si = host_index_[src];
+  const int32_t di = host_index_[dst];
+  if (si < 0 || di < 0) return false;  // switches: fall back to BFS
+  out->num_segs = 0;
+  if (si == di) return true;  // zero-link path, matching the BFS answer
+  const int32_t stor = si / hosts_per_tor_;
+  const int32_t dtor = di / hosts_per_tor_;
+  out->segs[out->num_segs++] = Seg{host_bps_, link_delay_, 2};
+  if (stor == dtor) return true;  // host -> ToR -> host
+  // Same pod: 2 fabric links (ToR->Agg->ToR); cross pod: 4 (via a core).
+  const int fabric =
+      stor / tors_per_pod_ == dtor / tors_per_pod_ ? 2 : 4;
+  out->segs[out->num_segs++] = Seg{fabric_bps_, link_delay_, fabric};
+  return true;
+}
+
+bool FatTreePathModel::MaxRttPair(uint32_t* src, uint32_t* dst) const {
+  // Builder host order makes front/back the structurally farthest pair
+  // (cross-pod when pods >= 2, cross-rack when a pod has >= 2 ToRs), and
+  // with uniform link delays more hops never cost less.
+  if (num_hosts_ < 2) return false;
+  *src = first_host_;
+  *dst = last_host_;
+  return true;
 }
 
 }  // namespace hpcc::topo

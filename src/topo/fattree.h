@@ -55,4 +55,32 @@ struct FatTreeTopology {
 FatTreeTopology MakeFatTree(sim::Simulator* simulator,
                             const FatTreeOptions& options);
 
+// Analytic designed-topology path model for the regular fat-tree: hop count
+// and link composition from pod arithmetic over the builder's host order
+// (2 hops same-rack, 4 same-pod, 6 cross-pod; host links at the ends,
+// fabric links between). Installed by MakeFatTree so BaseRtt / IdealFct /
+// MaxBaseRtt answer in O(1) instead of BFS — experiment setup and per-flow
+// FCT normalization stop scaling with fabric size. Must agree exactly with
+// the BFS answers; the routing tests compare all pairs on several shapes.
+class FatTreePathModel : public PathModel {
+ public:
+  FatTreePathModel(const FatTreeOptions& options,
+                   const std::vector<uint32_t>& host_ids, size_t num_nodes);
+
+  bool Links(uint32_t src, uint32_t dst, Profile* out) const override;
+  bool MaxRttPair(uint32_t* src, uint32_t* dst) const override;
+
+ private:
+  int tors_per_pod_;
+  int hosts_per_tor_;
+  int64_t host_bps_;
+  int64_t fabric_bps_;
+  sim::TimePs link_delay_;
+  uint32_t first_host_ = 0;
+  uint32_t last_host_ = 0;
+  size_t num_hosts_ = 0;
+  // node id -> linear host index in builder order (-1 for switches).
+  std::vector<int32_t> host_index_;
+};
+
 }  // namespace hpcc::topo

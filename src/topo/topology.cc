@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -9,6 +10,14 @@
 #include "net/packet.h"
 
 namespace hpcc::topo {
+
+Topology::Topology(sim::Simulator* simulator) : simulator_(simulator) {
+  // Enabled by HPCC_ROUTE_ORACLE=1 (any non-empty value other than "0");
+  // =0 or empty must keep the expensive oracle off.
+  const char* oracle = std::getenv("HPCC_ROUTE_ORACLE");
+  route_oracle_ =
+      oracle != nullptr && oracle[0] != '\0' && std::string(oracle) != "0";
+}
 
 uint32_t Topology::AddHost(const host::HostConfig& config,
                            const std::string& name) {
@@ -23,8 +32,9 @@ uint32_t Topology::AddHost(const host::HostConfig& config,
 uint32_t Topology::AddSwitch(const net::SwitchConfig& config,
                              const std::string& name) {
   const auto id = static_cast<uint32_t>(nodes_.size());
-  nodes_.push_back(
-      std::make_unique<net::SwitchNode>(simulator_, id, name, config));
+  auto sw = std::make_unique<net::SwitchNode>(simulator_, id, name, config);
+  switch_ptrs_.push_back(sw.get());
+  nodes_.push_back(std::move(sw));
   switches_.push_back(id);
   adj_.emplace_back();
   return id;
@@ -78,26 +88,83 @@ std::vector<int> Topology::BfsDistances(uint32_t from,
   return dist;
 }
 
-void Topology::RecomputeRoutes() {
-  // Per-destination BFS: a switch's ECMP set toward dst is every port whose
-  // peer is one hop closer to dst (over links that are up).
-  std::vector<std::vector<std::vector<uint16_t>>> routes(nodes_.size());
-  for (auto& r : routes) r.resize(nodes_.size());
-  for (uint32_t dst : hosts_) {
-    const std::vector<int> dist = BfsDistances(dst);
-    for (uint32_t n = 0; n < nodes_.size(); ++n) {
-      if (n == dst || dist[n] < 0) continue;
-      for (const Edge& e : adj_[n]) {
-        if (!links_[e.link].up) continue;
-        if (dist[e.peer] >= 0 && dist[e.peer] == dist[n] - 1) {
-          routes[n][dst].push_back(static_cast<uint16_t>(e.port));
-        }
-      }
+int64_t Topology::AttachmentSwitch(uint32_t h) const {
+  if (adj_[h].size() != 1) return -1;
+  const Edge& e = adj_[h].front();
+  if (!links_[e.link].up) return -1;
+  if (!nodes_[e.peer]->IsSwitch()) return -1;
+  return static_cast<int64_t>(e.peer);
+}
+
+void Topology::CollectCandidates(uint32_t node, const std::vector<int>& dist,
+                                 std::vector<uint16_t>* cand) const {
+  // A node's ECMP set toward the BFS root: every up port whose peer is one
+  // hop closer. Candidate order is adjacency order == ascending port index,
+  // the canonical group order.
+  cand->clear();
+  if (dist[node] <= 0) return;
+  for (const Edge& e : adj_[node]) {
+    if (!links_[e.link].up) continue;
+    if (dist[e.peer] >= 0 && dist[e.peer] == dist[node] - 1) {
+      cand->push_back(static_cast<uint16_t>(e.port));
     }
   }
-  for (uint32_t s : switches_) {
-    switch_node(s).SetRoutes(std::move(routes[s]));
+}
+
+void Topology::RebuildDestination(uint32_t dst) {
+  // Per-destination BFS over links that are up.
+  const std::vector<int> dist = BfsDistances(dst);
+  std::vector<uint16_t>& cand = cand_scratch_;
+  for (net::SwitchNode* sw : switch_ptrs_) {
+    cand.clear();
+    if (sw->id() != dst) CollectCandidates(sw->id(), dist, &cand);
+    sw->routes().SetRoute(dst, cand.data(),
+                          static_cast<uint32_t>(cand.size()));
   }
+}
+
+void Topology::RebuildDestinationsBehind(uint32_t via,
+                                         const std::vector<uint32_t>& hosts) {
+  // Every path to a degree-1 host h attached to switch `via` ends with the
+  // via->h link, so d(n, h) = d(n, via) + 1 for every n != h and the ECMP
+  // candidates of any switch s != via toward h equal its candidates toward
+  // `via` — one BFS and one interned group per switch serve every host
+  // behind the same attachment point. `via` itself routes straight to each
+  // host's NIC port(s).
+  const std::vector<int> dist = BfsDistances(via);
+  std::vector<uint16_t>& cand = cand_scratch_;
+  for (net::SwitchNode* sw : switch_ptrs_) {
+    const uint32_t s = sw->id();
+    if (s == via) continue;
+    CollectCandidates(s, dist, &cand);
+    if (cand.empty()) {
+      for (const uint32_t h : hosts) {
+        sw->routes().AssignGroup(h, net::NextHopTable::kNoGroup);
+      }
+    } else {
+      const uint32_t gid = sw->routes().InternGroup(
+          cand.data(), static_cast<uint32_t>(cand.size()));
+      for (const uint32_t h : hosts) sw->routes().AssignGroup(h, gid);
+    }
+  }
+  net::SwitchNode& attach = *static_cast<net::SwitchNode*>(nodes_[via].get());
+  for (const uint32_t h : hosts) {
+    cand.clear();
+    for (const Edge& e : adj_[via]) {
+      if (e.peer == h && links_[e.link].up) {
+        cand.push_back(static_cast<uint16_t>(e.port));
+      }
+    }
+    attach.routes().SetRoute(h, cand.data(),
+                             static_cast<uint32_t>(cand.size()));
+  }
+}
+
+void Topology::RecomputeRoutes() {
+  for (net::SwitchNode* sw : switch_ptrs_) {
+    sw->routes().Reset(static_cast<uint32_t>(nodes_.size()));
+  }
+  RebuildDestinations(hosts_);
 }
 
 void Topology::Finalize() {
@@ -112,10 +179,166 @@ void Topology::Finalize() {
 void Topology::SetLinkUp(size_t link_index, bool up) {
   LinkSpec& l = links_[link_index];
   if (l.up == up) return;
+  if (!finalized_) {
+    // No routing tables exist yet (Reset runs at Finalize, which will build
+    // routes from the link states current then); classifying against the
+    // unsized tables would read out of bounds.
+    l.up = up;
+    nodes_[l.a]->port(l.port_a).SetLinkUp(up);
+    nodes_[l.b]->port(l.port_b).SetLinkUp(up);
+    return;
+  }
+
+  // Classify every destination against the flapped link using two BFS
+  // passes seeded at its endpoints, over the pre-change fabric:
+  //
+  //   |d(a,dst) - d(b,dst)| == 0  ->  the link is on no shortest path to
+  //       dst and (up or down) opens/closes none: untouched.
+  //   |diff| == 1  ->  only the farther endpoint's ECMP group toward dst
+  //       changes (it gains/loses the port across the link); distances are
+  //       provably unchanged as long as, on a down, the farther endpoint
+  //       keeps at least one other parent. O(1) group patch.
+  //   otherwise (|diff| >= 2 on up, lost-last-parent on down, or a
+  //       partition heal)  ->  distances shift and changes can cascade:
+  //       rebuild that destination with one BFS, or fall back to a full
+  //       RecomputeRoutes when too many destinations need it.
+  const std::vector<int> da = BfsDistances(l.a);
+  const std::vector<int> db = BfsDistances(l.b);
+
+  struct Patch {
+    net::SwitchNode* sw;
+    uint32_t dst;
+    uint16_t port;
+    bool add;
+  };
+  std::vector<Patch> patches;
+  std::vector<uint32_t> rebuild;
+  for (const uint32_t dst : hosts_) {
+    const int xa = da[dst];
+    const int xb = db[dst];
+    if (xa < 0 && xb < 0) continue;  // neither endpoint reaches dst
+    if (xa < 0 || xb < 0) {
+      // Only possible on an up: the link heals a partition for dst.
+      rebuild.push_back(dst);
+      continue;
+    }
+    const int diff = xa - xb;
+    if (diff == 0) continue;
+    if (diff > 1 || diff < -1) {
+      // Only possible on an up (endpoints were not adjacent): the new link
+      // shortens paths toward dst.
+      rebuild.push_back(dst);
+      continue;
+    }
+    // |diff| == 1: the endpoint farther from dst routes across the link.
+    const uint32_t farther = diff > 0 ? l.a : l.b;
+    const uint16_t fport =
+        static_cast<uint16_t>(diff > 0 ? l.port_a : l.port_b);
+    net::Node& fn = *nodes_[farther];
+    if (!fn.IsSwitch()) {
+      // Hosts hold no routing table. A degree-1 host is a leaf nothing
+      // routes through, so no switch table changes; a multi-homed host
+      // losing a parent can shift distances for switches routing through
+      // it — rebuild exactly.
+      if (!up && adj_[farther].size() > 1) rebuild.push_back(dst);
+      continue;
+    }
+    auto* sw = static_cast<net::SwitchNode*>(&fn);
+    if (up) {
+      patches.push_back(Patch{sw, dst, fport, /*add=*/true});
+      continue;
+    }
+    const net::NextHopTable::Group g = sw->routes().Lookup(dst);
+    const bool has_port =
+        std::binary_search(g.ports, g.ports + g.size, fport);
+    if (g.size >= 2 && has_port) {
+      patches.push_back(Patch{sw, dst, fport, /*add=*/false});
+    } else {
+      // Last parent lost (or an unexpected table state): exact rebuild.
+      rebuild.push_back(dst);
+    }
+  }
+
   l.up = up;
   nodes_[l.a]->port(l.port_a).SetLinkUp(up);
   nodes_[l.b]->port(l.port_b).SetLinkUp(up);
-  RecomputeRoutes();
+
+  // Beyond this bound incremental repair is no cheaper than one
+  // from-scratch pass, so it degrades gracefully to the full rebuild.
+  const size_t bound = std::max<size_t>(hosts_.size() / 2, 16);
+  if (rebuild.size() > bound) {
+    RecomputeRoutes();
+  } else {
+    for (const Patch& p : patches) {
+      if (p.add) {
+        p.sw->routes().AddPort(p.dst, p.port);
+      } else {
+        p.sw->routes().RemovePort(p.dst, p.port);
+      }
+    }
+    RebuildDestinations(rebuild);
+  }
+  if (route_oracle_) VerifyRoutesAgainstOracle();
+}
+
+void Topology::RebuildDestinations(const std::vector<uint32_t>& dsts) {
+  if (dsts.empty()) return;
+  // Share BFS work exactly like RecomputeRoutes: destinations behind the
+  // same attachment switch rebuild together (a whole pod losing its path
+  // through a flapped core costs one BFS per rack, not one per host).
+  std::vector<std::vector<uint32_t>> behind(nodes_.size());
+  std::vector<uint32_t> group_order;
+  for (const uint32_t dst : dsts) {
+    const int64_t via = AttachmentSwitch(dst);
+    if (via >= 0) {
+      if (behind[static_cast<size_t>(via)].empty()) {
+        group_order.push_back(static_cast<uint32_t>(via));
+      }
+      behind[static_cast<size_t>(via)].push_back(dst);
+    } else if (adj_[dst].size() == 1 && !links_[adj_[dst].front().link].up) {
+      // Sole NIC link down: unreachable from everywhere.
+      for (net::SwitchNode* sw : switch_ptrs_) {
+        sw->routes().AssignGroup(dst, net::NextHopTable::kNoGroup);
+      }
+    } else {
+      RebuildDestination(dst);
+    }
+  }
+  for (const uint32_t via : group_order) {
+    RebuildDestinationsBehind(via, behind[via]);
+  }
+}
+
+void Topology::VerifyRoutesAgainstOracle() {
+  // Dense from-scratch recomputation (the seed algorithm, shared with
+  // nothing above): one BFS per host, candidates re-derived directly.
+  for (const uint32_t dst : hosts_) {
+    const std::vector<int> dist = BfsDistances(dst);
+    for (net::SwitchNode* sw : switch_ptrs_) {
+      const uint32_t s = sw->id();
+      std::vector<uint16_t> want;
+      if (s != dst && dist[s] > 0) {
+        for (const Edge& e : adj_[s]) {
+          if (!links_[e.link].up) continue;
+          if (dist[e.peer] >= 0 && dist[e.peer] == dist[s] - 1) {
+            want.push_back(static_cast<uint16_t>(e.port));
+          }
+        }
+      }
+      if (want != sw->routes().PortsOf(dst)) {
+        throw std::logic_error(
+            "route oracle mismatch: switch " + sw->name() + " dst " +
+            nodes_[dst]->name() + " has a different ECMP set than a dense "
+            "recomputation");
+      }
+    }
+  }
+  for (net::SwitchNode* sw : switch_ptrs_) {
+    if (!sw->routes().CheckConsistency()) {
+      throw std::logic_error("next-hop table inconsistency on switch " +
+                             sw->name());
+    }
+  }
 }
 
 int Topology::Distance(uint32_t from, uint32_t to) const {
@@ -153,40 +376,94 @@ std::vector<size_t> Topology::ShortestPathLinks(uint32_t src,
   return path;
 }
 
-sim::TimePs Topology::BaseRtt(uint32_t src, uint32_t dst) const {
-  const std::vector<size_t> path = ShortestPathLinks(src, dst);
+sim::TimePs Topology::LinkRttCost(int64_t bps, sim::TimePs delay) {
   const int data_bytes = net::kPayloadBytes + net::kDataHeaderBytes +
                          core::IntStack::kWorstCaseWireBytes;
+  return 2 * delay +                                  // both directions
+         sim::SerializationTime(data_bytes, bps) +    // data forward
+         sim::SerializationTime(net::kAckHeaderBytes, bps);  // ack back
+}
+
+sim::TimePs Topology::BaseRttViaBfs(uint32_t src, uint32_t dst) const {
   sim::TimePs rtt = 0;
-  for (size_t li : path) {
+  for (size_t li : ShortestPathLinks(src, dst)) {
     const LinkSpec& l = links_[li];
-    rtt += 2 * l.delay;  // both directions
-    rtt += sim::SerializationTime(data_bytes, l.bps);        // data forward
-    rtt += sim::SerializationTime(net::kAckHeaderBytes, l.bps);  // ack back
+    rtt += LinkRttCost(l.bps, l.delay);
   }
   return rtt;
 }
 
-sim::TimePs Topology::MaxBaseRtt() const {
-  sim::TimePs best = 0;
-  // The regular topologies we build are symmetric; sampling pairs against
-  // host 0 and the farthest candidates is exact for them and cheap.
-  for (uint32_t a : hosts_) {
-    if (a == hosts_[0]) continue;
-    best = std::max(best, BaseRtt(hosts_[0], a));
-    best = std::max(best, BaseRtt(a, hosts_[0]));
+sim::TimePs Topology::BaseRtt(uint32_t src, uint32_t dst) const {
+  PathModel::Profile p;
+  if (path_model_ != nullptr && path_model_->Links(src, dst, &p)) {
+    sim::TimePs rtt = 0;
+    for (int i = 0; i < p.num_segs; ++i) {
+      rtt += p.segs[i].count * LinkRttCost(p.segs[i].bps, p.segs[i].delay);
+    }
+    return rtt;
   }
-  return best == 0 && hosts_.size() >= 2
-             ? BaseRtt(hosts_[0], hosts_[1])
-             : best;
+  return BaseRttViaBfs(src, dst);
 }
 
-int64_t Topology::BottleneckBps(uint32_t src, uint32_t dst) const {
+sim::TimePs Topology::MaxBaseRtt() const {
+  if (path_model_ != nullptr) {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    if (path_model_->MaxRttPair(&src, &dst)) return BaseRtt(src, dst);
+    // Fall through to the exact sweep when the model declines.
+  }
+  // Exact over every host pair: one BFS per destination, then propagate the
+  // first-parent path cost down the distance layers — cost[src] equals
+  // BaseRtt(src, dst) because ShortestPathLinks walks the same first
+  // adjacent parent at every step.
+  sim::TimePs best = 0;
+  std::vector<uint32_t> order(nodes_.size());
+  std::vector<sim::TimePs> cost(nodes_.size());
+  for (const uint32_t dst : hosts_) {
+    const std::vector<int> dist =
+        BfsDistances(dst, /*respect_link_state=*/false);
+    order.clear();
+    for (uint32_t n = 0; n < nodes_.size(); ++n) {
+      if (dist[n] >= 0) order.push_back(n);
+    }
+    std::sort(order.begin(), order.end(),
+              [&dist](uint32_t x, uint32_t y) { return dist[x] < dist[y]; });
+    for (const uint32_t n : order) {
+      if (dist[n] == 0) {
+        cost[n] = 0;
+        continue;
+      }
+      for (const Edge& e : adj_[n]) {
+        if (dist[e.peer] == dist[n] - 1) {
+          cost[n] = cost[e.peer] + LinkRttCost(links_[e.link].bps,
+                                               links_[e.link].delay);
+          break;
+        }
+      }
+    }
+    for (const uint32_t src : hosts_) {
+      if (src != dst && dist[src] > 0) best = std::max(best, cost[src]);
+    }
+  }
+  return best;
+}
+
+int64_t Topology::BottleneckBpsViaBfs(uint32_t src, uint32_t dst) const {
   int64_t bps = std::numeric_limits<int64_t>::max();
   for (size_t li : ShortestPathLinks(src, dst)) {
     bps = std::min(bps, links_[li].bps);
   }
   return bps;
+}
+
+int64_t Topology::BottleneckBps(uint32_t src, uint32_t dst) const {
+  PathModel::Profile p;
+  if (path_model_ != nullptr && path_model_->Links(src, dst, &p)) {
+    int64_t bps = std::numeric_limits<int64_t>::max();
+    for (int i = 0; i < p.num_segs; ++i) bps = std::min(bps, p.segs[i].bps);
+    return bps;
+  }
+  return BottleneckBpsViaBfs(src, dst);
 }
 
 sim::TimePs Topology::IdealFct(uint32_t src, uint32_t dst,
@@ -205,6 +482,30 @@ sim::TimePs Topology::IdealFct(uint32_t src, uint32_t dst,
   return sim::SerializationTime(static_cast<int64_t>(wire_bytes),
                                 bottleneck) +
          BaseRtt(src, dst);
+}
+
+size_t Topology::RoutingResidentBytes() const {
+  size_t total = 0;
+  for (const net::SwitchNode* sw : switch_ptrs_) {
+    total += sw->routes().resident_bytes();
+  }
+  return total;
+}
+
+size_t Topology::RoutingExpandedPortEntries() const {
+  size_t total = 0;
+  for (const net::SwitchNode* sw : switch_ptrs_) {
+    total += sw->routes().expanded_port_entries();
+  }
+  return total;
+}
+
+size_t Topology::RoutingGroups() const {
+  size_t total = 0;
+  for (const net::SwitchNode* sw : switch_ptrs_) {
+    total += sw->routes().num_groups();
+  }
+  return total;
 }
 
 }  // namespace hpcc::topo

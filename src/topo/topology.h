@@ -1,7 +1,14 @@
 // Topology: owns all nodes, wires links, computes shortest-path ECMP routes,
 // and provides base-RTT / ideal-FCT queries for FCT-slowdown accounting.
+//
+// Routing state lives in per-switch interned next-hop-group tables
+// (net/nexthop.h): dst -> shared ECMP port set. Topology is the only writer:
+// Finalize()/RecomputeRoutes() build the tables from scratch, and
+// SetLinkUp() repairs them incrementally (see the implementation notes on
+// SetLinkUp) instead of rebuilding every table on every link event.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,9 +32,38 @@ struct LinkSpec {
   bool up = true;
 };
 
+// Analytic path model a regular-fabric builder can install so the
+// designed-topology queries (BaseRtt / BottleneckBps / IdealFct /
+// MaxBaseRtt) answer in O(1) from structural arithmetic instead of a BFS
+// per call. The model must agree exactly with the BFS answers — the routing
+// tests compare them pairwise — since IdealFct is the denominator of FCT
+// slowdown and any drift would shift every reported number.
+class PathModel {
+ public:
+  struct Seg {
+    int64_t bps = 0;
+    sim::TimePs delay = 0;
+    int count = 0;
+  };
+  // Link composition of one designed-topology shortest path, grouped by
+  // (bps, delay). Order is irrelevant: every per-link quantity we sum is
+  // commutative.
+  struct Profile {
+    std::array<Seg, 3> segs;
+    int num_segs = 0;
+  };
+  virtual ~PathModel() = default;
+  // Fills the composition of a shortest src -> dst path. Returns false when
+  // the model cannot answer (caller falls back to BFS).
+  virtual bool Links(uint32_t src, uint32_t dst, Profile* out) const = 0;
+  // A host pair attaining the maximum BaseRtt. False when fewer than two
+  // hosts exist.
+  virtual bool MaxRttPair(uint32_t* src, uint32_t* dst) const = 0;
+};
+
 class Topology {
  public:
-  explicit Topology(sim::Simulator* simulator) : simulator_(simulator) {}
+  explicit Topology(sim::Simulator* simulator);
 
   uint32_t AddHost(const host::HostConfig& config, const std::string& name);
   uint32_t AddSwitch(const net::SwitchConfig& config, const std::string& name);
@@ -39,12 +75,26 @@ class Topology {
   void Finalize();
 
   // Link failure / repair: takes the link down (both directions stop
-  // transmitting; in-flight packets still arrive) and recomputes every
-  // routing table around it. Flows rehash onto surviving paths; HPCC senders
+  // transmitting; in-flight packets still arrive) and repairs the routing
+  // tables around it. Flows rehash onto surviving paths; HPCC senders
   // notice via the INT pathID and reset their link records (§4.1).
+  //
+  // Repair is incremental: two BFS passes seeded at the link endpoints
+  // classify every destination as untouched, patchable in O(1) (one ECMP
+  // group gains/loses the flapped port), or distance-changed (rebuilt with
+  // one per-destination BFS); a full RecomputeRoutes runs only when the
+  // distance-changed set exceeds a bound. The result is exactly equal to a
+  // from-scratch rebuild — pinned by the storm tests and, when
+  // set_route_oracle(true) (or HPCC_ROUTE_ORACLE=1), re-verified against a
+  // dense recomputation after every call.
   void SetLinkUp(size_t link_index, bool up);
-  // Recomputes ECMP tables from the current link states.
+  // Rebuilds every ECMP table from the current link states.
   void RecomputeRoutes();
+
+  // Installs an analytic designed-topology path model (regular builders).
+  void SetPathModel(std::unique_ptr<PathModel> model) {
+    path_model_ = std::move(model);
+  }
 
   net::Node& node(uint32_t id) { return *nodes_[id]; }
   host::HostNode& host(uint32_t id);
@@ -61,6 +111,10 @@ class Topology {
   // Base (unloaded) RTT: forward MTU-sized data + returning ACK.
   sim::TimePs BaseRtt(uint32_t src, uint32_t dst) const;
   // Max base RTT over all host pairs (the "T" configured into CC, §5.1).
+  // Exact: either the builder's analytic model answers, or every host pair
+  // is covered by one cost-propagating BFS per destination — sampling
+  // against an arbitrary anchor host under-reports T on asymmetric fabrics
+  // and would mis-configure every scheme's RTT constant.
   sim::TimePs MaxBaseRtt() const;
   // Lowest link capacity on a shortest path.
   int64_t BottleneckBps(uint32_t src, uint32_t dst) const;
@@ -73,17 +127,61 @@ class Topology {
   // BFS hop distance between any two nodes (PFC propagation depth metric).
   int Distance(uint32_t from, uint32_t to) const;
 
+  // BFS-only variants bypassing the analytic model — the oracle the model
+  // equality tests compare against.
+  sim::TimePs BaseRttViaBfs(uint32_t src, uint32_t dst) const;
+  int64_t BottleneckBpsViaBfs(uint32_t src, uint32_t dst) const;
+
+  // Routing-table footprint across all switches (memory benchmarks).
+  size_t RoutingResidentBytes() const;
+  // Port entries a dense per-destination table would hold, and the number of
+  // distinct interned groups actually holding them.
+  size_t RoutingExpandedPortEntries() const;
+  size_t RoutingGroups() const;
+
+  // Debug oracle: when enabled, every SetLinkUp re-derives the dense tables
+  // from scratch and throws std::logic_error on any divergence. Defaults to
+  // the HPCC_ROUTE_ORACLE environment variable.
+  void set_route_oracle(bool on) { route_oracle_ = on; }
+  // Compares the live tables against a dense recomputation (and each
+  // table's internal invariants); throws std::logic_error on mismatch.
+  void VerifyRoutesAgainstOracle();
+
  private:
   // One shortest path (first-parent BFS) as a sequence of LinkSpec indices,
   // over the designed topology (link state ignored).
   std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
   std::vector<int> BfsDistances(uint32_t from,
                                 bool respect_link_state = true) const;
+  // RTT contribution of one traversed link: both-way propagation + forward
+  // data serialization + returning ACK serialization.
+  static sim::TimePs LinkRttCost(int64_t bps, sim::TimePs delay);
+
+  // ECMP candidates of `node` toward the root of the `dist` BFS (ascending
+  // port order) — the single definition the full and incremental rebuild
+  // paths share. The oracle keeps its own independent copy on purpose.
+  void CollectCandidates(uint32_t node, const std::vector<int>& dist,
+                         std::vector<uint16_t>* cand) const;
+  // Rebuilds every switch's candidate list toward `dst` with one BFS.
+  void RebuildDestination(uint32_t dst);
+  // Rebuilds a set of destinations, sharing one BFS across destinations
+  // behind the same attachment switch. Both the full pass (all hosts, on
+  // freshly reset tables) and incremental repair (the distance-changed
+  // subset) funnel through this, so the two can never diverge.
+  void RebuildDestinations(const std::vector<uint32_t>& dsts);
+  // Rebuilds routes toward every degree-1 host in `hosts` attached to
+  // switch `via`: one BFS from `via` serves them all, and each non-attach
+  // switch interns a single shared group per (switch, via) pair.
+  void RebuildDestinationsBehind(uint32_t via,
+                                 const std::vector<uint32_t>& hosts);
+  // The switch a degree-1, up-linked host hangs off; -1 otherwise.
+  int64_t AttachmentSwitch(uint32_t h) const;
 
   sim::Simulator* simulator_;
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<uint32_t> hosts_;
   std::vector<uint32_t> switches_;
+  std::vector<net::SwitchNode*> switch_ptrs_;  // switches_, typed
   std::vector<LinkSpec> links_;
   // adjacency: node -> list of (link index, out port, peer)
   struct Edge {
@@ -92,7 +190,10 @@ class Topology {
     uint32_t peer;
   };
   std::vector<std::vector<Edge>> adj_;
+  std::unique_ptr<PathModel> path_model_;
+  std::vector<uint16_t> cand_scratch_;
   bool finalized_ = false;
+  bool route_oracle_ = false;
 };
 
 }  // namespace hpcc::topo

@@ -1,0 +1,133 @@
+// Regression: scenario JSON parse/print must be locale-independent. The
+// parser used std::strtod and the printer snprintf("%g"), both of which obey
+// LC_NUMERIC — under a comma-decimal locale (de_DE) "1.5" parsed as 1 and
+// every emitted double changed, silently corrupting scenario round trips and
+// CSVs. The suite flips the process locale to a comma-decimal one (generated
+// on the fly with localedef when the container has none installed) and pins
+// parse and print bytes.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/json.h"
+#include "scenario/scenario.h"
+
+namespace hpcc::scenario {
+namespace {
+
+// Switches LC_NUMERIC to a comma-decimal locale for the test's lifetime.
+// Returns false (test skipped) when no such locale can be found or built.
+class CommaLocale {
+ public:
+  CommaLocale() {
+    static const char* kCandidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                        "fr_FR.UTF-8", "fr_FR.utf8"};
+    for (const char* name : kCandidates) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        active_ = Verify();
+        if (active_) return;
+      }
+    }
+    // Minimal containers ship only the C locale; build one into a temp dir
+    // and point glibc at it. Failure of any step just skips the test.
+    const std::string dir = ::testing::TempDir() + "hpcc_locale";
+    const std::string cmd = "mkdir -p " + dir +
+                            " && localedef -i de_DE -f UTF-8 " + dir +
+                            "/de_DE.UTF-8 >/dev/null 2>&1";
+    if (std::system(cmd.c_str()) == 0) {
+      ::setenv("LOCPATH", dir.c_str(), 1);
+      if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr) {
+        active_ = Verify();
+      }
+    }
+  }
+
+  ~CommaLocale() { std::setlocale(LC_NUMERIC, "C"); }
+
+  bool active() const { return active_; }
+
+ private:
+  // The locale must actually flip the decimal separator, or the test would
+  // pass vacuously.
+  static bool Verify() {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", 1.5);
+    return std::string(buf) == "1,5";
+  }
+
+  bool active_ = false;
+};
+
+TEST(JsonLocale, ParseAndPrintSurviveCommaDecimalLocale) {
+  CommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available on this system";
+  }
+  // Parse: "1.5" must stay 1.5, not truncate to 1 at the comma.
+  const Json v = Json::Parse("[1.5, -0.25, 3.1415926535897931, 2e-3]");
+  EXPECT_DOUBLE_EQ(v.at(0).AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at(1).AsDouble(), -0.25);
+  EXPECT_DOUBLE_EQ(v.at(2).AsDouble(), 3.1415926535897931);
+  EXPECT_DOUBLE_EQ(v.at(3).AsDouble(), 0.002);
+
+  // Print: bytes identical to the "C"-locale form, never "1,5".
+  EXPECT_EQ(v.Dump(), "[1.5,-0.25,3.141592653589793,0.002]");
+  EXPECT_EQ(FormatNumber(1.5), "1.5");
+  EXPECT_EQ(FormatNumber(13.23), "13.23");
+  EXPECT_EQ(FormatNumber(1e21), "1e+21");
+
+  // Full scenario round trip under the flipped locale: parse -> canonical
+  // JSON -> parse must be a fixed point with fractional fields intact.
+  const std::string doc = R"({
+    "name": "locale_pin",
+    "topology": {"kind": "dumbbell", "hosts_per_side": 2,
+                 "trunk_gbps": 40.5, "link_delay_us": 1.25},
+    "cc": {"scheme": "hpcc", "eta": 0.95},
+    "workload": {"load": 0.3, "trace": "websearch", "max_flows": 10},
+    "duration_ms": 0.5
+  })";
+  const Scenario s = ParseScenarioText(doc);
+  EXPECT_DOUBLE_EQ(s.config.load, 0.3);
+  EXPECT_EQ(s.config.dumbbell.trunk_bps, 40'500'000'000);
+  const Json canon = ScenarioToJson(s);
+  const Scenario again = ParseScenarioText(canon.Dump(2));
+  EXPECT_EQ(ScenarioToJson(again).Dump(2), canon.Dump(2));
+}
+
+TEST(JsonLocale, RoundTripBytesMatchCLocale) {
+  // Dump a numeric document in "C", flip the locale, and require identical
+  // bytes from the same values.
+  const char* kDoc = "[0.1,1.5,2.25,1234.5678,9.99e-05,-0.125,1e+21]";
+  std::setlocale(LC_NUMERIC, "C");
+  const std::string c_bytes = Json::Parse(kDoc).Dump();
+  CommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available on this system";
+  }
+  EXPECT_EQ(Json::Parse(kDoc).Dump(), c_bytes);
+  EXPECT_EQ(c_bytes, kDoc);
+}
+
+// The underflow/overflow edges of the locale-independent number path.
+TEST(JsonLocale, NumberRangeEdges) {
+  EXPECT_THROW(Json::Parse("1e999"), JsonError);   // overflow: loud failure
+  EXPECT_THROW(Json::Parse("-1e999"), JsonError);
+  // Overflows dressed up as underflows: a "0." mantissa or an "e-" suffix
+  // must not smuggle a huge value through as zero.
+  EXPECT_THROW(Json::Parse("0.5e400"), JsonError);
+  EXPECT_THROW(Json::Parse("-0.5e400"), JsonError);
+  std::string huge_mantissa = "1";
+  huge_mantissa.append(400, '0');
+  huge_mantissa += "e-1";  // 1e399 hiding behind a negative exponent
+  EXPECT_THROW(Json::Parse(huge_mantissa), JsonError);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e-999").AsDouble(), 0.0);  // underflow: 0
+  EXPECT_DOUBLE_EQ(Json::Parse("-1e-999").AsDouble(), -0.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("0.5e-400").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("0.0000000001").AsDouble(), 1e-10);
+}
+
+}  // namespace
+}  // namespace hpcc::scenario

@@ -31,6 +31,21 @@
 //                             invariant monitor attached — the measured cost
 //                             of always-on checking (used by fuzz/CI, not by
 //                             perf runs)
+//   micro/route_full_k16/k32  one from-scratch RecomputeRoutes of the k=16
+//                             (1024-host) / k=32 (8192-host) fat-tree
+//   micro/route_incr_k16/k32  one incremental SetLinkUp repair of an
+//                             agg-core link (alternating down/up) on the
+//                             same fabrics — the incr/full ratio is the
+//                             link-event repair speedup headline
+//   micro/route_resident_ratio_k32
+//                             dense-table bytes / interned next-hop-group
+//                             bytes on the k=32 fabric, x1000 (a memory
+//                             ratio, not a rate: higher = better, so the
+//                             bench_check drop gate guards compression)
+//   macro/fattree32           the fattree32_websearch base point end to end
+//                             (8192 hosts, WebSearch load, two-tier link
+//                             flaps), forwarded pkts per wall-second
+//                             including fabric construction
 //
 // Each benchmark self-calibrates: batches repeat until the measured wall time
 // reaches --min-time-ms (default 500 ms; --quick drops it to 50 ms for CI
@@ -149,6 +164,87 @@ uint64_t MacroFig11CheckedBatch() {
   return result.packets_forwarded;
 }
 
+// Routing-core fabrics, built lazily (the first RunBench warm-up batch
+// absorbs construction) and reused across batches.
+struct RouteBenchFabric {
+  hpcc::sim::Simulator sim;
+  hpcc::topo::FatTreeTopology ft;
+  bool down = false;
+
+  explicit RouteBenchFabric(const hpcc::topo::FatTreeOptions& o) {
+    ft = hpcc::topo::MakeFatTree(&sim, o);
+  }
+
+  uint64_t FullRebuild() {
+    ft.topo->RecomputeRoutes();
+    return 1;
+  }
+
+  // Link 0 is an agg-core link — the heaviest single-link repair (one pod's
+  // destinations lose their distance-preserving paths through that core and
+  // rebuild; everything else is O(1) group patches).
+  uint64_t FlapRepair() {
+    down = !down;
+    ft.topo->SetLinkUp(0, /*up=*/!down);
+    return 1;
+  }
+
+  // The repair bench's self-calibrated batch count can leave link 0 in
+  // either state; pin it back up so later measurements (the resident-bytes
+  // ratio) always see the same table state.
+  void EnsureLinkUp() {
+    ft.topo->SetLinkUp(0, true);
+    down = false;
+  }
+};
+
+RouteBenchFabric& K16Fabric() {
+  static RouteBenchFabric* f =
+      new RouteBenchFabric(hpcc::benchgen::FatTreeK16Options());
+  return *f;
+}
+
+RouteBenchFabric& K32Fabric() {
+  static RouteBenchFabric* f =
+      new RouteBenchFabric(hpcc::benchgen::FatTreeK32Options());
+  return *f;
+}
+
+// Interned-table memory headline on the k=32 fabric: bytes a dense
+// per-destination table would hold (vector headers + port payload; heap
+// block overhead ignored, so the figure is conservative) over the bytes the
+// next-hop-group tables actually hold. Reported as a dimensionless ratio
+// x1000 so the bench_check drop gate protects compression.
+BenchResult RouteResidentRatioK32() {
+  K32Fabric().EnsureLinkUp();
+  hpcc::topo::Topology& t = *K32Fabric().ft.topo;
+  const double dense =
+      static_cast<double>(t.switches().size()) *
+          static_cast<double>(t.num_nodes()) * sizeof(std::vector<uint16_t>) +
+      static_cast<double>(t.RoutingExpandedPortEntries()) * sizeof(uint16_t);
+  const double actual = static_cast<double>(t.RoutingResidentBytes());
+  BenchResult r;
+  r.name = "micro/route_resident_ratio_k32";
+  r.unit = "x1000";
+  r.items = static_cast<uint64_t>(dense / actual * 1000.0);
+  r.seconds = 1.0;
+  return r;
+}
+
+// The k=32 payoff scenario's base point, end to end: construction (route
+// build + analytic base-RTT), WebSearch load, and the two-tier link-flap
+// script repaired incrementally mid-run.
+uint64_t MacroFatTree32Batch() {
+  hpcc::runner::Experiment e(hpcc::benchgen::FatTree32MacroConfig());
+  hpcc::topo::Topology& t = e.topology();
+  e.simulator().ScheduleAt(hpcc::sim::Us(25), [&t]() { t.SetLinkUp(0, false); });
+  e.simulator().ScheduleAt(hpcc::sim::Us(35), [&t]() { t.SetLinkUp(256, false); });
+  e.simulator().ScheduleAt(hpcc::sim::Us(60), [&t]() { t.SetLinkUp(0, true); });
+  e.simulator().ScheduleAt(hpcc::sim::Us(75), [&t]() { t.SetLinkUp(256, true); });
+  auto result = e.Run();
+  return result.packets_forwarded;
+}
+
 // The label is user-supplied; escape it so the report stays valid JSON.
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -224,6 +320,17 @@ int main(int argc, char** argv) {
                              MacroFig11NoFastpathBatch));
   results.push_back(RunBench("macro/fig11_checked", "pkts", min_seconds,
                              MacroFig11CheckedBatch));
+  results.push_back(RunBench("micro/route_full_k16", "rebuilds", min_seconds,
+                             []() { return K16Fabric().FullRebuild(); }));
+  results.push_back(RunBench("micro/route_incr_k16", "repairs", min_seconds,
+                             []() { return K16Fabric().FlapRepair(); }));
+  results.push_back(RunBench("micro/route_full_k32", "rebuilds", min_seconds,
+                             []() { return K32Fabric().FullRebuild(); }));
+  results.push_back(RunBench("micro/route_incr_k32", "repairs", min_seconds,
+                             []() { return K32Fabric().FlapRepair(); }));
+  results.push_back(RouteResidentRatioK32());
+  results.push_back(
+      RunBench("macro/fattree32", "pkts", min_seconds, MacroFatTree32Batch));
 
   for (const BenchResult& r : results) {
     const double per_sec =
