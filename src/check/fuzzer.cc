@@ -7,6 +7,8 @@
 #include "cc/factory.h"
 #include "check/monitors.h"
 #include "core/hash.h"
+#include "obs/telemetry.h"
+#include "scenario/runner.h"
 #include "scenario/scenario.h"
 #include "sim/rng.h"
 
@@ -218,6 +220,40 @@ std::string WriteReproducer(const Json& doc, const std::string& dir,
 
 namespace {
 
+// Flight recorder: replay the violating scenario once more with telemetry on
+// and drop a manifest + Perfetto trace next to the reproducer, so the first
+// triage step (what was queued where, which flows stalled, when PFC fired)
+// needs no extra tooling run.
+void RecordFlight(const Json& doc, const FuzzOptions& options,
+                  FuzzRunReport* rep) {
+  const std::string base = rep->reproducer_path.substr(
+      0, rep->reproducer_path.size() - 5);  // strip ".json"
+  try {
+    scenario::ScenarioRun run;
+    run.label = rep->name;
+    run.scenario = scenario::ParseScenario(doc);
+    scenario::RunOneOptions ro;
+    ro.check = true;
+    obs::TelemetryConfig tcfg = run.scenario.telemetry;
+    tcfg.manifest = true;
+    tcfg.trace = true;
+    tcfg.profile = true;
+    ro.telemetry = tcfg;
+    ro.manifest_path = base + ".manifest.json";
+    ro.trace_path = base + ".trace.json";
+    // The replay must terminate even when the violation was an event storm.
+    ro.event_budget = options.max_events > 0 ? options.max_events * 3 : 0;
+    const scenario::SweepRunResult flight =
+        scenario::ScenarioRunner::RunOne(run, ro);
+    if (!flight.manifest_path.empty() || !flight.trace_path.empty()) {
+      std::fprintf(stderr, "    flight record: %s %s\n",
+                   flight.manifest_path.c_str(), flight.trace_path.c_str());
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "    (flight record replay failed: %s)\n", ex.what());
+  }
+}
+
 void WriteAndAnnounceReproducer(const Json& doc, const FuzzOptions& options,
                                 FuzzRunReport* rep) {
   rep->reproducer_path =
@@ -226,6 +262,7 @@ void WriteAndAnnounceReproducer(const Json& doc, const FuzzOptions& options,
     std::fprintf(stderr,
                  "    reproducer: %s  (replay: scenario_main %s --check)\n",
                  rep->reproducer_path.c_str(), rep->reproducer_path.c_str());
+    RecordFlight(doc, options, rep);
   } else {
     std::fprintf(stderr, "    (could not write reproducer under %s)\n",
                  options.reproducer_dir.c_str());

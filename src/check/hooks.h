@@ -31,6 +31,10 @@ enum class DropReason {
   kEgressThreshold,  // lossy-mode dynamic egress threshold (pfc off only)
 };
 
+// Number of DropReason values, for per-reason counter arrays (switch
+// counters, telemetry, CSV columns).
+inline constexpr int kNumDropReasons = 3;
+
 // One dequeue observation inside a burst (OnDequeueBurst). `pkt` stays valid
 // only for the duration of the call; `queue_bytes_after` is the occupancy of
 // the packet's (port, priority) queue at its emission instant, excluding it —

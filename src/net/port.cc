@@ -354,6 +354,7 @@ void Port::DeliverFront() {
 void Port::AbortUnemitted() {
   SettleDue();
   if (!has_unsettled()) return;
+  ++train_aborts_;
   while (train_.size() > settled_in_train_) {
     TrainItem it = train_.pop_back();
     simulator_->Cancel(it.arrival);

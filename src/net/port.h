@@ -134,6 +134,10 @@ class Port {
     const_cast<Port*>(this)->SettleDue();
     return tx_bytes_;
   }
+  // Trains whose unemitted tail was rewound (PAUSE/link-down mid-train).
+  // Fast-path only, so engine-dependent: telemetry reports it under the
+  // opt-in "profile" manifest section, never in deterministic output.
+  uint64_t train_aborts() const { return train_aborts_; }
   int64_t queue_bytes(int priority) const {
     const_cast<Port*>(this)->SettleDue();
     return queues_.bytes(priority) + unsettled_bytes_[priority];
@@ -204,6 +208,7 @@ class Port {
   bool busy_ = false;  // reference engine only
   bool link_up_ = true;
   uint64_t tx_bytes_ = 0;
+  uint64_t train_aborts_ = 0;
 
   // Fast-path train state. Items [0, settled_in_train_) have had their
   // emission work performed; the rest are committed but unemitted.

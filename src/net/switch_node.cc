@@ -105,6 +105,7 @@ void SwitchNode::Receive(PacketPtr pkt, int in_port) {
   if (out_port < 0) {
     ++dropped_packets_;
     dropped_bytes_ += static_cast<uint64_t>(pkt->size_bytes());
+    ++dropped_by_reason_[static_cast<int>(check::DropReason::kNoRoute)];
     if (check_hooks_ != nullptr) [[unlikely]] {
       check_hooks_->OnDrop(id_, *pkt, check::DropReason::kNoRoute);
     }
@@ -131,6 +132,7 @@ void SwitchNode::AdmitAndForward(PacketPtr pkt, int in_port, int out_port) {
   if (drop) {
     ++dropped_packets_;
     dropped_bytes_ += static_cast<uint64_t>(bytes);
+    ++dropped_by_reason_[static_cast<int>(reason)];
     if (check_hooks_ != nullptr) [[unlikely]] {
       check_hooks_->OnDrop(id_, *pkt, reason);
     }

@@ -100,6 +100,10 @@ class SwitchNode : public Node {
   }
   uint64_t dropped_packets() const { return dropped_packets_; }
   uint64_t dropped_bytes() const { return dropped_bytes_; }
+  // Per-reason breakdown; sums to dropped_packets().
+  uint64_t dropped_by_reason(check::DropReason reason) const {
+    return dropped_by_reason_[static_cast<int>(reason)];
+  }
   uint64_t forwarded_packets() const { return forwarded_packets_; }
 
  private:
@@ -137,6 +141,7 @@ class SwitchNode : public Node {
 
   uint64_t dropped_packets_ = 0;
   uint64_t dropped_bytes_ = 0;
+  uint64_t dropped_by_reason_[check::kNumDropReasons] = {};
   uint64_t forwarded_packets_ = 0;
 };
 

@@ -1,0 +1,171 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/progress.h"
+#include "obs/telemetry.h"
+#include "runner/experiment.h"
+#include "scenario/scenario.h"
+#include "sim/time.h"
+
+namespace hpcc::obs {
+namespace {
+
+scenario::Json Num(double v) { return scenario::Json::MakeNumber(v); }
+scenario::Json NumU(uint64_t v) {
+  return scenario::Json::MakeNumber(static_cast<double>(v));
+}
+scenario::Json Str(std::string v) {
+  return scenario::Json::MakeString(std::move(v));
+}
+
+std::string HashHex(uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+scenario::Json TelemetryConfigToJson(const TelemetryConfig& t) {
+  scenario::Json o = scenario::Json::MakeObject();
+  o.Set("manifest", scenario::Json::MakeBool(t.manifest));
+  o.Set("trace", scenario::Json::MakeBool(t.trace));
+  o.Set("profile", scenario::Json::MakeBool(t.profile));
+  o.Set("queue_tracks", Num(t.queue_tracks));
+  o.Set("queue_track_points", Num(t.queue_track_points));
+  o.Set("queue_sample_us", Num(t.queue_sample_us));
+  o.Set("flow_tracks", Num(t.flow_tracks));
+  o.Set("flow_track_points", Num(t.flow_track_points));
+  o.Set("flow_sample_us", Num(t.flow_sample_us));
+  o.Set("int_tracks", Num(t.int_tracks));
+  o.Set("int_track_points", Num(t.int_track_points));
+  return o;
+}
+
+scenario::Json BuildManifest(const ManifestInputs& in) {
+  const runner::ExperimentResult& res = *in.result;
+  scenario::Json m = scenario::Json::MakeObject();
+  m.Set("schema", Str("hpccsim-manifest-v1"));
+  m.Set("label", Str(in.label));
+  if (!in.params.empty()) {
+    scenario::Json p = scenario::Json::MakeObject();
+    for (const auto& [key, value] : in.params) p.Set(key, Str(value));
+    m.Set("params", p);
+  }
+  // CI exports the commit under HPCC_GIT_REV (same value for every job of a
+  // sweep, so byte-identity across jobs/fastpath holds).
+  if (const char* rev = std::getenv("HPCC_GIT_REV")) {
+    m.Set("git_rev", Str(rev));
+  }
+  if (in.scenario) m.Set("scenario", scenario::ScenarioToJson(*in.scenario));
+  if (in.telemetry) m.Set("telemetry", TelemetryConfigToJson(*in.telemetry));
+
+  // -- counter tree -------------------------------------------------------
+  scenario::Json counters = scenario::Json::MakeObject();
+  {
+    scenario::Json flows = scenario::Json::MakeObject();
+    flows.Set("created", NumU(res.flows_created));
+    flows.Set("completed", NumU(res.flows_completed));
+    counters.Set("flows", flows);
+
+    scenario::Json packets = scenario::Json::MakeObject();
+    packets.Set("forwarded", NumU(res.packets_forwarded));
+    scenario::Json drops = scenario::Json::MakeObject();
+    drops.Set("total", NumU(res.dropped_packets));
+    for (int i = 0; i < check::kNumDropReasons; ++i) {
+      drops.Set(DropReasonToken(static_cast<check::DropReason>(i)),
+                NumU(res.dropped_by_reason[i]));
+    }
+    scenario::Json pfc = scenario::Json::MakeObject();
+    pfc.Set("pause_events", NumU(res.pause_events));
+    pfc.Set("pause_time_pct", Num(res.pause_time_fraction * 100));
+
+    if (in.session) {
+      const TelemetryCounters& c = in.session->recorder().counters();
+      packets.Set("enqueued", NumU(c.enqueued_packets));
+      packets.Set("dequeued", NumU(c.dequeued_packets));
+      packets.Set("enqueued_bytes", NumU(c.enqueued_bytes));
+      packets.Set("dequeued_bytes", NumU(c.dequeued_bytes));
+      pfc.Set("pause_on", NumU(c.pause_on));
+      pfc.Set("pause_off", NumU(c.pause_off));
+      scenario::Json cc = scenario::Json::MakeObject();
+      cc.Set("updates", NumU(c.cc_updates));
+      counters.Set("cc", cc);
+      scenario::Json intc = scenario::Json::MakeObject();
+      intc.Set("echoes", NumU(c.int_echoes));
+      counters.Set("int", intc);
+    }
+    counters.Set("packets", packets);
+    counters.Set("drops", drops);
+    counters.Set("pfc", pfc);
+  }
+  m.Set("counters", counters);
+
+  // -- CSV-mirror metrics -------------------------------------------------
+  {
+    scenario::Json metrics = scenario::Json::MakeObject();
+    const stats::PercentileTracker& slow = res.fct->overall();
+    metrics.Set("slowdown_p50", Num(slow.Percentile(50)));
+    metrics.Set("slowdown_p95", Num(slow.Percentile(95)));
+    metrics.Set("slowdown_p99", Num(slow.Percentile(99)));
+    metrics.Set("short_fct_p95_us", Num(res.short_fct_us.Percentile(95)));
+    metrics.Set("queue_p50_kb", Num(res.queue_dist.Percentile(50) / 1e3));
+    metrics.Set("queue_p99_kb", Num(res.queue_dist.Percentile(99) / 1e3));
+    metrics.Set("queue_max_kb",
+                Num(static_cast<double>(res.max_queue_bytes) / 1e3));
+    metrics.Set("sim_time_ms", Num(sim::ToMs(res.sim_time)));
+    metrics.Set("base_rtt_us", Num(sim::ToUs(res.base_rtt)));
+    m.Set("metrics", metrics);
+  }
+
+  // -- invariant-monitor summary ------------------------------------------
+  {
+    scenario::Json v = scenario::Json::MakeObject();
+    v.Set("checked", scenario::Json::MakeBool(in.checked));
+    v.Set("count", NumU(in.violation_count));
+    if (in.violations && !in.violations->empty()) {
+      scenario::Json items = scenario::Json::MakeArray();
+      for (const check::Violation& viol : *in.violations) {
+        items.Append(Str(viol.Format()));
+      }
+      v.Set("items", items);
+    }
+    m.Set("violations", v);
+  }
+
+  m.Set("trace_hash", Str(HashHex(res.trace_hash)));
+
+  // -- opt-in, engine/machine-dependent -----------------------------------
+  if (in.telemetry && in.telemetry->profile) {
+    scenario::Json prof = scenario::Json::MakeObject();
+    prof.Set("engine", Str(in.experiment->config().fast_path
+                               ? "trains"
+                               : "reference"));
+    prof.Set("events_executed", NumU(res.events_executed));
+    prof.Set("train_aborts", NumU(res.train_aborts));
+    if (in.phases) {
+      scenario::Json wall = scenario::Json::MakeObject();
+      wall.Set("build_s", Num(in.phases->build_s));
+      wall.Set("routes_s", Num(in.phases->routes_s));
+      wall.Set("run_s", Num(in.phases->run_s));
+      wall.Set("aggregate_s", Num(in.phases->aggregate_s));
+      prof.Set("wall", wall);
+    }
+    m.Set("profile", prof);
+  }
+  return m;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace hpcc::obs

@@ -1,0 +1,59 @@
+// Deterministic per-run manifest: config echo, counter tree, metrics,
+// violation summary and trace hash as one machine-readable JSON document.
+//
+// The default manifest is a pure function of the simulation run — it is
+// byte-identical across --jobs and --fastpath on/off (the same contract the
+// CSVs honor; tests/telemetry_test.cc pins it). Engine- and wall-clock-
+// dependent data (events executed, train aborts, phase timers) only appears
+// when TelemetryConfig::profile is set, in a clearly-marked "profile"
+// section. Schema documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.h"
+#include "scenario/json.h"
+
+namespace hpcc::runner {
+class Experiment;
+struct ExperimentResult;
+}
+namespace hpcc::scenario {
+struct Scenario;
+}
+
+namespace hpcc::obs {
+
+struct PhaseTimers;
+class TelemetrySession;
+struct TelemetryConfig;
+
+struct ManifestInputs {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> params;  // sweep axes
+  const scenario::Scenario* scenario = nullptr;        // config echo
+  const TelemetryConfig* telemetry = nullptr;          // effective config
+  runner::Experiment* experiment = nullptr;            // required
+  const runner::ExperimentResult* result = nullptr;    // required
+  const TelemetrySession* session = nullptr;           // hook counters
+  bool checked = false;
+  const std::vector<check::Violation>* violations = nullptr;
+  size_t violation_count = 0;
+  const PhaseTimers* phases = nullptr;  // profile section only
+};
+
+// Canonical JSON form of a TelemetryConfig (every key, resolved values) —
+// the scenario "telemetry" block and the manifest echo share it.
+scenario::Json TelemetryConfigToJson(const TelemetryConfig& t);
+
+// Builds the manifest document. Serialize with .Dump(2).
+scenario::Json BuildManifest(const ManifestInputs& in);
+
+// Writes `content` to `path` atomically enough for our purposes (truncate +
+// write + close). Returns false on any I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace hpcc::obs

@@ -1,0 +1,62 @@
+// Runner self-profiling (wall-clock phase timers) and live sweep progress.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace hpcc::obs {
+
+// Wall-clock phase timers for one run. Engine- and machine-dependent, so
+// they only ever appear in the manifest's opt-in "profile" section, never
+// in the deterministic default output.
+struct PhaseTimers {
+  double build_s = 0;      // Experiment construction: topology + host wiring
+  double routes_s = 0;     // route (re)computation, included in build/run
+  double run_s = 0;        // event loop, including the drain window
+  double aggregate_s = 0;  // metric collection + telemetry file writes
+};
+
+// RAII stopwatch accumulating elapsed wall seconds into a slot.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *slot_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// A single `\r`-rewritten stderr line for sweeps: jobs done/total, aggregate
+// event rate, simulated-time rate and ETA. Thread-safe — sweep workers call
+// JobDone concurrently.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(size_t total_jobs);
+
+  // Records one finished job and repaints the line.
+  void JobDone(uint64_t events_executed, double sim_time_ms);
+  // Final repaint plus newline; the meter goes quiet afterwards.
+  void Finish();
+
+ private:
+  void Paint(bool final_line);  // caller holds mu_
+
+  std::mutex mu_;
+  size_t total_;
+  size_t done_ = 0;
+  uint64_t events_ = 0;
+  double sim_ms_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hpcc::obs

@@ -1,0 +1,50 @@
+// Chrome-trace-event / Perfetto JSON export of one simulation run.
+//
+// The emitted file loads directly in https://ui.perfetto.dev or
+// chrome://tracing. Mapping (see docs/OBSERVABILITY.md):
+//
+//   pid 1 "scenario"  script events (link flaps, incasts, load phases) and
+//                     monitor violations as instants
+//   pid 2 "flows"     flow lifetimes as async spans (start -> FCT), binned
+//                     into short/mid/long lanes, args carry size/scheme/
+//                     slowdown
+//   pid 3 "pfc"       PFC pause windows as complete events, one lane per
+//                     paused (node, port)
+//   pid 4 "queues"    busiest egress-queue depth counter tracks (kB)
+//   pid 5 "rates"     per-flow goodput counter tracks (Gbps)
+//   pid 6 "int"       INT flight recorder: echoed max qLen / hop-util
+//
+// Output is a deterministic function of the simulation run: byte-identical
+// across --jobs and --fastpath on/off (tests/telemetry_test.cc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/invariant.h"
+
+namespace hpcc::runner {
+class Experiment;
+struct ExperimentResult;
+}
+namespace hpcc::scenario {
+struct ScenarioEvent;
+}
+
+namespace hpcc::obs {
+
+class TelemetrySession;
+
+struct TraceExportInputs {
+  std::string label;  // run label (trace name metadata)
+  runner::Experiment* experiment = nullptr;              // required
+  const runner::ExperimentResult* result = nullptr;      // required
+  const std::vector<scenario::ScenarioEvent>* events = nullptr;  // optional
+  const std::vector<check::Violation>* violations = nullptr;     // optional
+  const TelemetrySession* session = nullptr;                     // optional
+};
+
+// Builds the complete trace JSON ("traceEvents" array object) as a string.
+std::string BuildTraceJson(const TraceExportInputs& in);
+
+}  // namespace hpcc::obs

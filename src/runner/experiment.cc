@@ -244,8 +244,21 @@ ExperimentResult Experiment::Collect() {
   r.pause_durations_us = pfc_monitor_.DurationDistributionUs();
   r.short_fct_us = short_fct_us_;
   for (uint32_t s : topology_->switches()) {
-    r.dropped_packets += topology_->switch_node(s).dropped_packets();
-    r.packets_forwarded += topology_->switch_node(s).forwarded_packets();
+    const net::SwitchNode& sw = topology_->switch_node(s);
+    r.dropped_packets += sw.dropped_packets();
+    r.dropped_bytes += sw.dropped_bytes();
+    for (int d = 0; d < check::kNumDropReasons; ++d) {
+      r.dropped_by_reason[d] +=
+          sw.dropped_by_reason(static_cast<check::DropReason>(d));
+    }
+    r.packets_forwarded += sw.forwarded_packets();
+  }
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    const net::Node& node = topology_->node(id);
+    for (int p = 0; p < node.num_ports(); ++p) {
+      r.train_aborts += node.port(p).train_aborts();
+    }
   }
   r.flows_created = flow_ptrs_.size();
   r.flows_completed = flows_completed_;

@@ -78,6 +78,12 @@ struct ExperimentResult {
   stats::PercentileTracker pause_durations_us;
   stats::PercentileTracker short_fct_us;  // FCT of short flows, microseconds
   uint64_t dropped_packets = 0;
+  // Per-check::DropReason breakdown; sums to dropped_packets.
+  uint64_t dropped_by_reason[check::kNumDropReasons] = {};
+  uint64_t dropped_bytes = 0;
+  // Fast-path train rewinds across all ports (engine-dependent — zero on
+  // the reference engine; telemetry quarantines it in "profile").
+  uint64_t train_aborts = 0;
   // Packets the switches forwarded (admitted and enqueued toward an egress).
   // Unlike events_executed this is independent of the transmit engine, so it
   // is the work unit the macro benchmarks and scenario CSVs report.

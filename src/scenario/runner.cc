@@ -5,9 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <iterator>
+#include <memory>
+#include <string_view>
 #include <thread>
 
 #include "check/monitors.h"
+#include "obs/manifest.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "scenario/json.h"
 #include "stats/csv_writer.h"
 
@@ -26,6 +31,23 @@ constexpr const char* kMetricColumns[] = {
     "sim_time_ms",    "packets_forwarded", "error"};
 constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
 
+// Extra columns spliced in after "dropped_packets" when a sweep saw drops.
+constexpr const char* kDropReasonColumns[] = {
+    "drops_no_route", "drops_buffer_full", "drops_egress_threshold"};
+static_assert(std::size(kDropReasonColumns) == check::kNumDropReasons);
+
+// "x.json" + index 3 -> "x.run3.json" (plain append when no .json suffix):
+// per-run artifact names for sweeps, same for any --jobs interleaving.
+std::string WithRunIndex(const std::string& path, size_t index) {
+  const std::string suffix = ".json";
+  const std::string tag = ".run" + std::to_string(index);
+  if (path.size() > suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return path.substr(0, path.size() - suffix.size()) + tag + suffix;
+  }
+  return path + tag;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
@@ -33,6 +55,14 @@ ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
 
 SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check,
                                       int fastpath_override) {
+  RunOneOptions opts;
+  opts.check = check;
+  opts.fastpath_override = fastpath_override;
+  return RunOne(run, opts);
+}
+
+SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
+                                      const RunOneOptions& opts) {
   SweepRunResult out;
   out.label = run.label;
   out.params = run.params;
@@ -41,21 +71,87 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check,
   // it must be destroyed after them.
   check::MonitorRegistry registry;
   try {
+    const obs::TelemetryConfig tcfg =
+        opts.telemetry ? *opts.telemetry : run.scenario.telemetry;
+    const bool telemetry_on = tcfg.enabled();
     runner::ExperimentConfig cfg = MakeExperimentConfig(run.scenario);
-    if (fastpath_override >= 0) cfg.fast_path = fastpath_override != 0;
-    runner::Experiment e(cfg);
-    if (check) {
+    if (opts.fastpath_override >= 0) {
+      cfg.fast_path = opts.fastpath_override != 0;
+    }
+    obs::PhaseTimers phases;
+    std::unique_ptr<runner::Experiment> e;
+    {
+      obs::PhaseTimer build(&phases.build_s);
+      e = std::make_unique<runner::Experiment>(cfg);
+    }
+    if (opts.event_budget > 0) {
+      e->simulator().set_event_budget(opts.event_budget);
+    }
+    if (opts.check) {
       check::StandardMonitorOptions mo;
       mo.topology_mutates = MutatesTopology(run.scenario);
-      check::InstallStandardMonitors(registry, e, mo);
+      check::InstallStandardMonitors(registry, *e, mo);
+    } else if (telemetry_on) {
+      // InstallStandardMonitors does this pair itself; a telemetry-only run
+      // still needs the hook fan-out wired up.
+      registry.set_clock(&e->simulator());
+      registry.AttachTo(e->topology());
     }
-    InstalledEvents events = InstallEvents(e, run.scenario);
-    out.result = e.Run();
-    if (check) {
-      registry.Finish(e.simulator().now());
+    std::unique_ptr<obs::TelemetrySession> session;
+    if (telemetry_on) {
+      session = std::make_unique<obs::TelemetrySession>(tcfg, &registry,
+                                                        e.get());
+      session->Start();
+    }
+    InstalledEvents events = InstallEvents(*e, run.scenario);
+    {
+      obs::PhaseTimer run_timer(&phases.run_s);
+      out.result = e->Run();
+    }
+    if (opts.check || telemetry_on) registry.Finish(e->simulator().now());
+    if (opts.check) {
       out.violations = registry.violations();
       out.violation_count = registry.violation_count();
     }
+    if (telemetry_on) {
+      obs::PhaseTimer agg(&phases.aggregate_s);
+      phases.routes_s = e->topology().route_compute_seconds();
+      if (tcfg.manifest && !opts.manifest_path.empty()) {
+        obs::ManifestInputs mi;
+        mi.label = run.label;
+        mi.params = run.params;
+        mi.scenario = &run.scenario;
+        mi.telemetry = &tcfg;
+        mi.experiment = e.get();
+        mi.result = &out.result;
+        mi.session = session.get();
+        mi.checked = opts.check;
+        mi.violations = &registry.violations();
+        mi.violation_count = registry.violation_count();
+        mi.phases = &phases;
+        const std::string text = obs::BuildManifest(mi).Dump(2) + "\n";
+        if (obs::WriteTextFile(opts.manifest_path, text)) {
+          out.manifest_path = opts.manifest_path;
+        } else {
+          out.error = "cannot write " + opts.manifest_path;
+        }
+      }
+      if (tcfg.trace && !opts.trace_path.empty()) {
+        obs::TraceExportInputs ti;
+        ti.label = run.label;
+        ti.experiment = e.get();
+        ti.result = &out.result;
+        ti.events = &run.scenario.events;
+        ti.violations = &registry.violations();
+        ti.session = session.get();
+        if (obs::WriteTextFile(opts.trace_path, obs::BuildTraceJson(ti))) {
+          out.trace_path = opts.trace_path;
+        } else {
+          out.error = "cannot write " + opts.trace_path;
+        }
+      }
+    }
+    out.phases = phases;
   } catch (const std::exception& ex) {
     out.error = ex.what();
   }
@@ -92,13 +188,21 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
 
   std::atomic<size_t> next{0};
   const bool verbose = options_.verbose;
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (options_.progress) {
+    progress = std::make_unique<obs::ProgressMeter>(runs.size());
+  }
   auto worker = [&]() {
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= runs.size()) return;
-      results[i] = RunOne(runs[i], options_.check, options_.fastpath_override);
+      results[i] = RunOne(runs[i], PlanRun(runs[i], i, runs.size()));
+      const SweepRunResult& r = results[i];
+      if (progress) {
+        progress->JobDone(r.result.events_executed,
+                          sim::ToMs(r.result.sim_time));
+      }
       if (verbose) {
-        const SweepRunResult& r = results[i];
         std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", i + 1, runs.size(),
                      r.label.c_str(),
                      !r.error.empty() ? r.error.c_str()
@@ -113,7 +217,50 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
   for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
   worker();  // the caller thread is worker 0
   for (std::thread& t : pool) t.join();
+  if (progress) progress->Finish();
   return results;
+}
+
+RunOneOptions ScenarioRunner::PlanRun(const ScenarioRun& run, size_t index,
+                                      size_t count) const {
+  RunOneOptions opts;
+  opts.check = options_.check;
+  opts.fastpath_override = options_.fastpath_override;
+
+  obs::TelemetryConfig cfg = run.scenario.telemetry;
+  if (!options_.trace_out.empty()) cfg.trace = true;
+  if (options_.manifest) cfg.manifest = true;
+  opts.telemetry = cfg;
+  if (!cfg.enabled()) return opts;
+
+  // Artifact paths: sweeps get a ".run<i>" tag so workers never collide and
+  // names stay stable for any --jobs interleaving.
+  if (cfg.trace) {
+    if (!options_.trace_out.empty()) {
+      opts.trace_path = count > 1 ? WithRunIndex(options_.trace_out, index)
+                                  : options_.trace_out;
+    } else if (!options_.out_base.empty()) {
+      opts.trace_path =
+          count > 1
+              ? options_.out_base + ".run" + std::to_string(index) +
+                    ".trace.json"
+              : options_.out_base + ".trace.json";
+    }
+  }
+  if (cfg.manifest && !options_.out_base.empty()) {
+    opts.manifest_path =
+        count > 1 ? options_.out_base + ".run" + std::to_string(index) +
+                        ".manifest.json"
+                  : options_.out_base + ".manifest.json";
+  }
+  return opts;
+}
+
+bool ScenarioRunner::HasDrops(const std::vector<SweepRunResult>& results) {
+  for (const SweepRunResult& r : results) {
+    if (r.error.empty() && r.result.dropped_packets > 0) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> ScenarioRunner::CsvHeader(
@@ -125,19 +272,28 @@ std::vector<std::string> ScenarioRunner::CsvHeader(
       header.push_back(key);
     }
   }
-  header.insert(header.end(), std::begin(kMetricColumns),
-                std::end(kMetricColumns));
+  const bool drops = HasDrops(results);
+  for (const char* col : kMetricColumns) {
+    header.emplace_back(col);
+    if (drops && std::string_view(col) == "dropped_packets") {
+      header.insert(header.end(), std::begin(kDropReasonColumns),
+                    std::end(kDropReasonColumns));
+    }
+  }
   return header;
 }
 
-std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r) {
+std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r,
+                                                bool drop_reasons) {
+  const size_t metric_cells =
+      kNumMetricColumns + (drop_reasons ? check::kNumDropReasons : 0);
   std::vector<std::string> row{r.label};
   for (const auto& [key, value] : r.params) row.push_back(value);
   if (!r.error.empty()) {
     // Keep the row rectangular: blanks for the numeric metrics, error last.
     // (A run with invariant violations but no exception still has metrics;
     // violations are reported on the console, not in the CSV.)
-    for (size_t i = 0; i + 1 < kNumMetricColumns; ++i) row.emplace_back();
+    for (size_t i = 0; i + 1 < metric_cells; ++i) row.emplace_back();
     row.push_back(r.error);
     return row;
   }
@@ -155,6 +311,12 @@ std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r) {
   row.push_back(FormatNumber(res.pause_time_fraction * 100));
   row.push_back(FormatNumber(static_cast<double>(res.pause_events)));
   row.push_back(FormatNumber(static_cast<double>(res.dropped_packets)));
+  if (drop_reasons) {
+    for (int d = 0; d < check::kNumDropReasons; ++d) {
+      row.push_back(
+          FormatNumber(static_cast<double>(res.dropped_by_reason[d])));
+    }
+  }
   row.push_back(FormatNumber(sim::ToMs(res.sim_time)));
   row.push_back(FormatNumber(static_cast<double>(res.packets_forwarded)));
   row.emplace_back();  // error
@@ -184,14 +346,32 @@ int ScenarioRunner::ReportAndWriteCsv(
     return 1;
   }
   std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), results.size());
+  size_t manifests = 0, traces = 0;
+  for (const SweepRunResult& r : results) {
+    manifests += r.manifest_path.empty() ? 0 : 1;
+    traces += r.trace_path.empty() ? 0 : 1;
+  }
+  if (manifests > 0 || traces > 0) {
+    std::printf("wrote %zu manifest(s), %zu trace(s)", manifests, traces);
+    // Single-run invocations are the common case; name the files outright.
+    if (results.size() == 1) {
+      const SweepRunResult& r = results.front();
+      if (!r.manifest_path.empty()) {
+        std::printf(" [%s]", r.manifest_path.c_str());
+      }
+      if (!r.trace_path.empty()) std::printf(" [%s]", r.trace_path.c_str());
+    }
+    std::printf("\n");
+  }
   return failures == 0 ? 0 : 1;
 }
 
 bool ScenarioRunner::WriteCsv(const std::string& path,
                               const std::vector<SweepRunResult>& results) {
+  const bool drops = HasDrops(results);
   std::vector<std::vector<std::string>> rows;
   rows.reserve(results.size());
-  for (const SweepRunResult& r : results) rows.push_back(CsvRow(r));
+  for (const SweepRunResult& r : results) rows.push_back(CsvRow(r, drops));
   return stats::WriteTableCsv(path, CsvHeader(results), rows);
 }
 
@@ -203,10 +383,18 @@ int RunScenarioFile(const std::string& path,
     const std::vector<ScenarioRun> runs = ExpandSweep(sc);
     std::printf("scenario %s: %zu run(s), %zu event(s)\n", sc.name.c_str(),
                 runs.size(), sc.events.size());
-    const std::vector<SweepRunResult> results =
-        ScenarioRunner(options).RunAll(runs);
     const std::string out =
         out_override.empty() ? sc.name + ".csv" : out_override;
+    ScenarioRunnerOptions opts = options;
+    if (opts.out_base.empty()) {
+      // Telemetry artifacts land next to the CSV: "<out minus .csv>.*".
+      opts.out_base = out.size() > 4 && out.compare(out.size() - 4, 4,
+                                                    ".csv") == 0
+                          ? out.substr(0, out.size() - 4)
+                          : out;
+    }
+    const std::vector<SweepRunResult> results =
+        ScenarioRunner(opts).RunAll(runs);
     return ScenarioRunner::ReportAndWriteCsv(results, out);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());

@@ -14,10 +14,12 @@
 //    worker. A failed point records its error; it never aborts the sweep.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "check/invariant.h"
+#include "obs/progress.h"
 #include "runner/experiment.h"
 #include "scenario/scenario.h"
 
@@ -35,6 +37,11 @@ struct SweepRunResult {
   size_t violation_count = 0;
   // Host wall-clock seconds for this point (diagnostic; never in the CSV).
   double wall_seconds = 0;
+  // Telemetry artifacts written for this run (empty when none).
+  std::string manifest_path;
+  std::string trace_path;
+  // Wall-clock phase breakdown (manifest "profile" section; diagnostic).
+  obs::PhaseTimers phases;
 
   bool ok() const { return error.empty() && violation_count == 0; }
 };
@@ -51,6 +58,35 @@ struct ScenarioRunnerOptions {
   // per-packet reference engine, 1 = force the train fast path. The
   // determinism suite and `--fastpath=on|off` A/B runs use this.
   int fastpath_override = -1;
+
+  // --- telemetry (src/obs) ---
+  // Non-empty: force trace export on and write it here. A sweep derives
+  // per-run names ("<stem>.run<i>.json") from it so workers never collide.
+  std::string trace_out;
+  // Force manifest emission on (scenario "telemetry" can also request it).
+  bool manifest = false;
+  // Live sweep progress line on stderr (jobs done/total, events/s, ETA).
+  bool progress = false;
+  // Base path for derived telemetry files (usually the CSV path minus
+  // ".csv"; RunScenarioFile fills it). Empty = only write files whose path
+  // is explicit (trace_out).
+  std::string out_base;
+};
+
+// Per-point execution options for RunOne (the non-static surface RunAll
+// resolves from ScenarioRunnerOptions; the fuzzer builds its own).
+struct RunOneOptions {
+  bool check = false;
+  int fastpath_override = -1;
+  // Effective telemetry config; unset = use run.scenario.telemetry.
+  std::optional<obs::TelemetryConfig> telemetry;
+  // Artifact destinations; an empty path skips that artifact even when the
+  // telemetry config asks for it (nowhere to put it).
+  std::string manifest_path;
+  std::string trace_path;
+  // Abort the event loop after this many events (0 = unlimited); the fuzz
+  // flight recorder replays violating runs under a budget.
+  uint64_t event_budget = 0;
 };
 
 class ScenarioRunner {
@@ -70,6 +106,10 @@ class ScenarioRunner {
   // in ScenarioRunnerOptions.
   static SweepRunResult RunOne(const ScenarioRun& run, bool check = false,
                                int fastpath_override = -1);
+  // Full-control variant: telemetry session, manifest/trace emission and
+  // event budgets. The bool overload above delegates here.
+  static SweepRunResult RunOne(const ScenarioRun& run,
+                               const RunOneOptions& opts);
 
   // Order-independent digest over the per-flow trace hashes of all points
   // (each salted with its grid index). Equal digests <=> every point saw
@@ -87,12 +127,22 @@ class ScenarioRunner {
   static int ReportAndWriteCsv(const std::vector<SweepRunResult>& results,
                                const std::string& csv_path);
 
-  // Header/row shape shared by WriteCsv and tests.
+  // Header/row shape shared by WriteCsv and tests. The per-reason drop
+  // columns appear only when some row actually dropped packets, so
+  // zero-drop scenarios keep their historical byte-identical CSVs;
+  // `drop_reasons` for CsvRow must match HasDrops() over the whole sweep.
+  static bool HasDrops(const std::vector<SweepRunResult>& results);
   static std::vector<std::string> CsvHeader(
       const std::vector<SweepRunResult>& results);
-  static std::vector<std::string> CsvRow(const SweepRunResult& r);
+  static std::vector<std::string> CsvRow(const SweepRunResult& r,
+                                         bool drop_reasons = false);
 
  private:
+  // Resolves the effective telemetry config and artifact paths for sweep
+  // point `index` of `count` under this runner's options.
+  RunOneOptions PlanRun(const ScenarioRun& run, size_t index,
+                        size_t count) const;
+
   ScenarioRunnerOptions options_;
 };
 

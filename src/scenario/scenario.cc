@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "obs/manifest.h"
+
 namespace hpcc::scenario {
 namespace {
 
@@ -307,6 +309,42 @@ std::string ValueText(const Json& v) {
   return v.is_string() ? v.AsString() : v.Dump();
 }
 
+// 0 disables a track family, so "positive" is too strict here.
+int TrackCount(const Json& t, const char* key, int def) {
+  const int64_t v = IntOr(t, key, def);
+  if (v < 0 || v > 1'000'000) {
+    throw ScenarioError(std::string("\"") + key +
+                        "\" in telemetry must be a non-negative integer");
+  }
+  return static_cast<int>(v);
+}
+
+obs::TelemetryConfig ParseTelemetry(const Json& t) {
+  CheckKeys(t, "telemetry",
+            {"manifest", "trace", "profile", "queue_tracks",
+             "queue_track_points", "queue_sample_us", "flow_tracks",
+             "flow_track_points", "flow_sample_us", "int_tracks",
+             "int_track_points"});
+  obs::TelemetryConfig c;
+  c.manifest = BoolOr(t, "manifest", c.manifest);
+  c.trace = BoolOr(t, "trace", c.trace);
+  c.profile = BoolOr(t, "profile", c.profile);
+  c.queue_tracks = TrackCount(t, "queue_tracks", c.queue_tracks);
+  c.queue_track_points =
+      PositiveInt(t, "queue_track_points", c.queue_track_points, "telemetry");
+  c.queue_sample_us =
+      PositiveNum(t, "queue_sample_us", c.queue_sample_us, "telemetry");
+  c.flow_tracks = TrackCount(t, "flow_tracks", c.flow_tracks);
+  c.flow_track_points =
+      PositiveInt(t, "flow_track_points", c.flow_track_points, "telemetry");
+  c.flow_sample_us =
+      PositiveNum(t, "flow_sample_us", c.flow_sample_us, "telemetry");
+  c.int_tracks = TrackCount(t, "int_tracks", c.int_tracks);
+  c.int_track_points =
+      PositiveInt(t, "int_track_points", c.int_track_points, "telemetry");
+  return c;
+}
+
 // Host count every topology kind will build — lets the parser reject incast
 // shapes that could never run (the generator's own guard is a debug assert,
 // compiled out in Release).
@@ -333,8 +371,8 @@ Scenario ParseScenario(const Json& doc) {
   CheckKeys(doc, "scenario",
             {"name", "description", "topology", "cc", "workload",
              "duration_ms", "drain_factor", "seed", "pfc", "fastpath",
-             "recovery", "int_sample_every", "short_flow_bytes", "events",
-             "sweep"});
+             "recovery", "int_sample_every", "short_flow_bytes", "telemetry",
+             "events", "sweep"});
 
   Scenario s;
   s.source = doc;
@@ -385,6 +423,11 @@ Scenario ParseScenario(const Json& doc) {
                                         s.config.short_flow_bytes));
   if (short_bytes < 0) throw ScenarioError("short_flow_bytes must be >= 0");
   s.config.short_flow_bytes = static_cast<uint64_t>(short_bytes);
+
+  if (const Json* t = doc.Find("telemetry")) {
+    if (!t->is_object()) throw ScenarioError("telemetry must be an object");
+    s.telemetry = ParseTelemetry(*t);
+  }
 
   if (const Json* evs = doc.Find("events")) {
     if (!evs->is_array()) throw ScenarioError("events must be an array");
@@ -557,6 +600,12 @@ Json ScenarioToJson(const Scenario& s) {
   doc.Set("int_sample_every", Json::MakeNumber(cfg.int_sample_every));
   doc.Set("short_flow_bytes",
           Json::MakeNumber(static_cast<double>(cfg.short_flow_bytes)));
+
+  // Like "events": emitted only when it says something (non-default), so
+  // telemetry-free documents round-trip unchanged.
+  if (!(s.telemetry == obs::TelemetryConfig{})) {
+    doc.Set("telemetry", obs::TelemetryConfigToJson(s.telemetry));
+  }
 
   if (!s.events.empty()) {
     Json evs = Json::MakeArray();

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "runner/experiment.h"
 #include "scenario/json.h"
 
@@ -61,6 +62,9 @@ struct Scenario {
   std::string name = "scenario";
   std::string description;  // free-form, carried through the round trip
   runner::ExperimentConfig config;
+  // "telemetry" block: manifest/trace emission and track shaping. The CLI
+  // (--trace-out/--manifest) can force parts of it on per invocation.
+  obs::TelemetryConfig telemetry;
   std::vector<ScenarioEvent> events;
   std::vector<SweepAxis> sweep;
   // The original document, kept for sweep patching.

@@ -20,6 +20,22 @@ std::string TimeSeries::Format(size_t max_rows) const {
   return out;
 }
 
+void TimeSeries::set_max_points(size_t max_points) {
+  // A cap under 4 would thin the series down to almost nothing on every
+  // Add; clamp so the endpoints plus some interior always survive.
+  max_points_ = max_points == 0 ? 0 : std::max<size_t>(max_points, 4);
+  if (max_points_ != 0) {
+    while (points_.size() >= max_points_) Compact();
+  }
+}
+
+void TimeSeries::Compact() {
+  if (points_.size() < 2) return;
+  size_t out = 0;
+  for (size_t i = 0; i < points_.size(); i += 2) points_[out++] = points_[i];
+  points_.resize(out);
+}
+
 double TimeSeries::MaxValue() const {
   double m = 0;
   for (const auto& [t, v] : points_) m = std::max(m, v);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <limits>
@@ -160,7 +161,31 @@ void Topology::RebuildDestinationsBehind(uint32_t via,
   }
 }
 
+class Topology::RouteTimer {
+ public:
+  explicit RouteTimer(Topology* t) : t_(t) {
+    if (t_->route_timer_depth_++ == 0) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~RouteTimer() {
+    if (--t_->route_timer_depth_ == 0) {
+      t_->route_compute_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+    }
+  }
+  RouteTimer(const RouteTimer&) = delete;
+  RouteTimer& operator=(const RouteTimer&) = delete;
+
+ private:
+  Topology* t_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 void Topology::RecomputeRoutes() {
+  RouteTimer timer(this);
   for (net::SwitchNode* sw : switch_ptrs_) {
     sw->routes().Reset(static_cast<uint32_t>(nodes_.size()));
   }
@@ -189,6 +214,7 @@ void Topology::SetLinkUp(size_t link_index, bool up) {
     return;
   }
 
+  RouteTimer timer(this);
   // Classify every destination against the flapped link using two BFS
   // passes seeded at its endpoints, over the pre-change fabric:
   //

@@ -96,6 +96,11 @@ class Topology {
     path_model_ = std::move(model);
   }
 
+  // Cumulative wall-clock seconds spent building or repairing routes
+  // (Finalize, RecomputeRoutes, SetLinkUp). Telemetry self-profiling only —
+  // machine-dependent, never part of deterministic output.
+  double route_compute_seconds() const { return route_compute_seconds_; }
+
   net::Node& node(uint32_t id) { return *nodes_[id]; }
   host::HostNode& host(uint32_t id);
   net::SwitchNode& switch_node(uint32_t id);
@@ -148,6 +153,10 @@ class Topology {
   void VerifyRoutesAgainstOracle();
 
  private:
+  // RAII wall-clock accumulator into route_compute_seconds_; nesting-aware
+  // so SetLinkUp falling back to RecomputeRoutes counts once.
+  class RouteTimer;
+
   // One shortest path (first-parent BFS) as a sequence of LinkSpec indices,
   // over the designed topology (link state ignored).
   std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
@@ -194,6 +203,8 @@ class Topology {
   std::vector<uint16_t> cand_scratch_;
   bool finalized_ = false;
   bool route_oracle_ = false;
+  double route_compute_seconds_ = 0;
+  int route_timer_depth_ = 0;
 };
 
 }  // namespace hpcc::topo

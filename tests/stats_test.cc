@@ -117,6 +117,40 @@ TEST(TimeSeries, StoresAndFormats) {
   EXPECT_FALSE(ts.Format().empty());
 }
 
+TEST(TimeSeries, MaxPointsCapsViaStrideDoubling) {
+  TimeSeries ts(64);
+  EXPECT_EQ(ts.max_points(), 64u);
+  for (int i = 0; i < 100'000; ++i) {
+    ts.Add(sim::Us(i), static_cast<double>(i));
+  }
+  // Bounded no matter how long the run...
+  EXPECT_LE(ts.points().size(), 64u);
+  EXPECT_GE(ts.points().size(), 32u);  // ...but not over-thinned
+  // ...and the endpoints survive every compaction.
+  EXPECT_EQ(ts.points().front().first, sim::Us(0));
+  EXPECT_EQ(ts.points().back().first, sim::Us(99'999));
+  // Time stays strictly increasing through compactions.
+  for (size_t i = 1; i < ts.points().size(); ++i) {
+    EXPECT_LT(ts.points()[i - 1].first, ts.points()[i].first);
+  }
+}
+
+TEST(TimeSeries, CapAppliedToExistingPoints) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.Add(sim::Us(i), 1.0);
+  ts.set_max_points(16);
+  EXPECT_LE(ts.points().size(), 16u);
+  EXPECT_EQ(ts.points().front().first, sim::Us(0));
+}
+
+TEST(TimeSeries, TinyCapClampedToUsableMinimum) {
+  TimeSeries ts(1);  // clamped to 4: first/last plus a thinned middle
+  EXPECT_EQ(ts.max_points(), 4u);
+  for (int i = 0; i < 100; ++i) ts.Add(sim::Us(i), 1.0);
+  EXPECT_LE(ts.points().size(), 4u);
+  EXPECT_FALSE(ts.empty());
+}
+
 TEST(PfcMonitor, TracksDurationsAndPeaks) {
   PfcMonitor m;
   const auto& obs = m.observer();

@@ -31,6 +31,14 @@
 //                             invariant monitor attached — the measured cost
 //                             of always-on checking (used by fuzz/CI, not by
 //                             perf runs)
+//   micro/telemetry_overhead  the fast-path run with telemetry OFF, tracked
+//                             as its own committed number: the bench_check
+//                             gate on it pins the "no new hot-path branches
+//                             when telemetry is disabled" claim
+//   macro/fig11_telemetry     the same run with the full telemetry collector
+//                             attached (counters + queue/flow samplers, no
+//                             file writes) — the measured cost of turning
+//                             observability on
 //   micro/route_full_k16/k32  one from-scratch RecomputeRoutes of the k=16
 //                             (1024-host) / k=32 (8192-host) fat-tree
 //   micro/route_incr_k16/k32  one incremental SetLinkUp repair of an
@@ -62,6 +70,7 @@
 #include "bench/bench_hotpath.h"
 #include "check/monitors.h"
 #include "net/packet.h"
+#include "obs/telemetry.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -148,6 +157,37 @@ uint64_t MacroFig11NoFastpathBatch() {
   hpcc::runner::Experiment e(
       hpcc::benchgen::Fig11MacroConfig(/*fast_path=*/false));
   auto result = e.Run();
+  return result.packets_forwarded;
+}
+
+// Telemetry-off pin for the observability layer: identical to
+// macro/fig11_incast — no registry, no recorder — but tracked as its own
+// committed number so a change that sneaks a branch or a hook registration
+// into the telemetry-off hot path trips the bench_check drop gate even if
+// the fig11 numbers are re-baselined for an unrelated reason.
+uint64_t TelemetryOverheadBatch() {
+  hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
+  auto result = e.Run();
+  return result.packets_forwarded;
+}
+
+// The same macro point with the full telemetry collector attached (hook
+// counters + queue/flow track samplers, no file writes): the measured cost
+// of turning observability on, reported next to the off number so
+// docs/OBSERVABILITY.md can quote a tracked figure.
+uint64_t MacroFig11TelemetryBatch() {
+  hpcc::check::MonitorRegistry registry;
+  hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
+  registry.set_clock(&e.simulator());
+  registry.AttachTo(e.topology());
+  hpcc::obs::TelemetryConfig tcfg;
+  tcfg.manifest = true;
+  tcfg.trace = true;
+  hpcc::obs::TelemetrySession session(tcfg, &registry, &e);
+  session.Start();
+  auto result = e.Run();
+  registry.Finish(e.simulator().now());
+  if (session.recorder().counters().dequeued_packets == 0) std::abort();
   return result.packets_forwarded;
 }
 
@@ -320,6 +360,10 @@ int main(int argc, char** argv) {
                              MacroFig11NoFastpathBatch));
   results.push_back(RunBench("macro/fig11_checked", "pkts", min_seconds,
                              MacroFig11CheckedBatch));
+  results.push_back(RunBench("micro/telemetry_overhead", "pkts", min_seconds,
+                             TelemetryOverheadBatch));
+  results.push_back(RunBench("macro/fig11_telemetry", "pkts", min_seconds,
+                             MacroFig11TelemetryBatch));
   results.push_back(RunBench("micro/route_full_k16", "rebuilds", min_seconds,
                              []() { return K16Fabric().FullRebuild(); }));
   results.push_back(RunBench("micro/route_incr_k16", "repairs", min_seconds,

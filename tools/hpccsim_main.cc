@@ -25,8 +25,11 @@ namespace {
 struct Options {
   std::string scenario;  // declarative mode: run a scenario file instead
   std::string out;       // scenario mode CSV path
+  std::string trace_out;  // scenario mode: force Perfetto trace export
   int jobs = 0;          // scenario mode sweep workers
   bool check = false;    // scenario mode: run under the invariant monitors
+  bool manifest = false;  // scenario mode: write run manifests
+  bool progress = false;  // scenario mode: live sweep progress line
   std::string scheme = "hpcc";
   std::string topo = "fattree";
   std::string trace = "websearch";
@@ -53,6 +56,9 @@ struct Options {
       "  --jobs=N           scenario mode: parallel sweep workers\n"
       "  --out=PATH         scenario mode: aggregated CSV path\n"
       "  --check            scenario mode: run under invariant monitors\n"
+      "  --trace-out=FILE   scenario mode: write a Chrome/Perfetto trace\n"
+      "  --manifest         scenario mode: write run manifest JSON(s)\n"
+      "  --progress         scenario mode: live sweep progress on stderr\n"
       "  --scheme=NAME      hpcc|hpcc-rxrate|hpcc-perack|hpcc-perrtt|\n"
       "                     hpcc-alpha|dcqcn|dcqcn+win|timely|timely+win|\n"
       "                     dctcp|rcp|rcp+win\n"
@@ -82,6 +88,7 @@ Options Parse(int argc, char** argv) {
     if (cli::ConsumeFlag(argv[i], "--scenario", &v)) o.scenario = v;
     else if (cli::ConsumeFlag(argv[i], "--jobs", &v)) o.jobs = std::atoi(v);
     else if (cli::ConsumeFlag(argv[i], "--out", &v)) o.out = v;
+    else if (cli::ConsumeFlag(argv[i], "--trace-out", &v)) o.trace_out = v;
     else if (cli::ConsumeFlag(argv[i], "--scheme", &v)) o.scheme = v;
     else if (cli::ConsumeFlag(argv[i], "--topo", &v)) o.topo = v;
     else if (cli::ConsumeFlag(argv[i], "--trace", &v)) o.trace = v;
@@ -101,16 +108,22 @@ Options Parse(int argc, char** argv) {
       else Usage(argv[0]);
     }
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
+    else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
+    else if (std::strcmp(argv[i], "--progress") == 0) o.progress = true;
     else if (std::strcmp(argv[i], "--lossy") == 0) o.lossy = true;
     else if (std::strcmp(argv[i], "--irn") == 0) o.irn = true;
     else if (std::strcmp(argv[i], "--paper-scale") == 0) o.paper_scale = true;
     else Usage(argv[0]);
   }
-  // --jobs/--out only mean something in scenario mode; silently ignoring
-  // them would leave the user waiting for a CSV that never appears.
-  if (o.scenario.empty() && (o.jobs != 0 || !o.out.empty() || o.check)) {
+  // --jobs/--out (and friends) only mean something in scenario mode;
+  // silently ignoring them would leave the user waiting for a CSV or a trace
+  // that never appears.
+  if (o.scenario.empty() &&
+      (o.jobs != 0 || !o.out.empty() || o.check || !o.trace_out.empty() ||
+       o.manifest || o.progress)) {
     std::fprintf(stderr,
-                 "error: --jobs/--out/--check require --scenario=FILE\n");
+                 "error: --jobs/--out/--check/--trace-out/--manifest/"
+                 "--progress require --scenario=FILE\n");
     std::exit(2);
   }
   return o;
@@ -127,6 +140,9 @@ int main(int argc, char** argv) {
     ro.verbose = true;
     ro.check = o.check;
     ro.fastpath_override = o.fastpath;
+    ro.trace_out = o.trace_out;
+    ro.manifest = o.manifest;
+    ro.progress = o.progress;
     return scenario::RunScenarioFile(o.scenario, ro, o.out);
   }
 

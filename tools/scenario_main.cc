@@ -23,12 +23,15 @@ namespace {
 struct Options {
   std::string file;
   std::string out;  // empty = "<scenario name>.csv"
+  std::string trace_out;  // non-empty forces trace export to this path
   int jobs = 0;     // 0 = hardware concurrency
   int fastpath = -1;  // -1 scenario default, 0 reference engine, 1 trains
   bool expand_only = false;
   bool quiet = false;
   bool dump = false;
   bool check = false;
+  bool manifest = false;
+  bool progress = false;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -44,6 +47,11 @@ struct Options {
                "               force the transmission-train fast path on or\n"
                "               off (default: as the scenario says; both\n"
                "               engines produce identical results)\n"
+               "  --trace-out=FILE\n"
+               "               write a Chrome/Perfetto trace (sweeps write\n"
+               "               one file per point: <stem>.runN.json)\n"
+               "  --manifest   write a run manifest JSON next to the CSV\n"
+               "  --progress   live sweep progress line on stderr\n"
                "  --quiet      suppress per-run progress\n",
                argv0);
   std::exit(2);
@@ -60,9 +68,12 @@ Options Parse(int argc, char** argv) {
       else if (std::strcmp(v, "off") == 0) o.fastpath = 0;
       else Usage(argv[0]);
     }
+    else if (cli::ConsumeFlag(argv[i], "--trace-out", &v)) o.trace_out = v;
     else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
     else if (std::strcmp(argv[i], "--dump") == 0) o.dump = true;
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
+    else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
+    else if (std::strcmp(argv[i], "--progress") == 0) o.progress = true;
     else if (std::strcmp(argv[i], "--quiet") == 0) o.quiet = true;
     else if (argv[i][0] == '-') Usage(argv[0]);
     else if (o.file.empty()) o.file = argv[i];
@@ -98,5 +109,8 @@ int main(int argc, char** argv) {
   ro.verbose = !o.quiet;
   ro.check = o.check;
   ro.fastpath_override = o.fastpath;
+  ro.trace_out = o.trace_out;
+  ro.manifest = o.manifest;
+  ro.progress = o.progress;
   return scenario::RunScenarioFile(o.file, ro, o.out);
 }
