@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 
 #include "cc/factory.h"
 #include "check/monitors.h"
@@ -169,34 +170,52 @@ Json GenerateScenarioDoc(uint64_t seed, int index) {
 
 FuzzRunReport RunScenarioDocChecked(const Json& doc, uint64_t max_events,
                                     const MonitorInstaller& extra,
-                                    int fastpath_override) {
+                                    int fastpath_override,
+                                    int shards_override) {
   FuzzRunReport rep;
   rep.doc = doc;
-  // Declared before the Experiment: nodes point at the registry.
-  MonitorRegistry registry;
+  // Declared before the Experiment: nodes point into the registries (one per
+  // execution lane; exactly one when unsharded).
+  std::deque<MonitorRegistry> registries;
   try {
     const scenario::Scenario s = scenario::ParseScenario(doc);
     rep.name = s.name;
     runner::ExperimentConfig cfg = scenario::MakeExperimentConfig(s);
     if (fastpath_override >= 0) cfg.fast_path = fastpath_override != 0;
+    if (shards_override >= 1) cfg.shards = shards_override;
     runner::Experiment e(cfg);
-    if (max_events > 0) e.simulator().set_event_budget(max_events);
+    if (max_events > 0) e.set_event_budget(max_events);
     StandardMonitorOptions mo;
     mo.topology_mutates = scenario::MutatesTopology(s);
-    InstallStandardMonitors(registry, e, mo);
-    if (extra) extra(registry, e);
+    const int lanes = e.shards();
+    for (int lane = 0; lane < lanes; ++lane) {
+      registries.emplace_back();
+      if (lanes == 1) {
+        InstallStandardMonitors(registries.back(), e, mo);
+      } else {
+        InstallStandardMonitors(registries.back(), e, mo, lane);
+      }
+      if (extra) extra(registries.back(), e);
+    }
     const scenario::InstalledEvents events = scenario::InstallEvents(e, s);
     const runner::ExperimentResult result = e.Run();
-    registry.Finish(e.simulator().now());
-    if (e.simulator().budget_exhausted()) {
-      registry.ReportViolation(Violation{
+    for (int lane = 0; lane < lanes; ++lane) {
+      registries[static_cast<size_t>(lane)].Finish(
+          e.lane_simulator(lane).now());
+    }
+    if (e.budget_exhausted()) {
+      registries.front().ReportViolation(Violation{
           "event-budget",
           "run exceeded " + std::to_string(max_events) +
               " simulator events (event storm / livelock?)",
           e.simulator().now()});
     }
-    rep.violations = registry.violations();
-    rep.violation_count = registry.violation_count();
+    for (const MonitorRegistry& registry : registries) {
+      rep.violations.insert(rep.violations.end(),
+                            registry.violations().begin(),
+                            registry.violations().end());
+      rep.violation_count += registry.violation_count();
+    }
     rep.trace_hash = result.trace_hash;
     rep.flows_created = result.flows_created;
     rep.flows_completed = result.flows_completed;
@@ -251,6 +270,38 @@ void RecordFlight(const Json& doc, const FuzzOptions& options,
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "    (flight record replay failed: %s)\n", ex.what());
+  }
+
+  // A shard-equivalence failure triages by diffing the single-lane manifest
+  // above against the sharded run's view: record the shards=2 side too
+  // (manifest only — trace export forces one lane, see scenario/runner.cc).
+  bool shard_mismatch = false;
+  for (const Violation& v : rep->violations) {
+    if (v.monitor == "shard-equivalence") shard_mismatch = true;
+  }
+  if (!shard_mismatch) return;
+  try {
+    scenario::ScenarioRun run;
+    run.label = rep->name;
+    run.scenario = scenario::ParseScenario(doc);
+    scenario::RunOneOptions ro;
+    ro.check = true;
+    ro.shards_override = 2;
+    obs::TelemetryConfig tcfg = run.scenario.telemetry;
+    tcfg.manifest = true;
+    tcfg.profile = true;
+    ro.telemetry = tcfg;
+    ro.manifest_path = base + ".shards2.manifest.json";
+    ro.event_budget = options.max_events > 0 ? options.max_events * 3 : 0;
+    const scenario::SweepRunResult flight =
+        scenario::ScenarioRunner::RunOne(run, ro);
+    if (!flight.manifest_path.empty()) {
+      std::fprintf(stderr, "    flight record (shards=2): %s\n",
+                   flight.manifest_path.c_str());
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "    (shards=2 flight record replay failed: %s)\n",
+                 ex.what());
   }
 }
 
@@ -329,6 +380,47 @@ int FuzzMain(const FuzzOptions& options, const MonitorInstaller& extra) {
                 : "reference (--fastpath=off) replay failed: " +
                       reference.error,
             0});
+        ++rep.violation_count;
+      }
+    }
+    if (rep.ok() && options.check_shards) {
+      // Equivalence pin for sharded execution: a two-lane replay must
+      // produce the same per-flow outcomes and a clean monitor log. Same
+      // budget headroom as the fastpath replay (the lanes execute a handful
+      // of extra no-op barrier markers); a truncated replay stops at an
+      // arbitrary event, so its hash is skipped rather than compared.
+      const uint64_t replay_budget =
+          options.max_events > 0 ? options.max_events * 3 : 0;
+      const FuzzRunReport sharded =
+          RunScenarioDocChecked(doc, replay_budget, extra,
+                                /*fastpath_override=*/-1,
+                                /*shards_override=*/2);
+      bool truncated = false;
+      for (const Violation& v : sharded.violations) {
+        if (v.monitor == "event-budget") truncated = true;
+      }
+      if (truncated) {
+        std::fprintf(stderr,
+                     "[%s] shard-equivalence replay exceeded %llu events; "
+                     "comparison skipped\n",
+                     rep.name.c_str(),
+                     static_cast<unsigned long long>(replay_budget));
+      } else if (!sharded.error.empty() ||
+                 sharded.trace_hash != rep.trace_hash ||
+                 sharded.violation_count > 0) {
+        std::string detail;
+        if (!sharded.error.empty()) {
+          detail = "sharded (--shards=2) replay failed: " + sharded.error;
+        } else if (sharded.trace_hash != rep.trace_hash) {
+          detail = "sharded (--shards=2) replay produced a different "
+                   "golden-trace hash";
+        } else {
+          detail = "sharded (--shards=2) replay tripped " +
+                   std::to_string(sharded.violation_count) +
+                   " invariant violation(s) on a clean scenario";
+        }
+        rep.violations.push_back(
+            Violation{"shard-equivalence", detail, 0});
         ++rep.violation_count;
       }
     }

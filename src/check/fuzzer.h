@@ -52,6 +52,12 @@ struct FuzzOptions {
   // (--fastpath=off) and require an identical golden-trace hash, so every
   // fuzz scenario doubles as a train-fast-path equivalence check.
   bool check_fastpath = true;
+  // Additionally replay each clean run on two execution lanes (--shards=2)
+  // and require an identical golden-trace hash and a clean monitor log, so
+  // every fuzz scenario doubles as a conservative-PDES equivalence check.
+  // Event-budget-truncated replays are skipped (a truncated run stops at an
+  // arbitrary event, so its hash is meaningless).
+  bool check_shards = true;
 };
 
 struct FuzzRunReport {
@@ -75,10 +81,14 @@ scenario::Json GenerateScenarioDoc(uint64_t seed, int index);
 // `extra`, if any) with the event-budget watchdog armed. Never throws: parse
 // and runtime errors land in FuzzRunReport::error. `fastpath_override`: -1
 // as the scenario says, 0/1 force the reference/train transmit engine.
+// `shards_override`: 0 as the scenario says, >= 1 forces that many execution
+// lanes (each lane gets its own registry; `extra` is invoked once per lane,
+// so installers must hand out a fresh monitor instance per call).
 FuzzRunReport RunScenarioDocChecked(const scenario::Json& doc,
                                     uint64_t max_events,
                                     const MonitorInstaller& extra = nullptr,
-                                    int fastpath_override = -1);
+                                    int fastpath_override = -1,
+                                    int shards_override = 0);
 
 // Writes `doc` as "<dir>/repro_<name>.json"; returns the path, or "" when
 // the file cannot be written.

@@ -39,6 +39,11 @@ void MonitorRegistry::AttachTo(topo::Topology& topology) {
   }
 }
 
+void MonitorRegistry::AttachTo(topo::Topology& topology,
+                               const std::vector<uint32_t>& nodes) {
+  for (uint32_t id : nodes) topology.node(id).set_check_hooks(this);
+}
+
 void MonitorRegistry::Finish(sim::TimePs now) {
   for (auto& m : monitors_) m->OnFinish(now);
 }

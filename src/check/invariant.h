@@ -96,6 +96,9 @@ class MonitorRegistry final : public NetHooks {
   // Installs this registry as the check-hooks sink of every node in the
   // topology. The registry must outlive the simulation.
   void AttachTo(topo::Topology& topology);
+  // Shard-local variant: installs on the listed nodes only, so each lane's
+  // registry sees exactly its own nodes' hooks (no cross-thread reports).
+  void AttachTo(topo::Topology& topology, const std::vector<uint32_t>& nodes);
 
   // Optional clock: hooks without a time argument (enqueue/dequeue/drop)
   // report at t=0 unless a clock is set, in which case every violation is

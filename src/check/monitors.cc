@@ -293,8 +293,12 @@ void LosslessDropMonitor::OnFinish(sim::TimePs now) {
 
 // ---- InstallStandardMonitors ------------------------------------------------
 
-void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
-                             const StandardMonitorOptions& options) {
+namespace {
+
+// The monitor set with bounds derived from the full topology/config —
+// shared by the whole-fabric and shard-local installers.
+void AddStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
+                         const StandardMonitorOptions& options) {
   topo::Topology& topology = e.topology();
   const runner::ExperimentConfig& cfg = e.config();
 
@@ -339,9 +343,22 @@ void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
 
   registry.Add(std::make_unique<CcSanityMonitor>(max_nic_bps));
   registry.Add(std::make_unique<LosslessDropMonitor>(cfg.pfc_enabled));
+}
 
+}  // namespace
+
+void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
+                             const StandardMonitorOptions& options) {
+  AddStandardMonitors(registry, e, options);
   registry.set_clock(&e.simulator());
-  registry.AttachTo(topology);
+  registry.AttachTo(e.topology());
+}
+
+void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
+                             const StandardMonitorOptions& options, int lane) {
+  AddStandardMonitors(registry, e, options);
+  registry.set_clock(&e.lane_simulator(lane));
+  registry.AttachTo(e.topology(), e.lane_nodes(lane));
 }
 
 }  // namespace hpcc::check

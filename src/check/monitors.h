@@ -205,4 +205,13 @@ struct StandardMonitorOptions {
 void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
                              const StandardMonitorOptions& options = {});
 
+// Shard-local variant: the same monitor set with the same bounds (derived
+// from the full topology, so they are lane-independent), but clocked by lane
+// `lane`'s simulator and attached only to that lane's nodes. Every monitor
+// keys its state per (node, port[, prio]) or per flow, and a flow's packets
+// are only ever observed by the nodes on its path — each lane's registry
+// sees a self-consistent slice, and clean runs stay clean.
+void InstallStandardMonitors(MonitorRegistry& registry, runner::Experiment& e,
+                             const StandardMonitorOptions& options, int lane);
+
 }  // namespace hpcc::check

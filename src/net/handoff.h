@@ -1,0 +1,120 @@
+// SPSC handoff channel carrying committed packet arrivals across shard
+// boundaries (one channel per direction of every cut link, owned by the
+// consumer lane).
+//
+// The producer is the boundary port's transmit path: when a packet's
+// serialization is committed, it pushes {arrival time, emission time, raw
+// packet} instead of scheduling the arrival on its own simulator. The
+// consumer lane drains the head at every barrier round start, rescheduling
+// each record on its own simulator with the identical
+// (at, emission, link_uid) arrival key — so the merged execution order is
+// decided by the sim::EventClass tie-break contract, never by thread timing.
+//
+// Synchronization: per-chunk monotone write cursor published with release,
+// read with acquire (plus a release/acquire `next` pointer when a chunk
+// fills), so push and pop may run concurrently on two threads with no locks
+// and no data races. Records within a channel are pushed in nondecreasing
+// arrival order (ports serialize in time order), which is what lets the
+// consumer stop at the first head record beyond its round horizon.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace hpcc::net {
+
+struct HandoffRecord {
+  sim::TimePs at = 0;        // arrival time at the consumer port
+  sim::TimePs emission = 0;  // serialization start (arrival tie-break key)
+  Packet* pkt = nullptr;     // ownership moves producer -> consumer
+};
+
+class HandoffChannel {
+ public:
+  static constexpr size_t kDefaultChunkCapacity = 256;
+
+  explicit HandoffChannel(size_t chunk_capacity = kDefaultChunkCapacity)
+      : capacity_(chunk_capacity < 2 ? 2 : chunk_capacity) {
+    head_ = tail_ = new Chunk(capacity_);
+  }
+  HandoffChannel(const HandoffChannel&) = delete;
+  HandoffChannel& operator=(const HandoffChannel&) = delete;
+
+  // Shutdown drain: undelivered packets return to the pool (on the
+  // destroying thread's free list — the lanes have joined by then).
+  ~HandoffChannel() {
+    HandoffRecord r;
+    while (Pop(&r)) PacketPool::Release(r.pkt);
+    Chunk* c = head_;
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
+  // Producer thread only.
+  void Push(const HandoffRecord& r) {
+    Chunk* t = tail_;
+    const size_t w = t->write.load(std::memory_order_relaxed);
+    if (w == capacity_) {
+      Chunk* fresh = new Chunk(capacity_);
+      fresh->slots[0] = r;
+      fresh->write.store(1, std::memory_order_relaxed);
+      // Publish the chunk (and its first record) to the consumer.
+      t->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      return;
+    }
+    t->slots[w] = r;
+    t->write.store(w + 1, std::memory_order_release);
+  }
+
+  // Consumer thread only: earliest pending arrival time, if any.
+  bool PeekArrival(sim::TimePs* at) {
+    Chunk* c = Readable();
+    if (c == nullptr) return false;
+    *at = c->slots[c->read].at;
+    return true;
+  }
+
+  // Consumer thread only.
+  bool Pop(HandoffRecord* out) {
+    Chunk* c = Readable();
+    if (c == nullptr) return false;
+    *out = c->slots[c->read++];
+    return true;
+  }
+
+ private:
+  struct Chunk {
+    explicit Chunk(size_t cap) : slots(new HandoffRecord[cap]) {}
+    ~Chunk() { delete[] slots; }
+    HandoffRecord* slots;
+    std::atomic<size_t> write{0};  // records committed by the producer
+    std::atomic<Chunk*> next{nullptr};
+    size_t read = 0;  // consumer-only cursor
+  };
+
+  // The chunk holding the next readable record, retiring exhausted chunks;
+  // nullptr when the channel is (currently) empty.
+  Chunk* Readable() {
+    Chunk* c = head_;
+    if (c->read < c->write.load(std::memory_order_acquire)) return c;
+    if (c->read < capacity_) return nullptr;  // producer still filling it
+    Chunk* next = c->next.load(std::memory_order_acquire);
+    if (next == nullptr) return nullptr;
+    head_ = next;
+    delete c;
+    return Readable();
+  }
+
+  const size_t capacity_;
+  Chunk* head_;  // consumer side
+  Chunk* tail_;  // producer side
+};
+
+}  // namespace hpcc::net

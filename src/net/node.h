@@ -54,6 +54,12 @@ class Node {
   // Adds a port; returns its index. Used by Topology when wiring links.
   int AddPort(std::unique_ptr<Port> port);
 
+  // Re-homes this node (and every port) onto another event arena. Sharded
+  // runs build the topology once on lane 0's simulator and then move each
+  // node to its owning lane's simulator; legal only while quiescent (node
+  // construction schedules nothing).
+  void set_simulator(sim::Simulator* simulator);
+
   uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
   sim::Simulator& simulator() { return *simulator_; }

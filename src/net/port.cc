@@ -21,6 +21,11 @@ int Node::AddPort(std::unique_ptr<Port> port) {
   return static_cast<int>(ports_.size()) - 1;
 }
 
+void Node::set_simulator(sim::Simulator* simulator) {
+  simulator_ = simulator;
+  for (std::unique_ptr<Port>& p : ports_) p->set_simulator(simulator);
+}
+
 Port::Port(Node* owner, int index, int64_t bandwidth_bps,
            sim::TimePs propagation_delay)
     : owner_(owner),
@@ -153,16 +158,8 @@ void Port::StartTransmission(PacketPtr pkt) {
   EmitPacket(*pkt, now, queues_.bytes(kDataPriority));
 
   // Arrival at the peer after serialization + propagation, keyed by the
-  // emission instant (see sim::EventClass). The closure owns the packet
-  // (sim::Callback moves move-only captures inline), so a run torn down
-  // with packets still on the wire releases them back to the pool instead
-  // of leaking — LeakSanitizer catches the raw-pointer variant.
-  Node* peer = peer_;
-  const int peer_port = peer_port_;
-  simulator_->ScheduleArrival(now + ser + propagation_delay_, now, link_uid(),
-                              [peer, peer_port, pkt = std::move(pkt)]() mutable {
-                                peer->Receive(std::move(pkt), peer_port);
-                              });
+  // emission instant (see sim::EventClass).
+  CommitArrival(std::move(pkt), now, ser);
 
   // Transmitter frees up after serialization (boundary class: fires after
   // every same-timestamp arrival, before everything else).
@@ -170,6 +167,28 @@ void Port::StartTransmission(PacketPtr pkt) {
     busy_ = false;
     TryTransmit();
   });
+}
+
+void Port::CommitArrival(PacketPtr pkt, sim::TimePs emit, sim::TimePs ser) {
+  if (handoff_ != nullptr) {
+    // Shard boundary: the record is final (single-packet transmit paths
+    // never cancel a committed arrival), so ownership moves raw into the
+    // channel; the consumer lane re-wraps it on delivery.
+    handoff_->Push(HandoffRecord{emit + ser + propagation_delay_, emit,
+                                 pkt.release()});
+    return;
+  }
+  // The closure owns the packet (sim::Callback moves move-only captures
+  // inline), so a run torn down with packets still on the wire releases
+  // them back to the pool instead of leaking — LeakSanitizer catches the
+  // raw-pointer variant.
+  Node* peer = peer_;
+  const int peer_port = peer_port_;
+  simulator_->ScheduleArrival(emit + ser + propagation_delay_, emit,
+                              link_uid(),
+                              [peer, peer_port, pkt = std::move(pkt)]() mutable {
+                                peer->Receive(std::move(pkt), peer_port);
+                              });
 }
 
 // ---- fast-path engine -------------------------------------------------------
@@ -230,7 +249,8 @@ void Port::FormTrain(sim::TimePs now) {
   }
   check::NetHooks* const hooks = owner_->check_hooks();
 
-  if (!queues_.HasEligible(paused_) || owner_->MaxTrainPackets() == 1) {
+  if (handoff_ != nullptr || !queues_.HasEligible(paused_) ||
+      owner_->MaxTrainPackets() == 1) {
     // Single-packet transmission — the common, uncongested case. Shaped
     // exactly like the reference engine's StartTransmission (the arrival
     // closure owns the packet; no train-buffer traffic), minus the
@@ -244,13 +264,7 @@ void Port::FormTrain(sim::TimePs now) {
         sim::SerializationTime(first->size_bytes(), bandwidth_bps_);
     busy_until_ = now + ser;
     EmitPacket(*first, now, queues_.bytes(kDataPriority));
-    Node* peer = peer_;
-    const int peer_port = peer_port_;
-    simulator_->ScheduleArrival(
-        now + ser + propagation_delay_, now, link_uid(),
-        [peer, peer_port, pkt = std::move(first)]() mutable {
-          peer->Receive(std::move(pkt), peer_port);
-        });
+    CommitArrival(std::move(first), now, ser);
     if (!queues_.empty() || owner_->WantsPortIdle(index_)) {
       EnsureCompletionEvent();
     }

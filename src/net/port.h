@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "check/hooks.h"
+#include "net/handoff.h"
 #include "net/queue.h"
 #include "net/ring.h"
 #include "sim/simulator.h"
@@ -100,6 +101,17 @@ class Port {
   // (Node::AddPort, SwitchNode::FinishSetup).
   void set_fast_path(bool on) { fast_path_ = on; }
   bool fast_path() const { return fast_path_; }
+
+  // Re-homes the port onto another event arena (sharded runs; see
+  // Node::set_simulator). Only while quiescent.
+  void set_simulator(sim::Simulator* simulator) { simulator_ = simulator; }
+
+  // Marks this egress as a shard boundary: committed arrivals go into the
+  // channel (consumed and rescheduled by the peer's lane) instead of this
+  // lane's simulator. Handoff ports always transmit on the single-packet
+  // path — committed handoff records are final, never retracted, so the
+  // cancellable burst-train tail must never form here.
+  void set_handoff(HandoffChannel* channel) { handoff_ = channel; }
 
   // Performs the emission work of every train item whose emission time has
   // arrived. Cheap no-op when nothing is due; called from every observer of
@@ -187,6 +199,9 @@ class Port {
   uint32_t link_uid() const {
     return (owner_id_ << 8) | static_cast<uint32_t>(index_);
   }
+  // Commits one serialized packet: schedules its arrival at the peer, or —
+  // on a shard-boundary port — pushes the final handoff record instead.
+  void CommitArrival(PacketPtr pkt, sim::TimePs emit, sim::TimePs ser);
   // Emission work shared by both engines: owner hook, txBytes, INT stamp.
   // `queue_bytes_behind` is the data-priority occupancy left behind.
   void EmitPacket(Packet& pkt, sim::TimePs emit_time,
@@ -231,6 +246,8 @@ class Port {
   const PauseObserver* pause_observer_ = nullptr;
   sim::TimePs pause_started_ = 0;
   sim::TimePs total_paused_ = 0;
+
+  HandoffChannel* handoff_ = nullptr;  // non-null on shard-boundary egress
 };
 
 inline sim::TimePs Port::SimNow() const { return simulator_->now(); }

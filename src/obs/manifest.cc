@@ -84,7 +84,7 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
     pfc.Set("pause_time_pct", Num(res.pause_time_fraction * 100));
 
     if (in.session) {
-      const TelemetryCounters& c = in.session->recorder().counters();
+      const TelemetryCounters c = in.session->counters();
       packets.Set("enqueued", NumU(c.enqueued_packets));
       packets.Set("dequeued", NumU(c.dequeued_packets));
       packets.Set("enqueued_bytes", NumU(c.enqueued_bytes));

@@ -122,9 +122,38 @@ void TelemetryRecorder::OnIntEcho(uint64_t flow_id, const core::IntStack& stack,
 TelemetrySession::TelemetrySession(const TelemetryConfig& cfg,
                                    check::MonitorRegistry* registry,
                                    runner::Experiment* experiment)
+    : TelemetrySession(cfg, std::vector<check::MonitorRegistry*>{registry},
+                       experiment) {}
+
+TelemetrySession::TelemetrySession(
+    const TelemetryConfig& cfg,
+    const std::vector<check::MonitorRegistry*>& registries,
+    runner::Experiment* experiment)
     : cfg_(cfg), experiment_(experiment) {
-  recorder_ = static_cast<TelemetryRecorder*>(
-      registry->Add(std::make_unique<TelemetryRecorder>(cfg)));
+  for (check::MonitorRegistry* registry : registries) {
+    recorders_.push_back(static_cast<TelemetryRecorder*>(
+        registry->Add(std::make_unique<TelemetryRecorder>(cfg))));
+  }
+  recorder_ = recorders_.front();
+}
+
+TelemetryCounters TelemetrySession::counters() const {
+  TelemetryCounters total;
+  for (const TelemetryRecorder* r : recorders_) {
+    const TelemetryCounters& c = r->counters();
+    total.enqueued_packets += c.enqueued_packets;
+    total.enqueued_bytes += c.enqueued_bytes;
+    total.dequeued_packets += c.dequeued_packets;
+    total.dequeued_bytes += c.dequeued_bytes;
+    for (int i = 0; i < check::kNumDropReasons; ++i) {
+      total.drops_by_reason[i] += c.drops_by_reason[i];
+    }
+    total.pause_on += c.pause_on;
+    total.pause_off += c.pause_off;
+    total.cc_updates += c.cc_updates;
+    total.int_echoes += c.int_echoes;
+  }
+  return total;
 }
 
 void TelemetrySession::Start() {

@@ -149,6 +149,12 @@ class TelemetrySession {
  public:
   TelemetrySession(const TelemetryConfig& cfg, check::MonitorRegistry* registry,
                    runner::Experiment* experiment);
+  // Sharded variant: one recorder per lane registry. Counter totals are
+  // summed over the lanes by counters(); sampled tracks require trace mode,
+  // which forces shards=1, so the samplers only ever run single-sim.
+  TelemetrySession(const TelemetryConfig& cfg,
+                   const std::vector<check::MonitorRegistry*>& registries,
+                   runner::Experiment* experiment);
 
   // Schedules the samplers (must be called before Experiment::Run). Sampling
   // covers [0, duration * (1 + drain_factor)].
@@ -156,6 +162,10 @@ class TelemetrySession {
 
   const TelemetryConfig& config() const { return cfg_; }
   const TelemetryRecorder& recorder() const { return *recorder_; }
+  // Counter totals over every lane recorder (== recorder().counters() on a
+  // single-registry session). Plain sums, so the aggregate is byte-equal to
+  // the single-sim totals whatever the shard count.
+  TelemetryCounters counters() const;
 
   // The `queue_tracks` busiest sampled queues (peak depth desc, then node,
   // port asc); empty tracks (never above zero) are skipped.
@@ -182,7 +192,8 @@ class TelemetrySession {
 
   TelemetryConfig cfg_;
   runner::Experiment* experiment_;
-  TelemetryRecorder* recorder_;  // owned by the registry
+  TelemetryRecorder* recorder_;  // owned by the (first) registry
+  std::vector<TelemetryRecorder*> recorders_;  // one per lane registry
   sim::TimePs until_ = 0;
   sim::TimePs queue_interval_ = 0;
   sim::TimePs flow_interval_ = 0;

@@ -1,8 +1,13 @@
 #include "runner/experiment.h"
 
+#include <algorithm>
+#include <barrier>
 #include <cassert>
 #include <cstdio>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace hpcc::runner {
 
@@ -70,7 +75,16 @@ void Experiment::BuildTopology() {
   }
 }
 
+std::unique_ptr<stats::FctRecorder> Experiment::MakeFctRecorder() const {
+  return std::make_unique<stats::FctRecorder>(
+      config_.trace == "fbhadoop" ? stats::FctRecorder::FbHadoopBins()
+                                  : stats::FctRecorder::WebSearchBins());
+}
+
 Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+  if (config_.shards < 1) {
+    throw std::invalid_argument("shards must be >= 1");
+  }
   simulator_ = std::make_unique<sim::Simulator>();
   BuildTopology();
   base_rtt_ = config_.base_rtt_override > 0 ? config_.base_rtt_override
@@ -81,9 +95,15 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
     }
   }
 
-  fct_ = std::make_unique<stats::FctRecorder>(
-      config_.trace == "fbhadoop" ? stats::FctRecorder::FbHadoopBins()
-                                  : stats::FctRecorder::WebSearchBins());
+  fct_ = MakeFctRecorder();
+
+  if (config_.shards > 1) {
+    SetupShards();
+    return;
+  }
+  lane_node_ids_.resize(1);
+  lane_node_ids_[0].resize(topology_->num_nodes());
+  std::iota(lane_node_ids_[0].begin(), lane_node_ids_[0].end(), 0u);
 
   // Flow completion wiring: every host reports into the shared recorder.
   for (uint32_t h : hosts_) {
@@ -134,6 +154,123 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
 
 Experiment::~Experiment() = default;
 
+void Experiment::SetupShards() {
+  const int n = config_.shards;
+  std::vector<int> lane_of =
+      config_.topology == TopologyKind::kFatTree
+          ? topo::FatTreeLanes(config_.fattree, n)
+          : topo::ContiguousLanes(topology_->num_nodes(), n);
+  partition_ = topo::MakePartition(*topology_, std::move(lane_of), n);
+  for (const topo::CutLink& c : partition_.cut_links) {
+    if (c.delay <= 0) {
+      throw std::invalid_argument(
+          "sharded run needs a positive delay on every cut link");
+    }
+  }
+  total_ports_ = 0;
+  for (uint32_t id = 0; id < topology_->num_nodes(); ++id) {
+    total_ports_ += topology_->node(id).num_ports();
+  }
+  lane_node_ids_.resize(n);
+  for (uint32_t id = 0; id < topology_->num_nodes(); ++id) {
+    lane_node_ids_[partition_.lane_of_node[id]].push_back(id);
+  }
+
+  lanes_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto lane = std::make_unique<Lane>();
+    if (i == 0) {
+      lane->sim = simulator_.get();
+    } else {
+      lane->owned_sim = std::make_unique<sim::Simulator>();
+      lane->sim = lane->owned_sim.get();
+    }
+    lanes_.push_back(std::move(lane));
+  }
+  // Re-home every node (and its ports) onto its lane's event arena. The
+  // topology was built quiescent on lane 0's simulator, so this is a plain
+  // pointer swap.
+  for (uint32_t id = 0; id < topology_->num_nodes(); ++id) {
+    const int li = partition_.lane_of_node[id];
+    if (li != 0) topology_->node(id).set_simulator(lanes_[li]->sim);
+  }
+  // Each direction of a cut link becomes an SPSC channel owned by the
+  // consumer lane; the producer port commits arrivals into it instead of its
+  // own arena.
+  for (const topo::CutLink& c : partition_.cut_links) {
+    Lane::Inbound in;
+    in.channel = std::make_unique<net::HandoffChannel>();
+    in.peer = &topology_->node(c.to_node);
+    in.peer_port = c.to_port;
+    in.key = (c.from_node << 8) | static_cast<uint32_t>(c.from_port);
+    topology_->node(c.from_node).port(c.from_port).set_handoff(
+        in.channel.get());
+    lanes_[c.to_lane]->inbound.push_back(std::move(in));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    Lane& lane = *lanes_[i];
+    lane.fct = MakeFctRecorder();
+    lane.pfc = std::make_unique<stats::PfcMonitor>();
+    lane.pfc->AttachTo(*topology_, lane_node_ids_[i]);
+    lane.queue_monitor = std::make_unique<stats::QueueMonitor>(
+        lane.sim, topology_.get(), config_.queue_sample_interval);
+    lane.queue_monitor->set_switches(partition_.lane_switches[i]);
+  }
+  // Flow completion wiring: every host reports into its owning lane's
+  // recorder (IdealFct is a const query with local search state, so
+  // concurrent lane callbacks are safe).
+  for (uint32_t h : hosts_) {
+    Lane* lane = lanes_[partition_.lane_of_node[h]].get();
+    topology_->host(h).set_flow_done_callback(
+        [this, lane](const host::Flow& f, sim::TimePs now) {
+          ++lane->flows_completed;
+          const auto& s = f.spec();
+          lane->fct->Record(s.size_bytes, now - s.start_time,
+                            topology_->IdealFct(s.src, s.dst, s.size_bytes));
+          if (s.size_bytes <= config_.short_flow_bytes) {
+            lane->short_fct_us.Add(sim::ToUs(now - s.start_time));
+          }
+        });
+  }
+  // Replicated generators: every lane draws the full workload with the
+  // single-sim seeds over ALL hosts; AddFlowOnLane keeps only the flows the
+  // lane owns, while phantom draws still consume the lane's flow-id counter,
+  // so ids match shards=1 creation order exactly.
+  for (int i = 0; i < n; ++i) {
+    Lane& lane = *lanes_[i];
+    workload::FlowSink sink = [this, i](uint32_t src, uint32_t dst,
+                                        uint64_t size, sim::TimePs start) {
+      AddFlowOnLane(i, src, dst, size, start);
+    };
+    if (config_.load > 0) {
+      workload::PoissonOptions po;
+      po.load = config_.load;
+      const host::HostNode& h0 = topology_->host(hosts_.front());
+      po.host_bps = 0;
+      for (int p = 0; p < h0.num_ports(); ++p) {
+        po.host_bps += h0.port(p).bandwidth_bps();
+      }
+      po.start = 0;
+      po.end = config_.duration;
+      po.max_flows = config_.max_flows;
+      po.seed = config_.seed;
+      lane.poisson = std::make_unique<workload::PoissonGenerator>(
+          lane.sim, hosts_,
+          config_.trace == "fbhadoop" ? workload::SizeCdf::FbHadoop()
+                                      : workload::SizeCdf::WebSearch(),
+          po, sink);
+    }
+    if (config_.incast) {
+      workload::IncastOptions io = config_.incast_opts;
+      io.end = io.end == 0 ? config_.duration : io.end;
+      io.seed = config_.seed * 31 + 7;
+      lane.incast = std::make_unique<workload::IncastGenerator>(
+          lane.sim, hosts_, io, sink);
+    }
+  }
+}
+
 void Experiment::InstallMonitors() {
   pfc_monitor_.AttachTo(*topology_);
   queue_monitor_ = std::make_unique<stats::QueueMonitor>(
@@ -146,6 +283,16 @@ void Experiment::InstallMonitors() {
 
 host::Flow* Experiment::AddFlow(uint32_t src, uint32_t dst, uint64_t bytes,
                                 sim::TimePs start) {
+  if (config_.shards > 1) {
+    // Replicate the draw in every lane so flow-id counters stay aligned;
+    // exactly one lane owns `src` and returns the live flow.
+    host::Flow* out = nullptr;
+    for (int i = 0; i < config_.shards; ++i) {
+      host::Flow* f = AddFlowOnLane(i, src, dst, bytes, start);
+      if (f != nullptr) out = f;
+    }
+    return out;
+  }
   if (src == dst) throw std::invalid_argument("flow src == dst");
   host::HostNode& h = topology_->host(src);
   host::FlowSpec spec;
@@ -169,8 +316,59 @@ host::Flow* Experiment::AddFlow(uint32_t src, uint32_t dst, uint64_t bytes,
   return raw;
 }
 
+host::Flow* Experiment::AddFlowOnLane(int lane, uint32_t src, uint32_t dst,
+                                      uint64_t bytes, sim::TimePs start) {
+  if (config_.shards == 1) return AddFlow(src, dst, bytes, start);
+  if (src == dst) throw std::invalid_argument("flow src == dst");
+  Lane& L = *lanes_[lane];
+  const uint64_t id = L.next_flow_id++;  // consumed whether owned or not
+  if (partition_.lane_of_node[src] != lane) return nullptr;
+
+  host::HostNode& h = topology_->host(src);
+  host::FlowSpec spec;
+  spec.id = id;
+  spec.src = src;
+  spec.dst = dst;
+  spec.size_bytes = bytes;
+  spec.start_time = start;
+
+  cc::CcContext ctx;
+  ctx.nic_bps = h.port(0).bandwidth_bps();
+  ctx.base_rtt = base_rtt_;
+  ctx.mtu_bytes = h.config().mtu_bytes;
+  ctx.simulator = L.sim;
+
+  auto flow = std::make_unique<host::Flow>(spec, cc::MakeCc(config_.cc, ctx),
+                                           config_.recovery);
+  host::Flow* raw = flow.get();
+  h.AddFlow(std::move(flow));
+  L.flow_ptrs.push_back(raw);
+  return raw;
+}
+
+void Experiment::InstallLinkEvent(sim::TimePs at, size_t link, bool up) {
+  if (link >= topology_->links().size()) {
+    throw std::invalid_argument("link event index out of range");
+  }
+  if (config_.shards == 1) {
+    simulator_->ScheduleAt(
+        at, [this, link, up] { topology_->SetLinkUp(link, up); });
+    return;
+  }
+  for (auto& lp : lanes_) {
+    Lane& lane = *lp;
+    const uint64_t seq = lane.sim->next_schedule_seq();
+    lane.sim->ScheduleAt(at, [] {});
+    lane.marks.push_back({at, seq});
+  }
+  script_.push_back({at, link, up});
+}
+
 host::Flow* Experiment::AddReadFlow(uint32_t requester, uint32_t responder,
                                     uint64_t bytes, sim::TimePs start) {
+  if (config_.shards > 1) {
+    throw std::logic_error("read flows require shards=1");
+  }
   if (requester == responder) {
     throw std::invalid_argument("read requester == responder");
   }
@@ -202,6 +400,9 @@ host::Flow* Experiment::AddReadFlow(uint32_t requester, uint32_t responder,
 }
 
 void Experiment::RunUntil(sim::TimePs until) {
+  if (config_.shards > 1) {
+    throw std::logic_error("RunUntil requires shards=1");
+  }
   if (!queue_monitor_started_) {
     queue_monitor_started_ = true;
     queue_monitor_->Start(config_.duration);
@@ -209,7 +410,161 @@ void Experiment::RunUntil(sim::TimePs until) {
   simulator_->Run(until);
 }
 
+void Experiment::set_event_budget(uint64_t max_total_events) {
+  simulator_->set_event_budget(max_total_events);
+  for (auto& lp : lanes_) {
+    if (lp->owned_sim != nullptr) {
+      lp->owned_sim->set_event_budget(max_total_events);
+    }
+  }
+}
+
+bool Experiment::budget_exhausted() const {
+  if (simulator_->budget_exhausted()) return true;
+  for (const auto& lp : lanes_) {
+    if (lp->sim->budget_exhausted()) return true;
+  }
+  return false;
+}
+
+void Experiment::DrainInbound(Lane& lane, sim::TimePs horizon) {
+  for (Lane::Inbound& in : lane.inbound) {
+    sim::TimePs at = 0;
+    while (in.channel->PeekArrival(&at) && at <= horizon) {
+      net::HandoffRecord rec;
+      in.channel->Pop(&rec);
+      net::Node* peer = in.peer;
+      const int port = in.peer_port;
+      net::Packet* pkt = rec.pkt;
+      // Identical (at, emission, link_uid) key as the producer would have
+      // used on its own arena, so the merged execution order is decided by
+      // the EventClass tie-break contract, never by thread timing.
+      lane.sim->ScheduleArrival(rec.at, rec.emission, in.key,
+                                [peer, port, pkt] {
+                                  peer->Receive(net::PacketPtr(pkt), port);
+                                });
+    }
+  }
+}
+
+ExperimentResult Experiment::RunSharded() {
+  const int n = config_.shards;
+  // Same per-lane start order as the single-sim Run, so every lane's seq
+  // counter replays the same schedule sequence.
+  for (auto& lp : lanes_) {
+    Lane& lane = *lp;
+    if (lane.poisson != nullptr) lane.poisson->Start();
+    if (lane.incast != nullptr) lane.incast->Start();
+    lane.queue_monitor->Start(config_.duration);
+  }
+
+  // Coordinator application order: script events by (time, install order).
+  // Lane marker lists stay install-ordered, so sorted entries carry their
+  // install index to look up each lane's marker seq.
+  std::vector<size_t> order(script_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return script_[a].at < script_[b].at;
+  });
+
+  const sim::TimePs cap =
+      config_.duration +
+      static_cast<sim::TimePs>(config_.drain_factor *
+                               static_cast<double>(config_.duration));
+  constexpr size_t kNoMark = std::numeric_limits<size_t>::max();
+
+  struct Shared {
+    sim::TimePs now = 0;       // barrier time (every lane's clock)
+    sim::TimePs target = 0;    // current round horizon
+    size_t mark = 0;           // script index bounding the round, or kNoMark
+    sim::TimePs chunk = 0;     // next single-sim Run horizon
+    size_t cursor = 0;         // next entry of `order`
+    sim::TimePs lookahead = 0;
+    bool done = false;
+  } shared;
+  shared.mark = kNoMark;
+  shared.chunk = config_.duration;
+  shared.lookahead = topo::UpLookahead(*topology_, partition_);
+
+  auto retarget = [&] {
+    sim::TimePs t = shared.chunk;
+    shared.mark = kNoMark;
+    if (shared.cursor < order.size() &&
+        script_[order[shared.cursor]].at <= t) {
+      shared.mark = order[shared.cursor];
+      t = script_[shared.mark].at;
+    }
+    // The conservative window: a record committed after the last barrier
+    // arrives strictly beyond now + lookahead (serialization takes > 0 ps),
+    // so lanes never receive an arrival from their past. The guard form is
+    // overflow-safe against a huge finite lookahead.
+    if (shared.lookahead != topo::kUnboundedLookahead &&
+        shared.lookahead < t - shared.now) {
+      t = shared.now + shared.lookahead;
+      shared.mark = kNoMark;
+    }
+    shared.target = t;
+  };
+
+  // Runs while every lane is blocked at the barrier, so single-threaded
+  // access to the whole fabric (SetLinkUp rewires routes globally) is safe.
+  auto coordinate = [&]() noexcept {
+    shared.now = shared.target;
+    bool exhausted = false;
+    for (const auto& lp : lanes_) exhausted |= lp->sim->budget_exhausted();
+    if (shared.mark != kNoMark) {
+      const ScriptEvent& ev = script_[shared.mark];
+      topology_->SetLinkUp(ev.link, ev.up);
+      ++shared.cursor;
+      shared.lookahead = topo::UpLookahead(*topology_, partition_);
+    } else if (shared.now == shared.chunk) {
+      // Chunk boundary: replicate the single-sim drain loop's decisions
+      // exactly, so the final clock (= sim_time) is byte-identical.
+      uint64_t created = 0;
+      uint64_t completed = 0;
+      for (const auto& lp : lanes_) {
+        created += lp->flow_ptrs.size();
+        completed += lp->flows_completed;
+      }
+      if (completed >= created || shared.now >= cap || exhausted) {
+        shared.done = true;
+        return;
+      }
+      shared.chunk = shared.now + sim::Ms(1);
+    }
+    if (exhausted) {
+      shared.done = true;
+      return;
+    }
+    retarget();
+  };
+
+  std::barrier sync(n, coordinate);
+  auto lane_loop = [&](int li) {
+    Lane& lane = *lanes_[li];
+    for (;;) {
+      const sim::TimePs t = shared.target;
+      const uint64_t bound =
+          shared.mark != kNoMark ? lane.marks[shared.mark].seq
+                                 : std::numeric_limits<uint64_t>::max();
+      DrainInbound(lane, t);
+      lane.sim->Run(t, bound);
+      sync.arrive_and_wait();
+      if (shared.done) break;
+    }
+  };
+
+  retarget();
+  std::vector<std::thread> workers;
+  workers.reserve(n - 1);
+  for (int i = 1; i < n; ++i) workers.emplace_back(lane_loop, i);
+  lane_loop(0);
+  for (std::thread& w : workers) w.join();
+  return CollectSharded();
+}
+
 ExperimentResult Experiment::Run() {
+  if (config_.shards > 1) return RunSharded();
   if (poisson_ != nullptr) poisson_->Start();
   if (incast_ != nullptr) incast_->Start();
   if (!queue_monitor_started_) {
@@ -231,7 +586,63 @@ ExperimentResult Experiment::Run() {
   return Collect();
 }
 
+ExperimentResult Experiment::CollectSharded() {
+  ExperimentResult r;
+  // Every lane clock agrees at the final barrier (budget exhaustion is the
+  // diagnostic exception); lane 0 is the canonical one.
+  const sim::TimePs now = simulator_->now();
+  r.fct = MakeFctRecorder();
+  stats::PfcMonitor pfc;
+  for (const auto& lp : lanes_) {
+    Lane& lane = *lp;
+    lane.pfc->Finish(lane.sim->now());
+    pfc.Merge(*lane.pfc);
+    r.fct->Merge(*lane.fct);
+    r.short_fct_us.Merge(lane.short_fct_us);
+    r.queue_dist.Merge(lane.queue_monitor->distribution());
+    r.max_queue_bytes =
+        std::max(r.max_queue_bytes, lane.queue_monitor->max_seen_bytes());
+    r.flows_created += lane.flow_ptrs.size();
+    r.flows_completed += lane.flows_completed;
+    r.events_executed += lane.sim->events_executed();
+  }
+  r.pause_time_fraction = pfc.PauseTimeFraction(now, total_ports_);
+  r.pause_events = pfc.pause_count();
+  r.pause_durations_us = pfc.DurationDistributionUs();
+  for (uint32_t s : topology_->switches()) {
+    const net::SwitchNode& sw = topology_->switch_node(s);
+    r.dropped_packets += sw.dropped_packets();
+    r.dropped_bytes += sw.dropped_bytes();
+    for (int d = 0; d < check::kNumDropReasons; ++d) {
+      r.dropped_by_reason[d] +=
+          sw.dropped_by_reason(static_cast<check::DropReason>(d));
+    }
+    r.packets_forwarded += sw.forwarded_packets();
+  }
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    const net::Node& node = topology_->node(id);
+    for (int p = 0; p < node.num_ports(); ++p) {
+      r.train_aborts += node.port(p).train_aborts();
+    }
+  }
+  r.sim_time = now;
+  r.base_rtt = base_rtt_;
+
+  stats::TraceHash th;
+  for (const auto& lp : lanes_) {
+    for (const host::Flow* f : lp->flow_ptrs) {
+      const host::FlowSpec& s = f->spec();
+      th.AddFlow(s.id, s.src, s.dst, s.size_bytes, s.start_time,
+                 f->finish_time, f->done);
+    }
+  }
+  r.trace_hash = th.digest();
+  return r;
+}
+
 ExperimentResult Experiment::Collect() {
+  if (config_.shards > 1) return CollectSharded();
   ExperimentResult r;
   const sim::TimePs now = simulator_->now();
   pfc_monitor_.Finish(now);

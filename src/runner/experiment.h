@@ -11,6 +11,7 @@
 
 #include "cc/factory.h"
 #include "host/flow.h"
+#include "net/handoff.h"
 #include "net/switch_node.h"
 #include "sim/simulator.h"
 #include "stats/fct_recorder.h"
@@ -18,6 +19,7 @@
 #include "stats/queue_monitor.h"
 #include "stats/trace_hash.h"
 #include "topo/fattree.h"
+#include "topo/partition.h"
 #include "topo/simple.h"
 #include "topo/testbed.h"
 #include "topo/topology.h"
@@ -61,6 +63,12 @@ struct ExperimentConfig {
   // drain_factor * duration extra.
   double drain_factor = 4.0;
   uint64_t seed = 1;
+  // Intra-run parallelism: partition the fabric into this many lanes
+  // (logical processes), each with its own event arena, synchronized
+  // conservatively on cut-link propagation delay. Results are byte-identical
+  // to shards=1 (the shard-equivalence suite pins TraceHash / CSV /
+  // manifest equality); >1 requires every cut link to have positive delay.
+  int shards = 1;
 
   sim::TimePs queue_sample_interval = sim::Us(10);
   sim::TimePs base_rtt_override = 0;  // 0 = measured MaxBaseRtt
@@ -106,14 +114,30 @@ class Experiment {
   explicit Experiment(const ExperimentConfig& config);
   ~Experiment();
 
-  // Manual flow injection (micro-benchmarks); returns the live Flow.
+  // Manual flow injection (micro-benchmarks); returns the live Flow. On a
+  // sharded experiment this replicates the flow-id draw across every lane
+  // (legal before Run only).
   host::Flow* AddFlow(uint32_t src, uint32_t dst, uint64_t bytes,
                       sim::TimePs start);
+  // Lane-replicated flow injection: ALWAYS consumes lane `lane`'s next flow
+  // id (so ids match shards=1 creation order), but creates a live flow only
+  // when the lane owns `src` — returns nullptr otherwise. Every lane's
+  // replicated generator calls this with identical arguments in identical
+  // order. Equal to AddFlow when shards == 1.
+  host::Flow* AddFlowOnLane(int lane, uint32_t src, uint32_t dst,
+                            uint64_t bytes, sim::TimePs start);
   // RDMA READ (§4.2): `requester` pulls `bytes` from `responder`. The data
   // flow runs responder -> requester; its FCT starts at the request post
-  // time, so it includes the request's propagation.
+  // time, so it includes the request's propagation. Single-sim only.
   host::Flow* AddReadFlow(uint32_t requester, uint32_t responder,
                           uint64_t bytes, sim::TimePs start);
+
+  // Schedules a link_down/link_up script event. Single-sim: one ScheduleAt
+  // driving Topology::SetLinkUp. Sharded: installs a no-op barrier marker in
+  // every lane (consuming exactly one tie-break seq, like the single-sim
+  // event) and records the event for the coordinator, which applies it
+  // between rounds while all lanes are blocked.
+  void InstallLinkEvent(sim::TimePs at, size_t link, bool up);
 
   // Runs generators + simulation, drains, and collects metrics.
   ExperimentResult Run();
@@ -131,10 +155,70 @@ class Experiment {
   uint64_t flows_completed() const { return flows_completed_; }
   stats::PfcMonitor& pfc_monitor() { return pfc_monitor_; }
 
+  // Sharded-run surface. With shards == 1 there is exactly one lane (0),
+  // backed by simulator() and owning every node.
+  int shards() const { return config_.shards; }
+  sim::Simulator& lane_simulator(int lane) {
+    return lanes_.empty() ? *simulator_ : *lanes_[lane]->sim;
+  }
+  // Node ids owned by `lane`, ascending.
+  const std::vector<uint32_t>& lane_nodes(int lane) const {
+    return lane_node_ids_[lane];
+  }
+  const topo::Partition& partition() const { return partition_; }
+  // Event-storm watchdog, fanned out to every lane simulator.
+  void set_event_budget(uint64_t max_total_events);
+  bool budget_exhausted() const;
+
  private:
+  // One logical process of a sharded run: an event arena plus shard-local
+  // replicas of every piece of per-run mutable state (stats, monitors,
+  // generators, flow-id counter). Heap-allocated because monitors hand out
+  // self-referential observers.
+  struct Lane {
+    sim::Simulator* sim = nullptr;  // lane 0 aliases Experiment::simulator_
+    std::unique_ptr<sim::Simulator> owned_sim;  // lanes > 0
+    // One inbound channel per incoming direction of a cut link.
+    struct Inbound {
+      std::unique_ptr<net::HandoffChannel> channel;
+      net::Node* peer = nullptr;  // consumer-side node
+      int peer_port = 0;
+      uint32_t key = 0;  // producer link uid: (from_node << 8) | from_port
+    };
+    std::vector<Inbound> inbound;
+    // Barrier markers, one per installed link-script event (install order).
+    struct Mark {
+      sim::TimePs at = 0;
+      uint64_t seq = 0;
+    };
+    std::vector<Mark> marks;
+    std::unique_ptr<stats::FctRecorder> fct;
+    stats::PercentileTracker short_fct_us;
+    std::unique_ptr<stats::QueueMonitor> queue_monitor;
+    std::unique_ptr<stats::PfcMonitor> pfc;
+    std::unique_ptr<workload::PoissonGenerator> poisson;
+    std::unique_ptr<workload::IncastGenerator> incast;
+    uint64_t next_flow_id = 1;
+    std::vector<host::Flow*> flow_ptrs;  // lane-owned flows, creation order
+    uint64_t flows_completed = 0;
+  };
+  // One recorded link-script event (coordinator-applied at barriers).
+  struct ScriptEvent {
+    sim::TimePs at = 0;
+    size_t link = 0;
+    bool up = false;
+  };
+
   void BuildTopology();
   void InstallMonitors();
+  void SetupShards();
+  ExperimentResult RunSharded();
+  ExperimentResult CollectSharded();
+  // Reschedules every pending inbound record with arrival <= horizon onto
+  // the lane's own simulator, under the producer's arrival tie-break key.
+  void DrainInbound(Lane& lane, sim::TimePs horizon);
   net::SwitchConfig MakeSwitchConfig() const;
+  std::unique_ptr<stats::FctRecorder> MakeFctRecorder() const;
 
   ExperimentConfig config_;
   std::unique_ptr<sim::Simulator> simulator_;
@@ -154,6 +238,11 @@ class Experiment {
   std::unique_ptr<workload::PoissonGenerator> poisson_;
   std::unique_ptr<workload::IncastGenerator> incast_;
   int total_ports_ = 0;
+
+  topo::Partition partition_;
+  std::vector<std::unique_ptr<Lane>> lanes_;          // empty when shards == 1
+  std::vector<std::vector<uint32_t>> lane_node_ids_;  // sized shards
+  std::vector<ScriptEvent> script_;                   // install order
 };
 
 }  // namespace hpcc::runner

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <iterator>
 #include <memory>
 #include <string_view>
@@ -67,9 +68,11 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
   out.label = run.label;
   out.params = run.params;
   const auto t0 = std::chrono::steady_clock::now();
-  // Declared before the Experiment: nodes keep a pointer to the registry, so
-  // it must be destroyed after them.
-  check::MonitorRegistry registry;
+  // Declared before the Experiment: nodes keep pointers into the registries,
+  // so they must be destroyed after it. One registry per execution lane
+  // (exactly one when shards == 1); a deque keeps them address-stable while
+  // lanes are added.
+  std::deque<check::MonitorRegistry> registries;
   try {
     const obs::TelemetryConfig tcfg =
         opts.telemetry ? *opts.telemetry : run.scenario.telemetry;
@@ -78,6 +81,12 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     if (opts.fastpath_override >= 0) {
       cfg.fast_path = opts.fastpath_override != 0;
     }
+    if (opts.shards_override >= 1) cfg.shards = opts.shards_override;
+    // The flight-recorder samplers read live state from one simulator at
+    // fixed sim times; trace export therefore always runs single-lane. The
+    // deterministic outputs are pinned shard-equal, so this costs nothing
+    // but wall clock.
+    if (tcfg.trace) cfg.shards = 1;
     obs::PhaseTimers phases;
     std::unique_ptr<runner::Experiment> e;
     {
@@ -85,22 +94,35 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
       e = std::make_unique<runner::Experiment>(cfg);
     }
     if (opts.event_budget > 0) {
-      e->simulator().set_event_budget(opts.event_budget);
+      e->set_event_budget(opts.event_budget);
+    }
+    const int lanes = e->shards();
+    if (opts.check || telemetry_on) {
+      for (int lane = 0; lane < lanes; ++lane) registries.emplace_back();
     }
     if (opts.check) {
       check::StandardMonitorOptions mo;
       mo.topology_mutates = MutatesTopology(run.scenario);
-      check::InstallStandardMonitors(registry, *e, mo);
+      for (int lane = 0; lane < lanes; ++lane) {
+        check::InstallStandardMonitors(registries[static_cast<size_t>(lane)],
+                                       *e, mo, lane);
+      }
     } else if (telemetry_on) {
       // InstallStandardMonitors does this pair itself; a telemetry-only run
-      // still needs the hook fan-out wired up.
-      registry.set_clock(&e->simulator());
-      registry.AttachTo(e->topology());
+      // still needs the hook fan-out wired up — each lane's registry on that
+      // lane's clock and nodes.
+      for (int lane = 0; lane < lanes; ++lane) {
+        check::MonitorRegistry& reg = registries[static_cast<size_t>(lane)];
+        reg.set_clock(&e->lane_simulator(lane));
+        reg.AttachTo(e->topology(), e->lane_nodes(lane));
+      }
     }
     std::unique_ptr<obs::TelemetrySession> session;
     if (telemetry_on) {
-      session = std::make_unique<obs::TelemetrySession>(tcfg, &registry,
-                                                        e.get());
+      std::vector<check::MonitorRegistry*> regs;
+      regs.reserve(registries.size());
+      for (check::MonitorRegistry& r : registries) regs.push_back(&r);
+      session = std::make_unique<obs::TelemetrySession>(tcfg, regs, e.get());
       session->Start();
     }
     InstalledEvents events = InstallEvents(*e, run.scenario);
@@ -108,10 +130,20 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
       obs::PhaseTimer run_timer(&phases.run_s);
       out.result = e->Run();
     }
-    if (opts.check || telemetry_on) registry.Finish(e->simulator().now());
+    if (opts.check || telemetry_on) {
+      for (int lane = 0; lane < lanes; ++lane) {
+        registries[static_cast<size_t>(lane)].Finish(
+            e->lane_simulator(lane).now());
+      }
+    }
     if (opts.check) {
-      out.violations = registry.violations();
-      out.violation_count = registry.violation_count();
+      // Lane order, so the report is stable; counts sum (each lane caps its
+      // own log like the single registry did).
+      for (const check::MonitorRegistry& r : registries) {
+        out.violations.insert(out.violations.end(), r.violations().begin(),
+                              r.violations().end());
+        out.violation_count += r.violation_count();
+      }
     }
     if (telemetry_on) {
       obs::PhaseTimer agg(&phases.aggregate_s);
@@ -126,8 +158,8 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
         mi.result = &out.result;
         mi.session = session.get();
         mi.checked = opts.check;
-        mi.violations = &registry.violations();
-        mi.violation_count = registry.violation_count();
+        mi.violations = &out.violations;
+        mi.violation_count = out.violation_count;
         mi.phases = &phases;
         const std::string text = obs::BuildManifest(mi).Dump(2) + "\n";
         if (obs::WriteTextFile(opts.manifest_path, text)) {
@@ -142,7 +174,7 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
         ti.experiment = e.get();
         ti.result = &out.result;
         ti.events = &run.scenario.events;
-        ti.violations = &registry.violations();
+        ti.violations = &out.violations;
         ti.session = session.get();
         if (obs::WriteTextFile(opts.trace_path, obs::BuildTraceJson(ti))) {
           out.trace_path = opts.trace_path;
@@ -226,6 +258,7 @@ RunOneOptions ScenarioRunner::PlanRun(const ScenarioRun& run, size_t index,
   RunOneOptions opts;
   opts.check = options_.check;
   opts.fastpath_override = options_.fastpath_override;
+  opts.shards_override = options_.shards_override;
 
   obs::TelemetryConfig cfg = run.scenario.telemetry;
   if (!options_.trace_out.empty()) cfg.trace = true;

@@ -58,6 +58,11 @@ struct ScenarioRunnerOptions {
   // per-packet reference engine, 1 = force the train fast path. The
   // determinism suite and `--fastpath=on|off` A/B runs use this.
   int fastpath_override = -1;
+  // Shard-count override: 0 = as the scenario says, >= 1 forces that many
+  // execution lanes (runner::ExperimentConfig::shards). The shard-equivalence
+  // suite and `--shards=N` A/B runs use this. Trace export still forces
+  // shards=1 (the flight-recorder samplers are single-sim).
+  int shards_override = 0;
 
   // --- telemetry (src/obs) ---
   // Non-empty: force trace export on and write it here. A sweep derives
@@ -78,6 +83,9 @@ struct ScenarioRunnerOptions {
 struct RunOneOptions {
   bool check = false;
   int fastpath_override = -1;
+  // 0 = as the scenario says; >= 1 forces that lane count (see
+  // ScenarioRunnerOptions::shards_override).
+  int shards_override = 0;
   // Effective telemetry config; unset = use run.scenario.telemetry.
   std::optional<obs::TelemetryConfig> telemetry;
   // Artifact destinations; an empty path skips that artifact even when the

@@ -370,9 +370,9 @@ Scenario ParseScenario(const Json& doc) {
   }
   CheckKeys(doc, "scenario",
             {"name", "description", "topology", "cc", "workload",
-             "duration_ms", "drain_factor", "seed", "pfc", "fastpath",
-             "recovery", "int_sample_every", "short_flow_bytes", "telemetry",
-             "events", "sweep"});
+             "duration_ms", "drain_factor", "seed", "shards", "pfc",
+             "fastpath", "recovery", "int_sample_every", "short_flow_bytes",
+             "telemetry", "events", "sweep"});
 
   Scenario s;
   s.source = doc;
@@ -405,6 +405,12 @@ Scenario ParseScenario(const Json& doc) {
   const int64_t seed = IntOr(doc, "seed", static_cast<int64_t>(s.config.seed));
   if (seed < 0) throw ScenarioError("seed must be >= 0");
   s.config.seed = static_cast<uint64_t>(seed);
+  // Execution sharding (conservative PDES). Results are pinned byte-equal to
+  // shards=1, so this is a performance knob, not a semantic one.
+  s.config.shards = PositiveInt(doc, "shards", s.config.shards, "scenario");
+  if (s.config.shards > 64) {
+    throw ScenarioError("shards must be <= 64");
+  }
   s.config.pfc_enabled = BoolOr(doc, "pfc", s.config.pfc_enabled);
   s.config.fast_path = BoolOr(doc, "fastpath", s.config.fast_path);
   const std::string recovery = StrOr(doc, "recovery", "gbn");
@@ -592,6 +598,8 @@ Json ScenarioToJson(const Scenario& s) {
   doc.Set("duration_ms", Json::MakeNumber(sim::ToMs(cfg.duration)));
   doc.Set("drain_factor", Json::MakeNumber(cfg.drain_factor));
   doc.Set("seed", Json::MakeNumber(static_cast<double>(cfg.seed)));
+  // Default-elided so pre-sharding documents round-trip unchanged.
+  if (cfg.shards != 1) doc.Set("shards", Json::MakeNumber(cfg.shards));
   doc.Set("pfc", Json::MakeBool(cfg.pfc_enabled));
   doc.Set("fastpath", Json::MakeBool(cfg.fast_path));
   doc.Set("recovery",
@@ -708,7 +716,12 @@ runner::ExperimentConfig MakeExperimentConfig(const Scenario& s) {
 InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
   InstalledEvents out;
   topo::Topology& topology = e.topology();
-  sim::Simulator& simulator = e.simulator();
+  // Sharded runs replicate every generator in every lane (same seeds, all
+  // hosts, the lane's own event arena); AddFlowOnLane keeps only the flows a
+  // lane owns while consuming its flow-id counter for the rest, so ids and
+  // draws match the shards=1 run exactly. The inner per-lane loops preserve
+  // the single-sim install order within each lane.
+  const int shards = e.shards();
   const size_t num_links = topology.links().size();
   const size_t num_hosts = e.hosts().size();
 
@@ -729,11 +742,8 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
                               " out of range (topology has " +
                               std::to_string(num_links) + " links)");
         }
-        const bool up = ev.kind == ScenarioEvent::Kind::kLinkUp;
-        const size_t link = ev.link;
-        simulator.ScheduleAt(ev.at, [&topology, link, up]() {
-          topology.SetLinkUp(link, up);
-        });
+        e.InstallLinkEvent(ev.at, ev.link,
+                           ev.kind == ScenarioEvent::Kind::kLinkUp);
         break;
       }
       case ScenarioEvent::Kind::kIncast: {
@@ -750,14 +760,17 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
         io.first_event = ev.at;
         io.period = 0;  // one-shot
         io.seed = s.config.seed * 31 + 1000 + incast_index++;
-        workload::FlowSink sink = [&e](uint32_t src, uint32_t dst,
-                                       uint64_t size, sim::TimePs start) {
-          e.AddFlow(src, dst, size, start);
-        };
-        auto gen = std::make_unique<workload::IncastGenerator>(
-            &simulator, e.hosts(), io, std::move(sink));
-        gen->Start();
-        out.bursts.push_back(std::move(gen));
+        for (int lane = 0; lane < shards; ++lane) {
+          workload::FlowSink sink = [&e, lane](uint32_t src, uint32_t dst,
+                                               uint64_t size,
+                                               sim::TimePs start) {
+            e.AddFlowOnLane(lane, src, dst, size, start);
+          };
+          auto gen = std::make_unique<workload::IncastGenerator>(
+              &e.lane_simulator(lane), e.hosts(), io, std::move(sink));
+          gen->Start();
+          out.bursts.push_back(std::move(gen));
+        }
         break;
       }
       case ScenarioEvent::Kind::kLoadPhase:
@@ -784,9 +797,14 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
                                       ? workload::SizeCdf::FbHadoop()
                                       : workload::SizeCdf::WebSearch();
     // max_flows caps the whole background workload, not each phase — same
-    // meaning as in a phase-less scenario. The counter is shared across the
-    // phase sinks (phases run sequentially in sim time).
-    auto background_flows = std::make_shared<uint64_t>(0);
+    // meaning as in a phase-less scenario. One counter per lane, shared
+    // across that lane's phase sinks (phases run sequentially in sim time);
+    // every lane replays the same draws, so the counters advance in lockstep
+    // and the cap cuts at the same flow in every lane.
+    std::vector<std::shared_ptr<uint64_t>> background_flows;
+    for (int lane = 0; lane < shards; ++lane) {
+      background_flows.push_back(std::make_shared<uint64_t>(0));
+    }
     const uint64_t max_flows = s.config.max_flows;
     for (size_t i = 0; i < phases.size(); ++i) {
       const sim::TimePs end =
@@ -799,17 +817,20 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
       po.end = std::min(end, s.config.duration);
       po.max_flows = max_flows;  // per-generator bound; sink enforces global
       po.seed = s.config.seed * 1000003 + i;
-      workload::FlowSink sink = [&e, background_flows, max_flows](
-                                    uint32_t src, uint32_t dst, uint64_t size,
-                                    sim::TimePs start) {
-        if (max_flows > 0 && *background_flows >= max_flows) return;
-        ++*background_flows;
-        e.AddFlow(src, dst, size, start);
-      };
-      auto gen = std::make_unique<workload::PoissonGenerator>(
-          &simulator, e.hosts(), cdf, po, std::move(sink));
-      gen->Start();
-      out.phases.push_back(std::move(gen));
+      for (int lane = 0; lane < shards; ++lane) {
+        workload::FlowSink sink = [&e, lane, counter = background_flows[lane],
+                                   max_flows](uint32_t src, uint32_t dst,
+                                              uint64_t size,
+                                              sim::TimePs start) {
+          if (max_flows > 0 && *counter >= max_flows) return;
+          ++*counter;
+          e.AddFlowOnLane(lane, src, dst, size, start);
+        };
+        auto gen = std::make_unique<workload::PoissonGenerator>(
+            &e.lane_simulator(lane), e.hosts(), cdf, po, std::move(sink));
+        gen->Start();
+        out.phases.push_back(std::move(gen));
+      }
     }
   }
   return out;

@@ -161,7 +161,8 @@ void Simulator::ReleaseSlot(uint32_t slot_index) {
   --live_events_;
 }
 
-bool Simulator::PopEarliest(TimePs until, HeapEntry* out) {
+bool Simulator::PopEarliest(TimePs until, uint64_t until_seq,
+                            HeapEntry* out) {
   if (live_events_ == 0) return false;
   // `cur` is the absolute bucket time the window starts at. It only moves
   // forward: past buckets are empty because every pop scans from now_'s
@@ -204,7 +205,9 @@ bool Simulator::PopEarliest(TimePs until, HeapEntry* out) {
         continue;
       }
       const HeapEntry top = bucket.entries.front();
-      if (top.at > until) return false;
+      if (top.at > until || (top.at == until && top.seq >= until_seq)) {
+        return false;
+      }
       HeapPopMin(bucket.entries);
       if (bucket.entries.empty()) {
         bucket.heapified = false;
@@ -220,12 +223,15 @@ bool Simulator::PopEarliest(TimePs until, HeapEntry* out) {
     while (!far_heap_.empty() && IsStale(far_heap_.front())) {
       HeapPopMin(far_heap_);
     }
-    if (far_heap_.empty() || far_heap_.front().at > until) return false;
+    if (far_heap_.empty() || far_heap_.front().at > until ||
+        (far_heap_.front().at == until && far_heap_.front().seq >= until_seq)) {
+      return false;
+    }
     cur = far_heap_.front().at >> kBucketWidthBits;
   }
 }
 
-uint64_t Simulator::Run(TimePs until) {
+uint64_t Simulator::Run(TimePs until, uint64_t until_seq) {
   stopped_ = false;
   uint64_t executed = 0;
   HeapEntry e;
@@ -239,7 +245,7 @@ uint64_t Simulator::Run(TimePs until) {
       executing_seq_ = kOtherSeqBase;
       return executed;  // clock stays at the last executed event
     }
-    if (!PopEarliest(until, &e)) break;
+    if (!PopEarliest(until, until_seq, &e)) break;
     // Move the closure out and release the slot *before* invoking: the
     // callback may reschedule into this slot (new generation) and its own id
     // is already stale, making self-cancel a no-op.

@@ -106,6 +106,11 @@ class Simulator {
     return static_cast<EventClass>(executing_seq_ >> kClassShift);
   }
 
+  // Tie-break key the *next* ScheduleAt call would receive. Sharded event
+  // installation records this before scheduling a link-script marker so the
+  // lane can later run seq-bounded up to (but excluding) that marker.
+  uint64_t next_schedule_seq() const { return kOtherSeqBase | next_seq_; }
+
   // seq-encoding layout (public for the call sites that compare keys).
   static constexpr int kClassShift = 62;
   // Arrival key: emission time (43 bits, ~8.8 s — clamped beyond, which only
@@ -125,7 +130,14 @@ class Simulator {
 
   // Runs until the event queue empties, `until` is reached, Stop(), or the
   // event budget is exhausted. Returns the number of events executed.
-  uint64_t Run(TimePs until = std::numeric_limits<TimePs>::max());
+  //
+  // `until_seq` refines the horizon for events at exactly `until`: only
+  // events with tie-break seq < until_seq execute there (default: all of
+  // them). Sharded runs use this to stop each lane exactly *before* a
+  // same-timestamp link-script marker so the script can apply at a barrier
+  // in the same relative order the single-sim run would have used.
+  uint64_t Run(TimePs until = std::numeric_limits<TimePs>::max(),
+               uint64_t until_seq = std::numeric_limits<uint64_t>::max());
   // Stops the run loop after the current event returns.
   void Stop() { stopped_ = true; }
 
@@ -212,10 +224,11 @@ class Simulator {
   EventId ScheduleKeyed(TimePs at, uint64_t seq, Callback cb);
   // O(1) append of a queue record into its ring bucket.
   void InsertRing(const HeapEntry& e);
-  // Pops the earliest live event with at <= until into *out. Returns false
-  // when there is none (queue empty or horizon reached). Lazily discards
-  // stale (cancelled) records and migrates far events into the ring.
-  bool PopEarliest(TimePs until, HeapEntry* out);
+  // Pops the earliest live event with (at, seq) < (until, until_seq) into
+  // *out. Returns false when there is none (queue empty or horizon reached).
+  // Lazily discards stale (cancelled) records and migrates far events into
+  // the ring.
+  bool PopEarliest(TimePs until, uint64_t until_seq, HeapEntry* out);
   // First occupied bucket at circular distance >= 0 from `start`;
   // kBucketCount when the ring is empty.
   size_t NextOccupied(size_t start) const;

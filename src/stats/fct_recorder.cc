@@ -26,6 +26,12 @@ void FctRecorder::Record(uint64_t size_bytes, sim::TimePs fct,
   overall_.Add(slowdown);
 }
 
+void FctRecorder::Merge(const FctRecorder& other) {
+  assert(edges_ == other.edges_);
+  for (size_t i = 0; i < bins_.size(); ++i) bins_[i].Merge(other.bins_[i]);
+  overall_.Merge(other.overall_);
+}
+
 namespace {
 std::string HumanBytes(uint64_t b) {
   char buf[32];

@@ -23,6 +23,10 @@ class FctRecorder {
 
   void Record(uint64_t size_bytes, sim::TimePs fct, sim::TimePs ideal_fct);
 
+  // Folds another recorder with identical bin edges in (shard merge);
+  // percentiles sort on demand, so merge order does not matter.
+  void Merge(const FctRecorder& other);
+
   size_t num_bins() const { return bins_.size(); }
   std::string BinLabel(size_t bin) const;
   const PercentileTracker& bin(size_t i) const { return bins_[i]; }

@@ -14,6 +14,15 @@ class PercentileTracker {
     sorted_ = false;
   }
 
+  // Folds another tracker's samples in. Percentiles sort before answering,
+  // so the merged result is independent of merge order — shard-merged
+  // statistics equal the single-sim ones exactly.
+  void Merge(const PercentileTracker& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   // p in [0, 100]; exact nearest-rank percentile. Returns 0 on no samples.
   double Percentile(double p) const;
   double Mean() const;

@@ -17,6 +17,22 @@ void PfcMonitor::AttachTo(topo::Topology& topology) {
   }
 }
 
+void PfcMonitor::AttachTo(topo::Topology& topology,
+                          const std::vector<uint32_t>& nodes) {
+  for (uint32_t id : nodes) {
+    net::Node& n = topology.node(id);
+    for (int p = 0; p < n.num_ports(); ++p) {
+      n.port(p).set_pause_observer(&observer_);
+      port_bps_[{id, p}] = n.port(p).bandwidth_bps();
+    }
+  }
+}
+
+void PfcMonitor::Merge(const PfcMonitor& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  peak_paused_bps_ = std::max(peak_paused_bps_, other.peak_paused_bps_);
+}
+
 void PfcMonitor::OnChange(uint32_t node, int port, int prio, sim::TimePs now,
                           bool paused) {
   if (prio != net::kDataPriority) return;

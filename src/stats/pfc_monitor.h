@@ -32,9 +32,18 @@ class PfcMonitor {
 
   // Attach to every port of every node in the topology.
   void AttachTo(topo::Topology& topology);
+  // Shard-local variant: attach to the listed nodes' ports only.
+  void AttachTo(topo::Topology& topology, const std::vector<uint32_t>& nodes);
 
   // Call once at the end of a run to close still-open pauses.
   void Finish(sim::TimePs now);
+
+  // Folds a Finish()ed shard-local monitor in. Event lists concatenate (the
+  // aggregate total_pause_time and duration distribution are order-
+  // independent); peak_paused_bps becomes the max of per-shard peaks — a
+  // lower bound on the true global simultaneous peak, which only the opt-in
+  // profile section reports, never deterministic output.
+  void Merge(const PfcMonitor& other);
 
   size_t pause_count() const { return events_.size(); }
   const std::vector<PauseEvent>& events() const { return events_; }

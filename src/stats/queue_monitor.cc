@@ -19,7 +19,9 @@ void QueueMonitor::Start(sim::TimePs until) {
 }
 
 void QueueMonitor::Sample() {
-  for (uint32_t sid : topology_->switches()) {
+  const std::vector<uint32_t>& sids =
+      use_subset_ ? switches_ : topology_->switches();
+  for (uint32_t sid : sids) {
     net::SwitchNode& sw = topology_->switch_node(sid);
     for (int p = 0; p < sw.num_ports(); ++p) {
       const int64_t q = sw.port(p).queue_bytes(net::kDataPriority);

@@ -27,6 +27,18 @@ class QueueMonitor {
                sim::TimePs interval);
 
   void Start(sim::TimePs until);
+  // Shard-local sampling: restrict to these switches (default: every switch
+  // in the topology). Set before Start.
+  void set_switches(std::vector<uint32_t> switches) {
+    switches_ = std::move(switches);
+    use_subset_ = true;
+  }
+  // Folds a shard-local monitor in: the per-tick sample multiset over all
+  // shards equals the single-sim one, and percentiles sort on demand.
+  void Merge(const QueueMonitor& other) {
+    dist_.Merge(other.dist_);
+    max_seen_ = max_seen_ > other.max_seen_ ? max_seen_ : other.max_seen_;
+  }
   const PercentileTracker& distribution() const { return dist_; }
   int64_t max_seen_bytes() const { return max_seen_; }
 
@@ -37,6 +49,8 @@ class QueueMonitor {
   topo::Topology* topology_;
   sim::TimePs interval_;
   sim::TimePs until_ = 0;
+  std::vector<uint32_t> switches_;
+  bool use_subset_ = false;
   PercentileTracker dist_;
   int64_t max_seen_ = 0;
 };

@@ -1,0 +1,82 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcc::topo {
+
+std::vector<int> FatTreeLanes(const FatTreeOptions& options, int shards) {
+  // Mirrors MakeFatTree's id order: all cores first, then per pod its aggs,
+  // then per ToR the ToR followed by its hosts.
+  const int num_cores = options.aggs_per_pod * options.cores_per_agg;
+  const int nodes_per_pod =
+      options.aggs_per_pod +
+      options.tors_per_pod * (1 + options.hosts_per_tor);
+  std::vector<int> lanes;
+  lanes.reserve(static_cast<size_t>(num_cores) +
+                static_cast<size_t>(options.pods) * nodes_per_pod);
+  for (int c = 0; c < num_cores; ++c) lanes.push_back(c % shards);
+  for (int p = 0; p < options.pods; ++p) {
+    for (int i = 0; i < nodes_per_pod; ++i) lanes.push_back(p % shards);
+  }
+  return lanes;
+}
+
+std::vector<int> ContiguousLanes(size_t num_nodes, int shards) {
+  std::vector<int> lanes(num_nodes, 0);
+  if (shards <= 1 || num_nodes == 0) return lanes;
+  const size_t s = static_cast<size_t>(shards);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    // Balanced blocks: lane = floor(i * shards / num_nodes).
+    lanes[i] = static_cast<int>(i * s / num_nodes);
+  }
+  return lanes;
+}
+
+Partition MakePartition(const Topology& topology,
+                        std::vector<int> lane_of_node, int shards) {
+  if (lane_of_node.size() != topology.num_nodes()) {
+    throw std::invalid_argument("partition: lane assignment size mismatch");
+  }
+  for (int lane : lane_of_node) {
+    if (lane < 0 || lane >= shards) {
+      throw std::invalid_argument("partition: lane out of range");
+    }
+  }
+  Partition p;
+  p.shards = shards;
+  p.lane_of_node = std::move(lane_of_node);
+  p.lane_hosts.resize(static_cast<size_t>(shards));
+  p.lane_switches.resize(static_cast<size_t>(shards));
+  for (uint32_t h : topology.hosts()) {
+    p.lane_hosts[static_cast<size_t>(p.lane_of_node[h])].push_back(h);
+  }
+  for (uint32_t s : topology.switches()) {
+    p.lane_switches[static_cast<size_t>(p.lane_of_node[s])].push_back(s);
+  }
+  const std::vector<LinkSpec>& links = topology.links();
+  for (size_t i = 0; i < links.size(); ++i) {
+    const LinkSpec& l = links[i];
+    const int la = p.lane_of_node[l.a];
+    const int lb = p.lane_of_node[l.b];
+    if (la == lb) continue;
+    p.cut_links.push_back(
+        CutLink{i, l.a, l.port_a, l.b, l.port_b, la, lb, l.delay});
+    p.cut_links.push_back(
+        CutLink{i, l.b, l.port_b, l.a, l.port_a, lb, la, l.delay});
+  }
+  return p;
+}
+
+sim::TimePs UpLookahead(const Topology& topology,
+                        const Partition& partition) {
+  sim::TimePs min_delay = kUnboundedLookahead;
+  const std::vector<LinkSpec>& links = topology.links();
+  for (const CutLink& c : partition.cut_links) {
+    if (!links[c.link].up) continue;
+    min_delay = std::min(min_delay, c.delay);
+  }
+  return min_delay;
+}
+
+}  // namespace hpcc::topo

@@ -1,0 +1,74 @@
+// Fabric partitioning for sharded (conservative-PDES) execution.
+//
+// A partition assigns every node to one lane (logical process). Links whose
+// endpoints land in different lanes are "cut": each direction becomes an
+// inter-lane handoff channel, and the minimum propagation delay over the
+// currently-up cut links is the safe lookahead window — a packet committed
+// onto a cut link at time t cannot arrive before t + delay, so lanes may
+// advance a full window past the last barrier without ever receiving an
+// arrival from the past.
+//
+// Fat-tree fabrics partition along pod boundaries (pods dealt round-robin to
+// lanes, core switches dealt round-robin too), so only Agg<->Core links are
+// cut. Any other topology falls back to contiguous node-id blocks; the
+// partition is then arbitrary but still *correct* — equivalence never
+// depends on partition quality, only on every cut link having a positive
+// delay.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.h"
+#include "topo/fattree.h"
+#include "topo/topology.h"
+
+namespace hpcc::topo {
+
+// One direction of a cut link: packets leaving `from_node` port `from_port`
+// (lane `from_lane`) arrive at `to_node` port `to_port` (lane `to_lane`).
+struct CutLink {
+  size_t link = 0;  // index into Topology::links()
+  uint32_t from_node = 0;
+  int from_port = 0;
+  uint32_t to_node = 0;
+  int to_port = 0;
+  int from_lane = 0;
+  int to_lane = 0;
+  sim::TimePs delay = 0;
+};
+
+struct Partition {
+  int shards = 1;
+  std::vector<int> lane_of_node;                     // node id -> lane
+  std::vector<std::vector<uint32_t>> lane_hosts;     // topology host order
+  std::vector<std::vector<uint32_t>> lane_switches;  // topology switch order
+  std::vector<CutLink> cut_links;                    // both directions
+};
+
+// No up cut link bounds the window: lanes may run to the next scripted
+// split / chunk boundary unsynchronized.
+inline constexpr sim::TimePs kUnboundedLookahead =
+    std::numeric_limits<sim::TimePs>::max();
+
+// Lane of every node of a fat-tree built by MakeFatTree(options), matching
+// the builder's node-id order exactly: pod p -> lane p % shards, core c ->
+// lane c % shards.
+std::vector<int> FatTreeLanes(const FatTreeOptions& options, int shards);
+
+// Generic fallback: contiguous, balanced blocks of node ids.
+std::vector<int> ContiguousLanes(size_t num_nodes, int shards);
+
+// Builds the partition record from a per-node lane assignment: per-lane
+// host/switch lists (in topology order) and the cut-link inventory.
+Partition MakePartition(const Topology& topology,
+                        std::vector<int> lane_of_node, int shards);
+
+// Minimum propagation delay over currently-up cut links, reading link state
+// from the live topology; kUnboundedLookahead when every cut link is down
+// (a down link transmits nothing, so it cannot constrain the window).
+// Recompute after every link_down/link_up script application.
+sim::TimePs UpLookahead(const Topology& topology, const Partition& partition);
+
+}  // namespace hpcc::topo

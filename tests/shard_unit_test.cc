@@ -1,0 +1,241 @@
+// Unit tests for the sharded-execution building blocks: the fabric
+// partitioner (topo/partition.h), the up-cut-link lookahead window, and the
+// SPSC handoff channel (net/handoff.h). The end-to-end contract lives in
+// shard_equivalence_test.cc; these pin the pieces in isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/handoff.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "topo/fattree.h"
+#include "topo/partition.h"
+
+namespace hpcc {
+namespace {
+
+topo::FatTreeOptions SmallFatTree() {
+  topo::FatTreeOptions o;
+  o.pods = 4;
+  o.tors_per_pod = 2;
+  o.aggs_per_pod = 2;
+  o.cores_per_agg = 2;
+  o.hosts_per_tor = 2;
+  return o;
+}
+
+TEST(Partition, FatTreeAssignsEveryNodeExactlyOnce) {
+  sim::Simulator s;
+  const topo::FatTreeOptions opts = SmallFatTree();
+  topo::FatTreeTopology ft = topo::MakeFatTree(&s, opts);
+  const topo::Topology& topo = *ft.topo;
+  for (int shards : {1, 2, 3, 4}) {
+    SCOPED_TRACE(shards);
+    const std::vector<int> lanes = topo::FatTreeLanes(opts, shards);
+    ASSERT_EQ(lanes.size(), topo.num_nodes());
+    const topo::Partition p = topo::MakePartition(topo, lanes, shards);
+    ASSERT_EQ(p.lane_of_node.size(), topo.num_nodes());
+    for (int lane : p.lane_of_node) {
+      EXPECT_GE(lane, 0);
+      EXPECT_LT(lane, shards);
+    }
+    // lane_hosts / lane_switches partition hosts() / switches() exactly:
+    // same multiset, each node listed once, lane agreeing with lane_of_node.
+    std::vector<uint32_t> all_hosts, all_switches;
+    for (int l = 0; l < shards; ++l) {
+      for (uint32_t h : p.lane_hosts[l]) {
+        EXPECT_EQ(p.lane_of_node[h], l);
+        all_hosts.push_back(h);
+      }
+      for (uint32_t sw : p.lane_switches[l]) {
+        EXPECT_EQ(p.lane_of_node[sw], l);
+        all_switches.push_back(sw);
+      }
+    }
+    std::sort(all_hosts.begin(), all_hosts.end());
+    std::sort(all_switches.begin(), all_switches.end());
+    std::vector<uint32_t> want_hosts = topo.hosts();
+    std::vector<uint32_t> want_switches = topo.switches();
+    std::sort(want_hosts.begin(), want_hosts.end());
+    std::sort(want_switches.begin(), want_switches.end());
+    EXPECT_EQ(all_hosts, want_hosts);
+    EXPECT_EQ(all_switches, want_switches);
+    // Pod cohesion: a pod's aggs, ToRs and hosts all share one lane (only
+    // Agg<->Core links may be cut).
+    for (size_t pod = 0; pod < static_cast<size_t>(opts.pods); ++pod) {
+      const size_t cores =
+          static_cast<size_t>(opts.aggs_per_pod) * opts.cores_per_agg;
+      const size_t per_pod = static_cast<size_t>(opts.aggs_per_pod) +
+                             static_cast<size_t>(opts.tors_per_pod) *
+                                 (1 + opts.hosts_per_tor);
+      const size_t base = cores + pod * per_pod;
+      for (size_t i = 1; i < per_pod; ++i) {
+        EXPECT_EQ(p.lane_of_node[base + i], p.lane_of_node[base]);
+      }
+    }
+  }
+}
+
+TEST(Partition, CutLinksEnumeratedExactly) {
+  sim::Simulator s;
+  const topo::FatTreeOptions opts = SmallFatTree();
+  topo::FatTreeTopology ft = topo::MakeFatTree(&s, opts);
+  const topo::Topology& topo = *ft.topo;
+  const int shards = 2;
+  const topo::Partition p =
+      topo::MakePartition(topo, topo::FatTreeLanes(opts, shards), shards);
+
+  // Brute-force oracle: every link with endpoints in different lanes yields
+  // exactly two directed entries, and nothing else appears.
+  const std::vector<topo::LinkSpec>& links = topo.links();
+  size_t expect_cut = 0;
+  std::set<std::tuple<size_t, uint32_t, uint32_t>> seen;
+  for (const topo::CutLink& c : p.cut_links) {
+    EXPECT_NE(p.lane_of_node[c.from_node], p.lane_of_node[c.to_node]);
+    EXPECT_EQ(c.from_lane, p.lane_of_node[c.from_node]);
+    EXPECT_EQ(c.to_lane, p.lane_of_node[c.to_node]);
+    EXPECT_EQ(c.delay, links[c.link].delay);
+    EXPECT_TRUE(seen.emplace(c.link, c.from_node, c.to_node).second)
+        << "duplicate cut entry for link " << c.link;
+  }
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (p.lane_of_node[links[i].a] == p.lane_of_node[links[i].b]) continue;
+    expect_cut += 2;
+    EXPECT_TRUE(seen.count({i, links[i].a, links[i].b})) << i;
+    EXPECT_TRUE(seen.count({i, links[i].b, links[i].a})) << i;
+  }
+  EXPECT_EQ(p.cut_links.size(), expect_cut);
+  EXPECT_GT(expect_cut, 0u);
+}
+
+TEST(Partition, ContiguousLanesBalancedAndComplete) {
+  for (size_t nodes : {1u, 7u, 10u, 64u}) {
+    for (int shards : {1, 2, 3, 4, 8}) {
+      SCOPED_TRACE(std::to_string(nodes) + " nodes, " +
+                   std::to_string(shards) + " shards");
+      const std::vector<int> lanes = topo::ContiguousLanes(nodes, shards);
+      ASSERT_EQ(lanes.size(), nodes);
+      std::vector<size_t> count(static_cast<size_t>(shards), 0);
+      int prev = 0;
+      for (int lane : lanes) {
+        ASSERT_GE(lane, 0);
+        ASSERT_LT(lane, shards);
+        EXPECT_GE(lane, prev);  // contiguous blocks
+        prev = lane;
+        ++count[static_cast<size_t>(lane)];
+      }
+      const size_t lo = *std::min_element(count.begin(), count.end());
+      const size_t hi = *std::max_element(count.begin(), count.end());
+      EXPECT_LE(hi - lo, 1u);  // balanced
+    }
+  }
+}
+
+TEST(Partition, UpLookaheadTracksLinkToggles) {
+  sim::Simulator s;
+  const topo::FatTreeOptions opts = SmallFatTree();
+  topo::FatTreeTopology ft = topo::MakeFatTree(&s, opts);
+  topo::Topology& topo = *ft.topo;
+  const int shards = 2;
+  const topo::Partition p =
+      topo::MakePartition(topo, topo::FatTreeLanes(opts, shards), shards);
+  ASSERT_FALSE(p.cut_links.empty());
+
+  EXPECT_EQ(topo::UpLookahead(topo, p), opts.link_delay);
+
+  // Down every cut link: no up cut link can constrain the window.
+  std::set<size_t> cut_indices;
+  for (const topo::CutLink& c : p.cut_links) cut_indices.insert(c.link);
+  for (size_t i : cut_indices) topo.SetLinkUp(i, false);
+  EXPECT_EQ(topo::UpLookahead(topo, p), topo::kUnboundedLookahead);
+
+  // One repair restores the bound; full repair keeps it.
+  topo.SetLinkUp(*cut_indices.begin(), true);
+  EXPECT_EQ(topo::UpLookahead(topo, p), opts.link_delay);
+  for (size_t i : cut_indices) topo.SetLinkUp(i, true);
+  EXPECT_EQ(topo::UpLookahead(topo, p), opts.link_delay);
+
+  // Intra-lane links never constrain the window.
+  for (size_t i = 0; i < topo.links().size(); ++i) {
+    if (!cut_indices.count(i)) {
+      topo.SetLinkUp(i, false);
+      break;
+    }
+  }
+  EXPECT_EQ(topo::UpLookahead(topo, p), opts.link_delay);
+}
+
+TEST(Handoff, OrderAndChunkWrapSingleThread) {
+  // Capacity 4 forces several chunk transitions over 35 records.
+  net::HandoffChannel ch(4);
+  sim::TimePs at = 0;
+  EXPECT_FALSE(ch.PeekArrival(&at));
+  for (int i = 0; i < 35; ++i) {
+    net::Packet* pkt = net::PacketPool::Acquire();
+    pkt->seq = static_cast<uint64_t>(i);
+    ch.Push({sim::TimePs{100 + i}, sim::TimePs{50 + i}, pkt});
+  }
+  for (int i = 0; i < 35; ++i) {
+    ASSERT_TRUE(ch.PeekArrival(&at));
+    EXPECT_EQ(at, sim::TimePs{100 + i});
+    net::HandoffRecord r;
+    ASSERT_TRUE(ch.Pop(&r));
+    EXPECT_EQ(r.at, sim::TimePs{100 + i});
+    EXPECT_EQ(r.emission, sim::TimePs{50 + i});
+    ASSERT_NE(r.pkt, nullptr);
+    EXPECT_EQ(r.pkt->seq, static_cast<uint64_t>(i));
+    net::PacketPool::Release(r.pkt);
+  }
+  EXPECT_FALSE(ch.PeekArrival(&at));
+  net::HandoffRecord r;
+  EXPECT_FALSE(ch.Pop(&r));
+}
+
+TEST(Handoff, ConcurrentSpscPreservesOrder) {
+  // Two real threads across a tiny chunk size: the release/acquire pairs on
+  // the write cursor and the chunk `next` pointer are the whole protocol;
+  // the TSan CI job runs this with -fsanitize=thread.
+  constexpr int kRecords = 20'000;
+  net::HandoffChannel ch(8);
+  std::thread producer([&ch] {
+    for (int i = 0; i < kRecords; ++i) {
+      ch.Push({sim::TimePs{i}, sim::TimePs{i}, nullptr});
+    }
+  });
+  int got = 0;
+  while (got < kRecords) {
+    net::HandoffRecord r;
+    if (!ch.Pop(&r)) continue;
+    ASSERT_EQ(r.at, sim::TimePs{got});
+    ++got;
+  }
+  producer.join();
+  sim::TimePs at = 0;
+  EXPECT_FALSE(ch.PeekArrival(&at));
+}
+
+TEST(Handoff, ShutdownDrainsUndeliveredPackets) {
+  // Destroying a channel with pending records must return their packets to
+  // the pool (leak check: pool free count grows by exactly the pending
+  // count; ASan would flag the alternative).
+  constexpr size_t kPending = 10;
+  std::vector<net::Packet*> pkts;
+  for (size_t i = 0; i < kPending; ++i) {
+    pkts.push_back(net::PacketPool::Acquire());
+  }
+  const size_t free_before = net::PacketPool::free_count();
+  {
+    net::HandoffChannel ch(4);
+    for (size_t i = 0; i < kPending; ++i) {
+      ch.Push({sim::TimePs{static_cast<sim::TimePs>(i)}, 0, pkts[i]});
+    }
+  }
+  EXPECT_EQ(net::PacketPool::free_count(), free_before + kPending);
+}
+
+}  // namespace
+}  // namespace hpcc

@@ -54,6 +54,19 @@
 //                             (8192 hosts, WebSearch load, two-tier link
 //                             flaps), forwarded pkts per wall-second
 //                             including fabric construction
+//   macro/fattree32_shards1/2/4
+//                             the same point on 1/2/4 conservative-PDES
+//                             execution lanes (link flaps via the sharded-
+//                             legal InstallLinkEvent script). All three
+//                             forward identical packets — the equivalence
+//                             suite pins that — so the committed trio is the
+//                             same-host lane-scaling A/B. On a single-core
+//                             host the >1 entries measure pure barrier +
+//                             handoff overhead; the speedup headline only
+//                             shows on hosts with >= `shards` cores.
+//   micro/shard_handoff       raw SPSC HandoffChannel push+pop throughput
+//                             (records/sec) — the per-record cost of the
+//                             cross-lane packet handoff fabric
 //
 // Each benchmark self-calibrates: batches repeat until the measured wall time
 // reaches --min-time-ms (default 500 ms; --quick drops it to 50 ms for CI
@@ -69,6 +82,7 @@
 
 #include "bench/bench_hotpath.h"
 #include "check/monitors.h"
+#include "net/handoff.h"
 #include "net/packet.h"
 #include "obs/telemetry.h"
 #include "runner/experiment.h"
@@ -285,6 +299,45 @@ uint64_t MacroFatTree32Batch() {
   return result.packets_forwarded;
 }
 
+// The same point on N conservative-PDES lanes. The flap script goes through
+// InstallLinkEvent (raw ScheduleAt+SetLinkUp is not legal sharded: link state
+// is coordinator-owned), which is byte-identical to the ScheduleAt form at
+// shards=1. Work unit stays forwarded packets — identical across shard counts
+// by the equivalence contract — so items/sec comparisons are pure wall-clock.
+uint64_t MacroFatTree32ShardsBatch(int shards) {
+  hpcc::runner::ExperimentConfig cfg = hpcc::benchgen::FatTree32MacroConfig();
+  cfg.shards = shards;
+  hpcc::runner::Experiment e(cfg);
+  e.InstallLinkEvent(hpcc::sim::Us(25), 0, false);
+  e.InstallLinkEvent(hpcc::sim::Us(35), 256, false);
+  e.InstallLinkEvent(hpcc::sim::Us(60), 0, true);
+  e.InstallLinkEvent(hpcc::sim::Us(75), 256, true);
+  auto result = e.Run();
+  return result.packets_forwarded;
+}
+
+// Raw cross-lane handoff fabric cost: push/pop cycles through an SPSC
+// HandoffChannel, single-threaded (the channel's memory-order protocol is
+// identical either way; the concurrent shape is TSan-covered by
+// shard_unit_test). Batches alternate fill and drain so chunk allocation,
+// retirement and the wrap path are all on the measured path.
+uint64_t ShardHandoffBatch() {
+  constexpr int kRounds = 16;
+  constexpr size_t kPerRound = 4096;
+  hpcc::net::HandoffChannel ch(hpcc::net::HandoffChannel::kDefaultChunkCapacity);
+  uint64_t popped = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    for (size_t i = 0; i < kPerRound; ++i) {
+      ch.Push({static_cast<hpcc::sim::TimePs>(r * kPerRound + i),
+               static_cast<hpcc::sim::TimePs>(i), nullptr});
+    }
+    hpcc::net::HandoffRecord rec;
+    while (ch.Pop(&rec)) ++popped;
+  }
+  if (popped != kRounds * kPerRound) std::abort();
+  return popped;
+}
+
 // The label is user-supplied; escape it so the report stays valid JSON.
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -375,6 +428,14 @@ int main(int argc, char** argv) {
   results.push_back(RouteResidentRatioK32());
   results.push_back(
       RunBench("macro/fattree32", "pkts", min_seconds, MacroFatTree32Batch));
+  results.push_back(RunBench("macro/fattree32_shards1", "pkts", min_seconds,
+                             []() { return MacroFatTree32ShardsBatch(1); }));
+  results.push_back(RunBench("macro/fattree32_shards2", "pkts", min_seconds,
+                             []() { return MacroFatTree32ShardsBatch(2); }));
+  results.push_back(RunBench("macro/fattree32_shards4", "pkts", min_seconds,
+                             []() { return MacroFatTree32ShardsBatch(4); }));
+  results.push_back(RunBench("micro/shard_handoff", "records", min_seconds,
+                             ShardHandoffBatch));
 
   for (const BenchResult& r : results) {
     const double per_sec =

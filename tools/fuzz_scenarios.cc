@@ -33,13 +33,16 @@ int main(int argc, char** argv) {
       options.check_determinism = false;
     } else if (std::strcmp(argv[i], "--no-fastpath-check") == 0) {
       options.check_fastpath = false;
+    } else if (std::strcmp(argv[i], "--no-shard-check") == 0) {
+      options.check_shards = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--runs=N] [--out-dir=DIR]\n"
                    "          [--max-events=N] [--no-determinism]\n"
-                   "          [--no-fastpath-check] [--verbose]\n",
+                   "          [--no-fastpath-check] [--no-shard-check]\n"
+                   "          [--verbose]\n",
                    argv[0]);
       return 2;
     }

@@ -42,6 +42,9 @@ struct Options {
   bool lossy = false;
   bool irn = false;
   int fastpath = -1;  // -1 default (on), 0 reference engine, 1 trains
+  // 0 = default (scenario's value / 1 in direct mode); >= 1 forces N
+  // execution lanes. Works in both modes since results are shard-invariant.
+  int shards = 0;
   bool paper_scale = false;
   double eta = 0.95;
   double wai = -1;
@@ -74,6 +77,8 @@ struct Options {
       "  --fastpath=on|off  force the transmission-train fast path (both\n"
       "                     engines produce identical results; off = A/B\n"
       "                     reference)\n"
+      "  --shards=N         run on N execution lanes (conservative PDES);\n"
+      "                     any N produces byte-identical results\n"
       "  --irn              IRN loss recovery instead of go-back-N\n"
       "  --paper-scale      320-host FatTree / 32-host testbed\n"
       "  --seed=N\n",
@@ -106,6 +111,10 @@ Options Parse(int argc, char** argv) {
       if (std::strcmp(v, "on") == 0) o.fastpath = 1;
       else if (std::strcmp(v, "off") == 0) o.fastpath = 0;
       else Usage(argv[0]);
+    }
+    else if (cli::ConsumeFlag(argv[i], "--shards", &v)) {
+      o.shards = std::atoi(v);
+      if (o.shards < 1) Usage(argv[0]);
     }
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
@@ -140,6 +149,7 @@ int main(int argc, char** argv) {
     ro.verbose = true;
     ro.check = o.check;
     ro.fastpath_override = o.fastpath;
+    ro.shards_override = o.shards;
     ro.trace_out = o.trace_out;
     ro.manifest = o.manifest;
     ro.progress = o.progress;
@@ -179,6 +189,7 @@ int main(int argc, char** argv) {
   cfg.seed = o.seed;
   cfg.pfc_enabled = !o.lossy;
   if (o.fastpath >= 0) cfg.fast_path = o.fastpath != 0;
+  if (o.shards >= 1) cfg.shards = o.shards;
   cfg.recovery =
       o.irn ? host::RecoveryMode::kIrn : host::RecoveryMode::kGoBackN;
   if (o.incast_fan_in > 0) {

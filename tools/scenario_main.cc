@@ -26,6 +26,7 @@ struct Options {
   std::string trace_out;  // non-empty forces trace export to this path
   int jobs = 0;     // 0 = hardware concurrency
   int fastpath = -1;  // -1 scenario default, 0 reference engine, 1 trains
+  int shards = 0;     // 0 scenario default, >= 1 forces that lane count
   bool expand_only = false;
   bool quiet = false;
   bool dump = false;
@@ -47,6 +48,9 @@ struct Options {
                "               force the transmission-train fast path on or\n"
                "               off (default: as the scenario says; both\n"
                "               engines produce identical results)\n"
+               "  --shards=N   force N execution lanes per point (default:\n"
+               "               as the scenario says; any N produces\n"
+               "               byte-identical results)\n"
                "  --trace-out=FILE\n"
                "               write a Chrome/Perfetto trace (sweeps write\n"
                "               one file per point: <stem>.runN.json)\n"
@@ -67,6 +71,10 @@ Options Parse(int argc, char** argv) {
       if (std::strcmp(v, "on") == 0) o.fastpath = 1;
       else if (std::strcmp(v, "off") == 0) o.fastpath = 0;
       else Usage(argv[0]);
+    }
+    else if (cli::ConsumeFlag(argv[i], "--shards", &v)) {
+      o.shards = std::atoi(v);
+      if (o.shards < 1) Usage(argv[0]);
     }
     else if (cli::ConsumeFlag(argv[i], "--trace-out", &v)) o.trace_out = v;
     else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
@@ -109,6 +117,7 @@ int main(int argc, char** argv) {
   ro.verbose = !o.quiet;
   ro.check = o.check;
   ro.fastpath_override = o.fastpath;
+  ro.shards_override = o.shards;
   ro.trace_out = o.trace_out;
   ro.manifest = o.manifest;
   ro.progress = o.progress;
