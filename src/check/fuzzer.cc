@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <memory>
 
 #include "cc/factory.h"
 #include "check/monitors.h"
@@ -305,6 +306,42 @@ void RecordFlight(const Json& doc, const FuzzOptions& options,
   }
 }
 
+// One warm-equivalence replay: runs `doc` through RunOne with the shared
+// snapshot/checkpoint caches attached (no monitors, no event budget — warm
+// capture is ineligible under either, and the scenario already ran clean
+// twice within budget). Returns the golden-trace hash plus whether this
+// replay built or restored the checkpoint.
+struct WarmReplay {
+  uint64_t trace_hash = 0;
+  bool built = false;
+  bool restored = false;
+  std::string error;
+};
+
+WarmReplay ReplayWarm(const Json& doc,
+                      const std::shared_ptr<scenario::FabricCache>& fabrics,
+                      const std::shared_ptr<scenario::WarmCache>& warms) {
+  WarmReplay out;
+  try {
+    scenario::ScenarioRun run;
+    run.scenario = scenario::ParseScenario(doc);
+    run.label = run.scenario.name;
+    scenario::RunOneOptions ro;
+    ro.warm = true;
+    ro.fabric_cache = fabrics;
+    ro.warm_cache = warms;
+    const scenario::SweepRunResult r =
+        scenario::ScenarioRunner::RunOne(run, ro);
+    out.error = r.error;
+    out.trace_hash = r.result.trace_hash;
+    out.built = r.warm_built;
+    out.restored = r.warm_restored;
+  } catch (const std::exception& ex) {
+    out.error = ex.what();
+  }
+  return out;
+}
+
 void WriteAndAnnounceReproducer(const Json& doc, const FuzzOptions& options,
                                 FuzzRunReport* rep) {
   rep->reproducer_path =
@@ -422,6 +459,42 @@ int FuzzMain(const FuzzOptions& options, const MonitorInstaller& extra) {
         rep.violations.push_back(
             Violation{"shard-equivalence", detail, 0});
         ++rep.violation_count;
+      }
+    }
+    if (rep.ok() && options.check_warm) {
+      // Equivalence pin for warm-start sweeps: inject a checkpoint instant at
+      // ~40% of the horizon and replay twice through one shared cache. The
+      // first replay either captures the checkpoint or (not quiescent at T,
+      // pre-T link flap, ...) publishes a cold fallback; the second restores
+      // or re-runs cold. Either way both hashes must match the cold run —
+      // warm-start must never change a single output byte.
+      Json warm_doc = doc;
+      const double duration_us = doc.Find("duration_ms")->AsDouble() * 1000.0;
+      Json ws = Json::MakeObject();
+      ws.Set("until_us", Num(Round2(duration_us * 0.4)));
+      warm_doc.Set("warm_start", std::move(ws));
+      auto fabrics = std::make_shared<scenario::FabricCache>();
+      auto warms = std::make_shared<scenario::WarmCache>();
+      const WarmReplay first = ReplayWarm(warm_doc, fabrics, warms);
+      const WarmReplay second = ReplayWarm(warm_doc, fabrics, warms);
+      for (const WarmReplay* w : {&first, &second}) {
+        const char* which = w == &first ? "first" : "second";
+        if (!w->error.empty()) {
+          rep.violations.push_back(Violation{
+              "warm-equivalence",
+              std::string(which) + " warm_start replay failed: " + w->error,
+              0});
+          ++rep.violation_count;
+        } else if (w->trace_hash != rep.trace_hash) {
+          rep.violations.push_back(Violation{
+              "warm-equivalence",
+              std::string(which) + " warm_start replay (" +
+                  (w->restored ? "restored checkpoint"
+                               : w->built ? "built checkpoint" : "cold") +
+                  ") produced a different golden-trace hash",
+              0});
+          ++rep.violation_count;
+        }
       }
     }
     if (!rep.error.empty()) {

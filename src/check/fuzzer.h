@@ -58,6 +58,13 @@ struct FuzzOptions {
   // Event-budget-truncated replays are skipped (a truncated run stops at an
   // arbitrary event, so its hash is meaningless).
   bool check_shards = true;
+  // Additionally replay each clean run twice with an injected
+  // warm_start.until_us (~40% of the horizon) through one shared
+  // fabric-snapshot/warm-checkpoint cache — the first replay builds the
+  // checkpoint, the second restores from it — and require both to reproduce
+  // the cold golden-trace hash, so every fuzz scenario doubles as a
+  // warm-start equivalence check.
+  bool check_warm = true;
 };
 
 struct FuzzRunReport {

@@ -3,7 +3,9 @@
 // definition so the avalanche constants can never diverge between users.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace hpcc::core {
 
@@ -12,6 +14,30 @@ inline uint64_t SplitMix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+// Sub-seed derivation for generator streams. Affine forms like
+// `seed * 31 + stream` alias across (seed, stream) pairs — seed 1/stream 31
+// equals seed 2/stream 0 — so nearby experiment seeds could share generator
+// RNG streams exactly. Mixing seed and stream through separate avalanche
+// rounds makes every (seed, stream) pair land on an independent 64-bit
+// point; distinct pairs colliding is a ~2^-64 accident, not a pattern.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(SplitMix64(seed) ^ SplitMix64(~stream));
+}
+
+// FNV-1a over bytes: the stable string hash for cache keys recorded as
+// provenance (fabric signatures, warm fingerprints in run manifests).
+// std::hash is implementation-defined and may change across standard-library
+// versions, which would silently invalidate recorded signatures; FNV-1a is
+// fixed by construction.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace hpcc::core

@@ -76,6 +76,36 @@ class HostNode : public net::Node {
   uint64_t data_packets_sent() const { return data_packets_sent_; }
   uint64_t acks_received() const { return acks_received_; }
 
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // Armed pacing wakes across all ports. A warm checkpoint requires zero:
+  // ScheduleWake elides a re-arm while an earlier wake is still pending
+  // (without drawing a schedule seq), so a restored run missing a stale wake
+  // would draw differently than the checkpointing run from there on. With
+  // every flow complete, pending wakes exist only in corner cases — the
+  // quiescence check simply refuses those checkpoints.
+  size_t pending_wake_count() const {
+    size_t n = 0;
+    for (const sim::EventId e : wake_events_) {
+      if (e != sim::kInvalidEvent) ++n;
+    }
+    return n;
+  }
+  // Cumulative NIC counters (reporting only; nothing reads them back into
+  // the dataplane).
+  struct WarmCounters {
+    uint64_t data_bytes_sent = 0;
+    uint64_t data_packets_sent = 0;
+    uint64_t acks_received = 0;
+  };
+  WarmCounters CaptureWarm() const {
+    return {data_bytes_sent_, data_packets_sent_, acks_received_};
+  }
+  void RestoreWarm(const WarmCounters& w) {
+    data_bytes_sent_ = w.data_bytes_sent;
+    data_packets_sent_ = w.data_packets_sent;
+    acks_received_ = w.acks_received;
+  }
+
   // Receiver-side per-flow state (public for tests).
   struct RxState {
     uint64_t rcv_nxt = 0;   // cumulative in-order bytes

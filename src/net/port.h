@@ -167,6 +167,27 @@ class Port {
   // Total time this egress direction spent paused (data priority).
   sim::TimePs total_paused_time(sim::TimePs now) const;
 
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // Cumulative counters a checkpoint must carry: txBytes feeds the INT hop
+  // records (wire-format wrapping depends on the absolute count), the others
+  // are reporting totals. Captured only while the port is quiescent (empty
+  // queues, no train, not paused), so the transient serialization state
+  // (busy_until_, pause_started_) needs no restore: every comparison against
+  // it is already decided at any post-checkpoint time.
+  struct WarmCounters {
+    uint64_t tx_bytes = 0;
+    uint64_t train_aborts = 0;
+    sim::TimePs total_paused = 0;
+  };
+  WarmCounters CaptureWarm() const {
+    return {tx_bytes(), train_aborts(), total_paused_};
+  }
+  void RestoreWarm(const WarmCounters& w) {
+    tx_bytes_ = w.tx_bytes;
+    train_aborts_ = w.train_aborts;
+    total_paused_ = w.total_paused;
+  }
+
  private:
   static constexpr sim::TimePs kNever = std::numeric_limits<sim::TimePs>::max();
 

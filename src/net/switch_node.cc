@@ -36,18 +36,19 @@ void SwitchNode::FinishSetup() {
 }
 
 void SwitchNode::SetRoutes(const std::vector<std::vector<uint16_t>>& routes) {
-  routes_.Reset(static_cast<uint32_t>(routes.size()));
+  NextHopTable& table = mutable_routes(/*preserve=*/false);
+  table.Reset(static_cast<uint32_t>(routes.size()));
   for (uint32_t dst = 0; dst < routes.size(); ++dst) {
-    routes_.SetRoute(dst, routes[dst].data(),
-                     static_cast<uint32_t>(routes[dst].size()));
+    table.SetRoute(dst, routes[dst].data(),
+                   static_cast<uint32_t>(routes[dst].size()));
   }
 }
 
 int SwitchNode::RoutePort(const Packet& pkt) const {
   // A corrupt/out-of-range dst must be a visible kNoRoute drop, not a silent
   // out-of-bounds read (an assert here compiles out in Release).
-  if (pkt.dst >= routes_.num_dsts()) [[unlikely]] return -1;
-  const NextHopTable::Group g = routes_.Lookup(pkt.dst);
+  if (pkt.dst >= route_view_->num_dsts()) [[unlikely]] return -1;
+  const NextHopTable::Group g = route_view_->Lookup(pkt.dst);
   if (g.size == 0) return -1;  // disconnected (link failures)
   if (g.size == 1) return g.ports[0];
   // Per-flow ECMP: hash is stable for a flow at this switch, so all packets

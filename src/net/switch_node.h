@@ -77,8 +77,26 @@ class SwitchNode : public Node {
   // (see net/nexthop.h). Topology owns the contents: it resets/rebuilds the
   // table in RecomputeRoutes and patches single groups during incremental
   // link-event repair.
-  NextHopTable& routes() { return routes_; }
-  const NextHopTable& routes() const { return routes_; }
+  //
+  // Copy-on-write: the read view may alias an immutable fabric-snapshot
+  // table shared across sweep jobs (AdoptRouteView). Readers always go
+  // through routes(); the first mutation must go through mutable_routes(),
+  // which detaches this switch onto a private copy — link-event scripts
+  // fork only the switches they actually touch.
+  const NextHopTable& routes() const { return *route_view_; }
+  // Detaches from a shared view (copying it unless `preserve` is false —
+  // callers about to Reset skip the copy) and returns the private table.
+  NextHopTable& mutable_routes(bool preserve = true) {
+    if (route_view_ != &routes_) {
+      if (preserve) routes_ = *route_view_;
+      route_view_ = &routes_;
+    }
+    return routes_;
+  }
+  // Points the read view at an externally-owned immutable table (the caller
+  // guarantees it outlives this switch or is replaced first).
+  void AdoptRouteView(const NextHopTable* shared) { route_view_ = shared; }
+  bool routes_shared() const { return route_view_ != &routes_; }
   // Convenience for tests/benches that wire a switch by hand: installs one
   // candidate list per destination node id (index = dst).
   void SetRoutes(const std::vector<std::vector<uint16_t>>& routes);
@@ -106,6 +124,52 @@ class SwitchNode : public Node {
   }
   uint64_t forwarded_packets() const { return forwarded_packets_; }
 
+  // RCP per-egress-port controller state (public so warm checkpoints can
+  // carry it).
+  struct RcpState {
+    double rate = 0;
+    sim::TimePs last_update = 0;
+    int64_t rx_bytes = 0;  // data bytes admitted toward this port
+  };
+
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // Per-switch mutable state that survives a quiescent instant: the WRED
+  // marking RNG (shared across all packets this switch marks), the RCP
+  // controller state, and the drop/forward counters. Buffer occupancy,
+  // pause bookkeeping and train state are all empty at a checkpoint (the
+  // quiescence check guarantees it), so they restore to their initial
+  // values for free.
+  struct WarmState {
+    sim::Rng rng;
+    std::vector<RcpState> rcp;
+    uint64_t dropped_packets = 0;
+    uint64_t dropped_bytes = 0;
+    uint64_t dropped_by_reason[check::kNumDropReasons] = {};
+    uint64_t forwarded_packets = 0;
+  };
+  WarmState CaptureWarm() const {
+    WarmState w;
+    w.rng = rng_;
+    w.rcp = rcp_;
+    w.dropped_packets = dropped_packets_;
+    w.dropped_bytes = dropped_bytes_;
+    for (int i = 0; i < check::kNumDropReasons; ++i) {
+      w.dropped_by_reason[i] = dropped_by_reason_[i];
+    }
+    w.forwarded_packets = forwarded_packets_;
+    return w;
+  }
+  void RestoreWarm(const WarmState& w) {
+    rng_ = w.rng;
+    rcp_ = w.rcp;
+    dropped_packets_ = w.dropped_packets;
+    dropped_bytes_ = w.dropped_bytes;
+    for (int i = 0; i < check::kNumDropReasons; ++i) {
+      dropped_by_reason_[i] = w.dropped_by_reason[i];
+    }
+    forwarded_packets_ = w.forwarded_packets;
+  }
+
  private:
   void AdmitAndForward(PacketPtr pkt, int in_port, int out_port);
   void CheckPause(int in_port, int priority);
@@ -124,12 +188,8 @@ class SwitchNode : public Node {
   SharedBuffer buffer_;
   sim::Rng rng_;
   NextHopTable routes_;
-  // RCP per-egress-port controller state.
-  struct RcpState {
-    double rate = 0;
-    sim::TimePs last_update = 0;
-    int64_t rx_bytes = 0;  // data bytes admitted toward this port
-  };
+  // Read view: &routes_ (private) or a shared snapshot table (COW).
+  const NextHopTable* route_view_ = &routes_;
   std::vector<RcpState> rcp_;
   // Whether we have an outstanding PAUSE toward each (ingress port, prio).
   std::vector<std::array<bool, kNumPriorities>> pause_sent_;

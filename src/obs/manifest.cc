@@ -1,5 +1,6 @@
 #include "obs/manifest.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,6 +14,11 @@ namespace hpcc::obs {
 namespace {
 
 scenario::Json Num(double v) { return scenario::Json::MakeNumber(v); }
+// Distribution metrics are NaN when no samples were collected; JSON has no
+// NaN, so emit null (mirrors the empty CSV cell).
+scenario::Json NumOrNull(double v) {
+  return std::isnan(v) ? scenario::Json() : scenario::Json::MakeNumber(v);
+}
 scenario::Json NumU(uint64_t v) {
   return scenario::Json::MakeNumber(static_cast<double>(v));
 }
@@ -63,6 +69,20 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
   if (in.scenario) m.Set("scenario", scenario::ScenarioToJson(*in.scenario));
   if (in.telemetry) m.Set("telemetry", TelemetryConfigToJson(*in.telemetry));
 
+  // -- warm-start provenance ----------------------------------------------
+  // Purely scenario-derived (which fabric/checkpoint cache keys this run
+  // maps to), so the bytes are identical whether the run actually went warm
+  // or fell back to cold — the warm-vs-cold byte-compare depends on that.
+  if (in.scenario && in.scenario->warm_until > 0) {
+    scenario::Json snap = scenario::Json::MakeObject();
+    snap.Set("fabric_signature",
+             Str(HashHex(scenario::FabricSignature(*in.scenario))));
+    snap.Set("warm_fingerprint",
+             Str(HashHex(scenario::WarmFingerprint(*in.scenario))));
+    snap.Set("until_us", Num(sim::ToUs(in.scenario->warm_until)));
+    m.Set("snapshot", snap);
+  }
+
   // -- counter tree -------------------------------------------------------
   scenario::Json counters = scenario::Json::MakeObject();
   {
@@ -108,12 +128,15 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
   {
     scenario::Json metrics = scenario::Json::MakeObject();
     const stats::PercentileTracker& slow = res.fct->overall();
-    metrics.Set("slowdown_p50", Num(slow.Percentile(50)));
-    metrics.Set("slowdown_p95", Num(slow.Percentile(95)));
-    metrics.Set("slowdown_p99", Num(slow.Percentile(99)));
-    metrics.Set("short_fct_p95_us", Num(res.short_fct_us.Percentile(95)));
-    metrics.Set("queue_p50_kb", Num(res.queue_dist.Percentile(50) / 1e3));
-    metrics.Set("queue_p99_kb", Num(res.queue_dist.Percentile(99) / 1e3));
+    metrics.Set("slowdown_p50", NumOrNull(slow.Percentile(50)));
+    metrics.Set("slowdown_p95", NumOrNull(slow.Percentile(95)));
+    metrics.Set("slowdown_p99", NumOrNull(slow.Percentile(99)));
+    metrics.Set("short_fct_p95_us",
+                NumOrNull(res.short_fct_us.Percentile(95)));
+    metrics.Set("queue_p50_kb",
+                NumOrNull(res.queue_dist.Percentile(50) / 1e3));
+    metrics.Set("queue_p99_kb",
+                NumOrNull(res.queue_dist.Percentile(99) / 1e3));
     metrics.Set("queue_max_kb",
                 Num(static_cast<double>(res.max_queue_bytes) / 1e3));
     metrics.Set("sim_time_ms", Num(sim::ToMs(res.sim_time)));

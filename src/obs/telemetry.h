@@ -118,6 +118,10 @@ class TelemetryRecorder final : public check::InvariantMonitor {
                  sim::TimePs now) override;
 
   const TelemetryCounters& counters() const { return counters_; }
+  // Warm restore: seeds the totals with a checkpoint's counter baseline so
+  // the hook stream observed after the restore adds onto the pre-checkpoint
+  // traffic's contribution.
+  void set_counters(const TelemetryCounters& c) { counters_ = c; }
   // INT flight-recorder tracks (empty unless trace && int_tracks > 0).
   const std::vector<TelemetryTrack>& int_qlen_tracks() const {
     return int_qlen_;
@@ -166,6 +170,11 @@ class TelemetrySession {
   // single-registry session). Plain sums, so the aggregate is byte-equal to
   // the single-sim totals whatever the shard count.
   TelemetryCounters counters() const;
+  // Warm restore (single-lane sessions only — warm checkpoints force
+  // shards=1): seeds the recorder with the checkpoint's counter baseline.
+  void RestoreCounters(const TelemetryCounters& c) {
+    recorder_->set_counters(c);
+  }
 
   // The `queue_tracks` busiest sampled queues (peak depth desc, then node,
   // port asc); empty tracks (never above zero) are skipped.

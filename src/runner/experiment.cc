@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/hash.h"
+
 namespace hpcc::runner {
 
 net::SwitchConfig Experiment::MakeSwitchConfig() const {
@@ -38,7 +40,7 @@ void Experiment::BuildTopology() {
       topo::FatTreeOptions o = config_.fattree;
       o.sw = sw;
       o.host = hc;
-      auto built = topo::MakeFatTree(simulator_.get(), o);
+      auto built = topo::MakeFatTree(simulator_.get(), o, config_.fabric_snapshot);
       topology_ = std::move(built.topo);
       hosts_ = built.host_ids;
       break;
@@ -47,7 +49,7 @@ void Experiment::BuildTopology() {
       topo::TestbedOptions o = config_.testbed;
       o.sw = sw;
       o.host = hc;
-      auto built = topo::MakeTestbed(simulator_.get(), o);
+      auto built = topo::MakeTestbed(simulator_.get(), o, config_.fabric_snapshot);
       topology_ = std::move(built.topo);
       hosts_ = built.host_ids;
       break;
@@ -56,7 +58,7 @@ void Experiment::BuildTopology() {
       topo::StarOptions o = config_.star;
       o.sw = sw;
       o.host = hc;
-      auto built = topo::MakeStar(simulator_.get(), o);
+      auto built = topo::MakeStar(simulator_.get(), o, config_.fabric_snapshot);
       topology_ = std::move(built.topo);
       hosts_ = built.host_ids;
       break;
@@ -65,7 +67,7 @@ void Experiment::BuildTopology() {
       topo::DumbbellOptions o = config_.dumbbell;
       o.sw = sw;
       o.host = hc;
-      auto built = topo::MakeDumbbell(simulator_.get(), o);
+      auto built = topo::MakeDumbbell(simulator_.get(), o, config_.fabric_snapshot);
       topology_ = std::move(built.topo);
       hosts_ = built.left_hosts;
       hosts_.insert(hosts_.end(), built.right_hosts.begin(),
@@ -146,7 +148,7 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   if (config_.incast) {
     workload::IncastOptions io = config_.incast_opts;
     io.end = io.end == 0 ? config_.duration : io.end;
-    io.seed = config_.seed * 31 + 7;
+    io.seed = core::DeriveSeed(config_.seed, 7);
     incast_ = std::make_unique<workload::IncastGenerator>(simulator_.get(),
                                                           hosts_, io, sink);
   }
@@ -264,7 +266,7 @@ void Experiment::SetupShards() {
     if (config_.incast) {
       workload::IncastOptions io = config_.incast_opts;
       io.end = io.end == 0 ? config_.duration : io.end;
-      io.seed = config_.seed * 31 + 7;
+      io.seed = core::DeriveSeed(config_.seed, 7);
       lane.incast = std::make_unique<workload::IncastGenerator>(
           lane.sim, hosts_, io, sink);
     }
@@ -565,13 +567,26 @@ ExperimentResult Experiment::RunSharded() {
 
 ExperimentResult Experiment::Run() {
   if (config_.shards > 1) return RunSharded();
+  StartWorkload();
+  return FinishRun();
+}
+
+void Experiment::StartWorkload() {
+  if (config_.shards > 1) {
+    throw std::logic_error("StartWorkload requires shards=1");
+  }
   if (poisson_ != nullptr) poisson_->Start();
   if (incast_ != nullptr) incast_->Start();
   if (!queue_monitor_started_) {
     queue_monitor_started_ = true;
     queue_monitor_->Start(config_.duration);
   }
+}
 
+ExperimentResult Experiment::FinishRun() {
+  if (config_.shards > 1) {
+    throw std::logic_error("FinishRun requires shards=1");
+  }
   simulator_->Run(config_.duration);
   // Drain: let in-flight flows finish so their FCTs are recorded.
   const sim::TimePs cap =
@@ -584,6 +599,130 @@ ExperimentResult Experiment::Run() {
     simulator_->Run(simulator_->now() + sim::Ms(1));
   }
   return Collect();
+}
+
+bool Experiment::QuiescentForWarmCheckpoint(size_t external_pending) {
+  if (config_.shards > 1) return false;
+  // Every created flow fully delivered and acknowledged.
+  if (flows_completed_ != flow_ptrs_.size()) return false;
+  // Every egress queue empty and every fast-path train settled; no pacing
+  // wake armed anywhere (see HostNode::pending_wake_count).
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    net::Node& node = topology_->node(id);
+    for (int p = 0; p < node.num_ports(); ++p) {
+      const net::Port& port = node.port(p);
+      if (port.total_queue_bytes() != 0 || port.has_unsettled()) return false;
+    }
+  }
+  for (uint32_t h : hosts_) {
+    if (topology_->host(h).pending_wake_count() != 0) return false;
+  }
+  if (pfc_monitor_.has_open_pauses()) return false;
+  // Every pending event must be accounted for: the caller's external events
+  // (link script, scenario-installed generators), this experiment's own
+  // generators, and the queue-monitor tick. Anything else — an RTO, a CC
+  // timer — means live protocol state we cannot capture.
+  size_t expected = external_pending;
+  if (poisson_ != nullptr && poisson_->warm_pending()) ++expected;
+  if (incast_ != nullptr && incast_->warm_pending()) ++expected;
+  if (queue_monitor_ != nullptr && queue_monitor_->tick_pending()) ++expected;
+  return simulator_->pending_events() == expected;
+}
+
+std::unique_ptr<Experiment::WarmState> Experiment::CaptureWarmState() {
+  auto w = std::make_unique<WarmState>();
+  const sim::TimePs now = simulator_->now();
+  w->now = now;
+  w->next_schedule_seq = simulator_->next_schedule_seq();
+  w->events_executed = simulator_->events_executed();
+  w->next_flow_id = next_flow_id_;
+  w->flows.reserve(flow_ptrs_.size());
+  for (const host::Flow* f : flow_ptrs_) {
+    const host::FlowSpec& s = f->spec();
+    w->flows.push_back({s.id, s.src, s.dst, s.size_bytes, s.start_time,
+                        f->finish_time, f->done});
+  }
+  w->fct = std::make_unique<stats::FctRecorder>(*fct_);
+  w->short_fct_us = short_fct_us_;
+  w->queue = queue_monitor_->CaptureWarm();
+  w->pfc = pfc_monitor_.CaptureWarm();
+  for (uint32_t s : topology_->switches()) {
+    w->switches.push_back(topology_->switch_node(s).CaptureWarm());
+  }
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    net::Node& node = topology_->node(id);
+    for (int p = 0; p < node.num_ports(); ++p) {
+      w->ports.push_back(node.port(p).CaptureWarm());
+    }
+  }
+  for (uint32_t h : hosts_) {
+    w->hosts.push_back(topology_->host(h).CaptureWarm());
+  }
+  w->poisson_present = poisson_ != nullptr;
+  w->incast_present = incast_ != nullptr;
+  if (poisson_ != nullptr && poisson_->first_activity() < now) {
+    w->poisson = poisson_->CaptureWarm();
+  }
+  if (incast_ != nullptr && incast_->first_activity() < now) {
+    w->incast = incast_->CaptureWarm();
+  }
+  return w;
+}
+
+bool Experiment::ValidateWarmState(const WarmState& w) {
+  if (config_.shards > 1) return false;
+  if (!queue_monitor_started_) return false;
+  if (w.fct == nullptr) return false;
+  if ((poisson_ != nullptr) != w.poisson_present) return false;
+  if ((incast_ != nullptr) != w.incast_present) return false;
+  if (topology_->switches().size() != w.switches.size()) return false;
+  if (hosts_.size() != w.hosts.size()) return false;
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+  size_t num_ports = 0;
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    num_ports += static_cast<size_t>(topology_->node(id).num_ports());
+  }
+  if (num_ports != w.ports.size()) return false;
+  if (w.now < simulator_->now()) return false;
+  return true;
+}
+
+bool Experiment::RestoreWarmState(const WarmState& w) {
+  // Validate the structural match completely before touching anything, so a
+  // mismatch leaves this experiment cold-runnable.
+  if (!ValidateWarmState(w)) return false;
+  const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
+
+  if (w.poisson.has_value()) poisson_->RestoreWarm(*w.poisson);
+  if (w.incast.has_value()) incast_->RestoreWarm(*w.incast);
+  queue_monitor_->RestoreWarm(w.queue);
+  pfc_monitor_.RestoreWarm(w.pfc);
+  for (size_t i = 0; i < w.switches.size(); ++i) {
+    topology_->switch_node(topology_->switches()[i]).RestoreWarm(
+        w.switches[i]);
+  }
+  size_t pi = 0;
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    net::Node& node = topology_->node(id);
+    for (int p = 0; p < node.num_ports(); ++p) {
+      node.port(p).RestoreWarm(w.ports[pi++]);
+    }
+  }
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    topology_->host(hosts_[i]).RestoreWarm(w.hosts[i]);
+  }
+  fct_ = std::make_unique<stats::FctRecorder>(*w.fct);
+  short_fct_us_ = w.short_fct_us;
+  warm_flows_ = w.flows;
+  next_flow_id_ = w.next_flow_id;
+  // Last: jump the clock and counters to T. Every event replayed above was
+  // scheduled while now_ was still pre-T, so their captured (time, seq) keys
+  // landed unchallenged; from here on the engine continues exactly as the
+  // checkpointing run would have.
+  simulator_->Restore(w.now, w.next_schedule_seq, w.events_executed);
+  return true;
 }
 
 ExperimentResult Experiment::CollectSharded() {
@@ -638,6 +777,7 @@ ExperimentResult Experiment::CollectSharded() {
     }
   }
   r.trace_hash = th.digest();
+  SortResultDistributions(r);
   return r;
 }
 
@@ -671,13 +811,23 @@ ExperimentResult Experiment::Collect() {
       r.train_aborts += node.port(p).train_aborts();
     }
   }
-  r.flows_created = flow_ptrs_.size();
-  r.flows_completed = flows_completed_;
+  // Warm-restored runs fold the checkpoint's completed flows back in, so the
+  // report covers [0, end) exactly like a cold run's.
+  uint64_t warm_done = 0;
+  for (const WarmFlowRecord& wf : warm_flows_) {
+    if (wf.done) ++warm_done;
+  }
+  r.flows_created = flow_ptrs_.size() + warm_flows_.size();
+  r.flows_completed = flows_completed_ + warm_done;
   r.sim_time = now;
   r.events_executed = simulator_->events_executed();
   r.base_rtt = base_rtt_;
 
   stats::TraceHash th;
+  for (const WarmFlowRecord& wf : warm_flows_) {
+    th.AddFlow(wf.id, wf.src, wf.dst, wf.size_bytes, wf.start, wf.finish,
+               wf.done);
+  }
   for (const host::Flow* f : flow_ptrs_) {
     const host::FlowSpec& s = f->spec();
     th.AddFlow(s.id, s.src, s.dst, s.size_bytes, s.start_time, f->finish_time,
@@ -690,7 +840,18 @@ ExperimentResult Experiment::Collect() {
   fct_ = std::make_unique<stats::FctRecorder>(
       config_.trace == "fbhadoop" ? stats::FctRecorder::FbHadoopBins()
                                   : stats::FctRecorder::WebSearchBins());
+  SortResultDistributions(r);
   return r;
+}
+
+// Pre-sort every distribution at the collection boundary: const reads after
+// this point (CSV rows, manifests, sweep aggregation across worker threads)
+// are zero-copy and mutation-free.
+void Experiment::SortResultDistributions(ExperimentResult& r) {
+  if (r.fct != nullptr) r.fct->Sort();
+  r.queue_dist.Sort();
+  r.short_fct_us.Sort();
+  r.pause_durations_us.Sort();
 }
 
 std::string ExperimentResult::Summary() const {

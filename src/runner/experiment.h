@@ -70,6 +70,13 @@ struct ExperimentConfig {
   // manifest equality); >1 requires every cut link to have positive delay.
   int shards = 1;
 
+  // Warm-start sweeps: an immutable fabric snapshot exported by an
+  // identically configured topology build (topo/snapshot.h). Switches adopt
+  // its routing tables copy-on-write and Finalize skips the route BFS, so a
+  // sweep pays the O(fabric) route build once instead of once per job.
+  // Null = cold build. Never affects results — only setup cost.
+  std::shared_ptr<const topo::FabricSnapshot> fabric_snapshot;
+
   sim::TimePs queue_sample_interval = sim::Us(10);
   sim::TimePs base_rtt_override = 0;  // 0 = measured MaxBaseRtt
   // Flows at or below this size feed the short-flow latency distribution
@@ -141,10 +148,79 @@ class Experiment {
 
   // Runs generators + simulation, drains, and collects metrics.
   ExperimentResult Run();
+  // The two halves of a single-lane Run, split so the warm-start runner can
+  // pause between them: StartWorkload starts the generators and the queue
+  // monitor (drawing the same schedule seqs a plain Run would); FinishRun
+  // executes to the workload horizon, drains, and collects. Run ==
+  // StartWorkload + FinishRun when shards == 1.
+  void StartWorkload();
+  ExperimentResult FinishRun();
   // Lower-level: run the simulator to `until` without draining (micro
   // benches drive this directly after AddFlow).
   void RunUntil(sim::TimePs until);
   ExperimentResult Collect();
+
+  // --- Warm checkpoint/restore (warm-start sweeps) -----------------------
+  // A warm checkpoint captures the full mutable simulation state at a
+  // *quiescent* instant T: every flow complete, every queue empty, no pause
+  // open, and no pending event beyond the self-schedules of the generators,
+  // the queue-monitor tick, and `external_pending` caller-owned events
+  // (link-script events and scenario-installed generators, all at >= T).
+  // Restoring into a freshly built, identically configured experiment then
+  // reproduces the checkpointing run's state exactly — same RNG engines,
+  // counters, pending (time, seq) pairs — so the continued run is
+  // byte-identical to one that simulated [0, T) itself. Anything pending
+  // that this accounting can't explain (a CC timer, an RTO) makes the
+  // instant non-quiescent and the caller falls back to a cold run.
+
+  // One completed pre-checkpoint flow, carried for TraceHash / flow-count
+  // folding (the live Flow objects stay with the checkpointing experiment).
+  struct WarmFlowRecord {
+    uint64_t id = 0;
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint64_t size_bytes = 0;
+    sim::TimePs start = 0;
+    sim::TimePs finish = 0;
+    bool done = false;
+  };
+  struct WarmState {
+    sim::TimePs now = 0;             // checkpoint time T
+    uint64_t next_schedule_seq = 0;  // simulator tie-break counter at T
+    uint64_t events_executed = 0;
+    uint64_t next_flow_id = 1;
+    std::vector<WarmFlowRecord> flows;
+    std::unique_ptr<stats::FctRecorder> fct;
+    stats::PercentileTracker short_fct_us;
+    stats::QueueMonitor::WarmState queue;
+    stats::PfcMonitor::WarmState pfc;
+    std::vector<net::SwitchNode::WarmState> switches;  // switches() order
+    std::vector<net::Port::WarmCounters> ports;  // node asc, then port asc
+    std::vector<host::HostNode::WarmCounters> hosts;   // hosts() order
+    // Engaged iff the generator was captured (its first activity predates
+    // T); a generator whose schedule starts at or beyond T is left alone on
+    // restore — its own install-time schedule already matches.
+    std::optional<workload::GenWarmState> poisson;
+    std::optional<workload::GenWarmState> incast;
+    // Structural echo of the checkpointing experiment (restore validation).
+    bool poisson_present = false;
+    bool incast_present = false;
+  };
+
+  // True when the current instant satisfies the quiescence contract above.
+  bool QuiescentForWarmCheckpoint(size_t external_pending);
+  std::unique_ptr<WarmState> CaptureWarmState();
+  // True when `w` structurally matches this experiment (same generator
+  // presence, node/port/host counts, non-regressed clock). Mutates nothing —
+  // callers that restore external state of their own (scenario-installed
+  // generators) check this before touching anything.
+  bool ValidateWarmState(const WarmState& w);
+  // Validates, then restores every captured piece and jumps the simulator
+  // clock/counters to T. Returns false (mutating nothing) on a structural
+  // mismatch — the caller runs cold. Call after StartWorkload, before any
+  // Run: the pre-T self-schedules this experiment drew are cancelled and
+  // replaced by the checkpoint's captured (time, seq) events.
+  bool RestoreWarmState(const WarmState& w);
 
   sim::Simulator& simulator() { return *simulator_; }
   topo::Topology& topology() { return *topology_; }
@@ -219,6 +295,7 @@ class Experiment {
   void DrainInbound(Lane& lane, sim::TimePs horizon);
   net::SwitchConfig MakeSwitchConfig() const;
   std::unique_ptr<stats::FctRecorder> MakeFctRecorder() const;
+  static void SortResultDistributions(ExperimentResult& r);
 
   ExperimentConfig config_;
   std::unique_ptr<sim::Simulator> simulator_;
@@ -229,6 +306,9 @@ class Experiment {
   uint64_t next_flow_id_ = 1;
   std::vector<host::Flow*> flow_ptrs_;
   uint64_t flows_completed_ = 0;
+  // Pre-checkpoint flows adopted by RestoreWarmState; Collect folds them
+  // into flows_created/completed and the trace hash. Empty on cold runs.
+  std::vector<WarmFlowRecord> warm_flows_;
 
   std::unique_ptr<stats::FctRecorder> fct_;
   stats::PercentileTracker short_fct_us_;

@@ -450,20 +450,54 @@ const std::vector<Json::Member>& Json::members() const {
   return obj_;
 }
 
+namespace {
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+}  // namespace
+
 void Json::SetPath(const std::string& dotted_path, Json v) {
   const size_t dot = dotted_path.find('.');
-  if (dot == std::string::npos) {
-    Set(dotted_path, std::move(v));
+  const std::string head =
+      dot == std::string::npos ? dotted_path : dotted_path.substr(0, dot);
+  const std::string rest =
+      dot == std::string::npos ? std::string() : dotted_path.substr(dot + 1);
+  if (head.empty() || (dot != std::string::npos && rest.empty())) {
+    throw JsonError("bad path");
+  }
+  if (type_ == Type::kArray) {
+    // Numeric segments index existing array elements ("events.1.fan_in").
+    // Arrays are never extended: a sweep axis that points past the end is a
+    // scenario bug, not a request for a new element.
+    if (!AllDigits(head)) {
+      throw JsonError("path segment \"" + head +
+                      "\" indexes an array but is not a number");
+    }
+    const size_t idx = std::stoul(head);
+    if (idx >= arr_.size()) {
+      throw JsonError("path segment \"" + head + "\" is out of range (array has " +
+                      std::to_string(arr_.size()) + " elements)");
+    }
+    if (rest.empty()) {
+      arr_[idx] = std::move(v);
+    } else {
+      arr_[idx].SetPath(rest, std::move(v));
+    }
     return;
   }
-  const std::string head = dotted_path.substr(0, dot);
-  const std::string rest = dotted_path.substr(dot + 1);
-  if (head.empty() || rest.empty()) throw JsonError("bad path");
+  if (rest.empty()) {
+    Set(head, std::move(v));
+    return;
+  }
   for (Member& m : obj_) {
     if (m.first == head) {
-      if (!m.second.is_object()) {
+      if (!m.second.is_object() && !m.second.is_array()) {
         throw JsonError("path \"" + dotted_path +
-                        "\" descends into a non-object");
+                        "\" descends into a non-container");
       }
       m.second.SetPath(rest, std::move(v));
       return;

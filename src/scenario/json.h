@@ -65,7 +65,9 @@ class Json {
   bool Remove(const std::string& key);
   const std::vector<Member>& members() const;
   // Sets a value through a dotted path ("workload.load"), creating
-  // intermediate objects as needed. Used for sweep-grid patching.
+  // intermediate objects as needed. Numeric segments index existing array
+  // elements ("events.1.fan_in"); arrays are never extended. Used for
+  // sweep-grid patching.
   void SetPath(const std::string& dotted_path, Json v);
 
   // Deterministic serialization: same value -> same bytes. indent == 0 is

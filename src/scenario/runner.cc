@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <iterator>
@@ -73,6 +74,23 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
   // (exactly one when shards == 1); a deque keeps them address-stable while
   // lanes are added.
   std::deque<check::MonitorRegistry> registries;
+  // Builder-side promises, outside the try: a builder that dies before
+  // publishing must not strand the members blocked on its shared future —
+  // `abandon` resolves anything still pending to null (= run cold).
+  std::promise<std::shared_ptr<const topo::FabricSnapshot>> fabric_promise;
+  std::promise<std::shared_ptr<const WarmCheckpoint>> warm_promise;
+  bool fabric_pending = false;
+  bool warm_pending = false;
+  const auto abandon = [&]() noexcept {
+    if (fabric_pending) {
+      fabric_promise.set_value(nullptr);
+      fabric_pending = false;
+    }
+    if (warm_pending) {
+      warm_promise.set_value(nullptr);
+      warm_pending = false;
+    }
+  };
   try {
     const obs::TelemetryConfig tcfg =
         opts.telemetry ? *opts.telemetry : run.scenario.telemetry;
@@ -87,11 +105,70 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     // deterministic outputs are pinned shard-equal, so this costs nothing
     // but wall clock.
     if (tcfg.trace) cfg.shards = 1;
+
+    // Fabric snapshot sharing: the first run to reach this topology key
+    // builds the fabric cold and publishes its routing state; everyone else
+    // adopts the snapshot and skips the route BFS entirely.
+    uint64_t fabric_sig = 0;
+    std::shared_future<std::shared_ptr<const topo::FabricSnapshot>>
+        fabric_future;
+    if (opts.fabric_cache != nullptr) {
+      fabric_sig = FabricSignature(run.scenario);
+      std::lock_guard<std::mutex> lock(opts.fabric_cache->mu);
+      auto [it, inserted] = opts.fabric_cache->entries.try_emplace(fabric_sig);
+      if (inserted) {
+        it->second = fabric_promise.get_future().share();
+        fabric_pending = true;
+      } else {
+        fabric_future = it->second;
+      }
+    }
+    if (fabric_future.valid()) {
+      cfg.fabric_snapshot = fabric_future.get();  // null = build cold
+    }
+
+    // Warm checkpoint eligibility. Everything here falls back to a cold run
+    // without changing a single output byte: checking runs hold monitor
+    // state a restore cannot reproduce, trace/profile modes record
+    // mid-run engine state, sharded lanes checkpoint nothing, and a link
+    // event before the checkpoint instant mutates routes the snapshotted
+    // fabric build must not see.
+    const sim::TimePs warm_until = run.scenario.warm_until;
+    bool warm_on = opts.warm && opts.warm_cache != nullptr && warm_until > 0 &&
+                   warm_until < cfg.duration && cfg.shards == 1 &&
+                   !opts.check && opts.event_budget == 0 && !tcfg.trace &&
+                   !tcfg.profile;
+    for (const ScenarioEvent& ev : run.scenario.events) {
+      if ((ev.kind == ScenarioEvent::Kind::kLinkDown ||
+           ev.kind == ScenarioEvent::Kind::kLinkUp) &&
+          ev.at < warm_until) {
+        warm_on = false;
+      }
+    }
+    std::shared_future<std::shared_ptr<const WarmCheckpoint>> warm_future;
+    if (warm_on) {
+      const uint64_t fp = WarmFingerprint(run.scenario);
+      std::lock_guard<std::mutex> lock(opts.warm_cache->mu);
+      auto [it, inserted] = opts.warm_cache->entries.try_emplace(fp);
+      if (inserted) {
+        it->second = warm_promise.get_future().share();
+        warm_pending = true;
+      } else {
+        warm_future = it->second;
+      }
+    }
+
     obs::PhaseTimers phases;
     std::unique_ptr<runner::Experiment> e;
     {
       obs::PhaseTimer build(&phases.build_s);
       e = std::make_unique<runner::Experiment>(cfg);
+    }
+    if (fabric_pending) {
+      // Publish right after the build, before any link event can mutate the
+      // routes the snapshot aliases.
+      fabric_promise.set_value(e->topology().ExportSnapshot(fabric_sig));
+      fabric_pending = false;
     }
     if (opts.event_budget > 0) {
       e->set_event_budget(opts.event_budget);
@@ -128,7 +205,95 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     InstalledEvents events = InstallEvents(*e, run.scenario);
     {
       obs::PhaseTimer run_timer(&phases.run_s);
-      out.result = e->Run();
+      if (warm_pending) {
+        // Checkpoint builder: simulate [0, T), capture at the quiescent
+        // instant, publish (unblocking every member while this run keeps
+        // going), then finish normally.
+        e->StartWorkload();
+        e->simulator().Run(warm_until, 0);
+        // Caller-owned pendings the quiescence accounting must explain: the
+        // link script (all at >= T — checked above) and the installed
+        // generators' own next schedules.
+        size_t external = 0;
+        for (const ScenarioEvent& ev : run.scenario.events) {
+          if (ev.kind == ScenarioEvent::Kind::kLinkDown ||
+              ev.kind == ScenarioEvent::Kind::kLinkUp) {
+            ++external;
+          }
+        }
+        for (const auto& g : events.phases) {
+          if (g->warm_pending()) ++external;
+        }
+        for (const auto& g : events.bursts) {
+          if (g->warm_pending()) ++external;
+        }
+        if (e->QuiescentForWarmCheckpoint(external)) {
+          auto cp = std::make_shared<WarmCheckpoint>();
+          std::unique_ptr<runner::Experiment::WarmState> st =
+              e->CaptureWarmState();
+          cp->state = std::move(*st);
+          for (const auto& g : events.phases) {
+            cp->phases.push_back(
+                g->first_activity() < warm_until
+                    ? std::optional<workload::GenWarmState>(g->CaptureWarm())
+                    : std::nullopt);
+          }
+          for (const auto& g : events.bursts) {
+            cp->bursts.push_back(
+                g->first_activity() < warm_until
+                    ? std::optional<workload::GenWarmState>(g->CaptureWarm())
+                    : std::nullopt);
+          }
+          for (const auto& c : events.background_flows) {
+            cp->background_flows.push_back(*c);
+          }
+          if (session != nullptr) cp->counters = session->counters();
+          warm_promise.set_value(std::move(cp));
+          out.warm_built = true;
+        } else {
+          warm_promise.set_value(nullptr);
+        }
+        warm_pending = false;
+        out.result = e->FinishRun();
+      } else if (warm_future.valid()) {
+        // Member: adopt the builder's checkpoint if it materialized. Any
+        // null/mismatch path degenerates to the exact cold execution.
+        std::shared_ptr<const WarmCheckpoint> cp = warm_future.get();
+        if (cp != nullptr && cp->phases.size() == events.phases.size() &&
+            cp->bursts.size() == events.bursts.size() &&
+            cp->background_flows.size() == events.background_flows.size()) {
+          // Same start order as a cold run, so this experiment draws the
+          // same schedule seqs the builder drew before its checkpoint.
+          e->StartWorkload();
+          if (e->ValidateWarmState(cp->state)) {
+            // Installed generators before RestoreWarmState: their pre-T
+            // self-schedules must be cancelled and replaced while the clock
+            // is still pre-T (RestoreWarmState jumps it last).
+            for (size_t i = 0; i < events.phases.size(); ++i) {
+              if (cp->phases[i].has_value()) {
+                events.phases[i]->RestoreWarm(*cp->phases[i]);
+              }
+            }
+            for (size_t i = 0; i < events.bursts.size(); ++i) {
+              if (cp->bursts[i].has_value()) {
+                events.bursts[i]->RestoreWarm(*cp->bursts[i]);
+              }
+            }
+            for (size_t i = 0; i < events.background_flows.size(); ++i) {
+              *events.background_flows[i] = cp->background_flows[i];
+            }
+            if (session != nullptr) session->RestoreCounters(cp->counters);
+            out.warm_restored = e->RestoreWarmState(cp->state);
+          }
+          // Restored: continues from T. Not restored: nothing was mutated,
+          // and StartWorkload + FinishRun is exactly Run().
+          out.result = e->FinishRun();
+        } else {
+          out.result = e->Run();
+        }
+      } else {
+        out.result = e->Run();
+      }
     }
     if (opts.check || telemetry_on) {
       for (int lane = 0; lane < lanes; ++lane) {
@@ -187,6 +352,7 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
   } catch (const std::exception& ex) {
     out.error = ex.what();
   }
+  abandon();
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -224,11 +390,23 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
   if (options_.progress) {
     progress = std::make_unique<obs::ProgressMeter>(runs.size());
   }
+  // One cache pair per sweep execution: grid points with equal topology
+  // (resp. warm-fingerprint) keys build the fabric (resp. warm checkpoint)
+  // once and share it. --warm=off drops both, forcing every point cold.
+  std::shared_ptr<FabricCache> fabric_cache;
+  std::shared_ptr<WarmCache> warm_cache;
+  if (options_.warm) {
+    fabric_cache = std::make_shared<FabricCache>();
+    warm_cache = std::make_shared<WarmCache>();
+  }
   auto worker = [&]() {
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= runs.size()) return;
-      results[i] = RunOne(runs[i], PlanRun(runs[i], i, runs.size()));
+      RunOneOptions o = PlanRun(runs[i], i, runs.size());
+      o.fabric_cache = fabric_cache;
+      o.warm_cache = warm_cache;
+      results[i] = RunOne(runs[i], o);
       const SweepRunResult& r = results[i];
       if (progress) {
         progress->JobDone(r.result.events_executed,
@@ -259,6 +437,7 @@ RunOneOptions ScenarioRunner::PlanRun(const ScenarioRun& run, size_t index,
   opts.check = options_.check;
   opts.fastpath_override = options_.fastpath_override;
   opts.shards_override = options_.shards_override;
+  opts.warm = options_.warm;
 
   obs::TelemetryConfig cfg = run.scenario.telemetry;
   if (!options_.trace_out.empty()) cfg.trace = true;
@@ -332,14 +511,20 @@ std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r,
   }
   const runner::ExperimentResult& res = r.result;
   const stats::PercentileTracker& slow = res.fct->overall();
+  // Distribution metrics are NaN when no samples were collected (e.g. a
+  // zero-flow point): emit an empty cell so "no data" is distinguishable
+  // from a real 0. Non-empty values format exactly as before.
+  const auto metric = [](double v) {
+    return std::isnan(v) ? std::string() : FormatNumber(v);
+  };
   row.push_back(FormatNumber(static_cast<double>(res.flows_created)));
   row.push_back(FormatNumber(static_cast<double>(res.flows_completed)));
-  row.push_back(FormatNumber(slow.Percentile(50)));
-  row.push_back(FormatNumber(slow.Percentile(95)));
-  row.push_back(FormatNumber(slow.Percentile(99)));
-  row.push_back(FormatNumber(res.short_fct_us.Percentile(95)));
-  row.push_back(FormatNumber(res.queue_dist.Percentile(50) / 1e3));
-  row.push_back(FormatNumber(res.queue_dist.Percentile(99) / 1e3));
+  row.push_back(metric(slow.Percentile(50)));
+  row.push_back(metric(slow.Percentile(95)));
+  row.push_back(metric(slow.Percentile(99)));
+  row.push_back(metric(res.short_fct_us.Percentile(95)));
+  row.push_back(metric(res.queue_dist.Percentile(50) / 1e3));
+  row.push_back(metric(res.queue_dist.Percentile(99) / 1e3));
   row.push_back(FormatNumber(static_cast<double>(res.max_queue_bytes) / 1e3));
   row.push_back(FormatNumber(res.pause_time_fraction * 100));
   row.push_back(FormatNumber(static_cast<double>(res.pause_events)));

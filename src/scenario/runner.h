@@ -14,6 +14,10 @@
 //    worker. A failed point records its error; it never aborts the sweep.
 #pragma once
 
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +28,37 @@
 #include "scenario/scenario.h"
 
 namespace hpcc::scenario {
+
+// One warm checkpoint (see runner::Experiment's warm surface): the
+// experiment-level state plus the state of every scenario-installed
+// generator (install order, engaged iff its activity predates the
+// checkpoint), the per-lane background-flow cap counters, and the telemetry
+// counter baseline. Immutable once published; shared across the grid points
+// whose WarmFingerprint matches.
+struct WarmCheckpoint {
+  runner::Experiment::WarmState state;
+  std::vector<std::optional<workload::GenWarmState>> phases;
+  std::vector<std::optional<workload::GenWarmState>> bursts;
+  std::vector<uint64_t> background_flows;
+  obs::TelemetryCounters counters;
+};
+
+// Build-once-share-many caches for one sweep execution. The first worker to
+// reach a key becomes its builder and publishes through the shared future;
+// everyone else blocks on the future and reuses the value. A null value
+// means the builder failed (or found the checkpoint instant unrestorable) —
+// members fall back to building/running cold themselves.
+struct FabricCache {
+  std::mutex mu;
+  std::map<uint64_t,
+           std::shared_future<std::shared_ptr<const topo::FabricSnapshot>>>
+      entries;
+};
+struct WarmCache {
+  std::mutex mu;
+  std::map<uint64_t, std::shared_future<std::shared_ptr<const WarmCheckpoint>>>
+      entries;
+};
 
 struct SweepRunResult {
   std::string label;
@@ -42,6 +77,12 @@ struct SweepRunResult {
   std::string trace_path;
   // Wall-clock phase breakdown (manifest "profile" section; diagnostic).
   obs::PhaseTimers phases;
+  // Warm-start provenance (diagnostic; never in the CSV): whether this run
+  // captured and published the warm checkpoint for its fingerprint, and
+  // whether it restored from one instead of simulating [0, warm_until)
+  // itself. Both false on cold runs and fallbacks.
+  bool warm_built = false;
+  bool warm_restored = false;
 
   bool ok() const { return error.empty() && violation_count == 0; }
 };
@@ -76,6 +117,12 @@ struct ScenarioRunnerOptions {
   // ".csv"; RunScenarioFile fills it). Empty = only write files whose path
   // is explicit (trace_out).
   std::string out_base;
+  // Warm-start sweeps (`--warm=off` clears it): share one fabric snapshot
+  // across the grid, and when the scenario sets warm_start.until_us, also
+  // checkpoint the simulation there once per WarmFingerprint and restore it
+  // for the other grid points. Never changes any output byte — ineligible or
+  // unrestorable runs silently fall back to cold.
+  bool warm = true;
 };
 
 // Per-point execution options for RunOne (the non-static surface RunAll
@@ -95,6 +142,12 @@ struct RunOneOptions {
   // Abort the event loop after this many events (0 = unlimited); the fuzz
   // flight recorder replays violating runs under a budget.
   uint64_t event_budget = 0;
+  // Warm-start machinery (RunAll wires these; plain RunOne calls leave them
+  // null and always run cold). `warm` gates checkpoint capture/restore;
+  // the fabric cache engages on its own whenever present.
+  bool warm = true;
+  std::shared_ptr<FabricCache> fabric_cache;
+  std::shared_ptr<WarmCache> warm_cache;
 };
 
 class ScenarioRunner {

@@ -65,6 +65,12 @@ struct Scenario {
   // "telemetry" block: manifest/trace emission and track shaping. The CLI
   // (--trace-out/--manifest) can force parts of it on per invocation.
   obs::TelemetryConfig telemetry;
+  // "warm_start" block: when > 0, sweep runs may checkpoint the simulation
+  // at this instant and restore it for grid points sharing the same pre-T
+  // prefix (see WarmFingerprint). 0 = off. Purely a setup-cost knob: warm
+  // runs are byte-identical to cold ones, and a run falls back to cold
+  // whenever the instant is not cleanly restorable.
+  sim::TimePs warm_until = 0;
   std::vector<ScenarioEvent> events;
   std::vector<SweepAxis> sweep;
   // The original document, kept for sweep patching.
@@ -108,10 +114,30 @@ bool MutatesTopology(const Scenario& s);
 // phase generators, including phase 0 from the configured load).
 runner::ExperimentConfig MakeExperimentConfig(const Scenario& s);
 
+// FNV-1a digest of the canonical topology block: the key sweep runs share a
+// fabric snapshot under (identical digest => identical fabric build).
+uint64_t FabricSignature(const Scenario& s);
+
+// Digest of everything that can influence the simulation on [0, warm_until):
+// the full canonical document, except that events at or beyond warm_until
+// (other than load phases, whose times bound earlier phase windows) are
+// reduced to their bare {type} marker. Two sweep grid points with equal
+// fingerprints run identically up to warm_until — same traffic, same RNG
+// draws, same schedule-seq assignments (the type markers preserve the
+// install-time draw pattern) — so one warm checkpoint serves both.
+uint64_t WarmFingerprint(const Scenario& s);
+
 // Generators created by the event script; must outlive the run.
+// `phases` and `bursts` are install-ordered, so two experiments built from
+// the same scenario align element-wise — the warm-start runner relies on
+// this to carry generator state from a checkpointing run into a restored
+// one. `background_flows` holds the per-lane shared flow counters the phase
+// sinks use to enforce the global max_flows cap (empty without load phases);
+// warm restore must carry their values too.
 struct InstalledEvents {
   std::vector<std::unique_ptr<workload::PoissonGenerator>> phases;
   std::vector<std::unique_ptr<workload::IncastGenerator>> bursts;
+  std::vector<std::shared_ptr<uint64_t>> background_flows;
 };
 
 // Schedules the scenario's timed events onto a freshly-built experiment:

@@ -124,6 +124,30 @@ class Simulator {
   static uint64_t BoundarySeq(uint32_t link_uid) {
     return link_uid & ((uint32_t{1} << kArrivalUidBits) - 1);
   }
+
+  // --- Warm restore (checkpointed sweeps; see runner/experiment.h) --------
+  // Re-schedules an event under a previously-issued tie-break key. A warm
+  // restore replays a checkpointed simulator's pending events with their
+  // original (at, seq) pairs, so the resumed execution order is the exact
+  // order the checkpointing run would have used. `seq` must be a full
+  // encoded key (class bits included), exactly as next_schedule_seq() /
+  // executing_seq() report them.
+  EventId ScheduleAtSeq(TimePs at, uint64_t seq, Callback cb) {
+    return ScheduleKeyed(at, seq, std::move(cb));
+  }
+  // Jumps the clock, schedule counter and executed-event count to a
+  // checkpoint's values (all pending events must already carry timestamps
+  // >= `now`). The caller re-creates pending events via ScheduleAtSeq; this
+  // only aligns the counters so post-restore ScheduleAt calls draw the same
+  // seqs (and events_executed reports the same totals) as the run that took
+  // the checkpoint.
+  void Restore(TimePs now, uint64_t next_schedule_seq_value,
+               uint64_t events_executed_value) {
+    assert(now >= now_);
+    now_ = now;
+    next_seq_ = next_schedule_seq_value & (kArrivalSeqBase - 1);
+    events_executed_ = events_executed_value;
+  }
   // Cancels a pending event and destroys its closure. Cancelling an
   // already-run, already-cancelled, or invalid id is a no-op.
   void Cancel(EventId id);

@@ -27,6 +27,13 @@ class FctRecorder {
   // percentiles sort on demand, so merge order does not matter.
   void Merge(const FctRecorder& other);
 
+  // Sorts every bin so later const reads are zero-copy (and safe to share
+  // across threads without per-read copies). Call at collection boundaries.
+  void Sort() {
+    for (PercentileTracker& b : bins_) b.Sort();
+    overall_.Sort();
+  }
+
   size_t num_bins() const { return bins_.size(); }
   std::string BinLabel(size_t bin) const;
   const PercentileTracker& bin(size_t i) const { return bins_[i]; }

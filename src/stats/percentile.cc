@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace hpcc::stats {
 
-void PercentileTracker::EnsureSorted() const {
+namespace {
+
+double RankInterpolate(const std::vector<double>& sorted, double p) {
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void PercentileTracker::Sort() {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -13,32 +26,29 @@ void PercentileTracker::EnsureSorted() const {
 }
 
 double PercentileTracker::Percentile(double p) const {
-  if (samples_.empty()) return 0;
-  EnsureSorted();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const size_t lo = static_cast<size_t>(std::floor(rank));
-  const size_t hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted_) return RankInterpolate(samples_, p);
+  // Unsorted read: sort a local copy so concurrent readers never race.
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  return RankInterpolate(copy, p);
 }
 
 double PercentileTracker::Mean() const {
-  if (samples_.empty()) return 0;
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   double sum = 0;
   for (double s : samples_) sum += s;
   return sum / static_cast<double>(samples_.size());
 }
 
 double PercentileTracker::Max() const {
-  if (samples_.empty()) return 0;
-  EnsureSorted();
-  return samples_.back();
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double PercentileTracker::Min() const {
-  if (samples_.empty()) return 0;
-  EnsureSorted();
-  return samples_.front();
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(samples_.begin(), samples_.end());
 }
 
 }  // namespace hpcc::stats

@@ -1,4 +1,10 @@
 // Exact percentile tracking over collected samples.
+//
+// Thread-safety contract: const readers never mutate the tracker, so any
+// number of threads may read one tracker concurrently (sweep aggregation,
+// lane merges). Reading an unsorted tracker is correct but copies the
+// samples; call Sort() once at the collection boundary (after the last
+// Add/Merge) to make subsequent reads allocation-free.
 #pragma once
 
 #include <cstddef>
@@ -23,18 +29,23 @@ class PercentileTracker {
     sorted_ = false;
   }
 
-  // p in [0, 100]; exact nearest-rank percentile. Returns 0 on no samples.
+  // Sorts in place so later const reads hit the zero-copy fast path. Call
+  // after the final Add/Merge, before the tracker is shared across threads.
+  void Sort();
+
+  // p in [0, 100]; exact nearest-rank percentile (linear interpolation
+  // between adjacent ranks). Returns NaN on no samples, so downstream
+  // formatting can distinguish "no data" from a real 0.
   double Percentile(double p) const;
-  double Mean() const;
-  double Max() const;
-  double Min() const;
+  double Mean() const;  // NaN on no samples
+  double Max() const;   // NaN on no samples
+  double Min() const;   // NaN on no samples
   size_t Count() const { return samples_.size(); }
   bool Empty() const { return samples_.empty(); }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void EnsureSorted() const;
+  std::vector<double> samples_;
+  bool sorted_ = true;  // an empty tracker is trivially sorted
 };
 
 }  // namespace hpcc::stats

@@ -56,6 +56,21 @@ class PfcMonitor {
   // Peak simultaneous paused capacity (bps) and its fraction of total.
   int64_t peak_paused_bps() const { return peak_paused_bps_; }
 
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // A checkpoint is only taken while no pause is open, so the closed event
+  // list plus the peak is the complete state (port_bps_ is structural and
+  // refilled by AttachTo on the restoring run).
+  bool has_open_pauses() const { return !open_.empty(); }
+  struct WarmState {
+    std::vector<PauseEvent> events;
+    int64_t peak_paused_bps = 0;
+  };
+  WarmState CaptureWarm() const { return {events_, peak_paused_bps_}; }
+  void RestoreWarm(const WarmState& w) {
+    events_ = w.events;
+    peak_paused_bps_ = w.peak_paused_bps;
+  }
+
  private:
   void OnChange(uint32_t node, int port, int prio, sim::TimePs now,
                 bool paused);

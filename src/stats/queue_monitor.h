@@ -42,8 +42,28 @@ class QueueMonitor {
   const PercentileTracker& distribution() const { return dist_; }
   int64_t max_seen_bytes() const { return max_seen_; }
 
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // Checkpointed sampler state: the accumulated distribution plus the one
+  // pending tick with its original (time, seq) key, so the restored sampling
+  // cadence is event-for-event identical to the checkpointing run's.
+  struct WarmState {
+    PercentileTracker dist;
+    int64_t max_seen = 0;
+    sim::TimePs until = 0;
+    bool tick_pending = false;
+    sim::TimePs tick_at = 0;
+    uint64_t tick_seq = 0;
+  };
+  bool tick_pending() const { return tick_pending_; }
+  WarmState CaptureWarm() const;
+  // Cancels this monitor's own pending tick and replays the captured one.
+  // The monitor must already be Start()ed (so the cold and warm runs drew
+  // the same install-time seq).
+  void RestoreWarm(const WarmState& w);
+
  private:
   void Sample();
+  void ScheduleTick(sim::TimePs at);
 
   sim::Simulator* simulator_;
   topo::Topology* topology_;
@@ -53,6 +73,10 @@ class QueueMonitor {
   bool use_subset_ = false;
   PercentileTracker dist_;
   int64_t max_seen_ = 0;
+  bool tick_pending_ = false;
+  sim::TimePs tick_at_ = 0;
+  uint64_t tick_seq_ = 0;
+  sim::EventId tick_event_ = sim::kInvalidEvent;
 };
 
 // Time series of one specific port's data queue (Fig. 6 / 13b).

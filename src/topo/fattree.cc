@@ -5,7 +5,8 @@
 namespace hpcc::topo {
 
 FatTreeTopology MakeFatTree(sim::Simulator* simulator,
-                            const FatTreeOptions& options) {
+                            const FatTreeOptions& options,
+                            std::shared_ptr<const FabricSnapshot> snapshot) {
   FatTreeTopology out;
   out.topo = std::make_unique<Topology>(simulator);
   Topology& t = *out.topo;
@@ -57,6 +58,7 @@ FatTreeTopology MakeFatTree(sim::Simulator* simulator,
   }
   t.SetPathModel(std::make_unique<FatTreePathModel>(options, out.host_ids,
                                                     t.num_nodes()));
+  if (snapshot != nullptr) t.AdoptSnapshot(std::move(snapshot));
   t.Finalize();
   return out;
 }

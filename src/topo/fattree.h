@@ -52,8 +52,12 @@ struct FatTreeTopology {
   std::vector<Tier> tiers;
 };
 
-FatTreeTopology MakeFatTree(sim::Simulator* simulator,
-                            const FatTreeOptions& options);
+// `snapshot`: optional warm-start fabric snapshot from an identically
+// configured build; Finalize adopts its routing tables instead of running
+// the route BFS (see topo/snapshot.h).
+FatTreeTopology MakeFatTree(
+    sim::Simulator* simulator, const FatTreeOptions& options,
+    std::shared_ptr<const FabricSnapshot> snapshot = nullptr);
 
 // Analytic designed-topology path model for the regular fat-tree: hop count
 // and link composition from pod arithmetic over the builder's host order

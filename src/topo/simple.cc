@@ -2,7 +2,8 @@
 
 namespace hpcc::topo {
 
-StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options) {
+StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options,
+                      std::shared_ptr<const FabricSnapshot> snapshot) {
   StarTopology out;
   out.topo = std::make_unique<Topology>(simulator);
   out.switch_id = out.topo->AddSwitch(options.sw, "sw0");
@@ -12,12 +13,14 @@ StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options) {
     out.topo->AddLink(h, out.switch_id, options.host_bps, options.link_delay);
     out.host_ids.push_back(h);
   }
+  if (snapshot != nullptr) out.topo->AdoptSnapshot(std::move(snapshot));
   out.topo->Finalize();
   return out;
 }
 
 DumbbellTopology MakeDumbbell(sim::Simulator* simulator,
-                              const DumbbellOptions& options) {
+                              const DumbbellOptions& options,
+                              std::shared_ptr<const FabricSnapshot> snapshot) {
   DumbbellTopology out;
   out.topo = std::make_unique<Topology>(simulator);
   out.left_switch = out.topo->AddSwitch(options.sw, "swL");
@@ -36,6 +39,7 @@ DumbbellTopology MakeDumbbell(sim::Simulator* simulator,
                       options.link_delay);
     out.right_hosts.push_back(r);
   }
+  if (snapshot != nullptr) out.topo->AdoptSnapshot(std::move(snapshot));
   out.topo->Finalize();
   return out;
 }

@@ -25,7 +25,8 @@ struct StarTopology {
 
 // All hosts hang off one switch — the 16-to-1 incast fixture of §5.4 and the
 // 2-to-1 fixture of Fig. 6.
-StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options);
+StarTopology MakeStar(sim::Simulator* simulator, const StarOptions& options,
+                      std::shared_ptr<const FabricSnapshot> snapshot = nullptr);
 
 struct DumbbellOptions {
   int hosts_per_side = 2;
@@ -46,7 +47,8 @@ struct DumbbellTopology {
 
 // Two switches joined by one trunk; left/right host groups. The shared-trunk
 // fixture for long-vs-short and fairness micro-benchmarks (Fig. 9).
-DumbbellTopology MakeDumbbell(sim::Simulator* simulator,
-                              const DumbbellOptions& options);
+DumbbellTopology MakeDumbbell(
+    sim::Simulator* simulator, const DumbbellOptions& options,
+    std::shared_ptr<const FabricSnapshot> snapshot = nullptr);
 
 }  // namespace hpcc::topo

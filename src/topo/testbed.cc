@@ -3,7 +3,8 @@
 namespace hpcc::topo {
 
 TestbedTopology MakeTestbed(sim::Simulator* simulator,
-                            const TestbedOptions& options) {
+                            const TestbedOptions& options,
+                            std::shared_ptr<const FabricSnapshot> snapshot) {
   TestbedTopology out;
   out.topo = std::make_unique<Topology>(simulator);
   Topology& t = *out.topo;
@@ -26,6 +27,7 @@ TestbedTopology MakeTestbed(sim::Simulator* simulator,
       out.host_ids.push_back(h);
     }
   }
+  if (snapshot != nullptr) t.AdoptSnapshot(std::move(snapshot));
   t.Finalize();
   return out;
 }

@@ -27,7 +27,8 @@ struct TestbedTopology {
   uint32_t agg_id = 0;
 };
 
-TestbedTopology MakeTestbed(sim::Simulator* simulator,
-                            const TestbedOptions& options);
+TestbedTopology MakeTestbed(
+    sim::Simulator* simulator, const TestbedOptions& options,
+    std::shared_ptr<const FabricSnapshot> snapshot = nullptr);
 
 }  // namespace hpcc::topo

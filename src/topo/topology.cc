@@ -119,8 +119,8 @@ void Topology::RebuildDestination(uint32_t dst) {
   for (net::SwitchNode* sw : switch_ptrs_) {
     cand.clear();
     if (sw->id() != dst) CollectCandidates(sw->id(), dist, &cand);
-    sw->routes().SetRoute(dst, cand.data(),
-                          static_cast<uint32_t>(cand.size()));
+    sw->mutable_routes().SetRoute(dst, cand.data(),
+                                  static_cast<uint32_t>(cand.size()));
   }
 }
 
@@ -140,12 +140,12 @@ void Topology::RebuildDestinationsBehind(uint32_t via,
     CollectCandidates(s, dist, &cand);
     if (cand.empty()) {
       for (const uint32_t h : hosts) {
-        sw->routes().AssignGroup(h, net::NextHopTable::kNoGroup);
+        sw->mutable_routes().AssignGroup(h, net::NextHopTable::kNoGroup);
       }
     } else {
-      const uint32_t gid = sw->routes().InternGroup(
+      const uint32_t gid = sw->mutable_routes().InternGroup(
           cand.data(), static_cast<uint32_t>(cand.size()));
-      for (const uint32_t h : hosts) sw->routes().AssignGroup(h, gid);
+      for (const uint32_t h : hosts) sw->mutable_routes().AssignGroup(h, gid);
     }
   }
   net::SwitchNode& attach = *static_cast<net::SwitchNode*>(nodes_[via].get());
@@ -156,8 +156,8 @@ void Topology::RebuildDestinationsBehind(uint32_t via,
         cand.push_back(static_cast<uint16_t>(e.port));
       }
     }
-    attach.routes().SetRoute(h, cand.data(),
-                             static_cast<uint32_t>(cand.size()));
+    attach.mutable_routes().SetRoute(h, cand.data(),
+                                     static_cast<uint32_t>(cand.size()));
   }
 }
 
@@ -187,7 +187,10 @@ class Topology::RouteTimer {
 void Topology::RecomputeRoutes() {
   RouteTimer timer(this);
   for (net::SwitchNode* sw : switch_ptrs_) {
-    sw->routes().Reset(static_cast<uint32_t>(nodes_.size()));
+    // Reset rebuilds from scratch, so a shared snapshot view detaches
+    // without the copy.
+    sw->mutable_routes(/*preserve=*/false)
+        .Reset(static_cast<uint32_t>(nodes_.size()));
   }
   RebuildDestinations(hosts_);
 }
@@ -195,10 +198,39 @@ void Topology::RecomputeRoutes() {
 void Topology::Finalize() {
   assert(!finalized_);
   finalized_ = true;
-  RecomputeRoutes();
+  if (adopted_snapshot_ != nullptr &&
+      adopted_snapshot_->routes.size() == switches_.size()) {
+    // Warm start: alias the snapshot's immutable tables instead of running
+    // the route BFS. A later mutation (link event) detaches just the
+    // switches it touches (SwitchNode::mutable_routes).
+    for (size_t i = 0; i < switches_.size(); ++i) {
+      switch_ptrs_[i]->AdoptRouteView(&adopted_snapshot_->routes[i]);
+    }
+    if (adopted_snapshot_->path_model != nullptr) {
+      path_model_ = adopted_snapshot_->path_model;
+    }
+    max_base_rtt_cache_ = adopted_snapshot_->max_base_rtt;
+  } else {
+    adopted_snapshot_ = nullptr;
+    RecomputeRoutes();
+  }
   for (uint32_t s : switches_) {
     switch_node(s).FinishSetup();
   }
+}
+
+std::shared_ptr<const FabricSnapshot> Topology::ExportSnapshot(
+    uint64_t signature) const {
+  assert(finalized_);
+  auto snap = std::make_shared<FabricSnapshot>();
+  snap->signature = signature;
+  snap->routes.reserve(switches_.size());
+  for (const net::SwitchNode* sw : switch_ptrs_) {
+    snap->routes.push_back(sw->routes());
+  }
+  snap->path_model = path_model_;
+  snap->max_base_rtt = MaxBaseRtt();
+  return snap;
 }
 
 void Topology::SetLinkUp(size_t link_index, bool up) {
@@ -297,9 +329,9 @@ void Topology::SetLinkUp(size_t link_index, bool up) {
   } else {
     for (const Patch& p : patches) {
       if (p.add) {
-        p.sw->routes().AddPort(p.dst, p.port);
+        p.sw->mutable_routes().AddPort(p.dst, p.port);
       } else {
-        p.sw->routes().RemovePort(p.dst, p.port);
+        p.sw->mutable_routes().RemovePort(p.dst, p.port);
       }
     }
     RebuildDestinations(rebuild);
@@ -324,7 +356,7 @@ void Topology::RebuildDestinations(const std::vector<uint32_t>& dsts) {
     } else if (adj_[dst].size() == 1 && !links_[adj_[dst].front().link].up) {
       // Sole NIC link down: unreachable from everywhere.
       for (net::SwitchNode* sw : switch_ptrs_) {
-        sw->routes().AssignGroup(dst, net::NextHopTable::kNoGroup);
+        sw->mutable_routes().AssignGroup(dst, net::NextHopTable::kNoGroup);
       }
     } else {
       RebuildDestination(dst);
@@ -432,6 +464,8 @@ sim::TimePs Topology::BaseRtt(uint32_t src, uint32_t dst) const {
 }
 
 sim::TimePs Topology::MaxBaseRtt() const {
+  // Adopted-snapshot fast path: the exporting topology already measured it.
+  if (max_base_rtt_cache_ >= 0) return max_base_rtt_cache_;
   if (path_model_ != nullptr) {
     uint32_t src = 0;
     uint32_t dst = 0;

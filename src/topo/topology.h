@@ -19,6 +19,7 @@
 #include "net/switch_node.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "topo/snapshot.h"
 
 namespace hpcc::topo {
 
@@ -94,6 +95,26 @@ class Topology {
   // Installs an analytic designed-topology path model (regular builders).
   void SetPathModel(std::unique_ptr<PathModel> model) {
     path_model_ = std::move(model);
+  }
+
+  // --- Fabric snapshots (warm-start sweeps; topo/snapshot.h) -------------
+  // Captures the finalized routing state, path model and measured
+  // MaxBaseRtt into an immutable snapshot shareable across sweep jobs.
+  // Call after Finalize and before any link event mutates routes.
+  // `signature` is the caller's cache key for this fabric configuration
+  // (recorded in the snapshot for manifest provenance).
+  std::shared_ptr<const FabricSnapshot> ExportSnapshot(
+      uint64_t signature = 0) const;
+  // Pre-Finalize: Finalize() will adopt `snap`'s tables as shared read
+  // views instead of running the route BFS. The snapshot must come from an
+  // identically built topology (same nodes, links, initial link states) —
+  // the sweep runner keys its cache on the topology configuration.
+  void AdoptSnapshot(std::shared_ptr<const FabricSnapshot> snap) {
+    adopted_snapshot_ = std::move(snap);
+  }
+  // The snapshot Finalize adopted (null on a cold build).
+  const std::shared_ptr<const FabricSnapshot>& adopted_snapshot() const {
+    return adopted_snapshot_;
   }
 
   // Cumulative wall-clock seconds spent building or repairing routes
@@ -199,7 +220,10 @@ class Topology {
     uint32_t peer;
   };
   std::vector<std::vector<Edge>> adj_;
-  std::unique_ptr<PathModel> path_model_;
+  std::shared_ptr<const PathModel> path_model_;
+  // Keeps an adopted snapshot's tables alive while switches alias them.
+  std::shared_ptr<const FabricSnapshot> adopted_snapshot_;
+  sim::TimePs max_base_rtt_cache_ = -1;  // < 0 = not cached
   std::vector<uint16_t> cand_scratch_;
   bool finalized_ = false;
   bool route_oracle_ = false;

@@ -28,8 +28,16 @@ PoissonGenerator::PoissonGenerator(sim::Simulator* simulator,
   assert(mean_gap_ > 0);
 }
 
-void PoissonGenerator::Start() {
-  simulator_->ScheduleAt(options_.start, [this]() { ScheduleNext(); });
+void PoissonGenerator::Start() { ScheduleKickoff(options_.start); }
+
+void PoissonGenerator::ScheduleKickoff(sim::TimePs at) {
+  pending_kind_ = GenWarmState::kKickoff;
+  pending_at_ = at;
+  pending_seq_ = simulator_->next_schedule_seq();
+  pending_event_ = simulator_->ScheduleAt(at, [this]() {
+    pending_kind_ = GenWarmState::kNone;
+    ScheduleNext();
+  });
 }
 
 void PoissonGenerator::ScheduleNext() {
@@ -38,7 +46,46 @@ void PoissonGenerator::ScheduleNext() {
   const sim::TimePs at = simulator_->now() + std::max<sim::TimePs>(1, gap);
   if (options_.end > 0 && at > options_.end) return;
   if (options_.max_flows > 0 && emitted_ >= options_.max_flows) return;
-  simulator_->ScheduleAt(at, [this]() { Emit(); });
+  pending_kind_ = GenWarmState::kEmit;
+  pending_at_ = at;
+  pending_seq_ = simulator_->next_schedule_seq();
+  pending_event_ = simulator_->ScheduleAt(at, [this]() {
+    pending_kind_ = GenWarmState::kNone;
+    Emit();
+  });
+}
+
+GenWarmState PoissonGenerator::CaptureWarm() const {
+  GenWarmState w;
+  w.pending_kind = pending_kind_;
+  w.pending_at = pending_at_;
+  w.pending_seq = pending_seq_;
+  w.rng = rng_;
+  w.count = emitted_;
+  return w;
+}
+
+void PoissonGenerator::RestoreWarm(const GenWarmState& w) {
+  if (pending_kind_ != GenWarmState::kNone) {
+    simulator_->Cancel(pending_event_);
+    pending_kind_ = GenWarmState::kNone;
+  }
+  rng_ = w.rng;
+  emitted_ = w.count;
+  if (w.pending_kind == GenWarmState::kNone) return;
+  pending_kind_ = w.pending_kind;
+  pending_at_ = w.pending_at;
+  pending_seq_ = w.pending_seq;
+  const bool kickoff = w.pending_kind == GenWarmState::kKickoff;
+  pending_event_ =
+      simulator_->ScheduleAtSeq(w.pending_at, w.pending_seq, [this, kickoff]() {
+        pending_kind_ = GenWarmState::kNone;
+        if (kickoff) {
+          ScheduleNext();
+        } else {
+          Emit();
+        }
+      });
 }
 
 void PoissonGenerator::Emit() {
@@ -62,8 +109,44 @@ IncastGenerator::IncastGenerator(sim::Simulator* simulator,
   assert(static_cast<size_t>(options_.fan_in) < hosts_.size());
 }
 
-void IncastGenerator::Start() {
-  simulator_->ScheduleAt(options_.first_event, [this]() { Emit(); });
+void IncastGenerator::Start() { ScheduleEmit(options_.first_event); }
+
+void IncastGenerator::ScheduleEmit(sim::TimePs at) {
+  pending_kind_ = GenWarmState::kEmit;
+  pending_at_ = at;
+  pending_seq_ = simulator_->next_schedule_seq();
+  pending_event_ = simulator_->ScheduleAt(at, [this]() {
+    pending_kind_ = GenWarmState::kNone;
+    Emit();
+  });
+}
+
+GenWarmState IncastGenerator::CaptureWarm() const {
+  GenWarmState w;
+  w.pending_kind = pending_kind_;
+  w.pending_at = pending_at_;
+  w.pending_seq = pending_seq_;
+  w.rng = rng_;
+  w.count = events_;
+  return w;
+}
+
+void IncastGenerator::RestoreWarm(const GenWarmState& w) {
+  if (pending_kind_ != GenWarmState::kNone) {
+    simulator_->Cancel(pending_event_);
+    pending_kind_ = GenWarmState::kNone;
+  }
+  rng_ = w.rng;
+  events_ = w.count;
+  if (w.pending_kind == GenWarmState::kNone) return;
+  pending_kind_ = w.pending_kind;
+  pending_at_ = w.pending_at;
+  pending_seq_ = w.pending_seq;
+  pending_event_ =
+      simulator_->ScheduleAtSeq(w.pending_at, w.pending_seq, [this]() {
+        pending_kind_ = GenWarmState::kNone;
+        Emit();
+      });
 }
 
 void IncastGenerator::Emit() {
@@ -87,7 +170,7 @@ void IncastGenerator::Emit() {
   if (options_.period > 0) {
     const sim::TimePs next = now + options_.period;
     if (options_.end == 0 || next <= options_.end) {
-      simulator_->ScheduleAt(next, [this]() { Emit(); });
+      ScheduleEmit(next);
     }
   }
 }

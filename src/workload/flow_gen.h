@@ -27,6 +27,20 @@ struct PoissonOptions {
   uint64_t seed = 1;
 };
 
+// Checkpointed generator state (warm-start sweeps): the RNG engine, the
+// emission counter, and the one pending self-schedule with its original
+// (time, tie-break seq) so a restored run replays the exact event order the
+// checkpointing run would have used. `pending_kind` distinguishes the
+// start-of-generation kickoff callback from a flow/burst emission.
+struct GenWarmState {
+  enum Kind { kNone = 0, kKickoff = 1, kEmit = 2 };
+  int pending_kind = kNone;
+  sim::TimePs pending_at = 0;
+  uint64_t pending_seq = 0;
+  sim::Rng rng;
+  uint64_t count = 0;  // emitted_ (Poisson) / events_ (incast)
+};
+
 class PoissonGenerator {
  public:
   PoissonGenerator(sim::Simulator* simulator, std::vector<uint32_t> hosts,
@@ -37,7 +51,21 @@ class PoissonGenerator {
   // Mean flow inter-arrival time implied by the load target.
   sim::TimePs mean_interarrival() const { return mean_gap_; }
 
+  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
+  // Earliest simulation time this generator touches after Start: generators
+  // entirely beyond the checkpoint time are left untouched by a restore
+  // (their own install-time schedule already matches the checkpointing run).
+  sim::TimePs first_activity() const { return options_.start; }
+  // Whether a self-scheduled event is currently pending (checkpoint-time
+  // event accounting).
+  bool warm_pending() const { return pending_kind_ != GenWarmState::kNone; }
+  GenWarmState CaptureWarm() const;
+  // Cancels this generator's own pending event and replays the captured one
+  // under its original (time, seq) key; restores the RNG and counters.
+  void RestoreWarm(const GenWarmState& w);
+
  private:
+  void ScheduleKickoff(sim::TimePs at);
   void ScheduleNext();
   void Emit();
 
@@ -49,6 +77,10 @@ class PoissonGenerator {
   sim::Rng rng_;
   sim::TimePs mean_gap_ = 0;
   uint64_t emitted_ = 0;
+  int pending_kind_ = GenWarmState::kNone;
+  sim::TimePs pending_at_ = 0;
+  uint64_t pending_seq_ = 0;
+  sim::EventId pending_event_ = sim::kInvalidEvent;
 };
 
 struct IncastOptions {
@@ -68,7 +100,14 @@ class IncastGenerator {
   void Start();
   uint64_t events_emitted() const { return events_; }
 
+  // Warm checkpoint/restore — see PoissonGenerator.
+  sim::TimePs first_activity() const { return options_.first_event; }
+  bool warm_pending() const { return pending_kind_ != GenWarmState::kNone; }
+  GenWarmState CaptureWarm() const;
+  void RestoreWarm(const GenWarmState& w);
+
  private:
+  void ScheduleEmit(sim::TimePs at);
   void Emit();
 
   sim::Simulator* simulator_;
@@ -77,6 +116,10 @@ class IncastGenerator {
   FlowSink sink_;
   sim::Rng rng_;
   uint64_t events_ = 0;
+  int pending_kind_ = GenWarmState::kNone;
+  sim::TimePs pending_at_ = 0;
+  uint64_t pending_seq_ = 0;
+  sim::EventId pending_event_ = sim::kInvalidEvent;
 };
 
 }  // namespace hpcc::workload

@@ -99,6 +99,20 @@ TEST(Json, SetPathCreatesIntermediateObjects) {
   EXPECT_THROW(j.SetPath("workload.load.deeper", Json()), JsonError);
 }
 
+TEST(Json, SetPathIndexesArrayElements) {
+  Json j = Json::Parse(R"({"events": [
+    {"type": "load_phase", "load": 0.5},
+    {"type": "incast", "fan_in": 4}
+  ]})");
+  j.SetPath("events.1.fan_in", Json::MakeNumber(8));
+  EXPECT_EQ(j.Get("events").at(1).Get("fan_in").AsInt(), 8);
+  j.SetPath("events.0", Json::Parse(R"({"type": "link_down", "link": 2})"));
+  EXPECT_EQ(j.Get("events").at(0).Get("type").AsString(), "link_down");
+  // Arrays are indexed, never extended; segments must be numeric.
+  EXPECT_THROW(j.SetPath("events.2.fan_in", Json::MakeNumber(1)), JsonError);
+  EXPECT_THROW(j.SetPath("events.first.fan_in", Json::MakeNumber(1)), JsonError);
+}
+
 // ---- scenario schema --------------------------------------------------------
 
 constexpr char kMinimal[] = R"({

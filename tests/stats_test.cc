@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <thread>
 
 #include "sim/rng.h"
 #include "stats/fct_recorder.h"
@@ -12,11 +14,61 @@
 namespace hpcc::stats {
 namespace {
 
-TEST(Percentile, EmptyIsZero) {
+TEST(Percentile, EmptyIsNaN) {
+  // NaN (not 0) so "no samples" is distinguishable from a real 0 downstream;
+  // CSV/manifest writers map it to an empty cell / JSON null.
   PercentileTracker t;
-  EXPECT_EQ(t.Percentile(50), 0);
-  EXPECT_EQ(t.Mean(), 0);
+  EXPECT_TRUE(std::isnan(t.Percentile(50)));
+  EXPECT_TRUE(std::isnan(t.Mean()));
+  EXPECT_TRUE(std::isnan(t.Min()));
+  EXPECT_TRUE(std::isnan(t.Max()));
   EXPECT_TRUE(t.Empty());
+}
+
+TEST(Percentile, ConstReadDoesNotMutate) {
+  // Reading an unsorted tracker must not reorder samples_: concurrent
+  // readers of a merged tracker would race otherwise. Exercised for real
+  // under TSan by the ConcurrentReads test below.
+  PercentileTracker a;
+  for (int i = 100; i > 0; --i) a.Add(i);
+  PercentileTracker b;
+  b.Merge(a);  // unsorted
+  const PercentileTracker& view = b;
+  EXPECT_NEAR(view.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(view.Percentile(50), 50.5, 0.01);
+  b.Sort();  // fast path gives identical answers
+  EXPECT_NEAR(view.Percentile(50), 50.5, 0.01);
+}
+
+TEST(Percentile, ConcurrentReads) {
+  // Cross-thread read of one merged tracker: the sweep-aggregation pattern
+  // the TSan CI job guards. Both sorted and unsorted trackers are read from
+  // two threads at once.
+  PercentileTracker shared;
+  sim::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) shared.Add(rng.Uniform() * 1e6);
+  PercentileTracker unsorted;
+  unsorted.Merge(shared);
+  shared.Sort();
+  auto reader = [&](const PercentileTracker& t, double* out) {
+    double acc = 0;
+    for (int i = 0; i < 50; ++i) {
+      acc += t.Percentile(50) + t.Percentile(99) + t.Mean() + t.Max();
+    }
+    *out = acc;
+  };
+  double r1 = 0, r2 = 0, r3 = 0, r4 = 0;
+  std::thread t1(reader, std::cref(shared), &r1);
+  std::thread t2(reader, std::cref(shared), &r2);
+  std::thread t3(reader, std::cref(unsorted), &r3);
+  std::thread t4(reader, std::cref(unsorted), &r4);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+  EXPECT_DOUBLE_EQ(r1, r2);
+  EXPECT_DOUBLE_EQ(r3, r4);
+  EXPECT_DOUBLE_EQ(r1, r3);
 }
 
 TEST(Percentile, SingleSample) {

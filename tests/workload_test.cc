@@ -3,12 +3,34 @@
 
 #include <set>
 
+#include "core/hash.h"
 #include "sim/simulator.h"
 #include "workload/flow_gen.h"
 #include "workload/size_cdf.h"
 
 namespace hpcc::workload {
 namespace {
+
+// Regression for the affine sub-seed bug: `seed * 31 + 1000 + index` put
+// seed 1/index 31 and seed 2/index 0 on the same generator RNG stream.
+// DeriveSeed must keep every (seed, stream) pair distinct across the ranges
+// the scenario layer uses (incast events 1000+, load phases 2000+, the
+// workload incast stream 7).
+TEST(DeriveSeed, NoCollisionsAcrossSeedStreamGrid) {
+  EXPECT_NE(core::DeriveSeed(1, 1000 + 31), core::DeriveSeed(2, 1000 + 0));
+  std::set<uint64_t> seen;
+  size_t total = 0;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    seen.insert(core::DeriveSeed(seed, 7));
+    ++total;
+    for (uint64_t index = 0; index < 64; ++index) {
+      seen.insert(core::DeriveSeed(seed, 1000 + index));
+      seen.insert(core::DeriveSeed(seed, 2000 + index));
+      total += 2;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
 
 TEST(SizeCdf, RejectsMalformed) {
   EXPECT_THROW(SizeCdf({{100, 0.5}, {200, 1.0}}), std::invalid_argument);

@@ -67,6 +67,20 @@
 //   micro/shard_handoff       raw SPSC HandoffChannel push+pop throughput
 //                             (records/sec) — the per-record cost of the
 //                             cross-lane packet handoff fabric
+//   micro/snapshot_restore    one warm-start member run on a small dumbbell
+//                             sweep point: adopt the shared fabric snapshot,
+//                             replay the checkpoint, simulate only the
+//                             post-checkpoint tail (restores/sec; the bench
+//                             aborts if the restore silently falls back cold)
+//   macro/fattree32_sweep_cold / macro/fattree32_sweep_warm
+//                             an 8-point k=32 sweep (grid points differ only
+//                             in a post-checkpoint incast axis) end to end on
+//                             one worker, with warm-start off resp. on. Cold
+//                             pays fabric build + route BFS + the pre-
+//                             checkpoint simulation per point; warm pays them
+//                             once and restores the other 7 points, so the
+//                             points/sec pair is the committed sweep-setup
+//                             amortization headline.
 //
 // Each benchmark self-calibrates: batches repeat until the measured wall time
 // reaches --min-time-ms (default 500 ms; --quick drops it to 50 ms for CI
@@ -86,6 +100,8 @@
 #include "net/packet.h"
 #include "obs/telemetry.h"
 #include "runner/experiment.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "tools/cli_util.h"
@@ -338,6 +354,151 @@ uint64_t ShardHandoffBatch() {
   return popped;
 }
 
+// Expands a warm-start sweep base document into `points` runs that differ
+// only in the post-checkpoint incast burst (the last event), so every point
+// shares one WarmFingerprint and the first run's checkpoint serves the rest.
+std::vector<hpcc::scenario::ScenarioRun> MakeWarmSweepRuns(const char* doc,
+                                                          int points) {
+  const hpcc::scenario::Scenario base = hpcc::scenario::ParseScenarioText(doc);
+  std::vector<hpcc::scenario::ScenarioRun> runs;
+  for (int i = 0; i < points; ++i) {
+    hpcc::scenario::ScenarioRun run;
+    run.scenario = base;
+    hpcc::workload::IncastOptions& burst =
+        run.scenario.events.back().incast;
+    burst.fan_in = 4 + 2 * (i % 4);
+    burst.flow_bytes = 30'000 + static_cast<uint64_t>(i) * 10'000;
+    run.label = base.name + "[burst=" + std::to_string(i) + "]";
+    run.params.emplace_back("burst", std::to_string(i));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+// Small dumbbell point for the restore microbenchmark: background load is
+// shut off early, the checkpoint sits at 80% of the horizon, and only a
+// short incast tail runs after the restore.
+constexpr const char* kSnapshotRestoreDoc = R"({
+  "name": "bench_snapshot_restore",
+  "topology": {"kind": "dumbbell", "hosts_per_side": 4,
+                "host_gbps": 100, "trunk_gbps": 400},
+  "cc": {"scheme": "hpcc"},
+  "workload": {"load": 0.3, "trace": "websearch", "max_flows": 30},
+  "duration_ms": 0.5,
+  "seed": 3,
+  "events": [
+    {"type": "load_phase", "at_us": 80, "load": 0.0},
+    {"type": "incast", "at_us": 420, "fan_in": 4, "flow_bytes": 100000}
+  ],
+  "warm_start": {"until_us": 400}
+})";
+
+// One warm member run per batch against pre-seeded caches (the lazy seeding
+// run — the checkpoint builder — happens once, absorbed by the warm-up
+// batch). Aborts if the member does not actually restore: a silent cold
+// fallback would quietly turn this into a build benchmark.
+uint64_t SnapshotRestoreBatch() {
+  struct Fixture {
+    std::vector<hpcc::scenario::ScenarioRun> runs;
+    std::shared_ptr<hpcc::scenario::FabricCache> fabrics;
+    std::shared_ptr<hpcc::scenario::WarmCache> warms;
+  };
+  static Fixture* f = []() {
+    auto* fx = new Fixture;
+    fx->runs = MakeWarmSweepRuns(kSnapshotRestoreDoc, 2);
+    fx->fabrics = std::make_shared<hpcc::scenario::FabricCache>();
+    fx->warms = std::make_shared<hpcc::scenario::WarmCache>();
+    hpcc::scenario::RunOneOptions ro;
+    ro.fabric_cache = fx->fabrics;
+    ro.warm_cache = fx->warms;
+    const auto seed = hpcc::scenario::ScenarioRunner::RunOne(fx->runs[0], ro);
+    if (!seed.error.empty() || !seed.warm_built) {
+      std::fprintf(stderr,
+                   "micro/snapshot_restore: builder run failed to capture "
+                   "(error=\"%s\" built=%d)\n",
+                   seed.error.c_str(), seed.warm_built ? 1 : 0);
+      std::abort();
+    }
+    return fx;
+  }();
+  hpcc::scenario::RunOneOptions ro;
+  ro.fabric_cache = f->fabrics;
+  ro.warm_cache = f->warms;
+  const auto r = hpcc::scenario::ScenarioRunner::RunOne(f->runs[1], ro);
+  if (!r.error.empty() || !r.warm_restored) {
+    std::fprintf(stderr,
+                 "micro/snapshot_restore: member run failed to restore "
+                 "(error=\"%s\" restored=%d)\n",
+                 r.error.c_str(), r.warm_restored ? 1 : 0);
+    std::abort();
+  }
+  return 1;
+}
+
+// The k=32 sweep-amortization pair: FB-Hadoop background load generated only
+// in the first 40us, whose largest flow drains by ~1.3ms (measured; the
+// quiescence gate would refuse an earlier checkpoint), so the checkpoint at
+// 1.4ms captures an idle fabric and only the incast tail runs per grid
+// point. 8 points on the post-checkpoint axis. Kept structurally in sync
+// with examples/scenarios/fattree32_warm_sweep.json.
+constexpr const char* kFatTree32WarmSweepDoc = R"({
+  "name": "fattree32_warm_sweep",
+  "topology": {"kind": "fattree", "pods": 32, "tors_per_pod": 16,
+                "aggs_per_pod": 16, "cores_per_agg": 16, "hosts_per_tor": 16,
+                "host_gbps": 100, "fabric_gbps": 400, "link_delay_us": 1},
+  "cc": {"scheme": "hpcc"},
+  "workload": {"load": 0.25, "trace": "fbhadoop", "max_flows": 500},
+  "duration_ms": 1.5,
+  "seed": 32,
+  "events": [
+    {"type": "load_phase", "at_us": 40, "load": 0.0},
+    {"type": "incast", "at_us": 1425, "fan_in": 8, "flow_bytes": 30000}
+  ],
+  "warm_start": {"until_us": 1400}
+})";
+
+// Whole-sweep wall clock on one worker, warm on or off. Work unit = grid
+// points, so the committed cold/warm pair reads directly as the setup
+// amortization factor (the simulated tail past the checkpoint is identical
+// in both).
+uint64_t MacroFatTree32SweepBatch(bool warm) {
+  constexpr int kPoints = 8;
+  const std::vector<hpcc::scenario::ScenarioRun> runs =
+      MakeWarmSweepRuns(kFatTree32WarmSweepDoc, kPoints);
+  hpcc::scenario::ScenarioRunnerOptions opts;
+  opts.jobs = 1;
+  opts.warm = warm;
+  const std::vector<hpcc::scenario::SweepRunResult> results =
+      hpcc::scenario::ScenarioRunner(opts).RunAll(runs);
+  size_t built = 0, restored = 0;
+  for (const hpcc::scenario::SweepRunResult& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "macro/fattree32_sweep: %s failed: %s\n",
+                   r.label.c_str(), r.error.c_str());
+      std::abort();
+    }
+    built += r.warm_built ? 1 : 0;
+    restored += r.warm_restored ? 1 : 0;
+  }
+  // Self-validating: warm must actually engage (one builder, the rest
+  // restored), cold must not touch the warm machinery at all.
+  if (warm && (built != 1 || restored != kPoints - 1)) {
+    std::fprintf(stderr,
+                 "macro/fattree32_sweep_warm: checkpoint did not engage "
+                 "(built=%zu restored=%zu of %d points)\n",
+                 built, restored, kPoints);
+    std::abort();
+  }
+  if (!warm && (built != 0 || restored != 0)) {
+    std::fprintf(stderr,
+                 "macro/fattree32_sweep_cold: warm machinery ran cold-path "
+                 "(built=%zu restored=%zu)\n",
+                 built, restored);
+    std::abort();
+  }
+  return kPoints;
+}
+
 // The label is user-supplied; escape it so the report stays valid JSON.
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -436,6 +597,16 @@ int main(int argc, char** argv) {
                              []() { return MacroFatTree32ShardsBatch(4); }));
   results.push_back(RunBench("micro/shard_handoff", "records", min_seconds,
                              ShardHandoffBatch));
+  results.push_back(RunBench("micro/snapshot_restore", "restores",
+                             min_seconds, SnapshotRestoreBatch));
+  // The sweep pair self-calibrates to exactly one batch past the warm-up:
+  // the work is a fixed 8-point grid, so more batches would only repeat it.
+  results.push_back(
+      RunBench("macro/fattree32_sweep_cold", "points", /*min_seconds=*/0,
+               []() { return MacroFatTree32SweepBatch(false); }));
+  results.push_back(
+      RunBench("macro/fattree32_sweep_warm", "points", /*min_seconds=*/0,
+               []() { return MacroFatTree32SweepBatch(true); }));
 
   for (const BenchResult& r : results) {
     const double per_sec =

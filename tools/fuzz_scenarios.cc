@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
       options.check_fastpath = false;
     } else if (std::strcmp(argv[i], "--no-shard-check") == 0) {
       options.check_shards = false;
+    } else if (std::strcmp(argv[i], "--no-warm-check") == 0) {
+      options.check_warm = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--seed=N] [--runs=N] [--out-dir=DIR]\n"
                    "          [--max-events=N] [--no-determinism]\n"
                    "          [--no-fastpath-check] [--no-shard-check]\n"
-                   "          [--verbose]\n",
+                   "          [--no-warm-check] [--verbose]\n",
                    argv[0]);
       return 2;
     }

@@ -45,6 +45,7 @@ struct Options {
   // 0 = default (scenario's value / 1 in direct mode); >= 1 forces N
   // execution lanes. Works in both modes since results are shard-invariant.
   int shards = 0;
+  bool warm = true;  // --warm=off forces every sweep point to run cold
   bool paper_scale = false;
   double eta = 0.95;
   double wai = -1;
@@ -79,6 +80,10 @@ struct Options {
       "                     reference)\n"
       "  --shards=N         run on N execution lanes (conservative PDES);\n"
       "                     any N produces byte-identical results\n"
+      "  --warm=on|off      scenario mode: share fabric snapshots and\n"
+      "                     warm_start checkpoints across sweep points\n"
+      "                     (default: on; off forces cold runs — results\n"
+      "                     are byte-identical either way)\n"
       "  --irn              IRN loss recovery instead of go-back-N\n"
       "  --paper-scale      320-host FatTree / 32-host testbed\n"
       "  --seed=N\n",
@@ -116,6 +121,11 @@ Options Parse(int argc, char** argv) {
       o.shards = std::atoi(v);
       if (o.shards < 1) Usage(argv[0]);
     }
+    else if (cli::ConsumeFlag(argv[i], "--warm", &v)) {
+      if (std::strcmp(v, "on") == 0) o.warm = true;
+      else if (std::strcmp(v, "off") == 0) o.warm = false;
+      else Usage(argv[0]);
+    }
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
     else if (std::strcmp(argv[i], "--progress") == 0) o.progress = true;
@@ -150,6 +160,7 @@ int main(int argc, char** argv) {
     ro.check = o.check;
     ro.fastpath_override = o.fastpath;
     ro.shards_override = o.shards;
+    ro.warm = o.warm;
     ro.trace_out = o.trace_out;
     ro.manifest = o.manifest;
     ro.progress = o.progress;

@@ -27,6 +27,7 @@ struct Options {
   int jobs = 0;     // 0 = hardware concurrency
   int fastpath = -1;  // -1 scenario default, 0 reference engine, 1 trains
   int shards = 0;     // 0 scenario default, >= 1 forces that lane count
+  bool warm = true;   // --warm=off forces every sweep point to run cold
   bool expand_only = false;
   bool quiet = false;
   bool dump = false;
@@ -51,6 +52,11 @@ struct Options {
                "  --shards=N   force N execution lanes per point (default:\n"
                "               as the scenario says; any N produces\n"
                "               byte-identical results)\n"
+               "  --warm=on|off\n"
+               "               share fabric snapshots and warm_start\n"
+               "               checkpoints across sweep points (default: on;\n"
+               "               off forces cold runs — results are\n"
+               "               byte-identical either way)\n"
                "  --trace-out=FILE\n"
                "               write a Chrome/Perfetto trace (sweeps write\n"
                "               one file per point: <stem>.runN.json)\n"
@@ -75,6 +81,11 @@ Options Parse(int argc, char** argv) {
     else if (cli::ConsumeFlag(argv[i], "--shards", &v)) {
       o.shards = std::atoi(v);
       if (o.shards < 1) Usage(argv[0]);
+    }
+    else if (cli::ConsumeFlag(argv[i], "--warm", &v)) {
+      if (std::strcmp(v, "on") == 0) o.warm = true;
+      else if (std::strcmp(v, "off") == 0) o.warm = false;
+      else Usage(argv[0]);
     }
     else if (cli::ConsumeFlag(argv[i], "--trace-out", &v)) o.trace_out = v;
     else if (std::strcmp(argv[i], "--expand") == 0) o.expand_only = true;
@@ -121,5 +132,6 @@ int main(int argc, char** argv) {
   ro.trace_out = o.trace_out;
   ro.manifest = o.manifest;
   ro.progress = o.progress;
+  ro.warm = o.warm;
   return scenario::RunScenarioFile(o.file, ro, o.out);
 }
