@@ -78,7 +78,7 @@ double RandFanIn(sim::Rng& rng, size_t num_hosts) {
 
 }  // namespace
 
-Json GenerateScenarioDoc(uint64_t seed, int index) {
+Json GenerateScenarioDoc(uint64_t seed, int index, bool faults) {
   sim::Rng rng(core::SplitMix64(seed * 0x9e3779b97f4a7c15ULL +
                                 static_cast<uint64_t>(index)));
 
@@ -165,6 +165,61 @@ Json GenerateScenarioDoc(uint64_t seed, int index) {
     phase.Set("load", Num(Round2(rng.Uniform())));
     events.Append(std::move(phase));
   }
+  // Chaos mode: fault-injection events on top of whatever the scenario
+  // already does. All extra draws happen after the base document's, so
+  // faults=false reproduces the historical documents byte-identically.
+  if (faults) {
+    const size_t num_switches = probe.topology().switches().size();
+    // ~50%: a seeded corruption window on one link (bounded, so flows can
+    // retransmit their way out after it closes).
+    if (rng.Uniform() < 0.5 && num_links > 0) {
+      const double bers[] = {0.0001, 0.001, 0.01, 0.05};
+      const double from_us = 30 + rng.Uniform() * duration_us * 0.4;
+      const double until_us =
+          from_us + 20 + rng.Uniform() * (duration_us * 0.8 - from_us);
+      Json ev = Json::MakeObject();
+      ev.Set("type", Str("corrupt"));
+      ev.Set("at_us", Num(Round2(from_us)));
+      ev.Set("link", Num(static_cast<double>(rng.Index(num_links))));
+      ev.Set("ber", Num(bers[rng.Index(4)]));
+      ev.Set("until_us", Num(Round2(until_us)));
+      events.Append(std::move(ev));
+    }
+    // ~35%: a switch flap, always repaired before the end.
+    if (rng.Uniform() < 0.35 && num_switches > 0) {
+      const double down_us = 50 + rng.Uniform() * duration_us * 0.4;
+      const double up_us =
+          down_us + 20 + rng.Uniform() * (duration_us * 0.85 - down_us);
+      const double sw = static_cast<double>(rng.Index(num_switches));
+      Json down = Json::MakeObject();
+      down.Set("type", Str("switch_down"));
+      down.Set("at_us", Num(Round2(down_us)));
+      down.Set("switch", Num(sw));
+      events.Append(std::move(down));
+      Json up = Json::MakeObject();
+      up.Set("type", Str("switch_up"));
+      up.Set("at_us", Num(Round2(up_us)));
+      up.Set("switch", Num(sw));
+      events.Append(std::move(up));
+    }
+    // ~25%: a NIC flap (host isolation), also repaired.
+    if (rng.Uniform() < 0.25 && num_hosts > 1) {
+      const double down_us = 50 + rng.Uniform() * duration_us * 0.4;
+      const double up_us =
+          down_us + 20 + rng.Uniform() * (duration_us * 0.85 - down_us);
+      const double host = static_cast<double>(rng.Index(num_hosts));
+      Json down = Json::MakeObject();
+      down.Set("type", Str("nic_down"));
+      down.Set("at_us", Num(Round2(down_us)));
+      down.Set("host", Num(host));
+      events.Append(std::move(down));
+      Json up = Json::MakeObject();
+      up.Set("type", Str("nic_up"));
+      up.Set("at_us", Num(Round2(up_us)));
+      up.Set("host", Num(host));
+      events.Append(std::move(up));
+    }
+  }
   if (events.size() > 0) doc.Set("events", std::move(events));
   return doc;
 }
@@ -210,6 +265,11 @@ FuzzRunReport RunScenarioDocChecked(const Json& doc, uint64_t max_events,
           "run exceeded " + std::to_string(max_events) +
               " simulator events (event storm / livelock?)",
           e.simulator().now()});
+    } else {
+      // Retry machinery audit: every started flow must either have finished
+      // or still be making progress (skipped on truncated runs, which strand
+      // in-flight flows legitimately).
+      CheckFlowProgress(registries.front(), e, e.simulator().now());
     }
     for (const MonitorRegistry& registry : registries) {
       rep.violations.insert(rep.violations.end(),
@@ -365,7 +425,7 @@ int FuzzMain(const FuzzOptions& options, const MonitorInstaller& extra) {
   for (int i = 0; i < options.runs; ++i) {
     Json doc;
     try {
-      doc = GenerateScenarioDoc(options.seed, i);
+      doc = GenerateScenarioDoc(options.seed, i, options.faults);
     } catch (const std::exception& ex) {
       // A generator that emits an invalid scenario is itself a bug; report
       // it like a violation instead of tearing the whole fuzz run down.

@@ -65,6 +65,13 @@ struct FuzzOptions {
   // the cold golden-trace hash, so every fuzz scenario doubles as a
   // warm-start equivalence check.
   bool check_warm = true;
+  // Chaos mode (--faults): additionally inject random fault events — seeded
+  // corruption windows, switch flaps, NIC flaps (always repaired before the
+  // end) — into every generated scenario. All the equivalence replays above
+  // still apply, so every chaos scenario is also pinned deterministic,
+  // fastpath-equal and shard-equal, and the monitors (including the
+  // flow no-progress audit) must stay clean under faults.
+  bool faults = false;
 };
 
 struct FuzzRunReport {
@@ -81,8 +88,12 @@ struct FuzzRunReport {
   bool ok() const { return error.empty() && violation_count == 0; }
 };
 
-// The index-th scenario document for `seed`; pure and deterministic.
-scenario::Json GenerateScenarioDoc(uint64_t seed, int index);
+// The index-th scenario document for `seed`; pure and deterministic (a
+// function of (seed, index, faults) only). `faults` appends the chaos-mode
+// fault events described at FuzzOptions::faults; false reproduces the
+// historical documents byte-identically.
+scenario::Json GenerateScenarioDoc(uint64_t seed, int index,
+                                   bool faults = false);
 
 // Parses and runs one scenario document under the standard monitors (plus
 // `extra`, if any) with the event-budget watchdog armed. Never throws: parse

@@ -24,16 +24,18 @@ class IntStack;
 
 namespace hpcc::check {
 
-// Why a switch discarded a packet (see SwitchNode::Receive/AdmitAndForward).
+// Why a node discarded a packet (see SwitchNode::Receive/AdmitAndForward and
+// net::Node::Deliver for the corruption path).
 enum class DropReason {
   kNoRoute,          // destination unreachable (link failures)
   kBufferFull,       // shared buffer exhausted — must not happen under PFC
   kEgressThreshold,  // lossy-mode dynamic egress threshold (pfc off only)
+  kCorrupt,          // seeded scenario `corrupt` event (fault injection)
 };
 
 // Number of DropReason values, for per-reason counter arrays (switch
 // counters, telemetry, CSV columns).
-inline constexpr int kNumDropReasons = 3;
+inline constexpr int kNumDropReasons = 4;
 
 // One dequeue observation inside a burst (OnDequeueBurst). `pkt` stays valid
 // only for the duration of the call; `queue_bytes_after` is the occupancy of

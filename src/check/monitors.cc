@@ -272,6 +272,8 @@ void LosslessDropMonitor::OnDrop(uint32_t node, const net::Packet& pkt,
   switch (reason) {
     case DropReason::kNoRoute:
       return;  // link failure made the destination unreachable
+    case DropReason::kCorrupt:
+      return;  // seeded fault injection drops by design, even under PFC
     case DropReason::kBufferFull:
     case DropReason::kEgressThreshold:
       break;
@@ -288,6 +290,33 @@ void LosslessDropMonitor::OnFinish(sim::TimePs now) {
   if (buffer_drops_ > 1) {
     Report(now, std::to_string(buffer_drops_) +
                     " total buffer-exhaustion drops in lossless mode");
+  }
+}
+
+// ---- CheckFlowProgress ------------------------------------------------------
+
+void CheckFlowProgress(MonitorRegistry& registry, runner::Experiment& e,
+                       sim::TimePs now, int stall_rtos) {
+  if (e.hosts().empty()) return;
+  const sim::TimePs rto_max =
+      e.topology().host(e.hosts().front()).config().rto_max;
+  const sim::TimePs stall = static_cast<sim::TimePs>(stall_rtos) * rto_max;
+  for (const host::Flow* f : e.AllFlows()) {
+    if (!f->started || f->done) continue;
+    if (now - f->last_activity <= stall) continue;
+    Violation v;
+    v.monitor = "no-progress";
+    v.at = now;
+    const host::FlowSpec& s = f->spec();
+    v.message = "flow " + std::to_string(s.id) + " (" + std::to_string(s.src) +
+                " -> " + std::to_string(s.dst) + ", " +
+                std::to_string(s.size_bytes) + " B) stalled: no forward "
+                "progress since t=" +
+                std::to_string(sim::ToUs(f->last_activity)) + " us (" +
+                std::to_string(sim::ToUs(now - f->last_activity)) +
+                " us ago, stall bound " + std::to_string(sim::ToUs(stall)) +
+                " us)";
+    registry.ReportViolation(std::move(v));
   }
 }
 

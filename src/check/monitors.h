@@ -199,6 +199,17 @@ struct StandardMonitorOptions {
   bool topology_mutates = false;
 };
 
+// No-progress check, run once after the simulation: any started, unfinished
+// flow whose last observable forward progress (start, ACK advance, or RTO
+// recovery action — Flow::last_activity) is more than `stall_rtos` maximum
+// RTOs in the past is reported as a "no-progress" violation. The transport's
+// own backoff re-arms within one rto_max whenever it is still trying, so a
+// stall this long means the retry machinery itself wedged. Callers should
+// skip runs cut short by the event budget or a wall deadline — a truncated
+// run legitimately strands in-flight flows.
+void CheckFlowProgress(MonitorRegistry& registry, runner::Experiment& e,
+                       sim::TimePs now, int stall_rtos = 4);
+
 // Builds the full standard monitor set with bounds taken from `e`'s
 // topology/config and attaches `registry` to every node. The registry must
 // outlive the experiment's run.

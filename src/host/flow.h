@@ -40,6 +40,11 @@ class Flow {
   uint64_t snd_una = 0;        // lowest unacknowledged byte
   bool started = false;
   bool done = false;
+  // Give-up outcome: the flow hit HostConfig::max_retx consecutive timeouts
+  // and was abandoned. `done` is also set (the flow leaves the scheduler and
+  // fires the completion callback), so accounting always checks `failed`
+  // before treating `done` as success.
+  bool failed = false;
   sim::TimePs finish_time = 0;
 
   // Pacing: earliest time the next packet may leave (token at rate R).
@@ -59,6 +64,17 @@ class Flow {
   // Cancel+Schedule pair per ACK (see HostNode::ArmRto/OnRto).
   sim::EventId rto_event = sim::kInvalidEvent;
   sim::TimePs rto_deadline = 0;
+  // Exponential backoff state: `cur_rto` starts at HostConfig::rto, doubles
+  // on every expiry up to HostConfig::rto_max and snaps back on forward ACK
+  // progress. `consecutive_rtos` drives the max_retx give-up;
+  // `retx_timeouts` counts every real expiry over the flow's lifetime.
+  sim::TimePs cur_rto = 0;
+  uint32_t consecutive_rtos = 0;
+  uint64_t retx_timeouts = 0;
+  // Last instant the transport made observable forward progress on this
+  // flow — start, ACK progress, or an RTO expiry taking recovery action.
+  // The check-layer no-progress monitor flags flows stalled past this.
+  sim::TimePs last_activity = 0;
 
   uint64_t bytes_remaining() const { return spec_.size_bytes - snd_nxt; }
   bool all_sent() const { return snd_nxt >= spec_.size_bytes; }

@@ -65,6 +65,7 @@ Flow* HostNode::RegisterFlow(std::unique_ptr<Flow> flow) {
 
   Flow* f = flow.get();
   f->tx_port = PickPort(f->spec().id);
+  f->cur_rto = config_.rto;
   if (f->recovery() == RecoveryMode::kIrn && f->irn_window_bytes <= 0) {
     // IRN uses a fixed window of one BDP (§6, Fig. 12 discussion).
     const net::Port& p = port(f->tx_port);
@@ -82,6 +83,7 @@ Flow* HostNode::RegisterFlow(std::unique_ptr<Flow> flow) {
 void HostNode::StartFlow(Flow* flow) {
   flow->started = true;
   flow->next_tx_time = simulator_->now();
+  flow->last_activity = simulator_->now();
   ArmRto(*flow);
   TrySend(flow->tx_port);
 }
@@ -189,11 +191,11 @@ void HostNode::ArmRto(Flow& flow) {
   // Lazy re-arm: just move the deadline. The armed event re-checks it and
   // hops forward when it fires early (OnRto) — an RTO interval's worth of
   // ACKs then costs one field write each instead of Cancel+Schedule pairs.
-  flow.rto_deadline = simulator_->now() + config_.rto;
+  flow.rto_deadline = simulator_->now() + flow.cur_rto;
   if (flow.rto_event != sim::kInvalidEvent) return;
   const uint64_t id = flow.spec().id;
   flow.rto_event =
-      simulator_->ScheduleIn(config_.rto, [this, id]() { OnRto(id); });
+      simulator_->ScheduleIn(flow.cur_rto, [this, id]() { OnRto(id); });
 }
 
 void HostNode::OnRto(uint64_t flow_id) {
@@ -209,6 +211,17 @@ void HostNode::OnRto(uint64_t flow_id) {
                                           [this, id]() { OnRto(id); });
     return;
   }
+  // Real expiry: no forward progress for a full (backed-off) RTO.
+  ++f->retx_timeouts;
+  ++f->consecutive_rtos;
+  f->last_activity = simulator_->now();
+  if (config_.max_retx > 0 &&
+      f->consecutive_rtos > static_cast<uint32_t>(config_.max_retx)) {
+    FailFlow(*f, simulator_->now());
+    return;
+  }
+  // Exponential backoff with a cap; forward ACK progress resets it.
+  f->cur_rto = std::min(f->cur_rto * 2, config_.rto_max);
   if (f->recovery() == RecoveryMode::kGoBackN) {
     f->snd_nxt = f->snd_una;  // go-back-N from the first unacked byte
   } else {
@@ -371,6 +384,10 @@ void HostNode::HandleAckLike(net::PacketPtr pkt) {
   if (flow->all_acked()) {
     CompleteFlow(*flow, now);
   } else if (newly > 0) {
+    // Forward progress: the backoff schedule starts over.
+    flow->consecutive_rtos = 0;
+    flow->cur_rto = config_.rto;
+    flow->last_activity = now;
     ArmRto(*flow);
   }
   TrySend(flow->tx_port);
@@ -386,6 +403,11 @@ void HostNode::CompleteFlow(Flow& flow, sim::TimePs now) {
   flow.cc().OnFlowDone();
   schedulers_[static_cast<size_t>(flow.tx_port)].Compact();
   if (flow_done_) flow_done_(flow, now);
+}
+
+void HostNode::FailFlow(Flow& flow, sim::TimePs now) {
+  flow.failed = true;
+  CompleteFlow(flow, now);
 }
 
 }  // namespace hpcc::host

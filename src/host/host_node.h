@@ -22,6 +22,13 @@ struct HostConfig {
   // Safety retransmission timeout (tail loss in lossy mode); PFC-protected
   // runs never fire it.
   sim::TimePs rto = sim::Us(1000);
+  // Exponential backoff cap: consecutive expiries double the effective RTO
+  // up to this value (forward ACK progress resets it to `rto`).
+  sim::TimePs rto_max = sim::Us(16'000);
+  // Give-up threshold: after this many consecutive timeouts with no forward
+  // progress the flow is abandoned and recorded as failed
+  // (ExperimentResult::flows_failed). <= 0 disables the give-up.
+  int max_retx = 15;
   // GBN NACK rate limit: at most one NACK per interval per flow.
   sim::TimePs nack_interval = sim::Us(10);
   // DCQCN: min gap between CNPs of one flow (50 us, §5.1/DCQCN paper).
@@ -131,6 +138,9 @@ class HostNode : public net::Node {
   void HandleAckLike(net::PacketPtr pkt);
   void SendControl(net::PacketPtr pkt, uint64_t flow_id);
   void CompleteFlow(Flow& flow, sim::TimePs now);
+  // Give-up path: marks the flow done+failed and tears it down exactly like
+  // CompleteFlow (scheduler removal, CC notification, completion callback).
+  void FailFlow(Flow& flow, sim::TimePs now);
 
   RxState& RxStateFor(uint64_t flow_id);
 

@@ -30,6 +30,31 @@ class Node {
   virtual void Receive(PacketPtr pkt, int in_port) = 0;
   virtual bool IsSwitch() const = 0;
 
+  // Delivery front door used by the wire (Port and the shard handoff path):
+  // runs the seeded corruption filter for `in_port`, then hands the survivor
+  // to Receive. With no `corrupt` windows installed this is one predicted
+  // branch on top of Receive.
+  void Deliver(PacketPtr pkt, int in_port) {
+    if (corrupt_ != nullptr) [[unlikely]] {
+      if (CorruptDrop(*pkt, in_port)) return;
+    }
+    Receive(std::move(pkt), in_port);
+  }
+
+  // Installs a seeded corruption window on `in_port`: packets fully arriving
+  // in [start, end) are dropped when the next draw of the per-(node, port)
+  // SplitMix64 counter stream lands below `threshold` (= BER scaled to
+  // 2^64). The counter advances once per eligible packet whether or not it
+  // drops, so the stream — and therefore every drop decision — is pinned by
+  // the deterministic per-port arrival order, identical across transmit
+  // engines, shard counts and --jobs.
+  void AddCorruptWindow(int in_port, sim::TimePs start, sim::TimePs end,
+                        uint64_t threshold, uint64_t seed);
+
+  // Packets discarded by corruption windows on any of this node's in-ports.
+  uint64_t corrupt_dropped_packets() const { return corrupt_dropped_packets_; }
+  uint64_t corrupt_dropped_bytes() const { return corrupt_dropped_bytes_; }
+
   // Port hooks (see Port). Default: no-op.
   // Called right before a data/control packet starts serialization.
   virtual void OnPortDequeue(Packet& /*pkt*/, int /*port_index*/) {}
@@ -82,6 +107,27 @@ class Node {
   // Applied to every port this node receives (AddPort). Host and switch
   // constructors set it from their config before the topology wires links.
   bool ports_fast_path_ = true;
+
+ private:
+  struct CorruptWindow {
+    sim::TimePs start = 0;
+    sim::TimePs end = 0;
+    uint64_t threshold = 0;  // drop when SplitMix64(seed + counter) < this
+    uint64_t seed = 0;
+    uint64_t counter = 0;
+  };
+  struct CorruptState {
+    // Indexed by in-port; each port may carry several windows.
+    std::vector<std::vector<CorruptWindow>> by_port;
+  };
+  // Cold path of Deliver: true = the packet was counted, reported through
+  // OnDrop(kCorrupt) and must not reach Receive.
+  bool CorruptDrop(const Packet& pkt, int in_port);
+
+  // Null unless a scenario installed `corrupt` windows on this node.
+  std::unique_ptr<CorruptState> corrupt_;
+  uint64_t corrupt_dropped_packets_ = 0;
+  uint64_t corrupt_dropped_bytes_ = 0;
 };
 
 }  // namespace hpcc::net

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "core/hash.h"
 #include "core/int_header.h"
 #include "core/int_wire.h"
 #include "net/node.h"
@@ -24,6 +25,57 @@ int Node::AddPort(std::unique_ptr<Port> port) {
 void Node::set_simulator(sim::Simulator* simulator) {
   simulator_ = simulator;
   for (std::unique_ptr<Port>& p : ports_) p->set_simulator(simulator);
+}
+
+void Node::AddCorruptWindow(int in_port, sim::TimePs start, sim::TimePs end,
+                            uint64_t threshold, uint64_t seed) {
+  if (corrupt_ == nullptr) corrupt_ = std::make_unique<CorruptState>();
+  auto& by_port = corrupt_->by_port;
+  if (by_port.size() <= static_cast<size_t>(in_port)) {
+    by_port.resize(static_cast<size_t>(in_port) + 1);
+  }
+  CorruptWindow w;
+  w.start = start;
+  w.end = end;
+  w.threshold = threshold;
+  w.seed = seed;
+  by_port[static_cast<size_t>(in_port)].push_back(w);
+}
+
+bool Node::CorruptDrop(const Packet& pkt, int in_port) {
+  // PFC control frames are link-local MAC frames outside the corruption
+  // model (losing one would wedge the pause protocol, which has no recovery
+  // path), and a lost READ request would strand a flow that never armed its
+  // retransmission timer. Everything end-to-end — data, ACK/NACK, CNP — is
+  // fair game; the transport's RTO machinery recovers it.
+  switch (pkt.type) {
+    case PacketType::kData:
+    case PacketType::kAck:
+    case PacketType::kNack:
+    case PacketType::kCnp:
+      break;
+    case PacketType::kPfcPause:
+    case PacketType::kPfcResume:
+    case PacketType::kReadRequest:
+      return false;
+  }
+  auto& by_port = corrupt_->by_port;
+  if (static_cast<size_t>(in_port) >= by_port.size()) return false;
+  const sim::TimePs now = simulator_->now();
+  for (CorruptWindow& w : by_port[static_cast<size_t>(in_port)]) {
+    if (now < w.start || now >= w.end) continue;
+    // Counted draw per eligible in-window packet: the stream position
+    // depends only on the deterministic per-port arrival order.
+    const uint64_t draw = core::SplitMix64(w.seed + w.counter++);
+    if (draw >= w.threshold) continue;
+    ++corrupt_dropped_packets_;
+    corrupt_dropped_bytes_ += static_cast<uint64_t>(pkt.size_bytes());
+    if (check_hooks_ != nullptr) [[unlikely]] {
+      check_hooks_->OnDrop(id_, pkt, check::DropReason::kCorrupt);
+    }
+    return true;
+  }
+  return false;
 }
 
 Port::Port(Node* owner, int index, int64_t bandwidth_bps,
@@ -187,7 +239,7 @@ void Port::CommitArrival(PacketPtr pkt, sim::TimePs emit, sim::TimePs ser) {
   simulator_->ScheduleArrival(emit + ser + propagation_delay_, emit,
                               link_uid(),
                               [peer, peer_port, pkt = std::move(pkt)]() mutable {
-                                peer->Receive(std::move(pkt), peer_port);
+                                peer->Deliver(std::move(pkt), peer_port);
                               });
 }
 
@@ -362,7 +414,7 @@ void Port::DeliverFront() {
          "delivery of an unemitted train item");
   TrainItem it = train_.pop_front();
   --settled_in_train_;
-  peer_->Receive(std::move(it.pkt), peer_port_);
+  peer_->Deliver(std::move(it.pkt), peer_port_);
 }
 
 void Port::AbortUnemitted() {

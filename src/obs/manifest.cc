@@ -89,6 +89,8 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
     scenario::Json flows = scenario::Json::MakeObject();
     flows.Set("created", NumU(res.flows_created));
     flows.Set("completed", NumU(res.flows_completed));
+    flows.Set("failed", NumU(res.flows_failed));
+    flows.Set("retx_timeouts", NumU(res.retx_timeouts));
     counters.Set("flows", flows);
 
     scenario::Json packets = scenario::Json::MakeObject();
@@ -161,6 +163,22 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
 
   m.Set("trace_hash", Str(HashHex(res.trace_hash)));
 
+  // -- sweep journal (resume support) -------------------------------------
+  // Deterministic for clean runs (attempt 0, cells formatted from the
+  // deterministic metrics), so the jobs/fastpath byte-identity contract
+  // still holds.
+  if (in.csv_cells != nullptr) {
+    scenario::Json sweep = scenario::Json::MakeObject();
+    sweep.Set("index", NumU(in.sweep_index));
+    sweep.Set("count", NumU(in.sweep_count));
+    sweep.Set("attempt", Num(in.attempt));
+    sweep.Set("status", Str(in.status));
+    scenario::Json cells = scenario::Json::MakeObject();
+    for (const auto& [name, value] : *in.csv_cells) cells.Set(name, Str(value));
+    sweep.Set("cells", cells);
+    m.Set("sweep", sweep);
+  }
+
   // -- opt-in, engine/machine-dependent -----------------------------------
   if (in.telemetry && in.telemetry->profile) {
     scenario::Json prof = scenario::Json::MakeObject();
@@ -183,12 +201,19 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Temp + rename: readers (the sweep resume journal probe) either see the
+  // previous complete file or the new complete file, never a torn write.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
   const size_t n = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = n == content.size() && std::fclose(f) == 0;
-  if (n != content.size()) std::fclose(f);
-  return ok;
+  const bool closed = std::fclose(f) == 0;
+  if (n != content.size() || !closed ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace hpcc::obs

@@ -43,6 +43,15 @@ struct ManifestInputs {
   const std::vector<check::Violation>* violations = nullptr;
   size_t violation_count = 0;
   const PhaseTimers* phases = nullptr;  // profile section only
+  // Sweep journal ("sweep" section, emitted when csv_cells is set): grid
+  // coordinates, attempt number, final status and the formatted CSV cells
+  // of this point. A later --resume invocation validates and replays it
+  // instead of re-simulating the point.
+  size_t sweep_index = 0;
+  size_t sweep_count = 1;
+  int attempt = 0;
+  std::string status;
+  const std::vector<std::pair<std::string, std::string>>* csv_cells = nullptr;
 };
 
 // Canonical JSON form of a TelemetryConfig (every key, resolved values) —
@@ -52,8 +61,10 @@ scenario::Json TelemetryConfigToJson(const TelemetryConfig& t);
 // Builds the manifest document. Serialize with .Dump(2).
 scenario::Json BuildManifest(const ManifestInputs& in);
 
-// Writes `content` to `path` atomically enough for our purposes (truncate +
-// write + close). Returns false on any I/O failure.
+// Writes `content` to `path` atomically (temp file + rename): a concurrent
+// reader — notably the sweep resume journal scan — never observes a
+// half-written file, even across a SIGKILL mid-write. Returns false on any
+// I/O failure.
 bool WriteTextFile(const std::string& path, const std::string& content);
 
 }  // namespace hpcc::obs

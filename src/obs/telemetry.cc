@@ -17,6 +17,7 @@ const char* DropReasonToken(check::DropReason reason) {
     case check::DropReason::kNoRoute: return "no_route";
     case check::DropReason::kBufferFull: return "buffer_full";
     case check::DropReason::kEgressThreshold: return "egress_threshold";
+    case check::DropReason::kCorrupt: return "corrupt";
   }
   return "unknown";
 }

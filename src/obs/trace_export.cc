@@ -117,6 +117,21 @@ std::string BuildTraceJson(const TraceExportInputs& in) {
         case scenario::ScenarioEvent::Kind::kLoadPhase:
           name = "load " + Num(ev.load);
           break;
+        case scenario::ScenarioEvent::Kind::kSwitchDown:
+          name = "switch_down " + std::to_string(ev.node);
+          break;
+        case scenario::ScenarioEvent::Kind::kSwitchUp:
+          name = "switch_up " + std::to_string(ev.node);
+          break;
+        case scenario::ScenarioEvent::Kind::kNicDown:
+          name = "nic_down " + std::to_string(ev.node);
+          break;
+        case scenario::ScenarioEvent::Kind::kNicUp:
+          name = "nic_up " + std::to_string(ev.node);
+          break;
+        case scenario::ScenarioEvent::Kind::kCorrupt:
+          name = "corrupt " + std::to_string(ev.link) + " ber " + Num(ev.ber);
+          break;
       }
       w.Add(Instant(1, 0, ev.at, name));
     }

@@ -111,6 +111,12 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   for (uint32_t h : hosts_) {
     topology_->host(h).set_flow_done_callback(
         [this](const host::Flow& f, sim::TimePs now) {
+          if (f.failed) {
+            // Give-up: the flow never delivered, so it must not feed the FCT
+            // distributions — only the failure count.
+            ++flows_failed_;
+            return;
+          }
           ++flows_completed_;
           const auto& s = f.spec();
           fct_->Record(s.size_bytes, now - s.start_time,
@@ -226,6 +232,10 @@ void Experiment::SetupShards() {
     Lane* lane = lanes_[partition_.lane_of_node[h]].get();
     topology_->host(h).set_flow_done_callback(
         [this, lane](const host::Flow& f, sim::TimePs now) {
+          if (f.failed) {
+            ++lane->flows_failed;
+            return;
+          }
           ++lane->flows_completed;
           const auto& s = f.spec();
           lane->fct->Record(s.size_bytes, now - s.start_time,
@@ -429,6 +439,31 @@ bool Experiment::budget_exhausted() const {
   return false;
 }
 
+void Experiment::set_wall_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  simulator_->set_wall_deadline(deadline);
+  for (auto& lp : lanes_) {
+    if (lp->owned_sim != nullptr) lp->owned_sim->set_wall_deadline(deadline);
+  }
+}
+
+bool Experiment::deadline_exceeded() const {
+  if (simulator_->deadline_exceeded()) return true;
+  for (const auto& lp : lanes_) {
+    if (lp->sim->deadline_exceeded()) return true;
+  }
+  return false;
+}
+
+std::vector<const host::Flow*> Experiment::AllFlows() const {
+  std::vector<const host::Flow*> out;
+  out.insert(out.end(), flow_ptrs_.begin(), flow_ptrs_.end());
+  for (const auto& lp : lanes_) {
+    out.insert(out.end(), lp->flow_ptrs.begin(), lp->flow_ptrs.end());
+  }
+  return out;
+}
+
 void Experiment::DrainInbound(Lane& lane, sim::TimePs horizon) {
   for (Lane::Inbound& in : lane.inbound) {
     sim::TimePs at = 0;
@@ -443,7 +478,7 @@ void Experiment::DrainInbound(Lane& lane, sim::TimePs horizon) {
       // the EventClass tie-break contract, never by thread timing.
       lane.sim->ScheduleArrival(rec.at, rec.emission, in.key,
                                 [peer, port, pkt] {
-                                  peer->Receive(net::PacketPtr(pkt), port);
+                                  peer->Deliver(net::PacketPtr(pkt), port);
                                 });
     }
   }
@@ -513,7 +548,9 @@ ExperimentResult Experiment::RunSharded() {
   auto coordinate = [&]() noexcept {
     shared.now = shared.target;
     bool exhausted = false;
-    for (const auto& lp : lanes_) exhausted |= lp->sim->budget_exhausted();
+    for (const auto& lp : lanes_) {
+      exhausted |= lp->sim->budget_exhausted() || lp->sim->deadline_exceeded();
+    }
     if (shared.mark != kNoMark) {
       const ScriptEvent& ev = script_[shared.mark];
       topology_->SetLinkUp(ev.link, ev.up);
@@ -523,12 +560,12 @@ ExperimentResult Experiment::RunSharded() {
       // Chunk boundary: replicate the single-sim drain loop's decisions
       // exactly, so the final clock (= sim_time) is byte-identical.
       uint64_t created = 0;
-      uint64_t completed = 0;
+      uint64_t finished = 0;  // completed or failed — either way, settled
       for (const auto& lp : lanes_) {
         created += lp->flow_ptrs.size();
-        completed += lp->flows_completed;
+        finished += lp->flows_completed + lp->flows_failed;
       }
-      if (completed >= created || shared.now >= cap || exhausted) {
+      if (finished >= created || shared.now >= cap || exhausted) {
         shared.done = true;
         return;
       }
@@ -593,8 +630,9 @@ ExperimentResult Experiment::FinishRun() {
       config_.duration +
       static_cast<sim::TimePs>(config_.drain_factor *
                                static_cast<double>(config_.duration));
-  while (flows_completed_ < flow_ptrs_.size() && simulator_->now() < cap &&
-         !simulator_->budget_exhausted()) {
+  while (flows_completed_ + flows_failed_ < flow_ptrs_.size() &&
+         simulator_->now() < cap && !simulator_->budget_exhausted() &&
+         !simulator_->deadline_exceeded()) {
     // A frozen clock under an exhausted event budget would spin here forever.
     simulator_->Run(simulator_->now() + sim::Ms(1));
   }
@@ -743,6 +781,10 @@ ExperimentResult Experiment::CollectSharded() {
         std::max(r.max_queue_bytes, lane.queue_monitor->max_seen_bytes());
     r.flows_created += lane.flow_ptrs.size();
     r.flows_completed += lane.flows_completed;
+    r.flows_failed += lane.flows_failed;
+    for (const host::Flow* f : lane.flow_ptrs) {
+      r.retx_timeouts += f->retx_timeouts;
+    }
     r.events_executed += lane.sim->events_executed();
   }
   r.pause_time_fraction = pfc.PauseTimeFraction(now, total_ports_);
@@ -764,6 +806,12 @@ ExperimentResult Experiment::CollectSharded() {
     for (int p = 0; p < node.num_ports(); ++p) {
       r.train_aborts += node.port(p).train_aborts();
     }
+    // Corruption drops happen at delivery (hosts and switches alike), so
+    // they live on the node, not inside the switch drop counters.
+    r.dropped_packets += node.corrupt_dropped_packets();
+    r.dropped_bytes += node.corrupt_dropped_bytes();
+    r.dropped_by_reason[static_cast<int>(check::DropReason::kCorrupt)] +=
+        node.corrupt_dropped_packets();
   }
   r.sim_time = now;
   r.base_rtt = base_rtt_;
@@ -810,6 +858,10 @@ ExperimentResult Experiment::Collect() {
     for (int p = 0; p < node.num_ports(); ++p) {
       r.train_aborts += node.port(p).train_aborts();
     }
+    r.dropped_packets += node.corrupt_dropped_packets();
+    r.dropped_bytes += node.corrupt_dropped_bytes();
+    r.dropped_by_reason[static_cast<int>(check::DropReason::kCorrupt)] +=
+        node.corrupt_dropped_packets();
   }
   // Warm-restored runs fold the checkpoint's completed flows back in, so the
   // report covers [0, end) exactly like a cold run's.
@@ -819,6 +871,10 @@ ExperimentResult Experiment::Collect() {
   }
   r.flows_created = flow_ptrs_.size() + warm_flows_.size();
   r.flows_completed = flows_completed_ + warm_done;
+  r.flows_failed = flows_failed_;
+  for (const host::Flow* f : flow_ptrs_) {
+    r.retx_timeouts += f->retx_timeouts;
+  }
   r.sim_time = now;
   r.events_executed = simulator_->events_executed();
   r.base_rtt = base_rtt_;

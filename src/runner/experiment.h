@@ -3,6 +3,7 @@
 // and example builds on this.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -105,6 +106,12 @@ struct ExperimentResult {
   uint64_t packets_forwarded = 0;
   uint64_t flows_created = 0;
   uint64_t flows_completed = 0;
+  // Flows abandoned by the transport give-up (HostConfig::max_retx
+  // consecutive timeouts without forward progress). Disjoint from
+  // flows_completed: created = completed + failed + still-running.
+  uint64_t flows_failed = 0;
+  // Real RTO expiries summed over every flow (see Flow::retx_timeouts).
+  uint64_t retx_timeouts = 0;
   sim::TimePs sim_time = 0;
   uint64_t events_executed = 0;
   sim::TimePs base_rtt = 0;
@@ -229,6 +236,10 @@ class Experiment {
   sim::TimePs base_rtt() const { return base_rtt_; }
   const std::vector<host::Flow*>& flows() const { return flow_ptrs_; }
   uint64_t flows_completed() const { return flows_completed_; }
+  // Every live flow across all lanes (lane order, creation order within a
+  // lane; equals flows() when shards == 1). For post-run checkers like the
+  // no-progress monitor.
+  std::vector<const host::Flow*> AllFlows() const;
   stats::PfcMonitor& pfc_monitor() { return pfc_monitor_; }
 
   // Sharded-run surface. With shards == 1 there is exactly one lane (0),
@@ -245,6 +256,11 @@ class Experiment {
   // Event-storm watchdog, fanned out to every lane simulator.
   void set_event_budget(uint64_t max_total_events);
   bool budget_exhausted() const;
+  // Wall-clock watchdog (per-point sweep deadlines), fanned out to every
+  // lane simulator. Affects only how far the run gets, never the event order
+  // up to the stop — see sim::Simulator::set_wall_deadline.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline);
+  bool deadline_exceeded() const;
 
  private:
   // One logical process of a sharded run: an event arena plus shard-local
@@ -277,6 +293,7 @@ class Experiment {
     uint64_t next_flow_id = 1;
     std::vector<host::Flow*> flow_ptrs;  // lane-owned flows, creation order
     uint64_t flows_completed = 0;
+    uint64_t flows_failed = 0;
   };
   // One recorded link-script event (coordinator-applied at barriers).
   struct ScriptEvent {
@@ -306,6 +323,7 @@ class Experiment {
   uint64_t next_flow_id_ = 1;
   std::vector<host::Flow*> flow_ptrs_;
   uint64_t flows_completed_ = 0;
+  uint64_t flows_failed_ = 0;
   // Pre-checkpoint flows adopted by RestoreWarmState; Collect folds them
   // into flows_created/completed and the trace hash. Empty on cold runs.
   std::vector<WarmFlowRecord> warm_flows_;

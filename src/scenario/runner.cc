@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <iterator>
 #include <memory>
@@ -27,16 +28,53 @@ namespace {
 // the event count depends on which transmit engine ran, while the CSV must
 // be byte-identical across --fastpath=on/off.
 constexpr const char* kMetricColumns[] = {
-    "flows_created",  "flows_completed",  "slowdown_p50",  "slowdown_p95",
-    "slowdown_p99",   "short_fct_p95_us", "queue_p50_kb",  "queue_p99_kb",
-    "queue_max_kb",   "pfc_pause_pct",    "pfc_events",    "dropped_packets",
-    "sim_time_ms",    "packets_forwarded", "error"};
-constexpr size_t kNumMetricColumns = std::size(kMetricColumns);
+    "flows_created", "flows_completed",  "flows_failed",
+    "slowdown_p50",  "slowdown_p95",     "slowdown_p99",
+    "short_fct_p95_us", "queue_p50_kb",  "queue_p99_kb",
+    "queue_max_kb",  "pfc_pause_pct",    "pfc_events",
+    "dropped_packets", "retx_timeouts",  "sim_time_ms",
+    "packets_forwarded", "status",       "error"};
 
 // Extra columns spliced in after "dropped_packets" when a sweep saw drops.
+// Order matches check::DropReason.
 constexpr const char* kDropReasonColumns[] = {
-    "drops_no_route", "drops_buffer_full", "drops_egress_threshold"};
+    "drops_no_route", "drops_buffer_full", "drops_egress_threshold",
+    "drops_corrupt"};
 static_assert(std::size(kDropReasonColumns) == check::kNumDropReasons);
+
+bool IsDropReasonColumn(const std::string& name) {
+  for (const char* col : kDropReasonColumns) {
+    if (name == col) return true;
+  }
+  return false;
+}
+
+// The full column superset MetricCells formats: the metric columns with the
+// per-reason drop columns spliced in. CsvHeader/CsvRow select from it; the
+// manifest sweep journal records all of it.
+std::vector<std::string> AllMetricColumns() {
+  std::vector<std::string> cols;
+  for (const char* col : kMetricColumns) {
+    cols.emplace_back(col);
+    if (std::string_view(col) == "dropped_packets") {
+      cols.insert(cols.end(), std::begin(kDropReasonColumns),
+                  std::end(kDropReasonColumns));
+    }
+  }
+  return cols;
+}
+
+// Whole-file read for the resume journal probe; false on any I/O error.
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
 
 // "x.json" + index 3 -> "x.run3.json" (plain append when no .json suffix):
 // per-run artifact names for sweeps, same for any --jobs interleaving.
@@ -53,7 +91,11 @@ std::string WithRunIndex(const std::string& path, size_t index) {
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(const ScenarioRunnerOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  // A resumable sweep must journal itself: every completed point writes the
+  // manifest the next --resume invocation validates against.
+  if (options_.resume) options_.manifest = true;
+}
 
 SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run, bool check,
                                       int fastpath_override) {
@@ -68,6 +110,10 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
   SweepRunResult out;
   out.label = run.label;
   out.params = run.params;
+  out.attempt = opts.attempt;
+  // CLI/per-point override wins over the scenario's own deadline_s.
+  const double deadline_s =
+      opts.deadline_s > 0 ? opts.deadline_s : run.scenario.deadline_s;
   const auto t0 = std::chrono::steady_clock::now();
   // Declared before the Experiment: nodes keep pointers into the registries,
   // so they must be destroyed after it. One registry per execution lane
@@ -134,10 +180,14 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     // event before the checkpoint instant mutates routes the snapshotted
     // fabric build must not see.
     const sim::TimePs warm_until = run.scenario.warm_until;
+    // Fault scripts always run cold (the checkpoint models neither the
+    // degree-dependent install draws of expanded switch/NIC events nor the
+    // corruption RNG streams), and a wall deadline can fire mid-checkpoint.
     bool warm_on = opts.warm && opts.warm_cache != nullptr && warm_until > 0 &&
                    warm_until < cfg.duration && cfg.shards == 1 &&
                    !opts.check && opts.event_budget == 0 && !tcfg.trace &&
-                   !tcfg.profile;
+                   !tcfg.profile && deadline_s == 0 &&
+                   !HasFaultEvents(run.scenario);
     for (const ScenarioEvent& ev : run.scenario.events) {
       if ((ev.kind == ScenarioEvent::Kind::kLinkDown ||
            ev.kind == ScenarioEvent::Kind::kLinkUp) &&
@@ -172,6 +222,12 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     }
     if (opts.event_budget > 0) {
       e->set_event_budget(opts.event_budget);
+    }
+    if (deadline_s > 0) {
+      e->set_wall_deadline(
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline_s)));
     }
     const int lanes = e->shards();
     if (opts.check || telemetry_on) {
@@ -295,11 +351,24 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
         out.result = e->Run();
       }
     }
+    if (e->deadline_exceeded()) {
+      // The partial metrics stay in out.result for callers that want them,
+      // but the point is reported failed: its CSV row blanks the metrics and
+      // carries this error, and --resume re-simulates it.
+      out.error = "deadline exceeded (" + FormatNumber(deadline_s) +
+                  "s wall, " + FormatNumber(sim::ToMs(e->simulator().now())) +
+                  "ms simulated)";
+    }
     if (opts.check || telemetry_on) {
       for (int lane = 0; lane < lanes; ++lane) {
         registries[static_cast<size_t>(lane)].Finish(
             e->lane_simulator(lane).now());
       }
+    }
+    if (opts.check && !e->budget_exhausted() && !e->deadline_exceeded()) {
+      // No-progress audit: only meaningful when the run actually finished —
+      // a budget or deadline stop strands in-flight flows legitimately.
+      check::CheckFlowProgress(registries.front(), *e, e->simulator().now());
     }
     if (opts.check) {
       // Lane order, so the report is stable; counts sum (each lane caps its
@@ -326,6 +395,16 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
         mi.violations = &out.violations;
         mi.violation_count = out.violation_count;
         mi.phases = &phases;
+        // Sweep journal: grid coordinates, attempt, final status and the
+        // formatted CSV cells — everything --resume needs to replay this
+        // point without re-simulating it.
+        mi.sweep_index = opts.sweep_index;
+        mi.sweep_count = opts.sweep_count;
+        mi.attempt = opts.attempt;
+        mi.status = StatusOf(out);
+        const std::vector<std::pair<std::string, std::string>> cells =
+            MetricCells(out);
+        mi.csv_cells = &cells;
         const std::string text = obs::BuildManifest(mi).Dump(2) + "\n";
         if (obs::WriteTextFile(opts.manifest_path, text)) {
           out.manifest_path = opts.manifest_path;
@@ -406,7 +485,25 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
       RunOneOptions o = PlanRun(runs[i], i, runs.size());
       o.fabric_cache = fabric_cache;
       o.warm_cache = warm_cache;
-      results[i] = RunOne(runs[i], o);
+      bool resumed = false;
+      if (options_.resume) {
+        if (std::optional<SweepRunResult> prior = TryResume(runs[i], o)) {
+          results[i] = std::move(*prior);
+          resumed = true;
+        }
+      }
+      if (!resumed) {
+        results[i] = RunOne(runs[i], o);
+        if (!results[i].error.empty() &&
+            results[i].error.compare(0, 8, "deadline") != 0) {
+          // Transient-failure insurance: one retry per point, journaled as
+          // attempt 1 so it is auditable. Deadline trips are excluded — a
+          // point that deterministically outruns its wall budget would just
+          // burn the budget twice.
+          o.attempt = 1;
+          results[i] = RunOne(runs[i], o);
+        }
+      }
       const SweepRunResult& r = results[i];
       if (progress) {
         progress->JobDone(r.result.events_executed,
@@ -415,8 +512,9 @@ std::vector<SweepRunResult> ScenarioRunner::RunAll(
       if (verbose) {
         std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", i + 1, runs.size(),
                      r.label.c_str(),
-                     !r.error.empty() ? r.error.c_str()
-                                      : r.result.Summary().c_str(),
+                     r.resumed          ? "resumed from manifest journal"
+                     : !r.error.empty() ? r.error.c_str()
+                                        : r.result.Summary().c_str(),
                      r.wall_seconds);
       }
     }
@@ -438,6 +536,9 @@ RunOneOptions ScenarioRunner::PlanRun(const ScenarioRun& run, size_t index,
   opts.fastpath_override = options_.fastpath_override;
   opts.shards_override = options_.shards_override;
   opts.warm = options_.warm;
+  opts.deadline_s = options_.deadline_s;
+  opts.sweep_index = index;
+  opts.sweep_count = count;
 
   obs::TelemetryConfig cfg = run.scenario.telemetry;
   if (!options_.trace_out.empty()) cfg.trace = true;
@@ -468,6 +569,65 @@ RunOneOptions ScenarioRunner::PlanRun(const ScenarioRun& run, size_t index,
   return opts;
 }
 
+std::optional<SweepRunResult> ScenarioRunner::TryResume(
+    const ScenarioRun& run, const RunOneOptions& opts) const {
+  if (opts.manifest_path.empty()) return std::nullopt;
+  std::string text;
+  if (!ReadTextFile(opts.manifest_path, &text)) return std::nullopt;
+  try {
+    const Json m = Json::Parse(text);
+    const Json* schema = m.Find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->AsString() != "hpccsim-manifest-v1") {
+      return std::nullopt;
+    }
+    const Json* label = m.Find("label");
+    if (label == nullptr || !label->is_string() ||
+        label->AsString() != run.label) {
+      return std::nullopt;
+    }
+    // The scenario echo must match byte for byte: a resumable point is the
+    // same simulation the journal recorded, not a same-named edit. Any
+    // config/seed/sweep-patch change invalidates the entry.
+    const Json* sc = m.Find("scenario");
+    if (sc == nullptr || sc->Dump() != ScenarioToJson(run.scenario).Dump()) {
+      return std::nullopt;
+    }
+    const Json* sweep = m.Find("sweep");
+    if (sweep == nullptr || !sweep->is_object()) return std::nullopt;
+    const Json* status = sweep->Find("status");
+    if (status == nullptr || !status->is_string() ||
+        status->AsString() != "ok") {
+      return std::nullopt;  // error/violation points re-simulate
+    }
+    const Json* cells = sweep->Find("cells");
+    if (cells == nullptr || !cells->is_object()) return std::nullopt;
+
+    SweepRunResult out;
+    out.label = run.label;
+    out.params = run.params;
+    out.resumed = true;
+    for (const auto& [name, value] : cells->members()) {
+      if (!value.is_string()) return std::nullopt;
+      out.resumed_cells[name] = value.AsString();
+    }
+    // The two result fields the aggregate outputs read directly: drop
+    // presence decides the CSV shape, the trace hash feeds
+    // CombinedTraceHash.
+    const auto drops = out.resumed_cells.find("dropped_packets");
+    if (drops == out.resumed_cells.end()) return std::nullopt;
+    out.result.dropped_packets =
+        static_cast<uint64_t>(std::strtod(drops->second.c_str(), nullptr));
+    const Json* hash = m.Find("trace_hash");
+    if (hash == nullptr || !hash->is_string()) return std::nullopt;
+    out.result.trace_hash = std::strtoull(hash->AsString().c_str(), nullptr, 16);
+    out.manifest_path = opts.manifest_path;
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;  // malformed journal: just re-run the point
+  }
+}
+
 bool ScenarioRunner::HasDrops(const std::vector<SweepRunResult>& results) {
   for (const SweepRunResult& r : results) {
     if (r.error.empty() && r.result.dropped_packets > 0) return true;
@@ -495,19 +655,43 @@ std::vector<std::string> ScenarioRunner::CsvHeader(
   return header;
 }
 
-std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r,
-                                                bool drop_reasons) {
-  const size_t metric_cells =
-      kNumMetricColumns + (drop_reasons ? check::kNumDropReasons : 0);
-  std::vector<std::string> row{r.label};
-  for (const auto& [key, value] : r.params) row.push_back(value);
+std::string ScenarioRunner::StatusOf(const SweepRunResult& r) {
+  if (r.resumed) return "ok";  // only status-ok journal entries are resumed
+  if (!r.error.empty()) return "error";
+  if (r.violation_count > 0) return "violations";
+  return "ok";
+}
+
+std::vector<std::pair<std::string, std::string>> ScenarioRunner::MetricCells(
+    const SweepRunResult& r) {
+  std::vector<std::pair<std::string, std::string>> cells;
+  const std::vector<std::string> cols = AllMetricColumns();
+  cells.reserve(cols.size());
+  if (r.resumed) {
+    // Replay the journaled cells verbatim; a column the journal lacks
+    // (future schema growth) degrades to a blank, never a crash.
+    for (const std::string& col : cols) {
+      const auto it = r.resumed_cells.find(col);
+      cells.emplace_back(
+          col, it != r.resumed_cells.end() ? it->second : std::string());
+    }
+    return cells;
+  }
   if (!r.error.empty()) {
-    // Keep the row rectangular: blanks for the numeric metrics, error last.
-    // (A run with invariant violations but no exception still has metrics;
-    // violations are reported on the console, not in the CSV.)
-    for (size_t i = 0; i + 1 < metric_cells; ++i) row.emplace_back();
-    row.push_back(r.error);
-    return row;
+    // Keep the row rectangular: blanks for the numeric metrics, the status
+    // and error cells carry the failure. (A run with invariant violations
+    // but no exception still has metrics; violations are reported on the
+    // console and in the manifest, not in the CSV.)
+    for (const std::string& col : cols) {
+      if (col == "status") {
+        cells.emplace_back(col, StatusOf(r));
+      } else if (col == "error") {
+        cells.emplace_back(col, r.error);
+      } else {
+        cells.emplace_back(col, std::string());
+      }
+    }
+    return cells;
   }
   const runner::ExperimentResult& res = r.result;
   const stats::PercentileTracker& slow = res.fct->overall();
@@ -517,27 +701,47 @@ std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r,
   const auto metric = [](double v) {
     return std::isnan(v) ? std::string() : FormatNumber(v);
   };
-  row.push_back(FormatNumber(static_cast<double>(res.flows_created)));
-  row.push_back(FormatNumber(static_cast<double>(res.flows_completed)));
-  row.push_back(metric(slow.Percentile(50)));
-  row.push_back(metric(slow.Percentile(95)));
-  row.push_back(metric(slow.Percentile(99)));
-  row.push_back(metric(res.short_fct_us.Percentile(95)));
-  row.push_back(metric(res.queue_dist.Percentile(50) / 1e3));
-  row.push_back(metric(res.queue_dist.Percentile(99) / 1e3));
-  row.push_back(FormatNumber(static_cast<double>(res.max_queue_bytes) / 1e3));
-  row.push_back(FormatNumber(res.pause_time_fraction * 100));
-  row.push_back(FormatNumber(static_cast<double>(res.pause_events)));
-  row.push_back(FormatNumber(static_cast<double>(res.dropped_packets)));
-  if (drop_reasons) {
-    for (int d = 0; d < check::kNumDropReasons; ++d) {
-      row.push_back(
-          FormatNumber(static_cast<double>(res.dropped_by_reason[d])));
-    }
+  const auto count = [](uint64_t v) {
+    return FormatNumber(static_cast<double>(v));
+  };
+  cells.emplace_back("flows_created", count(res.flows_created));
+  cells.emplace_back("flows_completed", count(res.flows_completed));
+  cells.emplace_back("flows_failed", count(res.flows_failed));
+  cells.emplace_back("slowdown_p50", metric(slow.Percentile(50)));
+  cells.emplace_back("slowdown_p95", metric(slow.Percentile(95)));
+  cells.emplace_back("slowdown_p99", metric(slow.Percentile(99)));
+  cells.emplace_back("short_fct_p95_us",
+                     metric(res.short_fct_us.Percentile(95)));
+  cells.emplace_back("queue_p50_kb",
+                     metric(res.queue_dist.Percentile(50) / 1e3));
+  cells.emplace_back("queue_p99_kb",
+                     metric(res.queue_dist.Percentile(99) / 1e3));
+  cells.emplace_back(
+      "queue_max_kb",
+      FormatNumber(static_cast<double>(res.max_queue_bytes) / 1e3));
+  cells.emplace_back("pfc_pause_pct",
+                     FormatNumber(res.pause_time_fraction * 100));
+  cells.emplace_back("pfc_events", count(res.pause_events));
+  cells.emplace_back("dropped_packets", count(res.dropped_packets));
+  for (int d = 0; d < check::kNumDropReasons; ++d) {
+    cells.emplace_back(kDropReasonColumns[d], count(res.dropped_by_reason[d]));
   }
-  row.push_back(FormatNumber(sim::ToMs(res.sim_time)));
-  row.push_back(FormatNumber(static_cast<double>(res.packets_forwarded)));
-  row.emplace_back();  // error
+  cells.emplace_back("retx_timeouts", count(res.retx_timeouts));
+  cells.emplace_back("sim_time_ms", FormatNumber(sim::ToMs(res.sim_time)));
+  cells.emplace_back("packets_forwarded", count(res.packets_forwarded));
+  cells.emplace_back("status", StatusOf(r));
+  cells.emplace_back("error", std::string());
+  return cells;
+}
+
+std::vector<std::string> ScenarioRunner::CsvRow(const SweepRunResult& r,
+                                                bool drop_reasons) {
+  std::vector<std::string> row{r.label};
+  for (const auto& [key, value] : r.params) row.push_back(value);
+  for (auto& [name, value] : MetricCells(r)) {
+    if (!drop_reasons && IsDropReasonColumn(name)) continue;
+    row.push_back(std::move(value));
+  }
   return row;
 }
 
@@ -545,7 +749,10 @@ int ScenarioRunner::ReportAndWriteCsv(
     const std::vector<SweepRunResult>& results, const std::string& csv_path) {
   int failures = 0;
   for (const SweepRunResult& r : results) {
-    if (r.ok()) {
+    if (r.resumed) {
+      std::printf("%-48s resumed (journal: %s)\n", r.label.c_str(),
+                  r.manifest_path.c_str());
+    } else if (r.ok()) {
       std::printf("%-48s %s\n", r.label.c_str(), r.result.Summary().c_str());
     } else if (!r.error.empty()) {
       ++failures;

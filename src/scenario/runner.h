@@ -83,6 +83,16 @@ struct SweepRunResult {
   // itself. Both false on cold runs and fallbacks.
   bool warm_built = false;
   bool warm_restored = false;
+  // Which attempt produced this result: 0 = first try, 1 = the sweep's
+  // retry-once-on-error pass. Recorded in the manifest journal.
+  int attempt = 0;
+  // Set when --resume validated this point's manifest journal from a prior
+  // sweep and skipped re-simulation. CsvRow then replays `resumed_cells`
+  // (the exact formatted cells the original run wrote) instead of
+  // reformatting `result`, which only carries the fields the aggregate
+  // outputs read directly (dropped_packets, trace_hash).
+  bool resumed = false;
+  std::map<std::string, std::string> resumed_cells;
 
   bool ok() const { return error.empty() && violation_count == 0; }
 };
@@ -123,6 +133,20 @@ struct ScenarioRunnerOptions {
   // for the other grid points. Never changes any output byte — ineligible or
   // unrestorable runs silently fall back to cold.
   bool warm = true;
+
+  // --- resilience (fault-injection issue) ---
+  // Per-point wall-clock deadline override in seconds. 0 = use the
+  // scenario's own deadline_s (which may also be 0 = none). A point that
+  // trips its deadline stops early and reports a "deadline exceeded" error
+  // instead of wedging the whole sweep.
+  double deadline_s = 0;
+  // Crash-resumable sweeps: before simulating a point, look for its manifest
+  // from a previous (killed or partial) invocation with the same out_base.
+  // A manifest that validates (schema, label, byte-identical scenario echo)
+  // and records status "ok" short-circuits the point; error/violation points
+  // re-run. Implies manifest emission, so every completed point journals
+  // itself for the next resume.
+  bool resume = false;
 };
 
 // Per-point execution options for RunOne (the non-static surface RunAll
@@ -148,6 +172,14 @@ struct RunOneOptions {
   bool warm = true;
   std::shared_ptr<FabricCache> fabric_cache;
   std::shared_ptr<WarmCache> warm_cache;
+  // Wall-clock deadline in seconds; 0 falls back to the scenario's
+  // deadline_s. Disables warm-start (a deadline can fire mid-checkpoint).
+  double deadline_s = 0;
+  // Sweep-journal coordinates recorded in the manifest (RunAll fills them;
+  // standalone RunOne calls are a 1-point sweep).
+  size_t sweep_index = 0;
+  size_t sweep_count = 1;
+  int attempt = 0;
 };
 
 class ScenarioRunner {
@@ -198,11 +230,26 @@ class ScenarioRunner {
   static std::vector<std::string> CsvRow(const SweepRunResult& r,
                                          bool drop_reasons = false);
 
+  // Formatted metric cells for one result, keyed by column name, covering
+  // the full column superset (every drop-reason column, status, error).
+  // CsvRow and the manifest sweep journal share this one formatter — that
+  // is what makes --resume byte-identical: a resumed row replays exactly
+  // the cells the original run journaled.
+  static std::vector<std::pair<std::string, std::string>> MetricCells(
+      const SweepRunResult& r);
+  // The CSV status cell: "ok", "violations" or "error".
+  static std::string StatusOf(const SweepRunResult& r);
+
  private:
   // Resolves the effective telemetry config and artifact paths for sweep
   // point `index` of `count` under this runner's options.
   RunOneOptions PlanRun(const ScenarioRun& run, size_t index,
                         size_t count) const;
+  // --resume probe: loads and validates the manifest a previous invocation
+  // may have left at opts.manifest_path. Returns the reconstructed result
+  // when the point can be skipped, nullopt when it must (re-)run.
+  std::optional<SweepRunResult> TryResume(const ScenarioRun& run,
+                                          const RunOneOptions& opts) const;
 
   ScenarioRunnerOptions options_;
 };

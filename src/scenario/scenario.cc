@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <initializer_list>
+#include <limits>
 
 #include "core/hash.h"
 #include "obs/manifest.h"
@@ -286,9 +287,40 @@ ScenarioEvent ParseEvent(const Json& ev, size_t index) {
     if (out.load < 0 || out.load > 4) {
       throw ScenarioError(where + ".load must be in [0, 4]");
     }
+  } else if (type == "switch_down" || type == "switch_up") {
+    CheckKeys(ev, where.c_str(), {"type", "at_us", "switch"});
+    out.kind = type == "switch_down" ? ScenarioEvent::Kind::kSwitchDown
+                                     : ScenarioEvent::Kind::kSwitchUp;
+    const int64_t sw = Require(ev, "switch", where.c_str()).AsInt();
+    if (sw < 0) throw ScenarioError(where + ".switch must be >= 0");
+    out.node = static_cast<size_t>(sw);
+  } else if (type == "nic_down" || type == "nic_up") {
+    CheckKeys(ev, where.c_str(), {"type", "at_us", "host"});
+    out.kind = type == "nic_down" ? ScenarioEvent::Kind::kNicDown
+                                  : ScenarioEvent::Kind::kNicUp;
+    const int64_t h = Require(ev, "host", where.c_str()).AsInt();
+    if (h < 0) throw ScenarioError(where + ".host must be >= 0");
+    out.node = static_cast<size_t>(h);
+  } else if (type == "corrupt") {
+    CheckKeys(ev, where.c_str(), {"type", "at_us", "link", "ber", "until_us"});
+    out.kind = ScenarioEvent::Kind::kCorrupt;
+    const int64_t link = Require(ev, "link", where.c_str()).AsInt();
+    if (link < 0) throw ScenarioError(where + ".link must be >= 0");
+    out.link = static_cast<size_t>(link);
+    out.ber = Require(ev, "ber", where.c_str()).AsDouble();
+    if (!(out.ber > 0 && out.ber < 1)) {
+      throw ScenarioError(where + ".ber must be in (0, 1)");
+    }
+    const double until_us = Require(ev, "until_us", where.c_str()).AsDouble();
+    out.until = UsToPs(until_us, "until_us");
+    if (out.until <= out.at) {
+      throw ScenarioError(where + ".until_us must be > at_us");
+    }
   } else {
-    throw ScenarioError("unknown event type \"" + type +
-                        "\" (link_down|link_up|incast|load_phase)");
+    throw ScenarioError(
+        "unknown event type \"" + type +
+        "\" (link_down|link_up|incast|load_phase|switch_down|switch_up|"
+        "nic_down|nic_up|corrupt)");
   }
   return out;
 }
@@ -373,7 +405,7 @@ Scenario ParseScenario(const Json& doc) {
             {"name", "description", "topology", "cc", "workload",
              "duration_ms", "drain_factor", "seed", "shards", "pfc",
              "fastpath", "recovery", "int_sample_every", "short_flow_bytes",
-             "telemetry", "warm_start", "events", "sweep"});
+             "telemetry", "warm_start", "deadline_s", "events", "sweep"});
 
   Scenario s;
   s.source = doc;
@@ -445,6 +477,13 @@ Scenario ParseScenario(const Json& doc) {
       throw ScenarioError("warm_start.until_us must be > 0");
     }
     s.warm_until = UsToPs(until_us, "warm_start.until_us");
+  }
+
+  if (const Json* dl = doc.Find("deadline_s")) {
+    s.deadline_s = dl->AsDouble();
+    if (!(s.deadline_s > 0)) {
+      throw ScenarioError("deadline_s must be > 0");
+    }
   }
 
   if (const Json* evs = doc.Find("events")) {
@@ -574,6 +613,30 @@ Json EventToJson(const ScenarioEvent& ev) {
       e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
       e.Set("load", Json::MakeNumber(ev.load));
       break;
+    case ScenarioEvent::Kind::kSwitchDown:
+    case ScenarioEvent::Kind::kSwitchUp:
+      e.Set("type",
+            Json::MakeString(ev.kind == ScenarioEvent::Kind::kSwitchDown
+                                 ? "switch_down"
+                                 : "switch_up"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("switch", Json::MakeNumber(static_cast<double>(ev.node)));
+      break;
+    case ScenarioEvent::Kind::kNicDown:
+    case ScenarioEvent::Kind::kNicUp:
+      e.Set("type", Json::MakeString(ev.kind == ScenarioEvent::Kind::kNicDown
+                                         ? "nic_down"
+                                         : "nic_up"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("host", Json::MakeNumber(static_cast<double>(ev.node)));
+      break;
+    case ScenarioEvent::Kind::kCorrupt:
+      e.Set("type", Json::MakeString("corrupt"));
+      e.Set("at_us", Json::MakeNumber(PsToUs(ev.at)));
+      e.Set("link", Json::MakeNumber(static_cast<double>(ev.link)));
+      e.Set("ber", Json::MakeNumber(ev.ber));
+      e.Set("until_us", Json::MakeNumber(PsToUs(ev.until)));
+      break;
   }
   return e;
 }
@@ -630,6 +693,9 @@ Json ScenarioToJson(const Scenario& s) {
     Json ws = Json::MakeObject();
     ws.Set("until_us", Json::MakeNumber(PsToUs(s.warm_until)));
     doc.Set("warm_start", std::move(ws));
+  }
+  if (s.deadline_s > 0) {
+    doc.Set("deadline_s", Json::MakeNumber(s.deadline_s));
   }
 
   if (!s.events.empty()) {
@@ -710,9 +776,43 @@ std::vector<ScenarioRun> ExpandSweep(const Scenario& s) {
 
 bool MutatesTopology(const Scenario& s) {
   for (const ScenarioEvent& ev : s.events) {
-    if (ev.kind == ScenarioEvent::Kind::kLinkDown ||
-        ev.kind == ScenarioEvent::Kind::kLinkUp) {
-      return true;
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kLinkDown:
+      case ScenarioEvent::Kind::kLinkUp:
+      case ScenarioEvent::Kind::kSwitchDown:
+      case ScenarioEvent::Kind::kSwitchUp:
+      case ScenarioEvent::Kind::kNicDown:
+      case ScenarioEvent::Kind::kNicUp:
+        return true;
+      case ScenarioEvent::Kind::kIncast:
+      case ScenarioEvent::Kind::kLoadPhase:
+      case ScenarioEvent::Kind::kCorrupt:
+        // Corruption drops packets but never rewires routes.
+        break;
+    }
+  }
+  return false;
+}
+
+// True when the scenario injects faults the warm-start machinery does not
+// model: switch/NIC events consume install-time schedule seqs per attached
+// link (degree-dependent, so the bare-marker fingerprint reduction would be
+// wrong) and corruption windows carry per-port RNG state no checkpoint
+// captures. The sweep runner runs such scenarios cold.
+bool HasFaultEvents(const Scenario& s) {
+  for (const ScenarioEvent& ev : s.events) {
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kSwitchDown:
+      case ScenarioEvent::Kind::kSwitchUp:
+      case ScenarioEvent::Kind::kNicDown:
+      case ScenarioEvent::Kind::kNicUp:
+      case ScenarioEvent::Kind::kCorrupt:
+        return true;
+      case ScenarioEvent::Kind::kLinkDown:
+      case ScenarioEvent::Kind::kLinkUp:
+      case ScenarioEvent::Kind::kIncast:
+      case ScenarioEvent::Kind::kLoadPhase:
+        break;
     }
   }
   return false;
@@ -732,8 +832,13 @@ uint64_t WarmFingerprint(const Scenario& s) {
       // and position alone — reduce them to a bare type marker so grid
       // points differing only in their parameters share one checkpoint.
       // Load phases stay verbatim at any time: a phase event's time closes
-      // the previous phase's generation window, wherever it sits.
-      if (ev.kind != ScenarioEvent::Kind::kLoadPhase &&
+      // the previous phase's generation window, wherever it sits. Fault
+      // events (switch/NIC/corrupt) also stay verbatim — their scenarios run
+      // cold (HasFaultEvents), so the fingerprint only needs to keep them
+      // distinct, not reduced.
+      if ((ev.kind == ScenarioEvent::Kind::kLinkDown ||
+           ev.kind == ScenarioEvent::Kind::kLinkUp ||
+           ev.kind == ScenarioEvent::Kind::kIncast) &&
           ev.at >= s.warm_until) {
         Json e = Json::MakeObject();
         e.Set("type",
@@ -784,6 +889,7 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
   };
   std::vector<Phase> phases;
   size_t incast_index = 0;
+  size_t corrupt_index = 0;
   for (const ScenarioEvent& ev : s.events) {
     switch (ev.kind) {
       case ScenarioEvent::Kind::kLinkDown:
@@ -812,7 +918,8 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
         io.period = 0;  // one-shot
         // Mix, don't add: affine derivation collided across (seed, index)
         // pairs (seed 1/index 31 == seed 2/index 0). Streams 1000+ are
-        // incast events; 2000+ are load phases; 7 is the workload incast.
+        // incast events; 2000+ are load phases; 3000+ are corruption
+        // windows; 7 is the workload incast.
         io.seed = core::DeriveSeed(s.config.seed, 1000 + incast_index++);
         for (int lane = 0; lane < shards; ++lane) {
           workload::FlowSink sink = [&e, lane](uint32_t src, uint32_t dst,
@@ -830,6 +937,72 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
       case ScenarioEvent::Kind::kLoadPhase:
         phases.push_back(Phase{ev.at, ev.load});
         break;
+      case ScenarioEvent::Kind::kSwitchDown:
+      case ScenarioEvent::Kind::kSwitchUp:
+      case ScenarioEvent::Kind::kNicDown:
+      case ScenarioEvent::Kind::kNicUp: {
+        // Node faults expand to per-link events over the node's attached
+        // links, in ascending link order — exactly the script a hand-written
+        // link_down/link_up sequence would install, so determinism, sharding
+        // (coordinator barriers) and the equivalence tests all get the
+        // composed behavior for free.
+        const bool is_switch = ev.kind == ScenarioEvent::Kind::kSwitchDown ||
+                               ev.kind == ScenarioEvent::Kind::kSwitchUp;
+        const bool up = ev.kind == ScenarioEvent::Kind::kSwitchUp ||
+                        ev.kind == ScenarioEvent::Kind::kNicUp;
+        uint32_t node_id = 0;
+        if (is_switch) {
+          const std::vector<uint32_t>& switches = topology.switches();
+          if (ev.node >= switches.size()) {
+            throw ScenarioError("event switch index " +
+                                std::to_string(ev.node) +
+                                " out of range (topology has " +
+                                std::to_string(switches.size()) +
+                                " switches)");
+          }
+          node_id = switches[ev.node];
+        } else {
+          if (ev.node >= num_hosts) {
+            throw ScenarioError("event host index " + std::to_string(ev.node) +
+                                " out of range (topology has " +
+                                std::to_string(num_hosts) + " hosts)");
+          }
+          node_id = e.hosts()[ev.node];
+        }
+        for (size_t li = 0; li < num_links; ++li) {
+          const topo::LinkSpec& L = topology.links()[li];
+          if (L.a == node_id || L.b == node_id) {
+            e.InstallLinkEvent(ev.at, li, up);
+          }
+        }
+        break;
+      }
+      case ScenarioEvent::Kind::kCorrupt: {
+        if (ev.link >= num_links) {
+          throw ScenarioError("corrupt link index " + std::to_string(ev.link) +
+                              " out of range (topology has " +
+                              std::to_string(num_links) + " links)");
+        }
+        const topo::LinkSpec& L = topology.links()[ev.link];
+        // BER scaled to the full 64-bit draw range; guard the cast against
+        // rounding up to exactly 2^64 for ber -> 1.
+        const double scaled = ev.ber * 18446744073709551616.0;
+        const uint64_t threshold = scaled >= 18446744073709551615.0
+                                       ? std::numeric_limits<uint64_t>::max()
+                                       : static_cast<uint64_t>(scaled);
+        // One seed stream per (event, direction): delivery order on each
+        // receiving port is deterministic, so the drop pattern is pinned
+        // across engines, shard counts and job counts.
+        const uint64_t ev_seed =
+            core::DeriveSeed(s.config.seed, 3000 + corrupt_index++);
+        topology.node(L.b).AddCorruptWindow(L.port_b, ev.at, ev.until,
+                                            threshold,
+                                            core::DeriveSeed(ev_seed, 0));
+        topology.node(L.a).AddCorruptWindow(L.port_a, ev.at, ev.until,
+                                            threshold,
+                                            core::DeriveSeed(ev_seed, 1));
+        break;
+      }
     }
   }
 

@@ -40,11 +40,35 @@ struct ScenarioError : std::runtime_error {
 };
 
 struct ScenarioEvent {
-  enum class Kind { kLinkDown, kLinkUp, kIncast, kLoadPhase };
+  enum class Kind {
+    kLinkDown,
+    kLinkUp,
+    kIncast,
+    kLoadPhase,
+    // Fault injection: a switch_down fails every link attached to the switch
+    // (and switch_up repairs them), nic_down/nic_up do the same for a host's
+    // NIC links, and corrupt drops packets on one link with a seeded
+    // Bernoulli stream for a bounded window. switch/nic events expand to the
+    // equivalent per-link events at install time, so they compose with
+    // sharding and warm-start exactly like hand-written link scripts — the
+    // fault-equivalence tests pin switch_down == the link_down sequence.
+    kSwitchDown,
+    kSwitchUp,
+    kNicDown,
+    kNicUp,
+    kCorrupt,
+  };
   Kind kind = Kind::kLinkDown;
   sim::TimePs at = 0;
-  // kLinkDown / kLinkUp: index into Topology::links().
+  // kLinkDown / kLinkUp / kCorrupt: index into Topology::links().
   size_t link = 0;
+  // kSwitchDown/kSwitchUp: index into Topology::switches();
+  // kNicDown/kNicUp: index into Experiment::hosts().
+  size_t node = 0;
+  // kCorrupt: per-packet drop probability (bit-error rate folded to packet
+  // granularity) and the end of the corruption window.
+  double ber = 0;
+  sim::TimePs until = 0;
   // kIncast: a one-shot burst at `at` (period/end/seed filled at install).
   workload::IncastOptions incast;
   // kLoadPhase: background Poisson load from `at` until the next phase event
@@ -71,6 +95,10 @@ struct Scenario {
   // runs are byte-identical to cold ones, and a run falls back to cold
   // whenever the instant is not cleanly restorable.
   sim::TimePs warm_until = 0;
+  // Per-point wall-clock deadline in seconds (0 = none): a sweep point whose
+  // simulation exceeds it stops early and reports a "deadline exceeded"
+  // error instead of wedging the whole sweep. CLI --deadline overrides.
+  double deadline_s = 0;
   std::vector<ScenarioEvent> events;
   std::vector<SweepAxis> sweep;
   // The original document, kept for sweep patching.
@@ -103,11 +131,18 @@ struct ScenarioRun {
 // varies fastest.
 std::vector<ScenarioRun> ExpandSweep(const Scenario& s);
 
-// True when the event script changes topology state (link_down/link_up).
+// True when the event script changes topology state (link_down/link_up and
+// the switch/NIC fault events that expand to them).
 // Invariant checks that assume a static fabric (INT observation-stream
 // monotonicity) key off this — keep it the single source of truth when new
 // topology-mutating event kinds appear.
 bool MutatesTopology(const Scenario& s);
+
+// True when the script contains fault-injection events (switch/NIC flaps,
+// corruption windows). Such scenarios always run cold: warm-start
+// checkpoints neither model the degree-dependent install draws of the
+// expanded events nor the corruption RNG streams.
+bool HasFaultEvents(const Scenario& s);
 
 // ExperimentConfig for one run. When the event script contains load phases
 // the built-in background generator is disabled (InstallEvents owns all

@@ -245,6 +245,15 @@ uint64_t Simulator::Run(TimePs until, uint64_t until_seq) {
       executing_seq_ = kOtherSeqBase;
       return executed;  // clock stays at the last executed event
     }
+    if (has_deadline_ && (executed % kDeadlineCheckStride) == 0) [[unlikely]] {
+      if (deadline_exceeded_ ||
+          std::chrono::steady_clock::now() >= wall_deadline_) {
+        if (live_events_ == 0) break;
+        deadline_exceeded_ = true;
+        executing_seq_ = kOtherSeqBase;
+        return executed;  // like the budget stop: a prefix of the full run
+      }
+    }
     if (!PopEarliest(until, until_seq, &e)) break;
     // Move the closure out and release the slot *before* invoking: the
     // callback may reschedule into this slot (new generation) and its own id

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -177,6 +178,17 @@ class Simulator {
   }
   bool budget_exhausted() const { return budget_exhausted_; }
 
+  // Wall-clock watchdog (per-point sweep deadlines): once the steady clock
+  // passes `deadline`, Run returns and `deadline_exceeded()` latches true.
+  // Checked every kDeadlineCheckStride events, so it changes only how *far*
+  // the run gets — never the order of the events executed before the stop;
+  // the simulated state at the stop is a prefix of the undisturbed run.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
   TimePs now() const { return now_; }
   uint64_t events_executed() const { return events_executed_; }
   // Scheduled events that are neither cancelled nor executed. Maintained as
@@ -267,6 +279,13 @@ class Simulator {
   uint64_t events_executed_ = 0;
   uint64_t event_budget_ = std::numeric_limits<uint64_t>::max();
   bool budget_exhausted_ = false;
+  // Amortization stride for the wall-deadline check: one steady_clock read
+  // per this many executed events (~microseconds of wall time), so the
+  // watchdog costs nothing measurable on the hot loop.
+  static constexpr uint64_t kDeadlineCheckStride = 8192;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool has_deadline_ = false;
+  bool deadline_exceeded_ = false;
   size_t live_events_ = 0;
 
   std::vector<Slot> slots_;

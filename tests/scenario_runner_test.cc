@@ -222,8 +222,8 @@ TEST(ScenarioRunnerTest, CsvShapeIsRectangular) {
   for (const auto& r : results) {
     EXPECT_EQ(ScenarioRunner::CsvRow(r).size(), header.size());
   }
-  // run + 1 sweep axis + 14 metrics + error.
-  EXPECT_EQ(header.size(), 1u + 1u + 15u);
+  // run + 1 sweep axis + 16 metrics + status + error.
+  EXPECT_EQ(header.size(), 1u + 1u + 18u);
   EXPECT_EQ(header[1], "seed");
 }
 

@@ -232,20 +232,21 @@ TEST(Telemetry, DropReasonColumnsOnlyWithDrops) {
   results[1].result.dropped_by_reason[1] = 5;  // buffer_full
   EXPECT_TRUE(ScenarioRunner::HasDrops(results));
   header = ScenarioRunner::CsvHeader(results);
-  EXPECT_EQ(header.size(), plain_cols + 3);
-  // The reason columns sit right after dropped_packets, before sim_time_ms.
+  EXPECT_EQ(header.size(), plain_cols + 4);
+  // The reason columns sit right after dropped_packets, before retx_timeouts.
   size_t at = 0;
   while (at < header.size() && header[at] != "dropped_packets") ++at;
-  ASSERT_LT(at + 3, header.size());
+  ASSERT_LT(at + 4, header.size());
   EXPECT_EQ(header[at + 1], "drops_no_route");
   EXPECT_EQ(header[at + 2], "drops_buffer_full");
   EXPECT_EQ(header[at + 3], "drops_egress_threshold");
+  EXPECT_EQ(header[at + 4], "drops_corrupt");
 
   // Error rows stay rectangular under either shape.
   results[0].error = "boom";
   EXPECT_EQ(ScenarioRunner::CsvRow(results[0], true).size(), header.size());
   EXPECT_EQ(ScenarioRunner::CsvRow(results[0], false).size(),
-            header.size() - 3);
+            header.size() - 4);
 }
 
 TEST(Telemetry, ScenarioTelemetryBlockRoundTrips) {

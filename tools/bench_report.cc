@@ -31,6 +31,12 @@
 //                             invariant monitor attached — the measured cost
 //                             of always-on checking (used by fuzz/CI, not by
 //                             perf runs)
+//   macro/fig11_faultoff      the fast-path run with NO fault events,
+//                             tracked as its own committed number: the
+//                             bench_check gate on it pins the "fault
+//                             injection costs nothing when unused" claim
+//                             (no corruption-window lookups or backoff
+//                             upkeep on the baseline hot path)
 //   micro/telemetry_overhead  the fast-path run with telemetry OFF, tracked
 //                             as its own committed number: the bench_check
 //                             gate on it pins the "no new hot-path branches
@@ -231,6 +237,23 @@ uint64_t MacroFig11CheckedBatch() {
   auto result = e.Run();
   registry.Finish(e.simulator().now());
   if (registry.violation_count() != 0) std::abort();  // bench must run clean
+  return result.packets_forwarded;
+}
+
+// Fault-off pin for the resilience layer: identical to macro/fig11_incast —
+// no fault events, so no corruption windows and no backoff beyond the
+// baseline — but tracked as its own committed number so a change that adds
+// per-delivery fault-path cost (corruption-window lookups, backoff state
+// upkeep) trips the bench_check drop gate even if the fig11 numbers are
+// re-baselined for an unrelated reason.
+uint64_t MacroFig11FaultOffBatch() {
+  hpcc::runner::Experiment e(hpcc::benchgen::Fig11MacroConfig());
+  auto result = e.Run();
+  if (result.flows_failed != 0 ||
+      result.dropped_by_reason[static_cast<int>(
+          hpcc::check::DropReason::kCorrupt)] != 0) {
+    std::abort();  // the fault-off pin must really be fault-free
+  }
   return result.packets_forwarded;
 }
 
@@ -574,6 +597,8 @@ int main(int argc, char** argv) {
                              MacroFig11NoFastpathBatch));
   results.push_back(RunBench("macro/fig11_checked", "pkts", min_seconds,
                              MacroFig11CheckedBatch));
+  results.push_back(RunBench("macro/fig11_faultoff", "pkts", min_seconds,
+                             MacroFig11FaultOffBatch));
   results.push_back(RunBench("micro/telemetry_overhead", "pkts", min_seconds,
                              TelemetryOverheadBatch));
   results.push_back(RunBench("macro/fig11_telemetry", "pkts", min_seconds,

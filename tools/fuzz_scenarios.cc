@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
       options.check_shards = false;
     } else if (std::strcmp(argv[i], "--no-warm-check") == 0) {
       options.check_warm = false;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      options.faults = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--seed=N] [--runs=N] [--out-dir=DIR]\n"
                    "          [--max-events=N] [--no-determinism]\n"
                    "          [--no-fastpath-check] [--no-shard-check]\n"
-                   "          [--no-warm-check] [--verbose]\n",
+                   "          [--no-warm-check] [--faults] [--verbose]\n",
                    argv[0]);
       return 2;
     }

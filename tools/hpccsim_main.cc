@@ -30,6 +30,8 @@ struct Options {
   bool check = false;    // scenario mode: run under the invariant monitors
   bool manifest = false;  // scenario mode: write run manifests
   bool progress = false;  // scenario mode: live sweep progress line
+  double deadline = 0;   // scenario mode: per-point wall deadline (seconds)
+  bool resume = false;   // scenario mode: skip journaled-complete points
   std::string scheme = "hpcc";
   std::string topo = "fattree";
   std::string trace = "websearch";
@@ -62,6 +64,11 @@ struct Options {
       "  --check            scenario mode: run under invariant monitors\n"
       "  --trace-out=FILE   scenario mode: write a Chrome/Perfetto trace\n"
       "  --manifest         scenario mode: write run manifest JSON(s)\n"
+      "  --deadline=SECONDS scenario mode: per-point wall-clock deadline\n"
+      "                     (a point exceeding it fails, sweep continues)\n"
+      "  --resume           scenario mode: skip points whose manifest\n"
+      "                     journal validates as complete (implies\n"
+      "                     --manifest)\n"
       "  --progress         scenario mode: live sweep progress on stderr\n"
       "  --scheme=NAME      hpcc|hpcc-rxrate|hpcc-perack|hpcc-perrtt|\n"
       "                     hpcc-alpha|dcqcn|dcqcn+win|timely|timely+win|\n"
@@ -128,6 +135,11 @@ Options Parse(int argc, char** argv) {
     }
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
+    else if (cli::ConsumeFlag(argv[i], "--deadline", &v)) {
+      o.deadline = std::atof(v);
+      if (!(o.deadline > 0)) Usage(argv[0]);
+    }
+    else if (std::strcmp(argv[i], "--resume") == 0) o.resume = true;
     else if (std::strcmp(argv[i], "--progress") == 0) o.progress = true;
     else if (std::strcmp(argv[i], "--lossy") == 0) o.lossy = true;
     else if (std::strcmp(argv[i], "--irn") == 0) o.irn = true;
@@ -139,10 +151,10 @@ Options Parse(int argc, char** argv) {
   // that never appears.
   if (o.scenario.empty() &&
       (o.jobs != 0 || !o.out.empty() || o.check || !o.trace_out.empty() ||
-       o.manifest || o.progress)) {
+       o.manifest || o.progress || o.deadline > 0 || o.resume)) {
     std::fprintf(stderr,
                  "error: --jobs/--out/--check/--trace-out/--manifest/"
-                 "--progress require --scenario=FILE\n");
+                 "--deadline/--resume/--progress require --scenario=FILE\n");
     std::exit(2);
   }
   return o;
@@ -164,6 +176,8 @@ int main(int argc, char** argv) {
     ro.trace_out = o.trace_out;
     ro.manifest = o.manifest;
     ro.progress = o.progress;
+    ro.deadline_s = o.deadline;
+    ro.resume = o.resume;
     return scenario::RunScenarioFile(o.scenario, ro, o.out);
   }
 

@@ -34,6 +34,8 @@ struct Options {
   bool check = false;
   bool manifest = false;
   bool progress = false;
+  double deadline = 0;  // per-point wall deadline in seconds (0 = scenario)
+  bool resume = false;  // skip points with a validated "ok" manifest journal
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -61,6 +63,14 @@ struct Options {
                "               write a Chrome/Perfetto trace (sweeps write\n"
                "               one file per point: <stem>.runN.json)\n"
                "  --manifest   write a run manifest JSON next to the CSV\n"
+               "  --deadline=SECONDS\n"
+               "               per-point wall-clock deadline; a point that\n"
+               "               exceeds it fails with \"deadline exceeded\"\n"
+               "               instead of wedging the sweep (default: the\n"
+               "               scenario's deadline_s, if any)\n"
+               "  --resume     skip sweep points whose manifest journal from\n"
+               "               a previous (partial) invocation validates as\n"
+               "               complete; implies --manifest\n"
                "  --progress   live sweep progress line on stderr\n"
                "  --quiet      suppress per-run progress\n",
                argv0);
@@ -92,6 +102,11 @@ Options Parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--dump") == 0) o.dump = true;
     else if (std::strcmp(argv[i], "--check") == 0) o.check = true;
     else if (std::strcmp(argv[i], "--manifest") == 0) o.manifest = true;
+    else if (cli::ConsumeFlag(argv[i], "--deadline", &v)) {
+      o.deadline = std::atof(v);
+      if (!(o.deadline > 0)) Usage(argv[0]);
+    }
+    else if (std::strcmp(argv[i], "--resume") == 0) o.resume = true;
     else if (std::strcmp(argv[i], "--progress") == 0) o.progress = true;
     else if (std::strcmp(argv[i], "--quiet") == 0) o.quiet = true;
     else if (argv[i][0] == '-') Usage(argv[0]);
@@ -133,5 +148,7 @@ int main(int argc, char** argv) {
   ro.manifest = o.manifest;
   ro.progress = o.progress;
   ro.warm = o.warm;
+  ro.deadline_s = o.deadline;
+  ro.resume = o.resume;
   return scenario::RunScenarioFile(o.file, ro, o.out);
 }
