@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace hpcc::analytic {
 
@@ -11,6 +13,8 @@ FluidLink::FluidLink(const FluidParams& params,
       windows_(std::move(initial_windows)),
       stages_(windows_.size(), 0) {
   assert(params_.capacity_bytes_per_rtt > 0);
+  ids_.reserve(windows_.size());
+  for (size_t i = 0; i < windows_.size(); ++i) ids_.push_back(next_id_++);
 }
 
 double FluidLink::total_window() const {
@@ -40,15 +44,35 @@ double FluidLink::Step() {
   return u_;
 }
 
-void FluidLink::AddFlow(double window) {
+FluidLink::FlowId FluidLink::AddFlow(double window) {
   windows_.push_back(window);
   stages_.push_back(0);
+  ids_.push_back(next_id_);
+  return next_id_++;
 }
 
-void FluidLink::RemoveFlow(size_t index) {
-  assert(index < windows_.size());
+size_t FluidLink::IndexOf(FlowId id) const {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return i;
+  }
+  throw std::out_of_range("FluidLink: unknown flow handle " +
+                          std::to_string(id));
+}
+
+bool FluidLink::HasFlow(FlowId id) const {
+  for (FlowId live : ids_) {
+    if (live == id) return true;
+  }
+  return false;
+}
+
+double FluidLink::WindowOf(FlowId id) const { return windows_[IndexOf(id)]; }
+
+void FluidLink::RemoveFlow(FlowId id) {
+  const size_t index = IndexOf(id);
   windows_.erase(windows_.begin() + static_cast<ptrdiff_t>(index));
   stages_.erase(stages_.begin() + static_cast<ptrdiff_t>(index));
+  ids_.erase(ids_.begin() + static_cast<ptrdiff_t>(index));
 }
 
 double FluidLink::JainIndex() const {

@@ -27,12 +27,25 @@ struct FluidParams {
 
 class FluidLink {
  public:
+  // Flows are named by stable handles: the `initial_windows` get handles
+  // 0..n-1, AddFlow returns the next one. Handles survive other flows'
+  // departures (unlike raw indices into windows(), which shift on erase —
+  // exactly the corruption the handle surface exists to prevent for hybrid
+  // runs, where fluid flows join and depart in arbitrary interleavings).
+  using FlowId = uint64_t;
+
   FluidLink(const FluidParams& params, std::vector<double> initial_windows);
 
   // Advances one RTT; returns the utilization U observed this round.
   double Step();
-  void AddFlow(double window);     // a new flow joins at this window
-  void RemoveFlow(size_t index);   // a flow departs
+  FlowId AddFlow(double window);  // a new flow joins at this window
+  // A flow departs. Throws std::out_of_range on an unknown (never issued or
+  // already removed) handle — a silent mis-erase would shift every later
+  // flow's window onto the wrong identity.
+  void RemoveFlow(FlowId id);
+  bool HasFlow(FlowId id) const;
+  // Current window of a live flow; throws std::out_of_range when unknown.
+  double WindowOf(FlowId id) const;
 
   const std::vector<double>& windows() const { return windows_; }
   double queue_bytes() const { return queue_; }
@@ -44,9 +57,13 @@ class FluidLink {
   double JainIndex() const;
 
  private:
+  size_t IndexOf(FlowId id) const;  // throws std::out_of_range when unknown
+
   FluidParams params_;
   std::vector<double> windows_;
   std::vector<int> stages_;
+  std::vector<FlowId> ids_;  // parallel to windows_/stages_
+  FlowId next_id_ = 0;
   double queue_ = 0;
   double u_ = 0;
   int rounds_ = 0;

@@ -172,13 +172,24 @@ void Port::EmitPacket(Packet& pkt, sim::TimePs emit_time,
   tx_bytes_ += static_cast<uint64_t>(pkt.size_bytes());
 
   // INT stamping at emission (§3.1): the record reports the egress state the
-  // packet observed, including the queue it leaves behind.
+  // packet observed, including the queue it leaves behind. Under hybrid
+  // co-simulation the fluid engine's virtual occupancy and served bytes are
+  // folded in here — this is the entire packet-visible surface of a fluid
+  // flow (see SetFluidState).
   if (stamp_int_ && pkt.int_enabled && pkt.type == PacketType::kData) {
+    uint64_t tx_for_int = tx_bytes_;
+    int64_t qlen_for_int = qlen_data_behind;
+    if (fluid_active_) [[unlikely]] {
+      tx_for_int += FluidTxAt(emit_time);
+      qlen_for_int += fluid_qlen_;
+      if (fluid_qlen_cap_ > 0)
+        qlen_for_int = std::min(qlen_for_int, fluid_qlen_cap_);
+    }
     core::IntHop hop;
     hop.bandwidth_bps = bandwidth_bps_;
     hop.ts = emit_time;
-    hop.tx_bytes = tx_bytes_;
-    hop.qlen_bytes = qlen_data_behind;
+    hop.tx_bytes = tx_for_int;
+    hop.qlen_bytes = qlen_for_int;
     hop.switch_id = owner_->id();
     if (int_wire_format_) {
       // Quantize and wrap to the Fig. 7 field widths (see core/int_wire.h);
@@ -197,6 +208,30 @@ void Port::EmitPacket(Packet& pkt, sim::TimePs emit_time,
   // which can recursively enqueue a control frame, so all emission state is
   // already consistent by this point).
   owner_->OnPortDequeue(pkt, index_);
+}
+
+uint64_t Port::FluidTxAt(sim::TimePs t) const {
+  if (!fluid_active_) return 0;
+  const sim::TimePs dt = t > fluid_tick_start_ ? t - fluid_tick_start_ : 0;
+  // 64x64 -> 128-bit product: rate * dt overflows uint64 for 400 Gbps links
+  // over ms-scale gaps, and the stamped counter must never jump backwards.
+  const unsigned __int128 extra =
+      static_cast<unsigned __int128>(fluid_rate_Bps_) *
+      static_cast<unsigned __int128>(dt) / sim::kPsPerSec;
+  return fluid_tx_base_ + static_cast<uint64_t>(extra);
+}
+
+void Port::SetFluidState(int64_t qlen_bytes, int64_t rate_Bps,
+                         int64_t qlen_cap_bytes) {
+  const sim::TimePs now = SimNow();
+  // Re-base continuously: the new segment starts where the old one ends, so
+  // FluidTxAt is monotone across rate changes.
+  fluid_tx_base_ = FluidTxAt(now);
+  fluid_tick_start_ = now;
+  fluid_rate_Bps_ = std::max<int64_t>(0, rate_Bps);
+  fluid_qlen_ = std::max<int64_t>(0, qlen_bytes);
+  fluid_qlen_cap_ = qlen_cap_bytes;
+  fluid_active_ = true;
 }
 
 void Port::StartTransmission(PacketPtr pkt) {

@@ -95,6 +95,28 @@ class Port {
     int_wire_format_ = wire_format;
   }
 
+  // --- Hybrid fluid coupling (analytic/fluid_region.h) -------------------
+  // Virtual background state injected by the fluid engine at its RTT ticks.
+  // Stamped INT records report the *sum* of real and fluid state: the fluid
+  // queue is added to the stamped qLen (clamped to `qlen_cap_bytes`, the
+  // switch buffer bound the IntSanityMonitor enforces; 0 = no cap), and a
+  // virtual fluid byte counter is added to the stamped txBytes. The counter
+  // advances at `rate_Bps` between ticks and is re-based continuously at
+  // each update (new base = interpolated value at update time), so the sum
+  // stays monotone however rates change. Real queues, PFC and scheduling
+  // are untouched: fluid flows occupy bandwidth only in the eyes of
+  // INT-reading congestion control.
+  //
+  // Determinism contract: the fluid engine must read this port's tx_bytes()
+  // (which settles due fast-path train items) *before* calling this in the
+  // same tick event, so every packet emitted at or before the tick instant
+  // is stamped with the pre-tick fluid state under both transmit engines.
+  void SetFluidState(int64_t qlen_bytes, int64_t rate_Bps,
+                     int64_t qlen_cap_bytes);
+  bool has_fluid_state() const { return fluid_active_; }
+  // Virtual fluid byte counter at time `t` (monotone in t).
+  uint64_t FluidTxAt(sim::TimePs t) const;
+
   void set_pause_observer(const PauseObserver* obs) { pause_observer_ = obs; }
 
   // Selects the transmit engine; flipped only while the port is quiescent
@@ -263,6 +285,14 @@ class Port {
   bool stamp_int_ = false;
   uint32_t int_switch_id_ = 0;
   bool int_wire_format_ = false;
+
+  // Hybrid fluid coupling state (see SetFluidState).
+  bool fluid_active_ = false;
+  int64_t fluid_qlen_ = 0;
+  int64_t fluid_rate_Bps_ = 0;
+  int64_t fluid_qlen_cap_ = 0;
+  uint64_t fluid_tx_base_ = 0;
+  sim::TimePs fluid_tick_start_ = 0;
 
   const PauseObserver* pause_observer_ = nullptr;
   sim::TimePs pause_started_ = 0;

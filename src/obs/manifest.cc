@@ -123,6 +123,25 @@ scenario::Json BuildManifest(const ManifestInputs& in) {
     counters.Set("packets", packets);
     counters.Set("drops", drops);
     counters.Set("pfc", pfc);
+
+    // Hybrid fluid-engine accounting, present only when the run carried
+    // fluid flows (per-reason: every fluid flow is also folded into
+    // counters.flows, so the totals stay engine-inclusive).
+    if (in.experiment != nullptr &&
+        in.experiment->config().hybrid.enabled) {
+      scenario::Json fluid = scenario::Json::MakeObject();
+      fluid.Set("flows_admitted", NumU(res.fluid_flows_created));
+      fluid.Set("flows_completed", NumU(res.fluid_flows_completed));
+      fluid.Set("ticks", NumU(res.fluid_ticks));
+      fluid.Set("coupled_links", NumU(res.fluid_coupled_links));
+      fluid.Set("delivered_bytes", NumU(res.fluid_delivered_bytes));
+      fluid.Set("peak_queue_bytes",
+                NumU(static_cast<uint64_t>(
+                    res.fluid_peak_queue_bytes < 0
+                        ? 0
+                        : res.fluid_peak_queue_bytes)));
+      counters.Set("fluid", fluid);
+    }
   }
   m.Set("counters", counters);
 

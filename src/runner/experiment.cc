@@ -87,6 +87,27 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   if (config_.shards < 1) {
     throw std::invalid_argument("shards must be >= 1");
   }
+  if (config_.hybrid.enabled) {
+    if (config_.shards > 1) {
+      throw std::invalid_argument(
+          "hybrid fluid/packet co-simulation requires shards=1");
+    }
+    if (!cc::SchemeUsesInt(config_.cc.scheme)) {
+      throw std::invalid_argument(
+          "hybrid fluid coupling needs an INT-carrying CC scheme");
+    }
+  } else if (config_.flow_class == workload::FlowClass::kFluid ||
+             (config_.incast &&
+              config_.incast_opts.flow_class == workload::FlowClass::kFluid)) {
+    throw std::invalid_argument(
+        "flow_class=fluid requires the hybrid engine (hybrid.enabled)");
+  }
+  if (!config_.trace_file.empty()) {
+    // Parse once; sharded lanes share the parsed records by pointer.
+    trace_records_ =
+        std::make_shared<const std::vector<workload::TraceRecord>>(
+            workload::LoadFlowTrace(config_.trace_file));
+  }
   simulator_ = std::make_unique<sim::Simulator>();
   BuildTopology();
   base_rtt_ = config_.base_rtt_override > 0 ? config_.base_rtt_override
@@ -98,6 +119,24 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   }
 
   fct_ = MakeFctRecorder();
+
+  if (config_.hybrid.enabled) {
+    analytic::FluidRegionParams fp;
+    fp.tick = config_.hybrid.tick > 0 ? config_.hybrid.tick : base_rtt_;
+    // Projected fluid qLen is clamped to the same buffer bound the
+    // IntSanityMonitor enforces on real queues.
+    fp.qlen_cap_bytes = MakeSwitchConfig().buffer_bytes;
+    fluid_ = std::make_unique<analytic::FluidRegion>(simulator_.get(),
+                                                     topology_.get(), fp);
+    fluid_->set_completion_callback(
+        [this](const analytic::FluidRegion::FlowRecord& rec, sim::TimePs now) {
+          fct_->Record(rec.size_bytes, now - rec.start,
+                       topology_->IdealFct(rec.src, rec.dst, rec.size_bytes));
+          if (rec.size_bytes <= config_.short_flow_bytes) {
+            short_fct_us_.Add(sim::ToUs(now - rec.start));
+          }
+        });
+  }
 
   if (config_.shards > 1) {
     SetupShards();
@@ -127,12 +166,19 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
         });
   }
   InstallMonitors();
+  MakeSources(simulator_.get(), 0, &sources_);
+}
 
-  workload::FlowSink sink = [this](uint32_t src, uint32_t dst, uint64_t size,
-                                   sim::TimePs start) {
-    AddFlow(src, dst, size, start);
-  };
+void Experiment::MakeSources(
+    sim::Simulator* sim, int lane,
+    std::vector<std::unique_ptr<workload::TrafficSource>>* out) {
+  // Install order is a determinism contract: Poisson, trace replay, incast.
+  // Warm checkpoints, lane replicas and StartWorkload all rely on it.
   if (config_.load > 0) {
+    workload::FlowSink sink = [this, lane](uint32_t src, uint32_t dst,
+                                           uint64_t size, sim::TimePs start) {
+      AddWorkloadFlow(config_.flow_class, lane, src, dst, size, start);
+    };
     workload::PoissonOptions po;
     po.load = config_.load;
     // Per-host capacity counts all NIC ports (testbed hosts are dual-homed).
@@ -145,18 +191,38 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
     po.end = config_.duration;
     po.max_flows = config_.max_flows;
     po.seed = config_.seed;
-    poisson_ = std::make_unique<workload::PoissonGenerator>(
-        simulator_.get(), hosts_,
+    out->push_back(std::make_unique<workload::PoissonGenerator>(
+        sim, hosts_,
         config_.trace == "fbhadoop" ? workload::SizeCdf::FbHadoop()
                                     : workload::SizeCdf::WebSearch(),
-        po, sink);
+        po, sink));
+  }
+  if (trace_records_ != nullptr) {
+    // Trace src/dst are indices into hosts() (stable across topologies);
+    // translate to node ids here.
+    workload::FlowSink sink = [this, lane](uint32_t src, uint32_t dst,
+                                           uint64_t size, sim::TimePs start) {
+      if (src >= hosts_.size() || dst >= hosts_.size()) {
+        throw std::out_of_range("trace_file host index out of range");
+      }
+      AddWorkloadFlow(config_.flow_class, lane, hosts_[src], hosts_[dst], size,
+                      start);
+    };
+    out->push_back(std::make_unique<workload::TraceReplaySource>(
+        sim, trace_records_, sink));
   }
   if (config_.incast) {
+    const workload::FlowClass fc = config_.incast_opts.flow_class;
+    workload::FlowSink sink = [this, lane, fc](uint32_t src, uint32_t dst,
+                                               uint64_t size,
+                                               sim::TimePs start) {
+      AddWorkloadFlow(fc, lane, src, dst, size, start);
+    };
     workload::IncastOptions io = config_.incast_opts;
     io.end = io.end == 0 ? config_.duration : io.end;
     io.seed = core::DeriveSeed(config_.seed, 7);
-    incast_ = std::make_unique<workload::IncastGenerator>(simulator_.get(),
-                                                          hosts_, io, sink);
+    out->push_back(
+        std::make_unique<workload::IncastGenerator>(sim, hosts_, io, sink));
   }
 }
 
@@ -245,41 +311,14 @@ void Experiment::SetupShards() {
           }
         });
   }
-  // Replicated generators: every lane draws the full workload with the
+  // Replicated sources: every lane draws the full workload with the
   // single-sim seeds over ALL hosts; AddFlowOnLane keeps only the flows the
   // lane owns, while phantom draws still consume the lane's flow-id counter,
-  // so ids match shards=1 creation order exactly.
+  // so ids match shards=1 creation order exactly. (Hybrid runs never get
+  // here — fluid dispatch requires shards=1 — so AddWorkloadFlow reduces to
+  // AddFlowOnLane for every replicated source.)
   for (int i = 0; i < n; ++i) {
-    Lane& lane = *lanes_[i];
-    workload::FlowSink sink = [this, i](uint32_t src, uint32_t dst,
-                                        uint64_t size, sim::TimePs start) {
-      AddFlowOnLane(i, src, dst, size, start);
-    };
-    if (config_.load > 0) {
-      workload::PoissonOptions po;
-      po.load = config_.load;
-      const host::HostNode& h0 = topology_->host(hosts_.front());
-      po.host_bps = 0;
-      for (int p = 0; p < h0.num_ports(); ++p) {
-        po.host_bps += h0.port(p).bandwidth_bps();
-      }
-      po.start = 0;
-      po.end = config_.duration;
-      po.max_flows = config_.max_flows;
-      po.seed = config_.seed;
-      lane.poisson = std::make_unique<workload::PoissonGenerator>(
-          lane.sim, hosts_,
-          config_.trace == "fbhadoop" ? workload::SizeCdf::FbHadoop()
-                                      : workload::SizeCdf::WebSearch(),
-          po, sink);
-    }
-    if (config_.incast) {
-      workload::IncastOptions io = config_.incast_opts;
-      io.end = io.end == 0 ? config_.duration : io.end;
-      io.seed = core::DeriveSeed(config_.seed, 7);
-      lane.incast = std::make_unique<workload::IncastGenerator>(
-          lane.sim, hosts_, io, sink);
-    }
+    MakeSources(lanes_[i]->sim, i, &lanes_[i]->sources);
   }
 }
 
@@ -356,6 +395,27 @@ host::Flow* Experiment::AddFlowOnLane(int lane, uint32_t src, uint32_t dst,
   h.AddFlow(std::move(flow));
   L.flow_ptrs.push_back(raw);
   return raw;
+}
+
+void Experiment::AddWorkloadFlow(workload::FlowClass flow_class, int lane,
+                                 uint32_t src, uint32_t dst, uint64_t bytes,
+                                 sim::TimePs start) {
+  if (flow_class == workload::FlowClass::kFluid) {
+    AddFluidFlow(src, dst, bytes, start);
+    return;
+  }
+  AddFlowOnLane(lane, src, dst, bytes, start);
+}
+
+void Experiment::AddFluidFlow(uint32_t src, uint32_t dst, uint64_t bytes,
+                              sim::TimePs start) {
+  if (fluid_ == nullptr) {
+    throw std::logic_error("fluid flow without hybrid.enabled");
+  }
+  // Same id space as packet flows (shards==1 here), so packet and fluid
+  // flows interleave in one creation order and the trace hash stays total.
+  const uint64_t id = next_flow_id_++;
+  fluid_->AddFlow(id, src, dst, bytes, start);
 }
 
 void Experiment::InstallLinkEvent(sim::TimePs at, size_t link, bool up) {
@@ -490,8 +550,7 @@ ExperimentResult Experiment::RunSharded() {
   // counter replays the same schedule sequence.
   for (auto& lp : lanes_) {
     Lane& lane = *lp;
-    if (lane.poisson != nullptr) lane.poisson->Start();
-    if (lane.incast != nullptr) lane.incast->Start();
+    for (auto& src : lane.sources) src->Start();
     lane.queue_monitor->Start(config_.duration);
   }
 
@@ -612,8 +671,7 @@ void Experiment::StartWorkload() {
   if (config_.shards > 1) {
     throw std::logic_error("StartWorkload requires shards=1");
   }
-  if (poisson_ != nullptr) poisson_->Start();
-  if (incast_ != nullptr) incast_->Start();
+  for (auto& src : sources_) src->Start();
   if (!queue_monitor_started_) {
     queue_monitor_started_ = true;
     queue_monitor_->Start(config_.duration);
@@ -630,7 +688,8 @@ ExperimentResult Experiment::FinishRun() {
       config_.duration +
       static_cast<sim::TimePs>(config_.drain_factor *
                                static_cast<double>(config_.duration));
-  while (flows_completed_ + flows_failed_ < flow_ptrs_.size() &&
+  while ((flows_completed_ + flows_failed_ < flow_ptrs_.size() ||
+          (fluid_ != nullptr && fluid_->active())) &&
          simulator_->now() < cap && !simulator_->budget_exhausted() &&
          !simulator_->deadline_exceeded()) {
     // A frozen clock under an exhausted event budget would spin here forever.
@@ -641,6 +700,9 @@ ExperimentResult Experiment::FinishRun() {
 
 bool Experiment::QuiescentForWarmCheckpoint(size_t external_pending) {
   if (config_.shards > 1) return false;
+  // Hybrid runs are always cold: the fluid engine's continuous link/window
+  // state has no warm capture surface.
+  if (fluid_ != nullptr) return false;
   // Every created flow fully delivered and acknowledged.
   if (flows_completed_ != flow_ptrs_.size()) return false;
   // Every egress queue empty and every fast-path train settled; no pacing
@@ -662,8 +724,9 @@ bool Experiment::QuiescentForWarmCheckpoint(size_t external_pending) {
   // generators, and the queue-monitor tick. Anything else — an RTO, a CC
   // timer — means live protocol state we cannot capture.
   size_t expected = external_pending;
-  if (poisson_ != nullptr && poisson_->warm_pending()) ++expected;
-  if (incast_ != nullptr && incast_->warm_pending()) ++expected;
+  for (const auto& src : sources_) {
+    if (src->warm_pending()) ++expected;
+  }
   if (queue_monitor_ != nullptr && queue_monitor_->tick_pending()) ++expected;
   return simulator_->pending_events() == expected;
 }
@@ -698,13 +761,11 @@ std::unique_ptr<Experiment::WarmState> Experiment::CaptureWarmState() {
   for (uint32_t h : hosts_) {
     w->hosts.push_back(topology_->host(h).CaptureWarm());
   }
-  w->poisson_present = poisson_ != nullptr;
-  w->incast_present = incast_ != nullptr;
-  if (poisson_ != nullptr && poisson_->first_activity() < now) {
-    w->poisson = poisson_->CaptureWarm();
-  }
-  if (incast_ != nullptr && incast_->first_activity() < now) {
-    w->incast = incast_->CaptureWarm();
+  w->sources.resize(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->first_activity() < now) {
+      w->sources[i] = sources_[i]->CaptureWarm();
+    }
   }
   return w;
 }
@@ -713,8 +774,7 @@ bool Experiment::ValidateWarmState(const WarmState& w) {
   if (config_.shards > 1) return false;
   if (!queue_monitor_started_) return false;
   if (w.fct == nullptr) return false;
-  if ((poisson_ != nullptr) != w.poisson_present) return false;
-  if ((incast_ != nullptr) != w.incast_present) return false;
+  if (sources_.size() != w.sources.size()) return false;
   if (topology_->switches().size() != w.switches.size()) return false;
   if (hosts_.size() != w.hosts.size()) return false;
   const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
@@ -733,8 +793,9 @@ bool Experiment::RestoreWarmState(const WarmState& w) {
   if (!ValidateWarmState(w)) return false;
   const uint32_t num_nodes = static_cast<uint32_t>(topology_->num_nodes());
 
-  if (w.poisson.has_value()) poisson_->RestoreWarm(*w.poisson);
-  if (w.incast.has_value()) incast_->RestoreWarm(*w.incast);
+  for (size_t i = 0; i < w.sources.size(); ++i) {
+    if (w.sources[i].has_value()) sources_[i]->RestoreWarm(*w.sources[i]);
+  }
   queue_monitor_->RestoreWarm(w.queue);
   pfc_monitor_.RestoreWarm(w.pfc);
   for (size_t i = 0; i < w.switches.size(); ++i) {
@@ -872,6 +933,18 @@ ExperimentResult Experiment::Collect() {
   r.flows_created = flow_ptrs_.size() + warm_flows_.size();
   r.flows_completed = flows_completed_ + warm_done;
   r.flows_failed = flows_failed_;
+  if (fluid_ != nullptr) {
+    // Fluid flows fold into the engine-inclusive totals AND get their own
+    // accounting block (manifest "fluid" subtree).
+    r.fluid_flows_created = fluid_->flows_admitted();
+    r.fluid_flows_completed = fluid_->flows_completed();
+    r.fluid_ticks = fluid_->ticks();
+    r.fluid_coupled_links = fluid_->coupled_links();
+    r.fluid_delivered_bytes = fluid_->delivered_bytes();
+    r.fluid_peak_queue_bytes = fluid_->peak_queue_bytes();
+    r.flows_created += r.fluid_flows_created;
+    r.flows_completed += r.fluid_flows_completed;
+  }
   for (const host::Flow* f : flow_ptrs_) {
     r.retx_timeouts += f->retx_timeouts;
   }
@@ -888,6 +961,12 @@ ExperimentResult Experiment::Collect() {
     const host::FlowSpec& s = f->spec();
     th.AddFlow(s.id, s.src, s.dst, s.size_bytes, s.start_time, f->finish_time,
                f->done);
+  }
+  if (fluid_ != nullptr) {
+    for (const auto& rec : fluid_->flows()) {
+      th.AddFlow(rec.id, rec.src, rec.dst, rec.size_bytes, rec.start,
+                 rec.finish, rec.done);
+    }
   }
   r.trace_hash = th.digest();
 

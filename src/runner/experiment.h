@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/fluid_region.h"
 #include "cc/factory.h"
 #include "host/flow.h"
 #include "net/handoff.h"
@@ -25,6 +26,8 @@
 #include "topo/testbed.h"
 #include "topo/topology.h"
 #include "workload/flow_gen.h"
+#include "workload/trace_replay.h"
+#include "workload/traffic_source.h"
 
 namespace hpcc::runner {
 
@@ -58,6 +61,20 @@ struct ExperimentConfig {
   // Incast add-on (Fig. 11a's "30% + incast").
   bool incast = false;
   workload::IncastOptions incast_opts;
+  // Transport engine for background flows — the Poisson generator, trace
+  // replay, and scenario load phases (incast bursts carry their own class in
+  // incast_opts.flow_class). kFluid requires hybrid.enabled.
+  workload::FlowClass flow_class = workload::FlowClass::kPacket;
+  // Flow-trace replay source (workload/trace_replay.h); empty = none.
+  std::string trace_file;
+  // Hybrid fluid/packet co-simulation (analytic/fluid_region.h): fluid-class
+  // flows run as per-RTT window trajectories coupled into the shared ports'
+  // INT stamps. Requires shards == 1 and an INT-based CC scheme.
+  struct HybridConfig {
+    bool enabled = false;
+    sim::TimePs tick = 0;  // fluid round period; 0 = one MaxBaseRtt
+  };
+  HybridConfig hybrid;
 
   sim::TimePs duration = sim::Ms(10);  // workload generation horizon
   // After `duration`, keep simulating until all flows finish, capped at
@@ -115,6 +132,15 @@ struct ExperimentResult {
   sim::TimePs sim_time = 0;
   uint64_t events_executed = 0;
   sim::TimePs base_rtt = 0;
+  // Hybrid fluid-engine accounting (all zero on non-hybrid runs). Fluid
+  // flows are additionally folded into flows_created / flows_completed and
+  // the trace hash, so those totals stay engine-inclusive.
+  uint64_t fluid_flows_created = 0;
+  uint64_t fluid_flows_completed = 0;
+  uint64_t fluid_ticks = 0;
+  uint64_t fluid_coupled_links = 0;
+  uint64_t fluid_delivered_bytes = 0;
+  int64_t fluid_peak_queue_bytes = 0;
   // Order-independent digest of every flow's (id, endpoints, size, start,
   // finish, done) tuple — see stats/trace_hash.h. Two runs match iff their
   // hashes match; the determinism tests compare it across --jobs values.
@@ -140,6 +166,13 @@ class Experiment {
   // order. Equal to AddFlow when shards == 1.
   host::Flow* AddFlowOnLane(int lane, uint32_t src, uint32_t dst,
                             uint64_t bytes, sim::TimePs start);
+  // The engine-dispatch seam every TrafficSource sink funnels through:
+  // packet-class flows go to AddFlowOnLane (lane-replicated id draw), fluid
+  // ones to the FluidRegion (hybrid runs are single-lane, so the id draw is
+  // the plain counter). Both consume the same flow-id space, so packet and
+  // fluid flows interleave in one creation order.
+  void AddWorkloadFlow(workload::FlowClass flow_class, int lane, uint32_t src,
+                       uint32_t dst, uint64_t bytes, sim::TimePs start);
   // RDMA READ (§4.2): `requester` pulls `bytes` from `responder`. The data
   // flow runs responder -> requester; its FCT starts at the request post
   // time, so it includes the request's propagation. Single-sim only.
@@ -204,14 +237,13 @@ class Experiment {
     std::vector<net::SwitchNode::WarmState> switches;  // switches() order
     std::vector<net::Port::WarmCounters> ports;  // node asc, then port asc
     std::vector<host::HostNode::WarmCounters> hosts;   // hosts() order
-    // Engaged iff the generator was captured (its first activity predates
-    // T); a generator whose schedule starts at or beyond T is left alone on
-    // restore — its own install-time schedule already matches.
-    std::optional<workload::GenWarmState> poisson;
-    std::optional<workload::GenWarmState> incast;
-    // Structural echo of the checkpointing experiment (restore validation).
-    bool poisson_present = false;
-    bool incast_present = false;
+    // One slot per workload TrafficSource, install order (Poisson, trace
+    // replay, incast — whichever the config enables). Engaged iff the
+    // source was captured (its first activity predates T); a source whose
+    // schedule starts at or beyond T is left alone on restore — its own
+    // install-time schedule already matches. The vector size doubles as the
+    // structural echo restore validation checks.
+    std::vector<std::optional<workload::GenWarmState>> sources;
   };
 
   // True when the current instant satisfies the quiescence contract above.
@@ -236,6 +268,8 @@ class Experiment {
   sim::TimePs base_rtt() const { return base_rtt_; }
   const std::vector<host::Flow*>& flows() const { return flow_ptrs_; }
   uint64_t flows_completed() const { return flows_completed_; }
+  // The hybrid fluid engine (null unless config.hybrid.enabled).
+  analytic::FluidRegion* fluid_region() { return fluid_.get(); }
   // Every live flow across all lanes (lane order, creation order within a
   // lane; equals flows() when shards == 1). For post-run checkers like the
   // no-progress monitor.
@@ -288,8 +322,9 @@ class Experiment {
     stats::PercentileTracker short_fct_us;
     std::unique_ptr<stats::QueueMonitor> queue_monitor;
     std::unique_ptr<stats::PfcMonitor> pfc;
-    std::unique_ptr<workload::PoissonGenerator> poisson;
-    std::unique_ptr<workload::IncastGenerator> incast;
+    // Lane-replicated workload sources, same install order as the
+    // single-sim sources_ (Poisson, trace replay, incast).
+    std::vector<std::unique_ptr<workload::TrafficSource>> sources;
     uint64_t next_flow_id = 1;
     std::vector<host::Flow*> flow_ptrs;  // lane-owned flows, creation order
     uint64_t flows_completed = 0;
@@ -305,6 +340,14 @@ class Experiment {
   void BuildTopology();
   void InstallMonitors();
   void SetupShards();
+  // Builds the configured TrafficSources (install order: Poisson, trace
+  // replay, incast) emitting into lane `lane` of `sim` — the one definition
+  // the single-sim constructor and every replicated shard lane share.
+  void MakeSources(sim::Simulator* sim, int lane,
+                   std::vector<std::unique_ptr<workload::TrafficSource>>* out);
+  // Admits a fluid-class flow (consumes the next flow id).
+  void AddFluidFlow(uint32_t src, uint32_t dst, uint64_t bytes,
+                    sim::TimePs start);
   ExperimentResult RunSharded();
   ExperimentResult CollectSharded();
   // Reschedules every pending inbound record with arrival <= horizon onto
@@ -333,8 +376,11 @@ class Experiment {
   std::unique_ptr<stats::QueueMonitor> queue_monitor_;
   bool queue_monitor_started_ = false;
   stats::PfcMonitor pfc_monitor_;
-  std::unique_ptr<workload::PoissonGenerator> poisson_;
-  std::unique_ptr<workload::IncastGenerator> incast_;
+  // Workload sources, install order (Poisson, trace replay, incast).
+  std::vector<std::unique_ptr<workload::TrafficSource>> sources_;
+  // Parsed once, shared across replicated lane sources.
+  std::shared_ptr<const std::vector<workload::TraceRecord>> trace_records_;
+  std::unique_ptr<analytic::FluidRegion> fluid_;
   int total_ports_ = 0;
 
   topo::Partition partition_;

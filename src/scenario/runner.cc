@@ -151,6 +151,9 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     // deterministic outputs are pinned shard-equal, so this costs nothing
     // but wall clock.
     if (tcfg.trace) cfg.shards = 1;
+    // The fluid engine couples shared-port state on one event arena; a
+    // shards override must not push a hybrid run into lanes.
+    if (cfg.hybrid.enabled) cfg.shards = 1;
 
     // Fabric snapshot sharing: the first run to reach this topology key
     // builds the fabric cold and publishes its routing state; everyone else
@@ -183,11 +186,13 @@ SweepRunResult ScenarioRunner::RunOne(const ScenarioRun& run,
     // Fault scripts always run cold (the checkpoint models neither the
     // degree-dependent install draws of expanded switch/NIC events nor the
     // corruption RNG streams), and a wall deadline can fire mid-checkpoint.
+    // Hybrid runs are always cold too: the fluid engine's continuous link
+    // and window state has no warm capture surface.
     bool warm_on = opts.warm && opts.warm_cache != nullptr && warm_until > 0 &&
                    warm_until < cfg.duration && cfg.shards == 1 &&
                    !opts.check && opts.event_budget == 0 && !tcfg.trace &&
                    !tcfg.profile && deadline_s == 0 &&
-                   !HasFaultEvents(run.scenario);
+                   !HasFaultEvents(run.scenario) && !cfg.hybrid.enabled;
     for (const ScenarioEvent& ev : run.scenario.events) {
       if ((ev.kind == ScenarioEvent::Kind::kLinkDown ||
            ev.kind == ScenarioEvent::Kind::kLinkUp) &&

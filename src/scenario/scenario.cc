@@ -206,6 +206,18 @@ void ParseCc(const Json& c, runner::ExperimentConfig* cfg) {
   cfg->cc.alpha_fair = PositiveNum(c, "alpha_fair", cfg->cc.alpha_fair, "cc");
 }
 
+// "flow_class": "packet" (default) | "fluid" — which transport engine the
+// emitted flows ride (workload/traffic_source.h). Fluid requires the
+// top-level "hybrid" block; that cross-field check runs after the whole
+// document parses.
+workload::FlowClass ParseFlowClass(const Json& obj, const char* where) {
+  const std::string v = StrOr(obj, "flow_class", "packet");
+  if (v == "packet") return workload::FlowClass::kPacket;
+  if (v == "fluid") return workload::FlowClass::kFluid;
+  throw ScenarioError(std::string("\"flow_class\" in ") + where +
+                      " must be packet|fluid");
+}
+
 // Reads the incast fields shared between "workload.incast" and incast
 // events; key whitelisting is the caller's job (the allowed sets differ).
 workload::IncastOptions ParseIncast(const Json& inc, const char* where) {
@@ -232,11 +244,14 @@ workload::IncastOptions ParseIncast(const Json& inc, const char* where) {
                         " must be a host index or -1 (random)");
   }
   io.fixed_receiver = static_cast<int32_t>(receiver);
+  io.flow_class = ParseFlowClass(inc, where);
   return io;
 }
 
 void ParseWorkload(const Json& w, runner::ExperimentConfig* cfg) {
-  CheckKeys(w, "workload", {"load", "trace", "max_flows", "incast"});
+  CheckKeys(w, "workload",
+            {"load", "trace", "max_flows", "incast", "flow_class",
+             "trace_file"});
   cfg->load = NumOr(w, "load", cfg->load);
   if (cfg->load < 0 || cfg->load > 4) {
     throw ScenarioError("workload.load must be in [0, 4]");
@@ -248,10 +263,15 @@ void ParseWorkload(const Json& w, runner::ExperimentConfig* cfg) {
   const int64_t max_flows = IntOr(w, "max_flows", 0);
   if (max_flows < 0) throw ScenarioError("workload.max_flows must be >= 0");
   cfg->max_flows = static_cast<uint64_t>(max_flows);
+  // Engine class for background flows: the Poisson generator, trace replay
+  // and scripted load phases. Incast carries its own class below.
+  cfg->flow_class = ParseFlowClass(w, "workload");
+  // CSV flow-trace replay (workload/trace_replay.h), relative to the CWD.
+  cfg->trace_file = StrOr(w, "trace_file", "");
   if (const Json* inc = w.Find("incast")) {
     CheckKeys(*inc, "workload.incast",
               {"fan_in", "flow_bytes", "first_event_us", "period_us",
-               "receiver"});
+               "receiver", "flow_class"});
     cfg->incast = true;
     cfg->incast_opts = ParseIncast(*inc, "workload.incast");
   }
@@ -274,7 +294,8 @@ ScenarioEvent ParseEvent(const Json& ev, size_t index) {
     out.link = static_cast<size_t>(link);
   } else if (type == "incast") {
     CheckKeys(ev, where.c_str(),
-              {"type", "at_us", "fan_in", "flow_bytes", "receiver"});
+              {"type", "at_us", "fan_in", "flow_bytes", "receiver",
+               "flow_class"});
     out.kind = ScenarioEvent::Kind::kIncast;
     out.incast = ParseIncast(ev, where.c_str());
     // `at_us` is authoritative; fold it into the one-shot generator.
@@ -405,7 +426,8 @@ Scenario ParseScenario(const Json& doc) {
             {"name", "description", "topology", "cc", "workload",
              "duration_ms", "drain_factor", "seed", "shards", "pfc",
              "fastpath", "recovery", "int_sample_every", "short_flow_bytes",
-             "telemetry", "warm_start", "deadline_s", "events", "sweep"});
+             "telemetry", "warm_start", "deadline_s", "hybrid", "events",
+             "sweep"});
 
   Scenario s;
   s.source = doc;
@@ -486,10 +508,43 @@ Scenario ParseScenario(const Json& doc) {
     }
   }
 
+  // Hybrid fluid/packet co-simulation: presence of the block enables the
+  // fluid engine. tick_us = fluid round period (default: one MaxBaseRtt).
+  if (const Json* hy = doc.Find("hybrid")) {
+    if (!hy->is_object()) throw ScenarioError("hybrid must be an object");
+    CheckKeys(*hy, "hybrid", {"tick_us"});
+    s.config.hybrid.enabled = true;
+    if (hy->Find("tick_us") != nullptr) {
+      s.config.hybrid.tick = UsToPs(
+          PositiveNum(*hy, "tick_us", 0, "hybrid"), "hybrid.tick_us");
+    }
+    if (s.config.shards != 1) {
+      throw ScenarioError("hybrid requires shards = 1");
+    }
+    if (!cc::SchemeUsesInt(s.config.cc.scheme)) {
+      throw ScenarioError(
+          "hybrid fluid coupling needs an INT-carrying cc.scheme (the fluid "
+          "engine injects congestion state through INT stamps)");
+    }
+  } else if (s.config.flow_class == workload::FlowClass::kFluid ||
+             (s.config.incast && s.config.incast_opts.flow_class ==
+                                     workload::FlowClass::kFluid)) {
+    throw ScenarioError(
+        "flow_class \"fluid\" requires the top-level \"hybrid\" block");
+  }
+
   if (const Json* evs = doc.Find("events")) {
     if (!evs->is_array()) throw ScenarioError("events must be an array");
     for (size_t i = 0; i < evs->size(); ++i) {
       s.events.push_back(ParseEvent(evs->at(i), i));
+    }
+  }
+  for (const ScenarioEvent& ev : s.events) {
+    if (ev.kind == ScenarioEvent::Kind::kIncast &&
+        ev.incast.flow_class == workload::FlowClass::kFluid &&
+        !s.config.hybrid.enabled) {
+      throw ScenarioError(
+          "flow_class \"fluid\" requires the top-level \"hybrid\" block");
     }
   }
   if (const Json* sw = doc.Find("sweep")) {
@@ -539,6 +594,10 @@ Json IncastToJson(const workload::IncastOptions& io, bool with_schedule) {
     inc.Set("period_us", Json::MakeNumber(PsToUs(io.period)));
   }
   inc.Set("receiver", Json::MakeNumber(io.fixed_receiver));
+  // Default-elided so pre-hybrid documents round-trip unchanged.
+  if (io.flow_class == workload::FlowClass::kFluid) {
+    inc.Set("flow_class", Json::MakeString("fluid"));
+  }
   return inc;
 }
 
@@ -606,6 +665,9 @@ Json EventToJson(const ScenarioEvent& ev) {
       e.Set("flow_bytes",
             Json::MakeNumber(static_cast<double>(ev.incast.flow_bytes)));
       e.Set("receiver", Json::MakeNumber(ev.incast.fixed_receiver));
+      if (ev.incast.flow_class == workload::FlowClass::kFluid) {
+        e.Set("flow_class", Json::MakeString("fluid"));
+      }
       break;
     }
     case ScenarioEvent::Kind::kLoadPhase:
@@ -665,6 +727,12 @@ Json ScenarioToJson(const Scenario& s) {
   w.Set("load", Json::MakeNumber(cfg.load));
   w.Set("trace", Json::MakeString(cfg.trace));
   w.Set("max_flows", Json::MakeNumber(static_cast<double>(cfg.max_flows)));
+  if (cfg.flow_class == workload::FlowClass::kFluid) {
+    w.Set("flow_class", Json::MakeString("fluid"));
+  }
+  if (!cfg.trace_file.empty()) {
+    w.Set("trace_file", Json::MakeString(cfg.trace_file));
+  }
   if (cfg.incast) {
     w.Set("incast", IncastToJson(cfg.incast_opts, /*with_schedule=*/true));
   }
@@ -696,6 +764,13 @@ Json ScenarioToJson(const Scenario& s) {
   }
   if (s.deadline_s > 0) {
     doc.Set("deadline_s", Json::MakeNumber(s.deadline_s));
+  }
+  if (cfg.hybrid.enabled) {
+    Json hy = Json::MakeObject();
+    if (cfg.hybrid.tick > 0) {
+      hy.Set("tick_us", Json::MakeNumber(PsToUs(cfg.hybrid.tick)));
+    }
+    doc.Set("hybrid", std::move(hy));
   }
 
   if (!s.events.empty()) {
@@ -922,10 +997,11 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
         // windows; 7 is the workload incast.
         io.seed = core::DeriveSeed(s.config.seed, 1000 + incast_index++);
         for (int lane = 0; lane < shards; ++lane) {
-          workload::FlowSink sink = [&e, lane](uint32_t src, uint32_t dst,
-                                               uint64_t size,
-                                               sim::TimePs start) {
-            e.AddFlowOnLane(lane, src, dst, size, start);
+          const workload::FlowClass fc = io.flow_class;
+          workload::FlowSink sink = [&e, lane, fc](uint32_t src, uint32_t dst,
+                                                   uint64_t size,
+                                                   sim::TimePs start) {
+            e.AddWorkloadFlow(fc, lane, src, dst, size, start);
           };
           auto gen = std::make_unique<workload::IncastGenerator>(
               &e.lane_simulator(lane), e.hosts(), io, std::move(sink));
@@ -1046,13 +1122,17 @@ InstalledEvents InstallEvents(runner::Experiment& e, const Scenario& s) {
       po.max_flows = max_flows;  // per-generator bound; sink enforces global
       po.seed = core::DeriveSeed(s.config.seed, 2000 + i);
       for (int lane = 0; lane < shards; ++lane) {
-        workload::FlowSink sink = [&e, lane, counter = background_flows[lane],
+        // Phase flows ride the workload's configured engine class, exactly
+        // like the phase-less background generator would.
+        const workload::FlowClass fc = s.config.flow_class;
+        workload::FlowSink sink = [&e, lane, fc,
+                                   counter = background_flows[lane],
                                    max_flows](uint32_t src, uint32_t dst,
                                               uint64_t size,
                                               sim::TimePs start) {
           if (max_flows > 0 && *counter >= max_flows) return;
           ++*counter;
-          e.AddFlowOnLane(lane, src, dst, size, start);
+          e.AddWorkloadFlow(fc, lane, src, dst, size, start);
         };
         auto gen = std::make_unique<workload::PoissonGenerator>(
             &e.lane_simulator(lane), e.hosts(), cdf, po, std::move(sink));

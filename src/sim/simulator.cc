@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace hpcc::sim {
@@ -137,6 +138,33 @@ EventId Simulator::ScheduleArrival(TimePs at, TimePs emission_time,
 EventId Simulator::ScheduleBoundary(TimePs at, uint32_t link_uid,
                                     Callback cb) {
   return ScheduleKeyed(at, BoundarySeq(link_uid), std::move(cb));
+}
+
+namespace {
+// Self-rescheduling series state for SchedulePeriodic. Heap-allocated and
+// shared by every occurrence's closure; the series dies when the callback
+// returns false (the last shared_ptr drops with the final closure).
+struct PeriodicSeries {
+  Simulator* sim = nullptr;
+  TimePs period = 0;
+  std::function<bool()> tick;
+};
+
+void RunPeriodicOnce(const std::shared_ptr<PeriodicSeries>& series) {
+  if (!series->tick()) return;
+  series->sim->ScheduleAt(series->sim->now() + series->period,
+                          [series]() { RunPeriodicOnce(series); });
+}
+}  // namespace
+
+EventId Simulator::SchedulePeriodic(TimePs first, TimePs period,
+                                    std::function<bool()> tick) {
+  assert(period > 0);
+  auto series = std::make_shared<PeriodicSeries>();
+  series->sim = this;
+  series->period = period;
+  series->tick = std::move(tick);
+  return ScheduleAt(first, [series]() { RunPeriodicOnce(series); });
 }
 
 void Simulator::Cancel(EventId id) {

@@ -40,6 +40,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -98,6 +99,18 @@ class Simulator {
   EventId ScheduleArrival(TimePs at, TimePs emission_time, uint32_t link_uid,
                           Callback cb);
   EventId ScheduleBoundary(TimePs at, uint32_t link_uid, Callback cb);
+
+  // Periodic hook: runs `tick` at `first`, then every `period` thereafter
+  // for as long as it returns true. Each occurrence is an ordinary
+  // EventClass::kOther event drawn from the normal schedule counter, so a
+  // periodic hook interleaves with same-timestamp packet events under the
+  // standard deterministic tie-breaks (boundaries, then arrivals, then this)
+  // — which is what lets engines driven by it (e.g. the hybrid fluid ticks)
+  // stay byte-identical across --fastpath=on/off and --jobs values. Returns
+  // the id of the *first* occurrence only; the series owns its later
+  // reschedules, and stopping is the callback's job (return false).
+  EventId SchedulePeriodic(TimePs first, TimePs period,
+                           std::function<bool()> tick);
 
   // Tie-break key of the currently executing event ((class << 62) | key);
   // kOtherSeqBase outside Run. The fast path consults it to decide whether

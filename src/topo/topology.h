@@ -153,6 +153,13 @@ class Topology {
   // BFS hop distance between any two nodes (PFC propagation depth metric).
   int Distance(uint32_t from, uint32_t to) const;
 
+  // One shortest path (first-parent BFS) as a sequence of LinkSpec indices
+  // in src -> dst walk order, over the designed topology (link state
+  // ignored). The per-link traversal direction is recoverable by walking
+  // from `src`: the endpoint matching the current node is the egress side.
+  // The hybrid fluid engine uses this to pin each fluid flow's link list.
+  std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
+
   // BFS-only variants bypassing the analytic model — the oracle the model
   // equality tests compare against.
   sim::TimePs BaseRttViaBfs(uint32_t src, uint32_t dst) const;
@@ -178,9 +185,6 @@ class Topology {
   // so SetLinkUp falling back to RecomputeRoutes counts once.
   class RouteTimer;
 
-  // One shortest path (first-parent BFS) as a sequence of LinkSpec indices,
-  // over the designed topology (link state ignored).
-  std::vector<size_t> ShortestPathLinks(uint32_t src, uint32_t dst) const;
   std::vector<int> BfsDistances(uint32_t from,
                                 bool respect_link_state = true) const;
   // RTT contribution of one traversed link: both-way propagation + forward

@@ -10,6 +10,7 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "workload/size_cdf.h"
+#include "workload/traffic_source.h"
 
 namespace hpcc::workload {
 
@@ -27,42 +28,24 @@ struct PoissonOptions {
   uint64_t seed = 1;
 };
 
-// Checkpointed generator state (warm-start sweeps): the RNG engine, the
-// emission counter, and the one pending self-schedule with its original
-// (time, tie-break seq) so a restored run replays the exact event order the
-// checkpointing run would have used. `pending_kind` distinguishes the
-// start-of-generation kickoff callback from a flow/burst emission.
-struct GenWarmState {
-  enum Kind { kNone = 0, kKickoff = 1, kEmit = 2 };
-  int pending_kind = kNone;
-  sim::TimePs pending_at = 0;
-  uint64_t pending_seq = 0;
-  sim::Rng rng;
-  uint64_t count = 0;  // emitted_ (Poisson) / events_ (incast)
-};
-
-class PoissonGenerator {
+class PoissonGenerator : public TrafficSource {
  public:
   PoissonGenerator(sim::Simulator* simulator, std::vector<uint32_t> hosts,
                    SizeCdf cdf, const PoissonOptions& options, FlowSink sink);
 
-  void Start();
+  void Start() override;
+  uint64_t emitted() const override { return emitted_; }
   uint64_t flows_emitted() const { return emitted_; }
   // Mean flow inter-arrival time implied by the load target.
   sim::TimePs mean_interarrival() const { return mean_gap_; }
 
-  // --- Warm checkpoint/restore (runner/experiment.h) ---------------------
-  // Earliest simulation time this generator touches after Start: generators
-  // entirely beyond the checkpoint time are left untouched by a restore
-  // (their own install-time schedule already matches the checkpointing run).
-  sim::TimePs first_activity() const { return options_.start; }
-  // Whether a self-scheduled event is currently pending (checkpoint-time
-  // event accounting).
-  bool warm_pending() const { return pending_kind_ != GenWarmState::kNone; }
-  GenWarmState CaptureWarm() const;
-  // Cancels this generator's own pending event and replays the captured one
-  // under its original (time, seq) key; restores the RNG and counters.
-  void RestoreWarm(const GenWarmState& w);
+  // Warm checkpoint/restore — see TrafficSource.
+  sim::TimePs first_activity() const override { return options_.start; }
+  bool warm_pending() const override {
+    return pending_kind_ != GenWarmState::kNone;
+  }
+  GenWarmState CaptureWarm() const override;
+  void RestoreWarm(const GenWarmState& w) override;
 
  private:
   void ScheduleKickoff(sim::TimePs at);
@@ -91,20 +74,26 @@ struct IncastOptions {
   sim::TimePs end = 0;
   uint64_t seed = 7;
   int32_t fixed_receiver = -1;  // -1 = random receiver per event
+  // Transport engine the emitted flows ride (the generator itself is
+  // engine-agnostic; the experiment's sink dispatches on this).
+  FlowClass flow_class = FlowClass::kPacket;
 };
 
-class IncastGenerator {
+class IncastGenerator : public TrafficSource {
  public:
   IncastGenerator(sim::Simulator* simulator, std::vector<uint32_t> hosts,
                   const IncastOptions& options, FlowSink sink);
-  void Start();
+  void Start() override;
+  uint64_t emitted() const override { return events_; }
   uint64_t events_emitted() const { return events_; }
 
-  // Warm checkpoint/restore — see PoissonGenerator.
-  sim::TimePs first_activity() const { return options_.first_event; }
-  bool warm_pending() const { return pending_kind_ != GenWarmState::kNone; }
-  GenWarmState CaptureWarm() const;
-  void RestoreWarm(const GenWarmState& w);
+  // Warm checkpoint/restore — see TrafficSource.
+  sim::TimePs first_activity() const override { return options_.first_event; }
+  bool warm_pending() const override {
+    return pending_kind_ != GenWarmState::kNone;
+  }
+  GenWarmState CaptureWarm() const override;
+  void RestoreWarm(const GenWarmState& w) override;
 
  private:
   void ScheduleEmit(sim::TimePs at);

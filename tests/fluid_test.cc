@@ -103,6 +103,40 @@ TEST(Fluid, JoinAndLeave) {
   EXPECT_NEAR(link.windows()[0], solo, solo * 0.05);  // reclaimed
 }
 
+TEST(Fluid, FlowHandlesSurviveInterleavedAddRemove) {
+  // Handles are stable ids, not raw indices: removing an earlier flow must
+  // not silently retarget a later handle (the old raw-index API removed
+  // whatever slid into the slot).
+  FluidLink link(Params(), {kBdp, kBdp / 2});
+  const FluidLink::FlowId a = 0;  // ctor flows get ids 0..n-1
+  const FluidLink::FlowId b = 1;
+  const FluidLink::FlowId c = link.AddFlow(kBdp / 4);
+  ASSERT_EQ(c, 2u);
+  for (int i = 0; i < 5; ++i) link.Step();
+
+  link.RemoveFlow(b);
+  EXPECT_TRUE(link.HasFlow(a));
+  EXPECT_FALSE(link.HasFlow(b));
+  EXPECT_TRUE(link.HasFlow(c));
+  // `c` still addresses the same flow even though it moved down a slot.
+  const double wc = link.WindowOf(c);
+  const FluidLink::FlowId d = link.AddFlow(kBdp);
+  EXPECT_EQ(d, 3u);  // ids never recycle
+  EXPECT_EQ(link.WindowOf(c), wc);
+
+  link.RemoveFlow(a);
+  link.RemoveFlow(c);
+  EXPECT_TRUE(link.HasFlow(d));
+  EXPECT_EQ(link.windows().size(), 1u);
+
+  // Stale or unknown handles fail loudly instead of removing a neighbor.
+  EXPECT_THROW(link.RemoveFlow(c), std::out_of_range);
+  EXPECT_THROW(link.RemoveFlow(999), std::out_of_range);
+  EXPECT_THROW(link.WindowOf(a), std::out_of_range);
+  for (int i = 0; i < 30; ++i) link.Step();
+  EXPECT_NEAR(link.total_window() / kBdp, 0.95, 0.05);  // d reclaims the link
+}
+
 TEST(Fluid, QueueNeverNegativeAndWindowsPositive) {
   FluidLink link(Params(), {kBdp * 4, kBdp / 1000, kBdp});
   for (int i = 0; i < 500; ++i) {

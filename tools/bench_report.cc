@@ -78,6 +78,13 @@
 //                             replay the checkpoint, simulate only the
 //                             post-checkpoint tail (restores/sec; the bench
 //                             aborts if the restore silently falls back cold)
+//   micro/fluid_tick          hybrid-engine tick cost: 64 standing fluid
+//                             flows on the small fat-tree, flow-ticks/sec
+//                             (one flow updated for one RTT round)
+//   macro/fattree48_hybrid    the fattree48_hybrid payoff point end to end
+//                             (27648 hosts, fluid WebSearch background +
+//                             64-way packet incast foreground), forwarded
+//                             pkts per wall-second including fabric build
 //   macro/fattree32_sweep_cold / macro/fattree32_sweep_warm
 //                             an 8-point k=32 sweep (grid points differ only
 //                             in a post-checkpoint incast axis) end to end on
@@ -522,6 +529,75 @@ uint64_t MacroFatTree32SweepBatch(bool warm) {
   return kPoints;
 }
 
+// Raw hybrid-engine tick cost: a standing population of fluid flows on the
+// small fat-tree, driven for a fixed simulated span; work unit = flow-ticks
+// (one flow updated for one RTT round), the per-tick cost the "fluid
+// background is O(flows) per RTT, not O(packets)" claim rests on.
+uint64_t MicroFluidTickBatch() {
+  constexpr int kFlows = 64;
+  hpcc::runner::ExperimentConfig cfg;
+  cfg.topology = hpcc::runner::TopologyKind::kFatTree;  // 32 hosts
+  cfg.cc.scheme = "hpcc";
+  cfg.hybrid.enabled = true;
+  cfg.duration = hpcc::sim::Ms(5);
+  hpcc::runner::Experiment e(cfg);
+  const std::vector<uint32_t>& hosts = e.hosts();
+  for (int i = 0; i < kFlows; ++i) {
+    // Long-lived (never completing within the span) so the population is
+    // constant and every tick does kFlows of work.
+    e.AddWorkloadFlow(hpcc::workload::FlowClass::kFluid, /*lane=*/0,
+                      hosts[static_cast<size_t>(i) % hosts.size()],
+                      hosts[static_cast<size_t>(i + 9) % hosts.size()],
+                      /*bytes=*/1'000'000'000, /*start=*/0);
+  }
+  e.RunUntil(hpcc::sim::Ms(5));
+  const uint64_t ticks = e.fluid_region()->ticks();
+  if (ticks == 0) std::abort();
+  return ticks * kFlows;
+}
+
+// The fattree48_hybrid payoff point end to end: 27648-host fabric build plus
+// the hybrid run (fluid WebSearch background, 64-way packet incast
+// foreground). Work unit = switch-forwarded packets — the foreground packet
+// work the hybrid engine frees the event budget for — over wall time that
+// includes construction, so the committed number is the "time to first
+// hybrid result at 27k hosts" headline. Kept structurally in sync with
+// examples/scenarios/fattree48_hybrid.json (one incast event instead of the
+// periodic train, to bound the single-batch runtime).
+constexpr const char* kFatTree48HybridDoc = R"({
+  "name": "fattree48_hybrid",
+  "topology": {"kind": "fattree", "pods": 24, "tors_per_pod": 24,
+                "aggs_per_pod": 24, "cores_per_agg": 24, "hosts_per_tor": 48,
+                "host_gbps": 100, "fabric_gbps": 400, "link_delay_us": 1},
+  "cc": {"scheme": "hpcc"},
+  "workload": {"load": 0.25, "trace": "websearch", "max_flows": 2000,
+               "flow_class": "fluid",
+               "incast": {"fan_in": 64, "flow_bytes": 30000,
+                          "first_event_us": 50, "period_us": 200}},
+  "hybrid": {},
+  "duration_ms": 0.5,
+  "drain_factor": 10,
+  "seed": 48
+})";
+
+uint64_t MacroFatTree48HybridBatch() {
+  const hpcc::scenario::Scenario s =
+      hpcc::scenario::ParseScenarioText(kFatTree48HybridDoc);
+  hpcc::scenario::ScenarioRun run;
+  run.scenario = s;
+  run.label = s.name;
+  const auto r = hpcc::scenario::ScenarioRunner::RunOne(run, {});
+  if (!r.error.empty()) {
+    std::fprintf(stderr, "macro/fattree48_hybrid failed: %s\n",
+                 r.error.c_str());
+    std::abort();
+  }
+  if (r.result.fluid_flows_created == 0 || r.result.packets_forwarded == 0) {
+    std::abort();  // both engines must actually have run
+  }
+  return r.result.packets_forwarded;
+}
+
 // The label is user-supplied; escape it so the report stays valid JSON.
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -624,6 +700,12 @@ int main(int argc, char** argv) {
                              ShardHandoffBatch));
   results.push_back(RunBench("micro/snapshot_restore", "restores",
                              min_seconds, SnapshotRestoreBatch));
+  results.push_back(RunBench("micro/fluid_tick", "flow_ticks", min_seconds,
+                             MicroFluidTickBatch));
+  // Single batch past the warm-up: the work is one fixed 27k-host point, so
+  // more batches would only repeat it (same rationale as the sweep pair).
+  results.push_back(RunBench("macro/fattree48_hybrid", "pkts",
+                             /*min_seconds=*/0, MacroFatTree48HybridBatch));
   // The sweep pair self-calibrates to exactly one batch past the warm-up:
   // the work is a fixed 8-point grid, so more batches would only repeat it.
   results.push_back(
